@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks: throughput of the simulator's hot paths.
+//!
+//! These are engineering benchmarks for the simulator itself (the paper
+//! reproduction lives in the `figures` binary); they guard against
+//! regressions that would make the 3700-simulation-scale studies painful.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nbl_core::cache::{CacheConfig, LockupFreeCache};
+use nbl_core::limit::Limit;
+use nbl_core::mshr::inverted::InvertedConfig;
+use nbl_core::mshr::{MshrConfig, RegisterFileConfig, TargetPolicy};
+use nbl_core::types::{Addr, Dest, LoadFormat, PhysReg};
+use nbl_sched::compile::compile;
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::run_compiled;
+use nbl_trace::workloads::{build, Scale};
+
+fn cache_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hit_path");
+    let mut cache = LockupFreeCache::new(CacheConfig::baseline(MshrConfig::Inverted(
+        InvertedConfig::typical(),
+    )));
+    // Warm one line.
+    cache.access_load(Addr(0x1000), Dest::Reg(PhysReg::int(1)), LoadFormat::WORD);
+    cache.fill(cache.block_of(Addr(0x1000)));
+    group.bench_function("hit", |b| {
+        b.iter(|| {
+            black_box(cache.access_load(
+                black_box(Addr(0x1008)),
+                Dest::Reg(PhysReg::int(2)),
+                LoadFormat::WORD,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn mshr_miss_fill_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mshr_miss_fill");
+    let organizations: Vec<(&str, MshrConfig)> = vec![
+        (
+            "register_fc2",
+            MshrConfig::Register(RegisterFileConfig {
+                entries: Limit::Finite(2),
+                targets: TargetPolicy::explicit(Limit::Unlimited),
+                max_outstanding_misses: Limit::Unlimited,
+                max_fetches_per_set: Limit::Unlimited,
+            }),
+        ),
+        ("inverted", MshrConfig::Inverted(InvertedConfig::typical())),
+        ("incache", MshrConfig::InCache { targets: TargetPolicy::explicit(Limit::Unlimited), read_extra_cycles: 0 }),
+    ];
+    for (name, mshr) in organizations {
+        let mut cache = LockupFreeCache::new(CacheConfig::baseline(mshr));
+        let mut addr = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                addr = addr.wrapping_add(0x2040);
+                let a = Addr(addr & 0xff_ffff);
+                let r = cache.access_load(a, Dest::Reg(PhysReg::int(3)), LoadFormat::WORD);
+                black_box(r);
+                black_box(cache.fill(cache.block_of(a)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn compile_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for name in ["doduc", "fpppp", "tomcatv"] {
+        let p = build(name, Scale::quick()).unwrap();
+        group.bench_function(name, |b| b.iter(|| black_box(compile(&p, black_box(10)).unwrap())));
+    }
+    group.finish();
+}
+
+fn end_to_end_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_40k_instructions");
+    group.sample_size(10);
+    for (label, hw) in [
+        ("blocking", HwConfig::Mc0),
+        ("hit_under_miss", HwConfig::Mc(1)),
+        ("unrestricted", HwConfig::NoRestrict),
+    ] {
+        let p = build("doduc", Scale::quick()).unwrap();
+        let compiled = compile(&p, 10).unwrap();
+        let cfg = SimConfig::baseline(hw);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_compiled("doduc", &compiled, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_hit_path,
+    mshr_miss_fill_cycle,
+    compile_throughput,
+    end_to_end_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Extension experiments beyond the paper's evaluation — directions its
+//! text sketches but never measures.
+//!
+//! * **E-NBW — non-blocking write allocate.** §2.4 lists write-buffer
+//!   entries among the possible destinations of fetch data "for merging
+//!   with write data when writing into a write-allocate cache", but every
+//!   write-allocate datapoint in the paper (`mc=0 + wma`) stalls. Here
+//!   store misses occupy an MSHR non-blockingly, quantifying how much of
+//!   the write-allocate penalty is an artifact of blocking stores.
+//! * **E-ASSOC — set associativity vs. fetch-per-set limits.** §4.2
+//!   remarks that a set-associative in-cache-MSHR implementation could
+//!   support multiple fetches per set, "however, by implementing a
+//!   set-associative cache, most of these concurrent conflict misses
+//!   might be eliminated in the first place." This sweep measures that
+//!   conjecture on su2cor across direct-mapped / 2-way / 4-way / fully
+//!   associative caches, with and without the fs=1 restriction — and
+//!   finds it only half true: the steady conflict misses disappear, the
+//!   simultaneous same-set fetches do not.
+
+use super::{program, RunScale};
+use nbl_core::geometry::CacheGeometry;
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::run_program;
+use std::io::Write;
+
+/// E-NBW: non-blocking write allocation on the store-heavy benchmarks.
+pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Extension E-NBW: non-blocking write-miss allocation ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>10} {:>10} {:>14} {:>14}",
+        "bench", "mc=0 + wma", "mc=0", "fc=2", "fc=2 + nb-wma", "wma recovered"
+    );
+    for bench in ["xlisp", "tomcatv", "compress", "su2cor"] {
+        let p = program(bench, scale);
+        let m = |hw: HwConfig| run_program(&p, &SimConfig::baseline(hw)).unwrap().mcpi;
+        let wma_blocking = m(HwConfig::Mc0Wma);
+        let around_blocking = m(HwConfig::Mc0);
+        let fc2 = m(HwConfig::Fc(2));
+        let fc2_nbw = m(HwConfig::FcWma(2));
+        // How much of the (blocking) write-allocate overhead does the
+        // non-blocking version eliminate, relative to write-around fc=2?
+        let blocking_overhead = wma_blocking - around_blocking;
+        let nb_overhead = fc2_nbw - fc2;
+        let recovered = if blocking_overhead > 1e-9 {
+            format!("{:.0}%", 100.0 * (1.0 - nb_overhead / blocking_overhead))
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12.3} {:>10.3} {:>10.3} {:>14.3} {:>14}",
+            bench, wma_blocking, around_blocking, fc2, fc2_nbw, recovered
+        );
+    }
+    let _ = writeln!(out);
+}
+
+/// E-ASSOC: associativity removes the conflicts that per-set fetch limits
+/// choke on.
+pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Extension E-ASSOC: associativity vs per-set fetch limits (su2cor) ==");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "ways", "fs=1", "no restrict", "fs=1 cost"
+    );
+    let p = program("su2cor", scale);
+    for ways in [1u32, 2, 4, 256] {
+        let geom = CacheGeometry::new(8 * 1024, 32, ways).expect("valid geometry");
+        let fs1 = run_program(&p, &SimConfig::baseline(HwConfig::Fs(1)).with_geometry(geom))
+            .unwrap()
+            .mcpi;
+        let inf =
+            run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict).with_geometry(geom))
+                .unwrap()
+                .mcpi;
+        let label = if ways == 256 { "full".to_string() } else { ways.to_string() };
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10.3} {:>12.3} {:>9.2}x",
+            label,
+            fs1,
+            inf,
+            fs1 / inf.max(1e-9)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(a measured refinement of the paper's §4.2 conjecture: associativity\n\
+         does remove the steady conflict MISSES — the no-restrict column\n\
+         falls — but the aligned streams still cross line boundaries\n\
+         together, so simultaneous same-set FETCHES remain and a per-set\n\
+         limit keeps hurting; under full associativity a per-set limit\n\
+         degenerates into one fetch for the whole cache)\n"
+    );
+}
+
+/// E-L2: a two-level hierarchy. The paper stops at the first-level cache
+/// ("we are limiting our studies to first-level cache configurations which
+/// are feasible for on-chip implementation"); this measures whether its
+/// central ranking survives when a 256 KB L2 turns most L1 misses into
+/// 6-cycle hits and stretches true memory trips to 40 cycles.
+pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Extension E-L2: 256KB L2 (6-cycle hit, 40-cycle miss) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>18} {:>10} {:>10} {:>10} {:>12}",
+        "bench", "hierarchy", "mc=0", "mc=1", "fc=2", "no restrict"
+    );
+    for bench in ["doduc", "tomcatv", "xlisp"] {
+        let p = program(bench, scale);
+        for (label, with_l2) in [("flat 16cy", false), ("L2 6/40cy", true)] {
+            let m = |hw: HwConfig| {
+                let mut cfg = SimConfig::baseline(hw);
+                if with_l2 {
+                    cfg = cfg.with_penalty(40).with_l2(256 * 1024, 6);
+                }
+                run_program(&p, &cfg).unwrap().mcpi
+            };
+            let _ = writeln!(
+                out,
+                "{:>10} {:>18} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+                bench,
+                label,
+                m(HwConfig::Mc0),
+                m(HwConfig::Mc(1)),
+                m(HwConfig::Fc(2)),
+                m(HwConfig::NoRestrict),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(the organization ranking survives the hierarchy everywhere, but the\n\
+         L2 only helps working sets it can hold: doduc (~57 KB) improves,\n\
+         while tomcatv's pure streams miss the L2 too and now pay 40 cycles —\n\
+         the Fig. 18 lesson that a longer effective penalty erodes the\n\
+         non-blocking win, restated in hierarchy form)\n"
+    );
+}
+
+/// E-VICTIM: a small fully associative victim buffer (Jouppi 1990 — the
+/// same author's conflict-miss fix) next to the direct-mapped L1, against
+/// the conflict-dominated benchmarks. How close does a 4-entry buffer get
+/// to the fully associative cache of Fig. 10?
+pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Extension E-VICTIM: victim buffer vs associativity (mc=1) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>10} {:>10} {:>12}",
+        "bench", "DM", "DM+4v", "DM+16v", "fully assoc"
+    );
+    for bench in ["xlisp", "su2cor", "doduc"] {
+        let p = program(bench, scale);
+        let m = |victims: usize, fa: bool| {
+            let mut cfg = SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(victims);
+            if fa {
+                cfg = cfg.with_geometry(
+                    CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry"),
+                );
+            }
+            run_program(&p, &cfg).unwrap().mcpi
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8.3} {:>10.3} {:>10.3} {:>12.3}",
+            bench,
+            m(0, false),
+            m(4, false),
+            m(16, false),
+            m(0, true),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(victim buffers shine exactly where Jouppi 1990 predicted: su2cor's\n\
+         conflicts come from a few lock-step streams evicting each other, so a\n\
+         4-entry buffer matches — even beats — full associativity; xlisp's\n\
+         conflicts are scattered across the whole heap, and only real\n\
+         associativity removes them)\n"
+    );
+}
+
+/// Runs all extensions.
+pub fn run(out: &mut dyn Write, scale: RunScale) {
+    nonblocking_write_allocate(out, scale);
+    associativity_vs_fetch_limits(out, scale);
+    two_level_hierarchy(out, scale);
+    victim_buffer(out, scale);
+}

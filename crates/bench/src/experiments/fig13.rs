@@ -1,0 +1,36 @@
+//! Figure 13 (table): baseline MCPI for all 18 SPEC92 stand-ins at
+//! scheduled load latency 10, under mc=0 / mc=1 / mc=2 / fc=1 / fc=2 and
+//! the unrestricted cache, with ratios to the unrestricted MCPI.
+
+use super::{program, RunScale};
+use nbl_sched::compile::compile;
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::{run_compiled, RunResult};
+use nbl_sim::report;
+use nbl_trace::workloads::ALL;
+use std::io::Write;
+
+/// Runs one benchmark row (shared with the integration tests).
+pub fn row(name: &str, scale: RunScale) -> Vec<RunResult> {
+    let p = program(name, scale);
+    let compiled = compile(&p, 10).expect("workloads compile");
+    HwConfig::table13_six()
+        .into_iter()
+        .map(|hw| run_compiled(name, &compiled, &SimConfig::baseline(hw)))
+        .collect()
+}
+
+/// Prints the Fig. 13 table.
+pub fn run(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Figure 13: baseline MCPI for 18 benchmarks (latency 10) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7}",
+        "bench", "mc=0", "r", "mc=1", "r", "mc=2", "r", "fc=1", "r", "fc=2", "r", "inf"
+    );
+    for name in ALL {
+        let results = row(name, scale);
+        let _ = writeln!(out, "{}", report::fig13_row(name, &results));
+    }
+    let _ = writeln!(out);
+}

@@ -1,0 +1,79 @@
+//! Figure 19 (table): dual- and single-issue MCPI scaling comparison
+//! (paper §6).
+//!
+//! Method, as in the paper: simulate each benchmark on the dual-issue
+//! machine (load latency 10, miss penalty 16); measure its average IPC on
+//! the same machine with a perfect cache; then predict the dual-issue MCPI
+//! from a *single-issue* simulation whose load latency and miss penalty
+//! are scaled by that IPC — the load latency snapped to the compiled set
+//! {1,2,3,6,10,20}, the penalty rounded to the nearest integer, exactly
+//! like the paper ("it was not convenient to compile the code for all
+//! values of the load latency").
+
+use super::{program, RunScale, LATENCIES};
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::{run_dual, run_program};
+use std::io::Write;
+
+/// The four configurations the paper compares.
+pub fn configs() -> Vec<HwConfig> {
+    vec![HwConfig::Mc0, HwConfig::Mc(1), HwConfig::Fc(2), HwConfig::NoRestrict]
+}
+
+/// The benchmarks of the Fig. 19 table.
+pub const BENCHMARKS: [&str; 5] = ["doduc", "eqntott", "su2cor", "tomcatv", "xlisp"];
+
+/// Snaps a scaled latency to the nearest compiled value.
+pub fn snap_latency(scaled: f64) -> u32 {
+    LATENCIES
+        .into_iter()
+        .min_by(|a, b| {
+            (f64::from(*a) - scaled)
+                .abs()
+                .partial_cmp(&(f64::from(*b) - scaled).abs())
+                .expect("finite")
+        })
+        .expect("non-empty latency set")
+}
+
+/// Prints the Fig. 19 comparison.
+pub fn run(out: &mut dyn Write, scale: RunScale) {
+    let _ = writeln!(out, "== Figure 19: dual vs IPC-scaled single-issue MCPI ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>6} {:>8} {:>8} | per config: dual MCPI, scaled-single MCPI, % diff",
+        "bench",
+        "IPC",
+        "s.lat",
+        "s.pen"
+    );
+    for name in BENCHMARKS {
+        let p = program(name, scale);
+        // IPC comes from the perfect-cache dual run; measure it once.
+        let probe = run_dual(&p, &SimConfig::baseline(HwConfig::NoRestrict))
+            .expect("workloads compile");
+        let ipc = probe.ipc;
+        let scaled_lat = snap_latency(10.0 * ipc);
+        let scaled_pen = (16.0 * ipc).round().max(1.0) as u32;
+        let _ = write!(out, "{:>10} {:>6.2} {:>8} {:>8} |", name, ipc, scaled_lat, scaled_pen);
+        for hw in configs() {
+            let dual =
+                run_dual(&p, &SimConfig::baseline(hw.clone())).expect("workloads compile");
+            let single_cfg = SimConfig::baseline(hw)
+                .at_latency(scaled_lat)
+                .with_penalty(scaled_pen);
+            let single = run_program(&p, &single_cfg).expect("workloads compile");
+            // The scaled single-issue MCPI is per *scaled* cycle; mapping
+            // back to dual-issue cycles divides by the IPC.
+            let predicted = single.mcpi / ipc;
+            let diff = if dual.mcpi > 0.0 {
+                100.0 * (predicted - dual.mcpi) / dual.mcpi
+            } else {
+                0.0
+            };
+            let _ = write!(out, "  {:>6.3} {:>6.3} {:>5.0}%", dual.mcpi, predicted, diff);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+}

@@ -1,0 +1,24 @@
+//! Figure 6: histogram of in-flight misses and fetches for doduc, per
+//! scheduled load latency, measured on the unrestricted configuration
+//! with the baseline system.
+
+use super::{program, RunScale, LATENCIES};
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::run_program;
+use nbl_sim::report;
+use std::io::Write;
+
+/// Prints the Fig. 6 table.
+pub fn run(out: &mut dyn Write, scale: RunScale) {
+    let p = program("doduc", scale);
+    let base = SimConfig::baseline(HwConfig::NoRestrict);
+    let mut results = Vec::new();
+    for lat in LATENCIES {
+        let r = run_program(&p, &base.clone().at_latency(lat)).expect("doduc compiles");
+        results.push((lat, r));
+    }
+    let rows: Vec<(u32, &nbl_sim::driver::RunResult)> =
+        results.iter().map(|(l, r)| (*l, r)).collect();
+    let _ = writeln!(out, "== Figure 6: in-flight misses and fetches for doduc ==");
+    let _ = writeln!(out, "{}", report::inflight_table("doduc", &rows));
+}

@@ -1,0 +1,78 @@
+//! One module per paper exhibit. Every `run` function prints its tables to
+//! the given writer and asserts nothing — the shape checks live in the
+//! workspace integration tests; this harness is for regenerating the
+//! numbers in EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod compare;
+pub mod extensions;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig18;
+pub mod fig19;
+pub mod fig4;
+pub mod paper;
+pub mod fig6;
+pub mod figs_baseline;
+
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::sweep::{latency_sweep, LatencySweep};
+use nbl_trace::ir::Program;
+use nbl_trace::workloads::{build, Scale};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+static CSV_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Enables CSV side-output: each sweep-producing exhibit also writes
+/// `<dir>/<figN>.csv`. Call once, before running exhibits.
+pub fn enable_csv(dir: PathBuf) {
+    std::fs::create_dir_all(&dir).expect("create csv directory");
+    let _ = CSV_DIR.set(dir);
+}
+
+/// Writes `contents` to `<csv dir>/<name>.csv` if CSV output is enabled.
+pub fn write_csv(name: &str, contents: &str) {
+    if let Some(dir) = CSV_DIR.get() {
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, contents)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
+/// The load latencies the paper sweeps.
+pub const LATENCIES: [u32; 6] = [1, 2, 3, 6, 10, 20];
+
+/// Experiment sizing selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// ~40 k instructions per run: seconds, for smoke checks.
+    Quick,
+    /// ~400 k instructions per run: the defaults used for EXPERIMENTS.md.
+    Full,
+}
+
+impl RunScale {
+    /// The workload scale for this run size.
+    pub fn workload_scale(self) -> Scale {
+        match self {
+            RunScale::Quick => Scale::quick(),
+            RunScale::Full => Scale::full(),
+        }
+    }
+}
+
+/// Builds a benchmark program or panics with a clear message (the harness
+/// only ever names known benchmarks).
+pub fn program(name: &str, scale: RunScale) -> Program {
+    build(name, scale.workload_scale()).unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// The full baseline latency sweep (7 configurations × 6 latencies) for
+/// one benchmark — the data behind Figs. 5–12 and 15–17.
+pub fn baseline_sweep(name: &str, scale: RunScale, base: &SimConfig) -> LatencySweep {
+    let p = program(name, scale);
+    latency_sweep(&p, base, &HwConfig::baseline_seven(), &LATENCIES)
+        .expect("workloads compile at all latencies")
+}

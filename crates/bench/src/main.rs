@@ -1,0 +1,137 @@
+//! `figures` — regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release -- all            # everything
+//! cargo run -p nbl-bench --release -- fig5 fig13     # selected exhibits
+//! cargo run -p nbl-bench --release -- all --quick    # smoke-scale
+//! cargo run -p nbl-bench --release -- all --out results.txt
+//! ```
+
+mod experiments;
+
+use experiments::RunScale;
+use std::io::Write;
+
+const USAGE: &str = "usage: figures <all | fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 compare ablations extensions ...> [--quick] [--out FILE] [--csv DIR]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = RunScale::Full;
+    let mut out_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--out" => out_path = it.next(),
+            "--csv" => {
+                let dir = it.next().expect("--csv needs a directory");
+                experiments::enable_csv(dir.into());
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.iter().any(|w| w == "list") {
+        println!("exhibits: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19");
+        println!("extras:   compare (paper vs measured), ablations, extensions, all");
+        println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs)");
+        return;
+    }
+    if wanted.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let mut sinks: Vec<Box<dyn Write>> = vec![Box::new(std::io::stdout())];
+    if let Some(path) = &out_path {
+        sinks.push(Box::new(std::fs::File::create(path).expect("create output file")));
+    }
+    let mut out = Tee(sinks);
+
+    if want("compare") {
+        experiments::compare::run(&mut out, scale);
+    }
+    if want("fig4") {
+        experiments::fig4::run(&mut out, scale);
+    }
+    // Figures 5–8 share the doduc baseline sweep.
+    let needs_doduc_sweep = ["fig5", "fig7", "fig8"].iter().any(|f| want(f));
+    let doduc_sweep =
+        needs_doduc_sweep.then(|| experiments::figs_baseline::fig5(&mut out, scale));
+    if want("fig6") {
+        experiments::fig6::run(&mut out, scale);
+    }
+    if let Some(sweep) = &doduc_sweep {
+        if want("fig7") {
+            experiments::figs_baseline::fig7(&mut out, sweep);
+        }
+        if want("fig8") {
+            experiments::figs_baseline::fig8(&mut out, sweep);
+        }
+    }
+    if want("fig9") {
+        experiments::figs_baseline::fig9(&mut out, scale);
+    }
+    if want("fig10") {
+        experiments::figs_baseline::fig10(&mut out, scale);
+    }
+    if want("fig11") {
+        experiments::figs_baseline::fig11(&mut out, scale);
+    }
+    if want("fig12") {
+        experiments::figs_baseline::fig12(&mut out, scale);
+    }
+    if want("fig13") {
+        experiments::fig13::run(&mut out, scale);
+    }
+    if want("fig14") {
+        experiments::fig14::run(&mut out, scale);
+    }
+    if want("fig15") {
+        experiments::fig15::run(&mut out, scale);
+    }
+    if want("fig16") {
+        experiments::figs_baseline::fig16(&mut out, scale);
+    }
+    if want("fig17") {
+        experiments::figs_baseline::fig17(&mut out, scale);
+    }
+    if want("fig18") {
+        experiments::fig18::run(&mut out, scale);
+    }
+    if want("fig19") {
+        experiments::fig19::run(&mut out, scale);
+    }
+    if want("ablations") {
+        experiments::ablations::run(&mut out, scale);
+    }
+    if want("extensions") {
+        experiments::extensions::run(&mut out, scale);
+    }
+}
+
+/// Writes to every sink (stdout + optional file).
+struct Tee(Vec<Box<dyn Write>>);
+
+impl Write for Tee {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for s in &mut self.0 {
+            s.write_all(buf)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        for s in &mut self.0 {
+            s.flush()?;
+        }
+        Ok(())
+    }
+}

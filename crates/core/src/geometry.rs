@@ -1,0 +1,293 @@
+//! Cache geometry: size, line size and associativity, plus the address
+//! arithmetic (set index / tag extraction) derived from them.
+
+use crate::types::{Addr, BlockAddr};
+use std::fmt;
+
+/// Errors produced when constructing an invalid [`CacheGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A parameter was zero or not a power of two.
+    NotPowerOfTwo(&'static str, u64),
+    /// `associativity * line_bytes` exceeds the total size.
+    TooAssociative { ways: u32, sets_would_be: u64 },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a nonzero power of two, got {v}")
+            }
+            GeometryError::TooAssociative { ways, sets_would_be } => {
+                write!(f, "associativity {ways} leaves {sets_would_be} sets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The shape of a cache: total capacity, line size and associativity.
+///
+/// The paper's baseline is an 8 KB direct-mapped cache with 32-byte lines
+/// ([`CacheGeometry::baseline`]); §5 varies the size (64 KB) and line size
+/// (16 B), and Fig. 10 uses a fully associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use nbl_core::geometry::CacheGeometry;
+///
+/// let g = CacheGeometry::baseline();
+/// assert_eq!(g.num_sets(), 256);
+/// assert_eq!(g.line_bytes(), 32);
+/// assert_eq!(g.words_per_line(8), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+    block_bits: u32,
+    set_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is zero or not a power of
+    /// two, or if the associativity exceeds the number of lines.
+    pub fn new(size_bytes: u64, line_bytes: u32, ways: u32) -> Result<CacheGeometry, GeometryError> {
+        if size_bytes == 0 || !size_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("cache size", size_bytes));
+        }
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("line size", u64::from(line_bytes)));
+        }
+        if ways == 0 || !ways.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("associativity", u64::from(ways)));
+        }
+        let lines = size_bytes / u64::from(line_bytes);
+        if u64::from(ways) > lines {
+            return Err(GeometryError::TooAssociative { ways, sets_would_be: 0 });
+        }
+        let sets = lines / u64::from(ways);
+        Ok(CacheGeometry {
+            size_bytes,
+            line_bytes,
+            ways,
+            block_bits: line_bytes.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+        })
+    }
+
+    /// Direct-mapped geometry, the common case in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeometryError`] from [`CacheGeometry::new`].
+    pub fn direct_mapped(size_bytes: u64, line_bytes: u32) -> Result<CacheGeometry, GeometryError> {
+        CacheGeometry::new(size_bytes, line_bytes, 1)
+    }
+
+    /// Fully associative geometry (every line in one set), used for Fig. 10.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeometryError`] from [`CacheGeometry::new`].
+    pub fn fully_associative(size_bytes: u64, line_bytes: u32) -> Result<CacheGeometry, GeometryError> {
+        let lines = size_bytes / u64::from(line_bytes);
+        CacheGeometry::new(size_bytes, line_bytes, lines as u32)
+    }
+
+    /// The paper's baseline: 8 KB, direct mapped, 32-byte lines.
+    pub fn baseline() -> CacheGeometry {
+        CacheGeometry::direct_mapped(8 * 1024, 32).expect("baseline geometry is valid")
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Associativity (ways per set). 1 = direct mapped.
+    #[inline]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> u64 {
+        1u64 << self.set_bits
+    }
+
+    /// Number of lines (sets × ways).
+    #[inline]
+    pub fn num_lines(&self) -> u64 {
+        self.num_sets() * u64::from(self.ways)
+    }
+
+    /// `log2(line size)`: the number of low address bits naming a byte
+    /// within a block.
+    #[inline]
+    pub fn block_bits(&self) -> u32 {
+        self.block_bits
+    }
+
+    /// Number of machine words per line given a word size in bytes — the
+    /// field count of an implicitly addressed MSHR (paper Fig. 1).
+    #[inline]
+    pub fn words_per_line(&self, word_bytes: u32) -> u32 {
+        debug_assert!(word_bytes.is_power_of_two());
+        (self.line_bytes / word_bytes).max(1)
+    }
+
+    /// True if every line sits in a single set.
+    #[inline]
+    pub fn is_fully_associative(&self) -> bool {
+        self.num_sets() == 1
+    }
+
+    /// Block address of a byte address under this geometry.
+    #[inline]
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        addr.block(self.block_bits)
+    }
+
+    /// Set index of a block address.
+    #[inline]
+    pub fn set_of_block(&self, block: BlockAddr) -> u32 {
+        (block.0 & (self.num_sets() - 1)) as u32
+    }
+
+    /// Set index of a byte address.
+    #[inline]
+    pub fn set_of(&self, addr: Addr) -> u32 {
+        self.set_of_block(self.block_of(addr))
+    }
+
+    /// The tag stored in the cache for a block (block address with the set
+    /// bits removed).
+    #[inline]
+    pub fn tag_of_block(&self, block: BlockAddr) -> u64 {
+        block.0 >> self.set_bits
+    }
+
+    /// Byte offset within the line for a byte address.
+    #[inline]
+    pub fn offset_of(&self, addr: Addr) -> u32 {
+        addr.offset_in_block(self.block_bits)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let assoc = if self.ways == 1 {
+            "DM".to_string()
+        } else if self.is_fully_associative() {
+            "FA".to_string()
+        } else {
+            format!("{}w", self.ways)
+        };
+        write!(f, "{}KB/{}B/{}", self.size_bytes / 1024, self.line_bytes, assoc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shape() {
+        let g = CacheGeometry::baseline();
+        assert_eq!(g.size_bytes(), 8192);
+        assert_eq!(g.line_bytes(), 32);
+        assert_eq!(g.ways(), 1);
+        assert_eq!(g.num_sets(), 256);
+        assert_eq!(g.num_lines(), 256);
+        assert_eq!(g.block_bits(), 5);
+        assert_eq!(g.to_string(), "8KB/32B/DM");
+    }
+
+    #[test]
+    fn fully_associative_has_one_set() {
+        let g = CacheGeometry::fully_associative(8 * 1024, 32).unwrap();
+        assert_eq!(g.num_sets(), 1);
+        assert_eq!(g.ways(), 256);
+        assert!(g.is_fully_associative());
+        assert_eq!(g.set_of(Addr(0xdead_beef)), 0);
+        assert_eq!(g.to_string(), "8KB/32B/FA");
+    }
+
+    #[test]
+    fn set_and_tag_extraction() {
+        let g = CacheGeometry::baseline();
+        // Address 0x2A60: block = 0x153, set = 0x53, tag = 1.
+        let a = Addr(0x2a60);
+        assert_eq!(g.block_of(a), BlockAddr(0x153));
+        assert_eq!(g.set_of(a), 0x53);
+        assert_eq!(g.tag_of_block(g.block_of(a)), 1);
+        assert_eq!(g.offset_of(Addr(0x2a67)), 7);
+    }
+
+    #[test]
+    fn same_set_different_tag_conflict() {
+        let g = CacheGeometry::baseline();
+        // Two addresses exactly one cache-size apart map to the same set.
+        let a = Addr(0x1000);
+        let b = Addr(0x1000 + 8 * 1024);
+        assert_eq!(g.set_of(a), g.set_of(b));
+        assert_ne!(g.tag_of_block(g.block_of(a)), g.tag_of_block(g.block_of(b)));
+    }
+
+    #[test]
+    fn words_per_line_matches_paper_examples() {
+        let g = CacheGeometry::baseline();
+        assert_eq!(g.words_per_line(8), 4); // four 8-byte words in a 32-byte line
+        assert_eq!(g.words_per_line(4), 8); // eight 4-byte sub-blocks
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            CacheGeometry::new(8 * 1024 + 1, 32, 1),
+            Err(GeometryError::NotPowerOfTwo("cache size", _))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(8 * 1024, 24, 1),
+            Err(GeometryError::NotPowerOfTwo("line size", _))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(8 * 1024, 32, 3),
+            Err(GeometryError::NotPowerOfTwo("associativity", _))
+        ));
+        assert!(CacheGeometry::new(64, 32, 4).is_err()); // only 2 lines
+        let err = CacheGeometry::new(64, 32, 4).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn sixteen_byte_lines_variant() {
+        let g = CacheGeometry::direct_mapped(8 * 1024, 16).unwrap();
+        assert_eq!(g.num_sets(), 512);
+        assert_eq!(g.block_bits(), 4);
+        assert_eq!(g.words_per_line(8), 2);
+    }
+
+    #[test]
+    fn large_cache_variant() {
+        let g = CacheGeometry::direct_mapped(64 * 1024, 32).unwrap();
+        assert_eq!(g.num_sets(), 2048);
+    }
+}

@@ -1,0 +1,59 @@
+//! # nbl-core — lockup-free caches and MSHR organizations
+//!
+//! Core library of the reproduction of Farkas & Jouppi,
+//! *Complexity/Performance Tradeoffs with Non-Blocking Loads*
+//! (WRL 94/3 / ISCA 1994).
+//!
+//! A *non-blocking* (lockup-free) cache lets the processor keep issuing
+//! instructions — including further cache accesses — while one or more data
+//! cache misses are outstanding. The hardware that makes this possible is a
+//! set of **Miss Status Holding Registers** (MSHRs), and the paper's subject
+//! is how much MSHR hardware is actually worth buying. This crate implements
+//! the complete design space the paper studies:
+//!
+//! * [`mshr::targets`] — implicitly addressed, explicitly addressed and
+//!   hybrid target-field layouts (paper Figs. 1, 2 and 14);
+//! * [`mshr::file`] — discrete register MSHR files with limits on entries,
+//!   total outstanding misses (`mc=N`), and fetches per cache set (`fs=N`);
+//! * [`mshr::incache`] — in-cache MSHR storage via a transit bit per line
+//!   (paper §2.3);
+//! * [`mshr::inverted`] — the inverted, per-destination MSHR the paper
+//!   introduces (§2.4), which realizes the "no restriction" configuration;
+//! * [`mshr::cost`] — the storage cost model that reproduces the paper's
+//!   bit counts (92/140/112/106 bits);
+//! * [`cache`] — the lockup-free cache proper: tag array, LRU replacement,
+//!   write-through + write-around (or write-allocate) stores, and fills
+//!   that wake every waiting load simultaneously.
+//!
+//! Timing lives elsewhere: the `nbl-cpu` crate drives this cache with an
+//! in-order processor model, and `nbl-mem` provides the fully pipelined
+//! constant-latency memory of the paper's §3.1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache};
+//! use nbl_core::mshr::MshrConfig;
+//! use nbl_core::mshr::inverted::InvertedConfig;
+//! use nbl_core::types::{Addr, Dest, LoadFormat, PhysReg};
+//!
+//! // An unrestricted lockup-free cache (the paper's "no restrict" curve).
+//! let mut cache = LockupFreeCache::new(CacheConfig::baseline(
+//!     MshrConfig::Inverted(InvertedConfig::typical()),
+//! ));
+//! let r = cache.access_load(Addr(0x1000), Dest::Reg(PhysReg::int(4)), LoadFormat::WORD);
+//! assert!(matches!(r, LoadAccess::Miss(_)));
+//! ```
+
+pub mod cache;
+pub mod geometry;
+pub mod inst;
+pub mod limit;
+pub mod mshr;
+pub mod types;
+
+pub use cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
+pub use geometry::CacheGeometry;
+pub use limit::Limit;
+pub use mshr::{MissKind, MshrBank, MshrConfig, Rejection, TargetRecord};
+pub use types::{Addr, BlockAddr, Cycle, Dest, LoadFormat, PhysReg, RegClass};

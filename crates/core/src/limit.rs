@@ -1,0 +1,108 @@
+//! A saturating resource limit used throughout the MSHR design space:
+//! "at most N in flight" or "unlimited".
+
+use std::fmt;
+
+/// An upper bound on a hardware resource (number of MSHRs, outstanding
+/// misses, fetches per set, target fields per MSHR, ...).
+///
+/// `Limit::Finite(0)` is a valid limit and means the resource does not exist
+/// at all — e.g. a blocking cache has `Finite(0)` outstanding misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Limit {
+    /// No bound: the paper's "infinite" / "no restriction" configurations.
+    Unlimited,
+    /// At most this many.
+    Finite(u32),
+}
+
+impl Limit {
+    /// Returns `true` if `in_use` additional-resource requests would still be
+    /// within the limit, i.e. whether one more unit can be allocated when
+    /// `in_use` are already allocated.
+    #[inline]
+    pub fn allows_one_more(self, in_use: usize) -> bool {
+        match self {
+            Limit::Unlimited => true,
+            Limit::Finite(n) => in_use < n as usize,
+        }
+    }
+
+    /// Returns `true` if this limit permits `count` simultaneous units.
+    #[inline]
+    pub fn allows(self, count: usize) -> bool {
+        match self {
+            Limit::Unlimited => true,
+            Limit::Finite(n) => count <= n as usize,
+        }
+    }
+
+    /// The finite bound, if any.
+    #[inline]
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            Limit::Unlimited => None,
+            Limit::Finite(n) => Some(n),
+        }
+    }
+
+    /// Returns `true` for `Limit::Unlimited`.
+    #[inline]
+    pub fn is_unlimited(self) -> bool {
+        matches!(self, Limit::Unlimited)
+    }
+}
+
+impl fmt::Display for Limit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Limit::Unlimited => write!(f, "inf"),
+            Limit::Finite(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<u32> for Limit {
+    fn from(n: u32) -> Self {
+        Limit::Finite(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_limits_admit_up_to_n() {
+        let l = Limit::Finite(2);
+        assert!(l.allows_one_more(0));
+        assert!(l.allows_one_more(1));
+        assert!(!l.allows_one_more(2));
+        assert!(!l.allows_one_more(100));
+        assert!(l.allows(2));
+        assert!(!l.allows(3));
+    }
+
+    #[test]
+    fn zero_limit_admits_nothing() {
+        let l = Limit::Finite(0);
+        assert!(!l.allows_one_more(0));
+        assert!(l.allows(0));
+        assert!(!l.allows(1));
+    }
+
+    #[test]
+    fn unlimited_admits_everything() {
+        assert!(Limit::Unlimited.allows_one_more(usize::MAX - 1));
+        assert!(Limit::Unlimited.allows(usize::MAX));
+        assert!(Limit::Unlimited.is_unlimited());
+        assert_eq!(Limit::Unlimited.finite(), None);
+        assert_eq!(Limit::Finite(7).finite(), Some(7));
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Limit::Unlimited.to_string(), "inf");
+        assert_eq!(Limit::from(4).to_string(), "4");
+    }
+}

@@ -1,0 +1,207 @@
+//! Hardware storage-cost model for MSHR organizations.
+//!
+//! Reproduces the bit-count arithmetic of the paper's §2 and §4.1:
+//!
+//! * basic implicitly addressed MSHR, 32-byte line, 8-byte words:
+//!   `(4×12) + 44 = 92` bits (Fig. 1);
+//! * implicit with 4-byte granularity (8 sub-blocks): `44 + 96 = 140` bits;
+//! * explicitly addressed, 4 fields: `44 + (4×17) = 112` bits (Fig. 2);
+//! * hybrid 2 sub-blocks × 2 fields: `44 + (4×16) = 106` bits (Fig. 14 —
+//!   one address bit per field is supplied by the implicit sub-block
+//!   position).
+//!
+//! Each register MSHR additionally carries one block-address comparator;
+//! the inverted MSHR carries one comparator **per destination entry**
+//! (it is built "with the same basic circuits as a fully-associative TLB").
+
+use super::inverted::InvertedConfig;
+use super::targets::TargetPolicy;
+use crate::geometry::CacheGeometry;
+use crate::limit::Limit;
+use crate::types::Addr;
+
+/// Field-width assumptions of the cost model (paper Figs. 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrCostModel {
+    /// Physical address bits (paper: 48).
+    pub phys_addr_bits: u32,
+    /// Destination register address width: 5 index bits + 1 int/fp bit.
+    pub dest_bits: u32,
+    /// Formatting information width (load width, sign extension, byte
+    /// address bits; paper: "~5").
+    pub format_bits: u32,
+}
+
+impl Default for MshrCostModel {
+    fn default() -> Self {
+        MshrCostModel { phys_addr_bits: Addr::PHYSICAL_BITS, dest_bits: 6, format_bits: 5 }
+    }
+}
+
+/// Storage cost of one register MSHR, in bits, with comparator counted
+/// separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrCost {
+    /// Total storage bits for one MSHR entry.
+    pub bits: u64,
+    /// Width of the associative block-address comparator.
+    pub comparator_bits: u32,
+    /// Number of comparators (1 for a register MSHR; entry count for the
+    /// inverted organization).
+    pub comparators: u32,
+}
+
+impl MshrCostModel {
+    /// Bits of block request address that must be stored: physical bits
+    /// minus the in-block offset bits (paper: 48 − 5 = 43 for 32-byte
+    /// lines).
+    pub fn block_addr_bits(&self, geometry: &CacheGeometry) -> u32 {
+        self.phys_addr_bits - geometry.block_bits()
+    }
+
+    /// Per-field storage: valid bit + destination + format, plus the
+    /// explicit address-in-sub-block bits when a sub-block holds more than
+    /// one field. (A purely positional field needs no address bits:
+    /// its position *is* the address.)
+    pub fn field_bits(&self, policy: TargetPolicy, geometry: &CacheGeometry) -> u32 {
+        let base = 1 + self.dest_bits + self.format_bits;
+        match policy.fields_per_sub_block() {
+            Limit::Finite(1) => base,
+            _ => {
+                let sub_block_addr_bits = geometry.block_bits() - policy.sub_blocks().trailing_zeros();
+                base + sub_block_addr_bits
+            }
+        }
+    }
+
+    /// Total storage cost of one register MSHR under `policy`.
+    ///
+    /// Returns `None` for idealized unlimited-field policies, which have no
+    /// finite hardware realization (the paper's `fc=` curves assume one and
+    /// Fig. 14 quantifies what finite approximations cost).
+    pub fn register_mshr(&self, policy: TargetPolicy, geometry: &CacheGeometry) -> Option<MshrCost> {
+        let fields = policy.total_fields().finite()?;
+        let bits = u64::from(self.block_addr_bits(geometry)) + 1 // block valid bit
+            + u64::from(fields) * u64::from(self.field_bits(policy, geometry));
+        Some(MshrCost { bits, comparator_bits: self.block_addr_bits(geometry), comparators: 1 })
+    }
+
+    /// Storage cost of one inverted-MSHR destination entry (Fig. 3: block
+    /// request address + valid + format + address-in-block), and the total
+    /// across a configuration.
+    pub fn inverted_entry_bits(&self, geometry: &CacheGeometry) -> u64 {
+        u64::from(self.block_addr_bits(geometry))
+            + 1
+            + u64::from(self.format_bits)
+            + u64::from(geometry.block_bits())
+    }
+
+    /// Total inverted-MSHR cost: per-entry storage and one comparator per
+    /// entry, plus the match-entry encoder (not counted in bits).
+    pub fn inverted(&self, config: InvertedConfig, geometry: &CacheGeometry) -> MshrCost {
+        let entries = config.total_entries() as u64;
+        MshrCost {
+            bits: entries * self.inverted_entry_bits(geometry),
+            comparator_bits: self.block_addr_bits(geometry),
+            comparators: entries as u32,
+        }
+    }
+
+    /// Storage overhead of in-cache MSHR storage: one transit bit per cache
+    /// line (the MSHR fields live in the data array for free).
+    pub fn in_cache_bits(&self, geometry: &CacheGeometry) -> u64 {
+        geometry.num_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MshrCostModel {
+        MshrCostModel::default()
+    }
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::baseline() // 32-byte lines => 5 offset bits
+    }
+
+    #[test]
+    fn block_addr_bits_match_paper() {
+        assert_eq!(model().block_addr_bits(&geom()), 43);
+    }
+
+    #[test]
+    fn basic_implicit_mshr_is_92_bits() {
+        // Paper Fig. 1: (4×12) + 44 = 92 bits.
+        let cost = model().register_mshr(TargetPolicy::implicit_sub_blocks(4), &geom()).unwrap();
+        assert_eq!(cost.bits, 92);
+        assert_eq!(cost.comparator_bits, 43);
+        assert_eq!(cost.comparators, 1);
+    }
+
+    #[test]
+    fn implicit_4byte_granularity_is_140_bits() {
+        // Paper §2.2 / §4.1: doubling word records to 8 makes 44 + 96 = 140.
+        let cost = model().register_mshr(TargetPolicy::implicit_sub_blocks(8), &geom()).unwrap();
+        assert_eq!(cost.bits, 140);
+    }
+
+    #[test]
+    fn explicit_4_field_mshr_is_112_bits() {
+        // Paper Fig. 2 / §4.1: 44 + (4×17) = 112.
+        let cost =
+            model().register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &geom()).unwrap();
+        assert_eq!(cost.bits, 112);
+    }
+
+    #[test]
+    fn hybrid_2x2_is_108_bits() {
+        // Paper §4.1 prints "44+(4×16)=106", but 44 + 4×16 is 108 — the
+        // total in the paper is a typo; its own per-field arithmetic (one
+        // address bit saved per field, 16 bits/field) gives 108.
+        let cost = model().register_mshr(TargetPolicy::hybrid(2, 2), &geom()).unwrap();
+        assert_eq!(cost.bits, 108);
+    }
+
+    #[test]
+    fn unlimited_fields_have_no_finite_cost() {
+        assert!(model().register_mshr(TargetPolicy::explicit(Limit::Unlimited), &geom()).is_none());
+    }
+
+    #[test]
+    fn inverted_entry_layout_matches_fig3() {
+        // Fig. 3 row: 43 + 1 + ~5 + 5 = 54 bits per destination.
+        assert_eq!(model().inverted_entry_bits(&geom()), 54);
+        let cost = model().inverted(InvertedConfig::typical(), &geom());
+        assert_eq!(cost.comparators as usize, InvertedConfig::typical().total_entries());
+        assert_eq!(cost.bits, 54 * InvertedConfig::typical().total_entries() as u64);
+    }
+
+    #[test]
+    fn in_cache_overhead_is_one_bit_per_line() {
+        assert_eq!(model().in_cache_bits(&geom()), 256);
+        let big = CacheGeometry::direct_mapped(64 * 1024, 32).unwrap();
+        assert_eq!(model().in_cache_bits(&big), 2048);
+    }
+
+    #[test]
+    fn cost_ordering_of_fig14_near_optimal_points() {
+        // implicit-8 (140) > explicit-4 (112) > hybrid-2x2 (106).
+        let m = model();
+        let g = geom();
+        let imp = m.register_mshr(TargetPolicy::implicit_sub_blocks(8), &g).unwrap().bits;
+        let exp = m.register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g).unwrap().bits;
+        let hyb = m.register_mshr(TargetPolicy::hybrid(2, 2), &g).unwrap().bits;
+        assert!(imp > exp && exp > hyb);
+    }
+
+    #[test]
+    fn sixteen_byte_lines_shrink_fields() {
+        let g16 = CacheGeometry::direct_mapped(8 * 1024, 16).unwrap();
+        // 48-4 = 44 block addr bits; explicit field = 12 + 4 = 16.
+        assert_eq!(model().block_addr_bits(&g16), 44);
+        let cost = model().register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g16).unwrap();
+        assert_eq!(cost.bits, 44 + 1 + 4 * 16);
+    }
+}

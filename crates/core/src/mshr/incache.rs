@@ -1,0 +1,198 @@
+//! In-cache MSHR storage (paper §2.3, after Franklin & Sohi).
+//!
+//! A *transit bit* is added to every cache line. While a line is being
+//! fetched, the line's tag holds the fetched address and the line's data
+//! array holds the MSHR target information. Consequences faithfully
+//! modeled here:
+//!
+//! * In a direct-mapped cache only **one in-flight primary miss per cache
+//!   set** is possible (the set's single line is the MSHR). In an `n`-way
+//!   cache up to `n` fetches per set can be in flight.
+//! * The victim line is claimed — and its previous contents lost — at
+//!   **miss time**, not fill time (the line is needed to store the MSHR
+//!   state). `MshrConfig::evicts_on_miss` exposes this to the cache.
+//! * The number of MSHRs equals the number of cache lines, so there is no
+//!   global entry limit worth modeling.
+
+use super::targets::{TargetPolicy, TargetStorage};
+use super::{MissKind, MissRequest, MshrResponse, Rejection, TargetRecord};
+use crate::geometry::CacheGeometry;
+use crate::types::BlockAddr;
+use std::collections::HashMap;
+
+/// One line-resident in-flight fetch.
+#[derive(Debug, Clone)]
+struct TransitLine {
+    block: BlockAddr,
+    targets: TargetStorage,
+}
+
+/// Dynamic state of the in-cache MSHR organization.
+#[derive(Debug, Clone)]
+pub struct InCacheMshr {
+    targets_policy: TargetPolicy,
+    geometry: CacheGeometry,
+    /// Transit lines per set (at most `ways` per set).
+    per_set: HashMap<u32, Vec<TransitLine>>,
+    /// Block → set reverse index for `fill`/`is_in_transit`.
+    by_block: HashMap<BlockAddr, u32>,
+    total_misses: usize,
+}
+
+impl InCacheMshr {
+    /// Creates the organization for a cache of the given geometry.
+    pub fn new(targets_policy: TargetPolicy, geometry: &CacheGeometry) -> InCacheMshr {
+        InCacheMshr {
+            targets_policy,
+            geometry: *geometry,
+            per_set: HashMap::new(),
+            by_block: HashMap::new(),
+            total_misses: 0,
+        }
+    }
+
+    /// The target-field layout stored in each transit line.
+    pub fn targets_policy(&self) -> TargetPolicy {
+        self.targets_policy
+    }
+
+    /// Presents a load miss.
+    pub fn try_load_miss(&mut self, req: &MissRequest) -> MshrResponse {
+        let record = TargetRecord { dest: req.dest, offset: req.offset, format: req.format };
+        let lines = self.per_set.entry(req.set).or_default();
+        if let Some(line) = lines.iter_mut().find(|l| l.block == req.block) {
+            return match line.targets.try_add(record) {
+                Ok(()) => {
+                    self.total_misses += 1;
+                    MshrResponse::Accepted(MissKind::Secondary)
+                }
+                Err(reason) => MshrResponse::Rejected(reason),
+            };
+        }
+        // A new primary miss needs a line in the set to live in. Lines
+        // already in transit cannot be claimed.
+        if lines.len() >= self.geometry.ways() as usize {
+            return MshrResponse::Rejected(Rejection::PerSetFetchLimit);
+        }
+        let mut targets = TargetStorage::new(self.targets_policy, &self.geometry);
+        match targets.try_add(record) {
+            Ok(()) => {}
+            Err(reason) => return MshrResponse::Rejected(reason),
+        }
+        lines.push(TransitLine { block: req.block, targets });
+        self.by_block.insert(req.block, req.set);
+        self.total_misses += 1;
+        MshrResponse::Accepted(MissKind::Primary)
+    }
+
+    /// Completes the fetch of `block`.
+    pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
+        let Some(set) = self.by_block.remove(&block) else {
+            return Vec::new();
+        };
+        let lines = self.per_set.get_mut(&set).expect("by_block tracks per_set");
+        let idx = lines.iter().position(|l| l.block == block).expect("by_block tracks per_set");
+        let mut line = lines.swap_remove(idx);
+        if lines.is_empty() {
+            self.per_set.remove(&set);
+        }
+        let records = line.targets.drain();
+        self.total_misses -= records.len();
+        records
+    }
+
+    /// `true` if a fetch for `block` is outstanding.
+    #[inline]
+    pub fn is_in_transit(&self, block: BlockAddr) -> bool {
+        self.by_block.contains_key(&block)
+    }
+
+    /// Number of in-flight fetches.
+    #[inline]
+    pub fn outstanding_fetches(&self) -> usize {
+        self.by_block.len()
+    }
+
+    /// Number of waiting target records.
+    #[inline]
+    pub fn outstanding_misses(&self) -> usize {
+        self.total_misses
+    }
+
+    /// In-flight fetches mapping to `set`.
+    #[inline]
+    pub fn fetches_in_set(&self, set: u32) -> usize {
+        self.per_set.get(&set).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limit::Limit;
+    use crate::types::{Dest, LoadFormat, PhysReg};
+
+    fn req(block: u64, set: u32, offset: u32, reg: u8) -> MissRequest {
+        MissRequest {
+            block: BlockAddr(block),
+            set,
+            offset,
+            dest: Dest::Reg(PhysReg::int(reg)),
+            format: LoadFormat::WORD,
+        }
+    }
+
+    #[test]
+    fn direct_mapped_allows_one_fetch_per_set() {
+        let geom = CacheGeometry::baseline();
+        let mut m = InCacheMshr::new(TargetPolicy::explicit(Limit::Unlimited), &geom);
+        assert_eq!(m.try_load_miss(&req(0x100, 0, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
+        // Another block in the same set: the set's only line is in transit.
+        assert_eq!(
+            m.try_load_miss(&req(0x200, 0, 0, 2)),
+            MshrResponse::Rejected(Rejection::PerSetFetchLimit)
+        );
+        // Secondary misses to the in-transit block merge freely.
+        assert_eq!(m.try_load_miss(&req(0x100, 0, 8, 3)), MshrResponse::Accepted(MissKind::Secondary));
+        // A different set is independent.
+        assert!(m.try_load_miss(&req(0x101, 1, 0, 4)).is_accepted());
+        assert_eq!(m.outstanding_fetches(), 2);
+        assert_eq!(m.outstanding_misses(), 3);
+        assert_eq!(m.fetches_in_set(0), 1);
+        let t = m.fill(BlockAddr(0x100));
+        assert_eq!(t.len(), 2);
+        assert!(m.try_load_miss(&req(0x200, 0, 0, 2)).is_accepted());
+    }
+
+    #[test]
+    fn two_way_cache_allows_two_fetches_per_set() {
+        let geom = CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let mut m = InCacheMshr::new(TargetPolicy::explicit(Limit::Unlimited), &geom);
+        assert!(m.try_load_miss(&req(0x100, 0, 0, 1)).is_accepted());
+        assert!(m.try_load_miss(&req(0x200, 0, 0, 2)).is_accepted());
+        assert_eq!(
+            m.try_load_miss(&req(0x300, 0, 0, 3)),
+            MshrResponse::Rejected(Rejection::PerSetFetchLimit)
+        );
+        assert_eq!(m.fetches_in_set(0), 2);
+    }
+
+    #[test]
+    fn limited_targets_reject_like_any_mshr() {
+        let geom = CacheGeometry::baseline();
+        let mut m = InCacheMshr::new(TargetPolicy::implicit_sub_blocks(4), &geom);
+        assert!(m.try_load_miss(&req(0x100, 0, 0, 1)).is_accepted());
+        assert_eq!(
+            m.try_load_miss(&req(0x100, 0, 4, 2)),
+            MshrResponse::Rejected(Rejection::TargetConflict)
+        );
+    }
+
+    #[test]
+    fn fill_unknown_block_is_empty() {
+        let geom = CacheGeometry::baseline();
+        let mut m = InCacheMshr::new(TargetPolicy::default(), &geom);
+        assert!(m.fill(BlockAddr(12)).is_empty());
+        assert!(!m.is_in_transit(BlockAddr(12)));
+    }
+}

@@ -1,0 +1,667 @@
+//! The shared execution engine underlying both processor models.
+//!
+//! [`Core`] owns the data cache, the pipelined memory, the write buffer,
+//! the scoreboard and all timing state, and implements the event mechanics
+//! the paper's model requires:
+//!
+//! * fills complete in issue order (the memory is a constant-latency pipe)
+//!   and wake **all** waiting registers simultaneously (multi-write-port
+//!   register file, §3.1);
+//! * an instruction that reads (or rewrites) a pending register stalls
+//!   until the fill that frees it — a *true data dependency* stall;
+//! * a load miss rejected by the MSHRs stalls until the earliest
+//!   outstanding fetch completes and then retries — a *structural* stall;
+//! * under a blocking cache (or a write-allocate store miss) the whole
+//!   miss penalty is exposed as a *blocking* stall.
+//!
+//! The single-issue [`crate::pipeline::Processor`] and the dual-issue
+//! [`crate::dual::DualIssueProcessor`] are thin issue policies over this
+//! engine.
+
+use crate::scoreboard::Scoreboard;
+use crate::stats::{CpuStats, InFlightSampler, StallCause};
+use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
+use nbl_core::geometry::CacheGeometry;
+use nbl_core::mshr::MshrConfig;
+use nbl_core::types::BlockAddr;
+use nbl_core::inst::{DynInst, DynKind};
+use nbl_core::mshr::MissKind;
+use nbl_core::types::{Addr, Cycle, Dest, LoadFormat, PhysReg};
+use nbl_mem::memory::PipelinedMemory;
+use nbl_mem::write_buffer::WriteBuffer;
+
+/// A second-level cache between the L1 and main memory — an extension
+/// beyond the paper, which studies only on-chip first-level caches and
+/// cites two-level caching as adjacent work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2Params {
+    /// L2 geometry (must have the same line size as the L1).
+    pub geometry: CacheGeometry,
+    /// Cycles for an L1 miss that hits in the L2 (instead of the full
+    /// miss penalty).
+    pub hit_penalty: u32,
+}
+
+/// Configuration of the shared engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Data cache (geometry, write policy, MSHR organization).
+    pub cache: CacheConfig,
+    /// Miss penalty in cycles (paper baseline: 16).
+    pub miss_penalty: u32,
+    /// If `true`, every data access hits: used to measure each workload's
+    /// ideal cycle count (dual-issue IPC for the paper's §6 scaling).
+    pub perfect_cache: bool,
+    /// Minimum cycles between successive fetch completions: 0 is the
+    /// paper's fully pipelined memory; larger values model a
+    /// bandwidth-limited bus (ablation only).
+    pub memory_gap: u32,
+    /// Optional second-level cache (extension; `None` reproduces the
+    /// paper's flat L1 + memory hierarchy).
+    pub l2: Option<L2Params>,
+}
+
+impl EngineConfig {
+    /// Baseline memory (16-cycle penalty) over the given cache.
+    pub fn with_cache(cache: CacheConfig) -> EngineConfig {
+        EngineConfig { cache, miss_penalty: 16, perfect_cache: false, memory_gap: 0, l2: None }
+    }
+}
+
+/// The shared execution engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Core {
+    cache: LockupFreeCache,
+    /// Tag-only second-level cache (extension). Probed once per L1 fetch.
+    l2: Option<(LockupFreeCache, u32)>,
+    memory: PipelinedMemory,
+    write_buffer: WriteBuffer,
+    scoreboard: Scoreboard,
+    now: Cycle,
+    stats: CpuStats,
+    sampler: InFlightSampler,
+    perfect: bool,
+}
+
+impl Core {
+    /// Creates an engine at cycle zero with a cold cache.
+    pub fn new(config: EngineConfig) -> Core {
+        // In-cache MSHR storage with a narrow read port pays extra cycles
+        // to recover the MSHR state on every fill (§2.3); model it as
+        // added fill latency.
+        let effective_penalty = config.miss_penalty + config.cache.mshr.fill_extra_cycles();
+        let l2 = config.l2.as_ref().map(|p| {
+            assert_eq!(
+                p.geometry.line_bytes(),
+                config.cache.geometry.line_bytes(),
+                "L1 and L2 must share a line size"
+            );
+            let tags = LockupFreeCache::new(CacheConfig {
+                geometry: p.geometry,
+                write_miss: WriteMissPolicy::WriteAround,
+                mshr: MshrConfig::Blocking,
+                victim_entries: 0,
+            });
+            (tags, p.hit_penalty + config.cache.mshr.fill_extra_cycles())
+        });
+        Core {
+            memory: PipelinedMemory::with_gap(effective_penalty, config.memory_gap),
+            l2,
+            cache: LockupFreeCache::new(config.cache),
+            write_buffer: WriteBuffer::free_retirement(),
+            scoreboard: Scoreboard::new(),
+            now: Cycle::ZERO,
+            stats: CpuStats::default(),
+            sampler: InFlightSampler::new(),
+            perfect: config.perfect_cache,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The in-flight occupancy sampler (Fig. 6 histograms).
+    #[inline]
+    pub fn sampler(&self) -> &InFlightSampler {
+        &self.sampler
+    }
+
+    /// The data cache (for miss-rate counters).
+    #[inline]
+    pub fn cache(&self) -> &LockupFreeCache {
+        &self.cache
+    }
+
+    /// The write buffer (occupancy statistics).
+    #[inline]
+    pub fn write_buffer(&self) -> &WriteBuffer {
+        &self.write_buffer
+    }
+
+    /// The scoreboard (pending registers).
+    #[inline]
+    pub fn scoreboard(&self) -> &Scoreboard {
+        &self.scoreboard
+    }
+
+    /// Latency of fetching `block`: the L2 hit penalty when an L2 is
+    /// configured and holds the line, otherwise the full miss penalty.
+    /// Probing also updates the (inclusive) L2 tags: a missing line is
+    /// installed, modeling the fill on its way to the L1.
+    fn fetch_latency(&mut self, block: BlockAddr) -> u32 {
+        let Some((l2, hit_penalty)) = self.l2.as_mut() else {
+            return self.memory.miss_penalty();
+        };
+        if l2.contains_block(block) {
+            // Touch for LRU.
+            let addr = block.first_byte(l2.config().geometry.block_bits());
+            let _ = l2.access_load(addr, Dest::Pc, LoadFormat::DOUBLE);
+            *hit_penalty
+        } else {
+            l2.fill(block);
+            self.memory.miss_penalty()
+        }
+    }
+
+    /// Advances time to `to` (clamped), charging the elapsed cycles to
+    /// `cause`.
+    fn stall_until(&mut self, to: Cycle, cause: StallCause) {
+        if to <= self.now {
+            return;
+        }
+        let cycles = to.since(self.now);
+        self.stats.add_stall(cause, cycles);
+        self.now = to;
+    }
+
+    /// Applies one completed fetch: installs the line, wakes every waiting
+    /// register, updates the sampler at the fill's own timestamp.
+    fn apply_fill(&mut self, block: nbl_core::types::BlockAddr, at: Cycle) {
+        self.sampler.advance(at);
+        let records = self.cache.fill(block);
+        for r in &records {
+            if let Dest::Reg(reg) = r.dest {
+                self.scoreboard.clear(reg);
+            }
+        }
+        self.sampler.on_fill(records.len());
+    }
+
+    /// Processes every fetch that has completed by the current time.
+    pub fn drain_fills(&mut self) {
+        while let Ok(at) = self.memory.next_completion() {
+            if at > self.now {
+                break;
+            }
+            let f = self.memory.pop_next().expect("next_completion said nonempty");
+            self.apply_fill(f.block, f.at);
+        }
+    }
+
+    /// Stalls (charging `cause`) until the earliest outstanding fetch
+    /// completes, and applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch is outstanding — the caller must only wait when
+    /// a pending register or rejected miss guarantees one exists.
+    fn wait_for_next_fill(&mut self, cause: StallCause) {
+        let f = self
+            .memory
+            .pop_next()
+            .expect("waiting for a fill requires an outstanding fetch");
+        self.stall_until(f.at, cause);
+        self.apply_fill(f.block, f.at);
+    }
+
+    /// Stalls until `reg` is valid (true-data-dependency stall).
+    pub fn wait_for_reg(&mut self, reg: PhysReg) {
+        while self.scoreboard.is_pending(reg) {
+            self.wait_for_next_fill(StallCause::DataDependency);
+        }
+    }
+
+    /// Resolves every register hazard of `inst`: sources (RAW) and
+    /// destination (WAW — the fill of an earlier load must not clobber
+    /// this instruction's result).
+    pub fn resolve_hazards(&mut self, inst: &DynInst) {
+        for src in inst.sources() {
+            self.wait_for_reg(src);
+        }
+        if let Some(dst) = inst.dst() {
+            self.wait_for_reg(dst);
+        }
+    }
+
+    /// `true` if `inst` could issue right now without waiting on any
+    /// pending register (used by the dual-issue pairing check).
+    pub fn hazards_clear(&self, inst: &DynInst) -> bool {
+        inst.sources().all(|s| !self.scoreboard.is_pending(s))
+            && inst.dst().is_none_or(|d| !self.scoreboard.is_pending(d))
+    }
+
+    /// Executes the operation of `inst` at the current cycle, resolving
+    /// structural stalls internally. Does **not** advance the issue clock;
+    /// the issue policy does that (it may place two instructions in one
+    /// cycle).
+    pub fn execute(&mut self, inst: &DynInst) {
+        match inst.kind {
+            DynKind::Alu { .. } => {}
+            DynKind::Load { addr, dst, format } => self.execute_load(addr, dst, format),
+            DynKind::Store { addr } => self.execute_store(addr),
+        }
+        self.stats.instructions += 1;
+        if inst.is_load() {
+            self.stats.loads += 1;
+        } else if inst.is_store() {
+            self.stats.stores += 1;
+        }
+    }
+
+    fn execute_load(&mut self, addr: Addr, dst: PhysReg, format: LoadFormat) {
+        if self.perfect {
+            return;
+        }
+        let mut stalled_structurally = false;
+        loop {
+            match self.cache.access_load(addr, Dest::Reg(dst), format) {
+                LoadAccess::Hit => break,
+                LoadAccess::VictimHit => {
+                    // One cycle to swap the line back from the victim
+                    // buffer; the data is then as good as a hit.
+                    self.stall_until(self.now.plus(1), StallCause::Blocking);
+                    break;
+                }
+                LoadAccess::Miss(kind) => {
+                    self.sampler.advance(self.now);
+                    let primary = kind == MissKind::Primary;
+                    if primary {
+                        let block = self.cache.block_of(addr);
+                        let latency = self.fetch_latency(block);
+                        self.memory.issue_fetch_after(block, self.now, latency);
+                    }
+                    self.sampler.on_miss(primary);
+                    self.scoreboard.set_pending(dst);
+                    break;
+                }
+                LoadAccess::Stalled(nbl_core::mshr::Rejection::Blocking) => {
+                    // Lockup cache: expose the whole miss penalty, then the
+                    // data is in the cache and the register is valid.
+                    self.stats.blocking_load_misses += 1;
+                    let block = self.cache.block_of(addr);
+                    let latency = self.fetch_latency(block);
+                    let done = self.now.plus(u64::from(latency));
+                    self.stall_until(done, StallCause::Blocking);
+                    self.sampler.advance(self.now);
+                    let woken = self.cache.fill(self.cache.block_of(addr));
+                    debug_assert!(woken.is_empty(), "blocking cache has no waiting targets");
+                    break;
+                }
+                LoadAccess::Stalled(_reason) => {
+                    // Structural hazard: wait for a fetch to complete, retry.
+                    if !stalled_structurally {
+                        stalled_structurally = true;
+                        self.stats.structural_stall_misses += 1;
+                    }
+                    self.wait_for_next_fill(StallCause::Structural);
+                }
+            }
+        }
+    }
+
+    fn execute_store(&mut self, addr: Addr) {
+        if self.perfect {
+            return;
+        }
+        match self.cache.access_store(addr) {
+            StoreAccess::Hit | StoreAccess::MissAround => {
+                self.write_buffer.push(addr, self.now);
+            }
+            StoreAccess::MissAllocate => {
+                // `mc=0 + wma`: fetch the line, stalling for the full penalty.
+                self.stats.blocking_store_misses += 1;
+                let block = self.cache.block_of(addr);
+                let latency = self.fetch_latency(block);
+                let done = self.now.plus(u64::from(latency));
+                self.stall_until(done, StallCause::Blocking);
+                self.sampler.advance(self.now);
+                self.cache.fill(self.cache.block_of(addr));
+                self.write_buffer.push(addr, self.now);
+            }
+            StoreAccess::MissAllocateTracked(kind) => {
+                // Non-blocking write allocate: the store data waits in the
+                // write buffer for the line; the processor does not stall.
+                self.stats.nonblocking_store_misses += 1;
+                self.sampler.advance(self.now);
+                let primary = kind == MissKind::Primary;
+                if primary {
+                    let block = self.cache.block_of(addr);
+                    let latency = self.fetch_latency(block);
+                    self.memory.issue_fetch_after(block, self.now, latency);
+                }
+                self.sampler.on_miss(primary);
+                self.write_buffer.push(addr, self.now);
+            }
+        }
+    }
+
+    /// Advances the issue clock by one cycle (every instruction or
+    /// co-issued group costs one cycle).
+    pub fn tick(&mut self) {
+        self.now = self.now.plus(1);
+    }
+
+    /// Finalizes the run: applies every outstanding fill (data that is
+    /// still in flight when the program's last instruction issues wakes no
+    /// one, so no stall is charged) and closes out the sampler.
+    pub fn finish(&mut self) {
+        while let Ok(f) = self.memory.pop_next() {
+            if f.at > self.now {
+                self.now = f.at;
+            }
+            self.apply_fill(f.block, f.at);
+        }
+        self.sampler.advance(self.now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::limit::Limit;
+    use nbl_core::mshr::{MshrConfig, RegisterFileConfig, TargetPolicy};
+    use nbl_core::types::LoadFormat;
+
+    fn engine(mshr: MshrConfig) -> Core {
+        Core::new(EngineConfig::with_cache(CacheConfig::baseline(mshr)))
+    }
+
+    fn mc1() -> MshrConfig {
+        MshrConfig::Register(RegisterFileConfig {
+            entries: Limit::Finite(1),
+            targets: TargetPolicy::explicit(Limit::Finite(1)),
+            max_outstanding_misses: Limit::Finite(1),
+            max_fetches_per_set: Limit::Unlimited,
+        })
+    }
+
+    #[test]
+    fn load_use_stall_is_penalty_minus_distance() {
+        let mut core = engine(mc1());
+        let r1 = PhysReg::int(1);
+        // Load (miss), one independent ALU op, then a use of the load.
+        let ld = DynInst::load(Addr(0x1000), r1, LoadFormat::WORD);
+        core.resolve_hazards(&ld);
+        core.execute(&ld);
+        core.tick();
+        for _ in 0..3 {
+            let op = DynInst::alu(PhysReg::int(2), [None, None]);
+            core.resolve_hazards(&op);
+            core.execute(&op);
+            core.tick();
+        }
+        // Use issues after stalling until the fill at cycle 16.
+        let use_i = DynInst::alu(PhysReg::int(3), [Some(r1), None]);
+        core.resolve_hazards(&use_i);
+        core.execute(&use_i);
+        core.tick();
+        // Load at cy0 (fill at 16), 3 ALU ops at cy1..3, use stalls 4..16.
+        assert_eq!(core.stats().data_dep_stall_cycles, 12);
+        assert_eq!(core.now(), Cycle(17));
+    }
+
+    #[test]
+    fn blocking_cache_exposes_full_penalty() {
+        let mut core = engine(MshrConfig::Blocking);
+        let ld = DynInst::load(Addr(0x40), PhysReg::int(1), LoadFormat::WORD);
+        core.resolve_hazards(&ld);
+        core.execute(&ld);
+        core.tick();
+        assert_eq!(core.stats().blocking_stall_cycles, 16);
+        assert_eq!(core.stats().blocking_load_misses, 1);
+        assert_eq!(core.now(), Cycle(17));
+        // The line is now resident: a reuse hits with no stall.
+        let ld2 = DynInst::load(Addr(0x48), PhysReg::int(2), LoadFormat::WORD);
+        core.resolve_hazards(&ld2);
+        core.execute(&ld2);
+        core.tick();
+        assert_eq!(core.stats().total_stall_cycles(), 16);
+    }
+
+    #[test]
+    fn structural_stall_waits_for_fill_then_retries() {
+        let mut core = engine(mc1());
+        let ld1 = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
+        core.resolve_hazards(&ld1);
+        core.execute(&ld1);
+        core.tick();
+        // Second load to a different line: mc=1 rejects; stalls until the
+        // first fill (cycle 16), then becomes a fresh primary miss.
+        let ld2 = DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD);
+        core.resolve_hazards(&ld2);
+        core.execute(&ld2);
+        core.tick();
+        assert_eq!(core.stats().structural_stall_cycles, 15); // 1 -> 16
+        assert_eq!(core.stats().structural_stall_misses, 1);
+        assert_eq!(core.cache().counters().load_primary_misses, 2);
+        assert!(!core.scoreboard().is_pending(PhysReg::int(1)));
+        assert!(core.scoreboard().is_pending(PhysReg::int(2)));
+    }
+
+    #[test]
+    fn secondary_miss_rides_the_same_fetch() {
+        let fc1 = MshrConfig::Register(RegisterFileConfig {
+            entries: Limit::Finite(1),
+            targets: TargetPolicy::explicit(Limit::Unlimited),
+            max_outstanding_misses: Limit::Unlimited,
+            max_fetches_per_set: Limit::Unlimited,
+        });
+        let mut core = engine(fc1);
+        let ld1 = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
+        let ld2 = DynInst::load(Addr(0x1008), PhysReg::int(2), LoadFormat::WORD);
+        core.resolve_hazards(&ld1);
+        core.execute(&ld1);
+        core.tick();
+        core.resolve_hazards(&ld2);
+        core.execute(&ld2);
+        core.tick();
+        assert_eq!(core.cache().counters().load_secondary_misses, 1);
+        // Using the second register stalls only until the shared fill at 16.
+        let use_i = DynInst::branch([Some(PhysReg::int(2)), None]);
+        core.resolve_hazards(&use_i);
+        core.execute(&use_i);
+        core.tick();
+        assert_eq!(core.stats().data_dep_stall_cycles, 14); // 2 -> 16
+        assert!(!core.scoreboard().is_pending(PhysReg::int(1)), "fill wakes all targets at once");
+    }
+
+    #[test]
+    fn waw_hazard_stalls() {
+        let mut core = engine(mc1());
+        let r = PhysReg::int(1);
+        let ld = DynInst::load(Addr(0x1000), r, LoadFormat::WORD);
+        core.resolve_hazards(&ld);
+        core.execute(&ld);
+        core.tick();
+        // An ALU write to the same register must wait for the fill.
+        let clobber = DynInst::alu(r, [None, None]);
+        core.resolve_hazards(&clobber);
+        core.execute(&clobber);
+        core.tick();
+        assert_eq!(core.stats().data_dep_stall_cycles, 15);
+    }
+
+    #[test]
+    fn perfect_cache_never_stalls() {
+        let mut cfg = EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Blocking));
+        cfg.perfect_cache = true;
+        let mut core = Core::new(cfg);
+        for i in 0..100u64 {
+            let ld = DynInst::load(Addr(i * 64), PhysReg::int((i % 30) as u8), LoadFormat::WORD);
+            core.resolve_hazards(&ld);
+            core.execute(&ld);
+            core.tick();
+        }
+        assert_eq!(core.stats().total_stall_cycles(), 0);
+        assert_eq!(core.now(), Cycle(100));
+    }
+
+    #[test]
+    fn stores_never_stall_under_write_around() {
+        let mut core = engine(mc1());
+        for i in 0..50u64 {
+            let st = DynInst::store(Addr(i * 4096), None);
+            core.resolve_hazards(&st);
+            core.execute(&st);
+            core.tick();
+        }
+        assert_eq!(core.stats().total_stall_cycles(), 0);
+        assert_eq!(core.stats().stores, 50);
+        assert_eq!(core.write_buffer().stats().writes, 50);
+    }
+
+    #[test]
+    fn nonblocking_write_allocate_never_stalls() {
+        let mut cache_cfg = CacheConfig::baseline(MshrConfig::Register(RegisterFileConfig {
+            entries: Limit::Finite(4),
+            targets: TargetPolicy::explicit(Limit::Unlimited),
+            max_outstanding_misses: Limit::Unlimited,
+            max_fetches_per_set: Limit::Unlimited,
+        }));
+        cache_cfg.write_miss = nbl_core::cache::WriteMissPolicy::WriteAllocate;
+        let mut core = Core::new(EngineConfig::with_cache(cache_cfg));
+        // Distinct sets: one cache size + one line apart.
+        for i in 0..4u64 {
+            let st = DynInst::store(Addr(i * 8224), None);
+            core.resolve_hazards(&st);
+            core.execute(&st);
+            core.tick();
+        }
+        assert_eq!(core.stats().total_stall_cycles(), 0, "tracked store misses do not stall");
+        assert_eq!(core.stats().nonblocking_store_misses, 4);
+        assert_eq!(core.stats().blocking_store_misses, 0);
+        // A fifth store miss finds no free MSHR and falls back to blocking.
+        let st = DynInst::store(Addr(5 * 8224), None);
+        core.resolve_hazards(&st);
+        core.execute(&st);
+        core.tick();
+        assert_eq!(core.stats().blocking_store_misses, 1);
+        assert!(core.stats().blocking_stall_cycles > 0);
+        core.finish();
+        assert_eq!(core.sampler().fetches_now(), 0);
+        // After the fills, the lines are resident: stores now hit.
+        let st = DynInst::store(Addr(0), None);
+        core.resolve_hazards(&st);
+        core.execute(&st);
+        assert_eq!(core.stats().nonblocking_store_misses, 4, "no new tracked miss");
+    }
+
+    #[test]
+    fn l2_hits_shorten_the_penalty() {
+        use nbl_core::geometry::CacheGeometry;
+        let mk = |l2: Option<L2Params>| {
+            let mut cfg = EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Blocking));
+            cfg.miss_penalty = 30;
+            cfg.l2 = l2;
+            Core::new(cfg)
+        };
+        let l2 = L2Params {
+            geometry: CacheGeometry::direct_mapped(256 * 1024, 32).unwrap(),
+            hit_penalty: 6,
+        };
+
+        // Flat hierarchy: every blocking miss costs 30.
+        let mut flat = mk(None);
+        let a = Addr(0x10000);
+        let b = Addr(0x20000); // conflicts with a in the 8KB L1, not in L2
+        for addr in [a, b, a] {
+            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
+            flat.resolve_hazards(&ld);
+            flat.execute(&ld);
+            flat.tick();
+        }
+        assert_eq!(flat.stats().blocking_stall_cycles, 90);
+
+        // Two-level: first touches miss L2 (30 each); the conflict re-miss
+        // of `a` hits the L2 and costs only 6.
+        let mut two = mk(Some(l2));
+        for addr in [a, b, a] {
+            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
+            two.resolve_hazards(&ld);
+            two.execute(&ld);
+            two.tick();
+        }
+        assert_eq!(two.stats().blocking_stall_cycles, 30 + 30 + 6);
+    }
+
+    #[test]
+    fn l2_hits_complete_out_of_order_under_nonblocking_l1() {
+        use nbl_core::geometry::CacheGeometry;
+        let mut cfg = EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Register(
+            RegisterFileConfig {
+                entries: Limit::Finite(4),
+                targets: TargetPolicy::explicit(Limit::Unlimited),
+                max_outstanding_misses: Limit::Unlimited,
+                max_fetches_per_set: Limit::Unlimited,
+            },
+        )));
+        cfg.miss_penalty = 30;
+        cfg.l2 = Some(L2Params {
+            geometry: CacheGeometry::direct_mapped(256 * 1024, 32).unwrap(),
+            hit_penalty: 6,
+        });
+        let mut core = Core::new(cfg);
+        let a = Addr(0x10000);
+        let b = Addr(0x20000);
+        // Warm the L2 with `a` (L1 conflict evicts it from L1 via `b`).
+        for addr in [a, b] {
+            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
+            core.resolve_hazards(&ld);
+            core.execute(&ld);
+            core.tick();
+        }
+        core.finish();
+        let t0 = core.now();
+        // Now: `b` is L1-resident; `a` was evicted but lives in L2. Issue a
+        // long L2-missing load (new line) then the L2-hitting reload of `a`:
+        // the later fetch finishes first and wakes its register first.
+        let c = DynInst::load(Addr(0x40000), PhysReg::int(2), LoadFormat::WORD);
+        core.resolve_hazards(&c);
+        core.execute(&c);
+        core.tick();
+        let r = DynInst::load(a, PhysReg::int(3), LoadFormat::WORD);
+        core.resolve_hazards(&r);
+        core.execute(&r);
+        core.tick();
+        // Use the L2-hit result: it arrives ~6 cycles after issue even
+        // though the L2-missing fetch is still outstanding.
+        let use_r = DynInst::branch([Some(PhysReg::int(3)), None]);
+        core.resolve_hazards(&use_r);
+        core.execute(&use_r);
+        let waited = core.now().since(t0);
+        assert!(waited < 12, "L2 hit must not wait behind the L2 miss (waited {waited})");
+        assert!(core.scoreboard().is_pending(PhysReg::int(2)), "the long fetch is still in flight");
+        core.finish();
+    }
+
+    #[test]
+    fn finish_drains_outstanding_fills() {
+        let mut core = engine(mc1());
+        let ld = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
+        core.resolve_hazards(&ld);
+        core.execute(&ld);
+        core.tick();
+        core.finish();
+        assert_eq!(core.sampler().misses_now(), 0);
+        assert_eq!(core.sampler().fetches_now(), 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The dual-issue, in-order processor used to validate the paper's §6
+//! IPC-scaling rule (Fig. 19).
+//!
+//! Issue rules:
+//!
+//! * up to two instructions issue per cycle, strictly in order;
+//! * at most one memory operation per cycle (single data-cache port — the
+//!   paper's single-issue histograms rely on "only one load can be issued
+//!   in a cycle", and we keep that port width here);
+//! * with single-cycle latencies, the second slot may not read or rewrite
+//!   the first slot's destination (no same-cycle RAW/WAW);
+//! * the second slot must be free of pending-register hazards at issue
+//!   time, otherwise it waits for the next cycle — the leader never waits
+//!   for the follower.
+//!
+//! Run the same workload with `perfect_cache` to obtain the machine's
+//! no-miss cycle count; `(cycles − perfect_cycles) / instructions` is the
+//! dual-issue MCPI, and `instructions / perfect_cycles` is the average IPC
+//! used by the paper's scaling rule.
+
+use crate::core_engine::{Core, EngineConfig};
+use crate::stats::{CpuStats, InFlightSampler};
+use nbl_core::cache::LockupFreeCache;
+use nbl_core::inst::DynInst;
+use nbl_core::types::Cycle;
+
+/// The dual-issue processor. Feed instructions with
+/// [`DualIssueProcessor::push`] and call [`DualIssueProcessor::finish`]
+/// when the stream ends (it flushes the one-instruction pairing buffer).
+#[derive(Debug, Clone)]
+pub struct DualIssueProcessor {
+    core: Core,
+    slot: Option<DynInst>,
+    pairs_issued: u64,
+}
+
+impl DualIssueProcessor {
+    /// Creates a processor at cycle zero with a cold cache.
+    pub fn new(config: EngineConfig) -> DualIssueProcessor {
+        DualIssueProcessor { core: Core::new(config), slot: None, pairs_issued: 0 }
+    }
+
+    /// Feeds the next instruction of the in-order stream.
+    pub fn push(&mut self, inst: DynInst) {
+        let Some(leader) = self.slot.take() else {
+            self.slot = Some(inst);
+            return;
+        };
+        self.issue_leader(&leader);
+        if self.can_coissue(&leader, &inst) {
+            // Same cycle: the follower issues alongside the leader.
+            self.core.execute(&inst);
+            self.pairs_issued += 1;
+            self.core.tick();
+        } else {
+            self.core.tick();
+            self.slot = Some(inst);
+        }
+    }
+
+    /// Runs an entire instruction stream (still call
+    /// [`DualIssueProcessor::finish`] afterwards).
+    pub fn run<I>(&mut self, stream: I)
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        for inst in stream {
+            self.push(inst);
+        }
+    }
+
+    fn issue_leader(&mut self, leader: &DynInst) {
+        self.core.drain_fills();
+        self.core.resolve_hazards(leader);
+        self.core.execute(leader);
+    }
+
+    fn can_coissue(&mut self, leader: &DynInst, follower: &DynInst) -> bool {
+        if leader.conflicts_with(follower) {
+            return false;
+        }
+        if leader.is_mem() && follower.is_mem() {
+            return false;
+        }
+        // Fills that completed during the leader's stalls may have freed the
+        // follower's registers this very cycle.
+        self.core.drain_fills();
+        self.core.hazards_clear(follower)
+    }
+
+    /// Flushes the pairing buffer and finalizes the run.
+    pub fn finish(&mut self) {
+        if let Some(last) = self.slot.take() {
+            self.issue_leader(&last);
+            self.core.tick();
+        }
+        self.core.finish();
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.core.now()
+    }
+
+    /// Accumulated statistics.
+    ///
+    /// Note that for a multi-issue machine `stats().mcpi()` (stall cycles
+    /// per instruction) undercounts the paper's memory CPI, because a miss
+    /// also suppresses co-issue opportunities; use
+    /// [`DualIssueProcessor::mcpi_against`] with a perfect-cache run.
+    pub fn stats(&self) -> &CpuStats {
+        self.core.stats()
+    }
+
+    /// Number of cycles in which two instructions issued together.
+    pub fn pairs_issued(&self) -> u64 {
+        self.pairs_issued
+    }
+
+    /// Memory CPI relative to a perfect-cache cycle count of the same
+    /// instruction stream: `(cycles − perfect_cycles) / instructions`.
+    pub fn mcpi_against(&self, perfect_cycles: Cycle) -> f64 {
+        let n = self.core.stats().instructions;
+        if n == 0 {
+            return 0.0;
+        }
+        (self.now().0.saturating_sub(perfect_cycles.0)) as f64 / n as f64
+    }
+
+    /// The in-flight occupancy sampler.
+    pub fn sampler(&self) -> &InFlightSampler {
+        self.core.sampler()
+    }
+
+    /// The data cache.
+    pub fn cache(&self) -> &LockupFreeCache {
+        self.core.cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::cache::CacheConfig;
+    use nbl_core::mshr::inverted::InvertedConfig;
+    use nbl_core::mshr::MshrConfig;
+    use nbl_core::types::{Addr, LoadFormat, PhysReg};
+
+    fn config(perfect: bool) -> EngineConfig {
+        let mut c = EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Inverted(
+            InvertedConfig::typical(),
+        )));
+        c.perfect_cache = perfect;
+        c
+    }
+
+    fn independent_alus(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| DynInst::alu(PhysReg::int((i % 16) as u8), [Some(PhysReg::int(20)), None]))
+            .collect()
+    }
+
+    #[test]
+    fn independent_alus_dual_issue_at_ipc_2() {
+        let mut p = DualIssueProcessor::new(config(true));
+        p.run(independent_alus(17));
+        p.finish();
+        // 16 registers rotate, neighbours never conflict: 8 pairs + 1 single.
+        assert_eq!(p.now(), Cycle(9));
+        assert_eq!(p.stats().instructions, 17);
+        assert_eq!(p.pairs_issued(), 8);
+    }
+
+    #[test]
+    fn dependent_chain_single_issues() {
+        let mut p = DualIssueProcessor::new(config(true));
+        let chain: Vec<_> = (0..10)
+            .map(|i| {
+                DynInst::alu(PhysReg::int((i + 1) as u8), [Some(PhysReg::int(i as u8)), None])
+            })
+            .collect();
+        p.run(chain);
+        p.finish();
+        assert_eq!(p.now(), Cycle(10));
+        assert_eq!(p.pairs_issued(), 0);
+    }
+
+    #[test]
+    fn only_one_memory_op_per_cycle() {
+        let mut p = DualIssueProcessor::new(config(true));
+        let loads: Vec<_> = (0..10)
+            .map(|i| DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD))
+            .collect();
+        p.run(loads);
+        p.finish();
+        assert_eq!(p.now(), Cycle(10), "loads cannot pair with loads");
+    }
+
+    #[test]
+    fn load_pairs_with_alu() {
+        let mut p = DualIssueProcessor::new(config(true));
+        for i in 0..10u64 {
+            p.push(DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD));
+            p.push(DynInst::alu(PhysReg::int(20), [Some(PhysReg::int(21)), None]));
+        }
+        p.finish();
+        assert_eq!(p.now(), Cycle(10));
+        assert_eq!(p.pairs_issued(), 10);
+    }
+
+    #[test]
+    fn follower_with_pending_source_waits_a_cycle() {
+        let mut p = DualIssueProcessor::new(config(false));
+        // Leader load misses; follower uses its result: cannot co-issue and
+        // then stalls as leader of the next cycle until the fill.
+        p.push(DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD));
+        p.push(DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]));
+        p.finish();
+        assert_eq!(p.pairs_issued(), 0);
+        assert_eq!(p.stats().data_dep_stall_cycles, 15);
+    }
+
+    #[test]
+    fn follower_structural_stall_blocks_the_pair() {
+        use nbl_core::limit::Limit;
+        use nbl_core::mshr::{RegisterFileConfig, TargetPolicy};
+        // mc=1: a second miss cannot be tracked.
+        let cfg = EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Register(
+            RegisterFileConfig {
+                entries: Limit::Finite(1),
+                targets: TargetPolicy::explicit(Limit::Finite(1)),
+                max_outstanding_misses: Limit::Finite(1),
+                max_fetches_per_set: Limit::Unlimited,
+            },
+        )));
+        let mut p = DualIssueProcessor::new(cfg);
+        // Leader load misses; follower ALU pairs with it.
+        p.push(DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD));
+        p.push(DynInst::alu(PhysReg::int(9), [None, None]));
+        // Next pair: a second load misses structurally and must wait for
+        // the first fill before its fetch can start.
+        p.push(DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD));
+        p.push(DynInst::alu(PhysReg::int(10), [None, None]));
+        p.finish();
+        assert!(p.stats().structural_stall_cycles > 0);
+        assert_eq!(p.stats().structural_stall_misses, 1);
+        assert_eq!(p.stats().instructions, 4);
+    }
+
+    #[test]
+    fn run_then_finish_equals_push_sequence() {
+        let stream: Vec<DynInst> = (0..9)
+            .map(|i| DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD))
+            .collect();
+        let mut a = DualIssueProcessor::new(config(true));
+        a.run(stream.clone());
+        a.finish();
+        let mut b = DualIssueProcessor::new(config(true));
+        for i in stream {
+            b.push(i);
+        }
+        b.finish();
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn mcpi_against_perfect_run() {
+        let stream = |n: u64| {
+            (0..n).flat_map(move |i| {
+                [
+                    DynInst::load(Addr(i * 4096), PhysReg::int((i % 8) as u8), LoadFormat::WORD),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 8) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                ]
+            })
+        };
+        let mut perfect = DualIssueProcessor::new(config(true));
+        perfect.run(stream(50));
+        perfect.finish();
+        let mut real = DualIssueProcessor::new(config(false));
+        real.run(stream(50));
+        real.finish();
+        let mcpi = real.mcpi_against(perfect.now());
+        assert!(mcpi > 0.0, "misses must cost something: {mcpi}");
+        // Every pair misses and immediately uses the data: near-worst case.
+        assert!(mcpi < 16.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # nbl-cpu — in-order processor models
+//!
+//! The processor side of the paper's §3.1 machine model:
+//!
+//! * [`scoreboard`] — pending-register tracking (loads mark their
+//!   destination pending; uses of pending registers stall);
+//! * [`stats`] — MCPI accounting with the paper's stall-cause breakdown
+//!   (true data dependency vs. structural hazard vs. blocking miss
+//!   service) and the Fig. 6 in-flight occupancy sampler;
+//! * [`core_engine`] — the shared event mechanics (fills, hazards,
+//!   structural-stall retry, blocking fetches);
+//! * [`pipeline`] — the single-issue processor all baseline figures use;
+//! * [`dual`] — the dual-issue processor of §6 / Fig. 19.
+
+pub mod core_engine;
+pub mod dual;
+pub mod pipeline;
+pub mod scoreboard;
+pub mod stats;
+
+pub use core_engine::{Core, EngineConfig};
+pub use dual::DualIssueProcessor;
+pub use pipeline::Processor;
+pub use scoreboard::Scoreboard;
+pub use stats::{CpuStats, InFlightSampler, StallCause};

@@ -1,0 +1,115 @@
+//! The register scoreboard: which architectural registers are waiting for
+//! outstanding load data.
+//!
+//! With non-blocking loads, a load miss does not stall the processor; the
+//! *use* of the load's destination register does ("a data-miss induced
+//! stall will only occur if the register target of the load is used by an
+//! instruction before the register is filled", paper §1). The scoreboard
+//! tracks exactly that pending state.
+
+use nbl_core::types::PhysReg;
+
+/// Pending-register tracking for the 64 architectural registers.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    pending: [bool; 64],
+    count: usize,
+}
+
+impl Scoreboard {
+    /// A scoreboard with every register valid.
+    pub fn new() -> Scoreboard {
+        Scoreboard { pending: [false; 64], count: 0 }
+    }
+
+    /// `true` if `reg` is waiting for load data.
+    #[inline]
+    pub fn is_pending(&self, reg: PhysReg) -> bool {
+        self.pending[reg.dense_index()]
+    }
+
+    /// Marks `reg` as waiting for load data.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the register is already pending — the
+    /// in-order pipeline must stall WAW hazards before reissuing a load to
+    /// a pending register.
+    #[inline]
+    pub fn set_pending(&mut self, reg: PhysReg) {
+        let i = reg.dense_index();
+        debug_assert!(!self.pending[i], "register {reg} already pending (unstalled WAW hazard)");
+        self.pending[i] = true;
+        self.count += 1;
+    }
+
+    /// Marks `reg` valid (its load data arrived). Idempotent, because a
+    /// fill may name destinations (PC, write buffer) that were never marked.
+    #[inline]
+    pub fn clear(&mut self, reg: PhysReg) {
+        let i = reg.dense_index();
+        if self.pending[i] {
+            self.pending[i] = false;
+            self.count -= 1;
+        }
+    }
+
+    /// Number of registers currently pending.
+    #[inline]
+    pub fn pending_count(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if any register is pending.
+    #[inline]
+    pub fn any_pending(&self) -> bool {
+        self.count > 0
+    }
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut sb = Scoreboard::new();
+        let r = PhysReg::int(5);
+        let f = PhysReg::fp(5);
+        assert!(!sb.is_pending(r));
+        sb.set_pending(r);
+        assert!(sb.is_pending(r));
+        assert!(!sb.is_pending(f), "int and fp files are distinct");
+        sb.set_pending(f);
+        assert_eq!(sb.pending_count(), 2);
+        sb.clear(r);
+        assert!(!sb.is_pending(r));
+        assert!(sb.is_pending(f));
+        sb.clear(f);
+        assert!(!sb.any_pending());
+    }
+
+    #[test]
+    fn clear_is_idempotent() {
+        let mut sb = Scoreboard::new();
+        sb.set_pending(PhysReg::int(0));
+        sb.clear(PhysReg::int(0));
+        sb.clear(PhysReg::int(0));
+        assert_eq!(sb.pending_count(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "already pending")]
+    fn double_set_panics_in_debug() {
+        let mut sb = Scoreboard::new();
+        sb.set_pending(PhysReg::int(1));
+        sb.set_pending(PhysReg::int(1));
+    }
+}

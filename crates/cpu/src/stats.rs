@@ -1,0 +1,349 @@
+//! Stall accounting and in-flight occupancy sampling.
+//!
+//! The paper's performance metric is **miss CPI (MCPI)** — stall cycles per
+//! instruction, where (by construction of the processor model) every stall
+//! is attributable to a data-cache miss. Stalls are broken down into the
+//! paper's two causes (true data dependency vs. structural hazard, Fig. 7),
+//! plus the blocking-cache miss service time that the lockup configurations
+//! pay. [`InFlightSampler`] produces the in-flight miss and fetch
+//! histograms of Fig. 6.
+
+use nbl_core::types::Cycle;
+use std::fmt;
+
+/// Why the processor spent a cycle stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// An instruction used a register before its load completed (true data
+    /// dependency, paper §3.1).
+    DataDependency,
+    /// A load miss could not be tracked by the MSHR hardware and had to
+    /// wait for an outstanding fetch to complete (structural hazard).
+    Structural,
+    /// A blocking (lockup) cache serviced a miss synchronously — the whole
+    /// miss penalty is exposed (`mc=0`, and store misses under `+wma`).
+    Blocking,
+}
+
+/// Cycle and event counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Stall cycles: use-before-fill.
+    pub data_dep_stall_cycles: u64,
+    /// Stall cycles: MSHR structural hazards.
+    pub structural_stall_cycles: u64,
+    /// Stall cycles: blocking miss service.
+    pub blocking_stall_cycles: u64,
+    /// Loads that suffered at least one structural rejection (the paper's
+    /// structural-stall misses).
+    pub structural_stall_misses: u64,
+    /// Load misses serviced synchronously by a blocking cache (counted
+    /// separately because the cache's own counters never see them).
+    pub blocking_load_misses: u64,
+    /// Store misses serviced synchronously under write-miss-allocate.
+    pub blocking_store_misses: u64,
+    /// Store misses tracked non-blockingly by an MSHR with a write-buffer
+    /// destination (the §2.4 extension; zero under the paper's baseline
+    /// policies).
+    pub nonblocking_store_misses: u64,
+}
+
+impl CpuStats {
+    /// Total stall cycles across all causes.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.data_dep_stall_cycles + self.structural_stall_cycles + self.blocking_stall_cycles
+    }
+
+    /// Miss CPI: stall cycles per instruction.
+    pub fn mcpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_stall_cycles() as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of the MCPI attributable to structural-hazard stalls
+    /// (Fig. 7's y-axis, as a fraction rather than percent).
+    pub fn structural_fraction(&self) -> f64 {
+        let total = self.total_stall_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.structural_stall_cycles as f64 / total as f64
+        }
+    }
+
+    /// Adds `cycles` of stall attributed to `cause`.
+    pub fn add_stall(&mut self, cause: StallCause, cycles: u64) {
+        match cause {
+            StallCause::DataDependency => self.data_dep_stall_cycles += cycles,
+            StallCause::Structural => self.structural_stall_cycles += cycles,
+            StallCause::Blocking => self.blocking_stall_cycles += cycles,
+        }
+    }
+}
+
+impl fmt::Display for CpuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts ({} ld, {} st), MCPI {:.4} (dep {}, struct {}, block {})",
+            self.instructions,
+            self.loads,
+            self.stores,
+            self.mcpi(),
+            self.data_dep_stall_cycles,
+            self.structural_stall_cycles,
+            self.blocking_stall_cycles,
+        )
+    }
+}
+
+/// Bucket count for the in-flight histograms. Counts at or above the last
+/// bucket saturate into it.
+pub const INFLIGHT_BUCKETS: usize = 65;
+
+/// Piecewise-constant sampler of in-flight miss and fetch counts.
+///
+/// Between events the counts are constant, so instead of sampling every
+/// cycle the processor calls [`InFlightSampler::advance`] before each count
+/// change and the sampler accumulates the elapsed span into the histogram
+/// bucket of the (old) counts — an exact cycle-weighted histogram, as in
+/// the paper's Fig. 6.
+#[derive(Debug, Clone)]
+pub struct InFlightSampler {
+    last: Cycle,
+    misses: usize,
+    fetches: usize,
+    miss_hist: [u64; INFLIGHT_BUCKETS],
+    fetch_hist: [u64; INFLIGHT_BUCKETS],
+    max_misses: usize,
+    max_fetches: usize,
+}
+
+impl InFlightSampler {
+    /// A sampler starting at time zero with nothing in flight.
+    pub fn new() -> InFlightSampler {
+        InFlightSampler {
+            last: Cycle::ZERO,
+            misses: 0,
+            fetches: 0,
+            miss_hist: [0; INFLIGHT_BUCKETS],
+            fetch_hist: [0; INFLIGHT_BUCKETS],
+            max_misses: 0,
+            max_fetches: 0,
+        }
+    }
+
+    /// Accumulates time up to `to` at the current counts. Clamped: calls
+    /// with `to` in the past are no-ops, so callers can advance eagerly.
+    pub fn advance(&mut self, to: Cycle) {
+        if to <= self.last {
+            return;
+        }
+        let span = to.since(self.last);
+        self.miss_hist[self.misses.min(INFLIGHT_BUCKETS - 1)] += span;
+        self.fetch_hist[self.fetches.min(INFLIGHT_BUCKETS - 1)] += span;
+        self.last = to;
+    }
+
+    /// Records a newly tracked miss (and, if primary, a new fetch).
+    /// The caller must `advance` to the event time first.
+    pub fn on_miss(&mut self, new_fetch: bool) {
+        self.misses += 1;
+        self.max_misses = self.max_misses.max(self.misses);
+        if new_fetch {
+            self.fetches += 1;
+            self.max_fetches = self.max_fetches.max(self.fetches);
+        }
+    }
+
+    /// Records a fill that freed `misses_freed` waiting loads and retired
+    /// one fetch. The caller must `advance` to the fill time first.
+    pub fn on_fill(&mut self, misses_freed: usize) {
+        debug_assert!(self.misses >= misses_freed);
+        debug_assert!(self.fetches >= 1);
+        self.misses -= misses_freed;
+        self.fetches -= 1;
+    }
+
+    /// Current in-flight miss count.
+    #[inline]
+    pub fn misses_now(&self) -> usize {
+        self.misses
+    }
+
+    /// Current in-flight fetch count.
+    #[inline]
+    pub fn fetches_now(&self) -> usize {
+        self.fetches
+    }
+
+    /// Maximum simultaneous in-flight misses observed (Fig. 6 "max #").
+    pub fn max_misses(&self) -> usize {
+        self.max_misses
+    }
+
+    /// Maximum simultaneous in-flight fetches observed.
+    pub fn max_fetches(&self) -> usize {
+        self.max_fetches
+    }
+
+    /// Cycle-weighted histogram of in-flight miss counts (index = count,
+    /// saturating at the last bucket).
+    pub fn miss_histogram(&self) -> &[u64; INFLIGHT_BUCKETS] {
+        &self.miss_hist
+    }
+
+    /// Cycle-weighted histogram of in-flight fetch counts.
+    pub fn fetch_histogram(&self) -> &[u64; INFLIGHT_BUCKETS] {
+        &self.fetch_hist
+    }
+
+    /// Fraction of sampled time with more than zero in-flight misses
+    /// (Fig. 6's "MIF" column).
+    pub fn fraction_with_misses_in_flight(&self) -> f64 {
+        let total: u64 = self.miss_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.miss_hist[1..].iter().sum();
+        busy as f64 / total as f64
+    }
+
+    /// Distribution of in-flight miss counts conditioned on at least one
+    /// miss being in flight: `result[k]` is the fraction of miss-in-flight
+    /// time with exactly `k+1` misses, with the final element aggregating
+    /// `7+` (Fig. 6's per-count columns).
+    pub fn miss_distribution_given_busy(&self) -> [f64; 7] {
+        Self::distribution_given_busy(&self.miss_hist)
+    }
+
+    /// Same as [`InFlightSampler::miss_distribution_given_busy`] for fetches.
+    pub fn fetch_distribution_given_busy(&self) -> [f64; 7] {
+        Self::distribution_given_busy(&self.fetch_hist)
+    }
+
+    fn distribution_given_busy(hist: &[u64; INFLIGHT_BUCKETS]) -> [f64; 7] {
+        let busy: u64 = hist[1..].iter().sum();
+        let mut out = [0.0; 7];
+        if busy == 0 {
+            return out;
+        }
+        for (i, slot) in out.iter_mut().enumerate().take(6) {
+            *slot = hist[i + 1] as f64 / busy as f64;
+        }
+        let seven_plus: u64 = hist[7..].iter().sum();
+        out[6] = seven_plus as f64 / busy as f64;
+        out
+    }
+}
+
+impl Default for InFlightSampler {
+    fn default() -> Self {
+        InFlightSampler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcpi_and_breakdown() {
+        let mut s = CpuStats { instructions: 1000, ..CpuStats::default() };
+        s.add_stall(StallCause::DataDependency, 300);
+        s.add_stall(StallCause::Structural, 100);
+        s.add_stall(StallCause::Blocking, 0);
+        assert_eq!(s.total_stall_cycles(), 400);
+        assert!((s.mcpi() - 0.4).abs() < 1e-12);
+        assert!((s.structural_fraction() - 0.25).abs() < 1e-12);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = CpuStats::default();
+        assert_eq!(s.mcpi(), 0.0);
+        assert_eq!(s.structural_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sampler_tracks_spans_exactly() {
+        let mut sam = InFlightSampler::new();
+        // 0..10: nothing in flight.
+        sam.advance(Cycle(10));
+        sam.on_miss(true); // 10..16: one miss, one fetch
+        sam.advance(Cycle(16));
+        sam.on_miss(true); // 16..20: two misses, two fetches
+        sam.advance(Cycle(20));
+        sam.on_fill(1); // 20..26: one miss, one fetch
+        sam.advance(Cycle(26));
+        sam.on_fill(1);
+        sam.advance(Cycle(30)); // 26..30: idle again
+
+        let mh = sam.miss_histogram();
+        assert_eq!(mh[0], 14); // 10 + 4
+        assert_eq!(mh[1], 12); // 6 + 6
+        assert_eq!(mh[2], 4);
+        assert_eq!(sam.max_misses(), 2);
+        assert_eq!(sam.max_fetches(), 2);
+        assert_eq!(sam.misses_now(), 0);
+        assert_eq!(sam.fetches_now(), 0);
+
+        let frac = sam.fraction_with_misses_in_flight();
+        assert!((frac - 16.0 / 30.0).abs() < 1e-12);
+        let dist = sam.miss_distribution_given_busy();
+        assert!((dist[0] - 12.0 / 16.0).abs() < 1e-12);
+        assert!((dist[1] - 4.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_advance_clamps_backwards() {
+        let mut sam = InFlightSampler::new();
+        sam.advance(Cycle(5));
+        sam.advance(Cycle(3)); // no-op
+        sam.advance(Cycle(5)); // no-op
+        assert_eq!(sam.miss_histogram()[0], 5);
+    }
+
+    #[test]
+    fn secondary_misses_share_a_fetch() {
+        let mut sam = InFlightSampler::new();
+        sam.on_miss(true);
+        sam.on_miss(false); // secondary: no new fetch
+        sam.advance(Cycle(8));
+        assert_eq!(sam.miss_histogram()[2], 8);
+        assert_eq!(sam.fetch_histogram()[1], 8);
+        sam.on_fill(2);
+        assert_eq!(sam.misses_now(), 0);
+        assert_eq!(sam.fetches_now(), 0);
+    }
+
+    #[test]
+    fn seven_plus_bucket_aggregates() {
+        let mut sam = InFlightSampler::new();
+        for _ in 0..9 {
+            sam.on_miss(true);
+        }
+        sam.advance(Cycle(10));
+        let dist = sam.miss_distribution_given_busy();
+        assert!((dist[6] - 1.0).abs() < 1e-12);
+        assert_eq!(sam.max_misses(), 9);
+    }
+
+    #[test]
+    fn empty_sampler_distributions() {
+        let sam = InFlightSampler::new();
+        assert_eq!(sam.fraction_with_misses_in_flight(), 0.0);
+        assert_eq!(sam.miss_distribution_given_busy(), [0.0; 7]);
+        assert_eq!(sam.fetch_distribution_given_busy(), [0.0; 7]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # nbl-mem — memory-system substrate
+//!
+//! The parts of the paper's memory model (§3.1) that live below the data
+//! cache:
+//!
+//! * [`memory`] — the fully pipelined, constant-latency main memory, plus
+//!   the §5.2 line-size-dependent penalty formula (14 cycles for the first
+//!   16 bytes, 2 per additional 16);
+//! * [`write_buffer`] — the free-retirement write buffer (with a throttled
+//!   variant for ablation studies).
+
+pub mod memory;
+pub mod write_buffer;
+
+pub use memory::{CompletedFetch, MemoryError, PipelinedMemory};
+pub use write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};

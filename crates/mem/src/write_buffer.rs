@@ -1,0 +1,159 @@
+//! The write buffer of the paper's §3.1.
+//!
+//! "A write buffer \[is\] situated between the data cache and lower levels in
+//! the memory hierarchy. To avoid stalls induced by the write buffer (such
+//! as it being full), no memory cycles are required to retire writes from
+//! the write buffer."
+//!
+//! Functionally the buffer therefore never stalls the processor; we model it
+//! anyway so that (a) write traffic statistics are available, (b) loads can
+//! be checked against buffered stores (read-after-write forwarding would hit
+//! in the buffer — with free retirement this can never be observed, but the
+//! occupancy statistics document that assumption), and (c) alternative
+//! retirement policies can be explored in ablation studies.
+
+use nbl_core::types::{Addr, Cycle};
+use std::collections::VecDeque;
+
+/// How fast entries leave the write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetirePolicy {
+    /// The paper's model: retirement costs no memory cycles, so the buffer
+    /// drains instantly and can never fill.
+    #[default]
+    Free,
+    /// One entry retires every `cycles_per_retire` cycles — for ablations
+    /// quantifying how much the free-retirement assumption matters.
+    Throttled {
+        /// Cycles between successive retirements.
+        cycles_per_retire: u32,
+    },
+}
+
+/// A buffered store awaiting retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingWrite {
+    addr: Addr,
+    retire_at: Cycle,
+}
+
+/// Statistics accumulated by the write buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteBufferStats {
+    /// Stores accepted.
+    pub writes: u64,
+    /// Maximum simultaneous occupancy observed.
+    pub max_occupancy: usize,
+}
+
+/// The write buffer between the data cache and the next memory level.
+///
+/// # Examples
+///
+/// ```
+/// use nbl_mem::write_buffer::WriteBuffer;
+/// use nbl_core::types::{Addr, Cycle};
+///
+/// let mut wb = WriteBuffer::free_retirement();
+/// wb.push(Addr(0x100), Cycle(3));
+/// assert_eq!(wb.occupancy(Cycle(3)), 0); // free retirement never queues
+/// assert_eq!(wb.stats().writes, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    policy: RetirePolicy,
+    pending: VecDeque<PendingWrite>,
+    last_retire: Cycle,
+    stats: WriteBufferStats,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with the given retirement policy.
+    pub fn new(policy: RetirePolicy) -> WriteBuffer {
+        WriteBuffer { policy, ..WriteBuffer::default() }
+    }
+
+    /// The paper's configuration: writes retire for free.
+    pub fn free_retirement() -> WriteBuffer {
+        WriteBuffer::new(RetirePolicy::Free)
+    }
+
+    /// Accepts a store at time `now`. Never stalls.
+    pub fn push(&mut self, addr: Addr, now: Cycle) {
+        self.stats.writes += 1;
+        match self.policy {
+            RetirePolicy::Free => {} // retires instantly; never buffered
+            RetirePolicy::Throttled { cycles_per_retire } => {
+                self.drain(now);
+                let earliest = self.last_retire.plus(u64::from(cycles_per_retire));
+                let retire_at = if earliest > now { earliest } else { now.plus(u64::from(cycles_per_retire)) };
+                self.last_retire = retire_at;
+                self.pending.push_back(PendingWrite { addr, retire_at });
+                self.stats.max_occupancy = self.stats.max_occupancy.max(self.pending.len());
+            }
+        }
+    }
+
+    /// Removes entries that have retired by `now`.
+    fn drain(&mut self, now: Cycle) {
+        while self.pending.front().is_some_and(|w| w.retire_at <= now) {
+            self.pending.pop_front();
+        }
+    }
+
+    /// Entries still buffered at time `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.drain(now);
+        self.pending.len()
+    }
+
+    /// `true` if a store to `addr`'s address is still buffered at `now`.
+    pub fn contains(&mut self, addr: Addr, now: Cycle) -> bool {
+        self.drain(now);
+        self.pending.iter().any(|w| w.addr == addr)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WriteBufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_retirement_never_queues() {
+        let mut wb = WriteBuffer::free_retirement();
+        for i in 0..100u64 {
+            wb.push(Addr(i * 8), Cycle(i));
+        }
+        assert_eq!(wb.occupancy(Cycle(100)), 0);
+        assert_eq!(wb.stats().writes, 100);
+        assert_eq!(wb.stats().max_occupancy, 0);
+        assert!(!wb.contains(Addr(0), Cycle(100)));
+    }
+
+    #[test]
+    fn throttled_retirement_queues_and_drains() {
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled { cycles_per_retire: 4 });
+        wb.push(Addr(0x10), Cycle(0)); // retires at 4
+        wb.push(Addr(0x20), Cycle(0)); // retires at 8
+        wb.push(Addr(0x30), Cycle(0)); // retires at 12
+        assert_eq!(wb.occupancy(Cycle(0)), 3);
+        assert!(wb.contains(Addr(0x20), Cycle(0)));
+        assert_eq!(wb.occupancy(Cycle(4)), 2);
+        assert_eq!(wb.occupancy(Cycle(8)), 1);
+        assert_eq!(wb.occupancy(Cycle(12)), 0);
+        assert_eq!(wb.stats().max_occupancy, 3);
+    }
+
+    #[test]
+    fn throttled_retirement_spaced_after_idle() {
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled { cycles_per_retire: 4 });
+        wb.push(Addr(0x10), Cycle(100)); // retires at 104
+        assert_eq!(wb.occupancy(Cycle(103)), 1);
+        assert_eq!(wb.occupancy(Cycle(104)), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # nbl-sched — the compiler model
+//!
+//! The paper's experiments hinge on a *software* parameter: the scheduled
+//! load latency, which tells the compiler how far to separate each load
+//! from the first use of its result (§3.3). This crate models that
+//! compiler:
+//!
+//! * [`list_schedule`] — latency-weighted list scheduling of each basic
+//!   block;
+//! * [`regalloc`] — linear-scan register allocation (after scheduling, as
+//!   in the Multiflow compiler) with spill-everywhere splitting, whose
+//!   spill code changes the dynamic reference counts exactly as the
+//!   paper's Fig. 4 reports;
+//! * `compile` (module) — the driver producing a
+//!   [`nbl_trace::machine::CompiledProgram`] per (program, latency) pair.
+
+pub mod compile;
+pub mod list_schedule;
+pub mod regalloc;
+
+pub use compile::{compile, CompileError, LOAD_LATENCIES};
+pub use list_schedule::schedule;
+pub use regalloc::{allocate, AllocContext, AllocError};

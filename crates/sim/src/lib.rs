@@ -1,0 +1,23 @@
+//! # nbl-sim — simulation driver and experiment infrastructure
+//!
+//! Glues the substrates together into the paper's experimental setup:
+//!
+//! * [`config`] — the named hardware configurations of the paper's figure
+//!   legends (`mc=0 + wma`, `mc=N`, `fc=N`, `fs=N`, in-cache, targets,
+//!   "no restrict") and complete [`config::SimConfig`]s;
+//! * [`driver`] — compile-and-run of one workload under one configuration,
+//!   producing a [`driver::RunResult`] with every metric the paper plots
+//!   (MCPI, stall breakdown, miss rates, in-flight histograms);
+//! * [`sweep`] — configuration × latency and configuration × penalty
+//!   sweeps with compilation shared across configurations;
+//! * [`report`] — fixed-width text rendering in the shape of the paper's
+//!   figures and tables.
+
+pub mod config;
+pub mod driver;
+pub mod report;
+pub mod sweep;
+
+pub use config::{HwConfig, IssueWidth, SimConfig};
+pub use driver::{run_compiled, run_dual, run_program, DualRunResult, RunResult};
+pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep};

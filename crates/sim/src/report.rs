@@ -1,0 +1,339 @@
+//! Plain-text rendering of sweep results in the shape of the paper's
+//! figures and tables.
+
+use crate::driver::RunResult;
+use crate::sweep::{LatencySweep, PenaltySweep};
+use std::fmt::Write as _;
+
+/// Renders a latency sweep as a fixed-width table: one row per latency,
+/// one MCPI column per configuration (the data behind Figs. 5, 9–12,
+/// 15–17).
+pub fn mcpi_vs_latency_table(sweep: &LatencySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "miss CPI vs scheduled load latency — {}", sweep.benchmark);
+    let _ = write!(out, "{:>8}", "lat");
+    for c in &sweep.configs {
+        let _ = write!(out, "{c:>14}");
+    }
+    out.push('\n');
+    for (i, &lat) in sweep.latencies.iter().enumerate() {
+        let _ = write!(out, "{lat:>8}");
+        for r in &sweep.rows[i] {
+            let _ = write!(out, "{:>14.4}", r.mcpi);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the structural-stall share per latency (Fig. 7: "% MCPI due to
+/// structural hazard stalls").
+pub fn structural_share_table(sweep: &LatencySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "%% MCPI from structural-hazard stalls — {}", sweep.benchmark);
+    let _ = write!(out, "{:>8}", "lat");
+    for c in &sweep.configs {
+        let _ = write!(out, "{c:>14}");
+    }
+    out.push('\n');
+    for (i, &lat) in sweep.latencies.iter().enumerate() {
+        let _ = write!(out, "{lat:>8}");
+        for r in &sweep.rows[i] {
+            let _ = write!(out, "{:>13.1}%", 100.0 * r.structural_fraction);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the load miss rates per latency (Fig. 8: primary+secondary and
+/// secondary-only).
+pub fn miss_rate_table(sweep: &LatencySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "load miss rate (%% of loads) — {}", sweep.benchmark);
+    let _ = write!(out, "{:>8}", "lat");
+    for c in &sweep.configs {
+        let _ = write!(out, "{:>13}+s", c);
+        let _ = write!(out, "{:>8}s", "");
+    }
+    out.push('\n');
+    for (i, &lat) in sweep.latencies.iter().enumerate() {
+        let _ = write!(out, "{lat:>8}");
+        for r in &sweep.rows[i] {
+            let _ = write!(out, "{:>14.2}", 100.0 * r.load_miss_rate);
+            let _ = write!(out, "{:>9.2}", 100.0 * r.secondary_miss_rate);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 6-style in-flight histogram table for a column of
+/// results (one per latency).
+pub fn inflight_table(benchmark: &str, rows: &[(u32, &RunResult)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "in-flight misses and fetches — {benchmark}");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>8} {:>8} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6}",
+        "lat", "kind", "%MIF", "1", "2", "3", "4", "5", "6", "7+", "max"
+    );
+    for (lat, r) in rows {
+        for (kind, dist, max) in [
+            ("misses", r.inflight.miss_dist, r.inflight.max_misses),
+            ("fetches", r.inflight.fetch_dist, r.inflight.max_fetches),
+        ] {
+            let _ = write!(out, "{lat:>4} {kind:>8} {:>7.0}%", 100.0 * r.inflight.frac_time_with_misses);
+            for d in dist {
+                let _ = write!(out, " {:>4.0}%", 100.0 * d);
+            }
+            let _ = writeln!(out, " {max:>6}");
+        }
+    }
+    out
+}
+
+/// One row of the Fig. 13-style table: MCPI and ratio-to-unrestricted for
+/// each configuration, unrestricted last.
+pub fn fig13_row(benchmark: &str, results: &[RunResult]) -> String {
+    let unrestricted = results.last().expect("at least the unrestricted column").mcpi;
+    let mut out = format!("{benchmark:>10}");
+    for r in &results[..results.len() - 1] {
+        let ratio = if unrestricted > 0.0 { r.mcpi / unrestricted } else { 1.0 };
+        let _ = write!(out, " {:>7.3} {:>5.1}", r.mcpi, ratio);
+    }
+    let _ = write!(out, " {unrestricted:>7.3}");
+    out
+}
+
+/// Renders a penalty sweep as the Fig. 18 table: one row per
+/// configuration, one column per penalty.
+pub fn mcpi_vs_penalty_table(sweep: &PenaltySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "miss CPI vs miss penalty — {}", sweep.benchmark);
+    let _ = write!(out, "{:>14}", "config");
+    for &p in &sweep.penalties {
+        let _ = write!(out, "{p:>10}");
+    }
+    out.push('\n');
+    for (j, c) in sweep.configs.iter().enumerate() {
+        let _ = write!(out, "{c:>14}");
+        for row in &sweep.rows {
+            let _ = write!(out, "{:>10.3}", row[j].mcpi);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a latency sweep as an ASCII chart in the style of the paper's
+/// figures: MCPI on the y axis, scheduled load latency on the x axis, one
+/// letter per configuration (see the legend below the plot). Points that
+/// coincide are drawn as `*`.
+pub fn mcpi_vs_latency_chart(sweep: &LatencySweep) -> String {
+    const HEIGHT: usize = 18;
+    let mut max = f64::MIN;
+    let mut min = f64::MAX;
+    for row in &sweep.rows {
+        for r in row {
+            max = max.max(r.mcpi);
+            min = min.min(r.mcpi);
+        }
+    }
+    if !max.is_finite() || !min.is_finite() || sweep.rows.is_empty() {
+        return String::new();
+    }
+    if (max - min).abs() < 1e-12 {
+        max = min + 1.0;
+    }
+    let col_width = 6;
+    let width = sweep.latencies.len() * col_width;
+    let mut grid = vec![vec![' '; width]; HEIGHT];
+    for (i, _) in sweep.latencies.iter().enumerate() {
+        for (j, _) in sweep.configs.iter().enumerate() {
+            let m = sweep.rows[i][j].mcpi;
+            let y = ((max - m) / (max - min) * (HEIGHT - 1) as f64).round() as usize;
+            let x = i * col_width + col_width / 2;
+            let symbol = (b'a' + (j % 26) as u8) as char;
+            let cell = &mut grid[y.min(HEIGHT - 1)][x];
+            *cell = if *cell == ' ' { symbol } else { '*' };
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "miss CPI vs load latency — {} (letters = configs)", sweep.benchmark);
+    for (y, row) in grid.iter().enumerate() {
+        let label = max - (max - min) * y as f64 / (HEIGHT - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>8.3} |{}", line.trim_end());
+    }
+    let _ = write!(out, "{:>8}  ", "");
+    for lat in &sweep.latencies {
+        let _ = write!(out, "{lat:^col_width$}");
+    }
+    out.push('\n');
+    for (j, c) in sweep.configs.iter().enumerate() {
+        let _ = writeln!(out, "{:>10} = {}", (b'a' + (j % 26) as u8) as char, c);
+    }
+    out
+}
+
+/// Escapes one CSV field (quotes fields containing commas or quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a latency sweep as CSV: one row per latency, one MCPI column
+/// per configuration — ready for external plotting.
+pub fn latency_sweep_csv(sweep: &LatencySweep) -> String {
+    let mut out = String::from("load_latency");
+    for c in &sweep.configs {
+        let _ = write!(out, ",{}", csv_field(c));
+    }
+    out.push('\n');
+    for (i, lat) in sweep.latencies.iter().enumerate() {
+        let _ = write!(out, "{lat}");
+        for r in &sweep.rows[i] {
+            let _ = write!(out, ",{:.6}", r.mcpi);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a penalty sweep as CSV: one row per penalty, one MCPI column
+/// per configuration.
+pub fn penalty_sweep_csv(sweep: &PenaltySweep) -> String {
+    let mut out = String::from("miss_penalty");
+    for c in &sweep.configs {
+        let _ = write!(out, ",{}", csv_field(c));
+    }
+    out.push('\n');
+    for (i, pen) in sweep.penalties.iter().enumerate() {
+        let _ = write!(out, "{pen}");
+        for r in &sweep.rows[i] {
+            let _ = write!(out, ",{:.6}", r.mcpi);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HwConfig, SimConfig};
+    use crate::sweep::{latency_sweep, penalty_sweep};
+    use nbl_trace::workloads::{build, Scale};
+
+    fn tiny_sweep() -> LatencySweep {
+        let p = build("eqntott", Scale::quick()).unwrap();
+        latency_sweep(
+            &p,
+            &SimConfig::baseline(HwConfig::Mc0),
+            &[HwConfig::Mc0, HwConfig::NoRestrict],
+            &[1, 10],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn latency_table_contains_labels_and_rows() {
+        let t = mcpi_vs_latency_table(&tiny_sweep());
+        assert!(t.contains("eqntott"));
+        assert!(t.contains("mc=0"));
+        assert!(t.contains("no restrict"));
+        assert_eq!(t.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn auxiliary_tables_render() {
+        let s = tiny_sweep();
+        assert!(structural_share_table(&s).contains('%'));
+        assert!(miss_rate_table(&s).contains("eqntott"));
+        let rows: Vec<(u32, &RunResult)> =
+            s.latencies.iter().copied().zip(s.rows.iter().map(|r| &r[1])).collect();
+        let t = inflight_table("eqntott", &rows);
+        assert!(t.contains("fetches"));
+    }
+
+    #[test]
+    fn fig13_row_shows_ratios() {
+        let s = tiny_sweep();
+        let row = fig13_row("eqntott", &s.rows[1]);
+        assert!(row.contains("eqntott"));
+        // one (mcpi, ratio) pair + the unrestricted column = 3 numbers.
+        assert_eq!(row.split_whitespace().count(), 4);
+    }
+
+    #[test]
+    fn chart_renders_with_legend_and_extremes() {
+        let s = tiny_sweep();
+        let chart = mcpi_vs_latency_chart(&s);
+        assert!(chart.contains("a = mc=0"));
+        assert!(chart.contains("b = no restrict"));
+        // Every (latency, config) point appears somewhere.
+        let plotted: usize = chart
+            .chars()
+            .filter(|c| *c == 'a' || *c == 'b' || *c == '*')
+            .count()
+            // legend letters appear once each
+            - 2;
+        assert!(plotted >= 2, "chart too empty:\n{chart}");
+        // The y-axis spans the data.
+        assert!(chart.lines().count() > 18);
+    }
+
+    #[test]
+    fn csv_roundtrips_the_numbers() {
+        let s = tiny_sweep();
+        let csv = latency_sweep_csv(&s);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "load_latency,mc=0,no restrict");
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row[0], "1");
+        let parsed: f64 = row[1].parse().unwrap();
+        assert!((parsed - s.rows[0][0].mcpi).abs() < 1e-6);
+        assert_eq!(csv.lines().count(), 1 + s.latencies.len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn penalty_csv_renders() {
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let s = penalty_sweep(
+            &p,
+            &SimConfig::baseline(HwConfig::Mc0),
+            &[HwConfig::Mc0],
+            &[8, 16],
+        )
+        .unwrap();
+        let csv = penalty_sweep_csv(&s);
+        assert!(csv.starts_with("miss_penalty,mc=0"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn penalty_table_renders() {
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let s = penalty_sweep(
+            &p,
+            &SimConfig::baseline(HwConfig::Mc0),
+            &[HwConfig::Mc0],
+            &[8, 16],
+        )
+        .unwrap();
+        let t = mcpi_vs_penalty_table(&s);
+        assert!(t.contains("mc=0"));
+        assert!(t.lines().count() == 3);
+    }
+}

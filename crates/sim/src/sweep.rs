@@ -1,0 +1,158 @@
+//! Parameter sweeps: the experiment shapes the paper's figures are built
+//! from (configurations × load latencies, configurations × miss penalties,
+//! benchmarks × configurations).
+//!
+//! Compilation is shared across hardware configurations — the compiled
+//! program depends only on the load latency, so each (benchmark, latency)
+//! pair is compiled once and replayed under every configuration, exactly
+//! as the paper replays each binary.
+
+use crate::config::{HwConfig, SimConfig};
+use crate::driver::{run_compiled, RunResult};
+use nbl_sched::compile::{compile, CompileError};
+use nbl_trace::ir::Program;
+
+/// MCPI-vs-load-latency curves for one benchmark (the shape of Figs. 5,
+/// 9–12, 15–17).
+#[derive(Debug, Clone)]
+pub struct LatencySweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration labels, in input order (one curve each).
+    pub configs: Vec<String>,
+    /// Latencies swept (the x axis).
+    pub latencies: Vec<u32>,
+    /// `rows[i][j]` = result at `latencies[i]` under `configs[j]`.
+    pub rows: Vec<Vec<RunResult>>,
+}
+
+impl LatencySweep {
+    /// The MCPI curve (over latency) of configuration index `j`.
+    pub fn curve(&self, j: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[j].mcpi).collect()
+    }
+
+    /// Result lookup by configuration label and latency.
+    pub fn at(&self, config: &str, latency: u32) -> Option<&RunResult> {
+        let j = self.configs.iter().position(|c| c == config)?;
+        let i = self.latencies.iter().position(|&l| l == latency)?;
+        Some(&self.rows[i][j])
+    }
+}
+
+/// Sweeps `configs` × `latencies` for one benchmark program.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the compiler model.
+pub fn latency_sweep(
+    program: &Program,
+    base: &SimConfig,
+    configs: &[HwConfig],
+    latencies: &[u32],
+) -> Result<LatencySweep, CompileError> {
+    let mut rows = Vec::with_capacity(latencies.len());
+    for &lat in latencies {
+        let compiled = compile(program, lat)?;
+        let mut row = Vec::with_capacity(configs.len());
+        for hw in configs {
+            let cfg = SimConfig { hw: hw.clone(), ..base.clone() }.at_latency(lat);
+            row.push(run_compiled(&program.name, &compiled, &cfg));
+        }
+        rows.push(row);
+    }
+    Ok(LatencySweep {
+        benchmark: program.name.clone(),
+        configs: configs.iter().map(HwConfig::label).collect(),
+        latencies: latencies.to_vec(),
+        rows,
+    })
+}
+
+/// MCPI-vs-miss-penalty table for one benchmark at a fixed latency
+/// (Fig. 18's shape).
+#[derive(Debug, Clone)]
+pub struct PenaltySweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration labels.
+    pub configs: Vec<String>,
+    /// Penalties swept.
+    pub penalties: Vec<u32>,
+    /// `rows[i][j]` = result at `penalties[i]` under `configs[j]`.
+    pub rows: Vec<Vec<RunResult>>,
+}
+
+impl PenaltySweep {
+    /// Result lookup by configuration label and penalty.
+    pub fn at(&self, config: &str, penalty: u32) -> Option<&RunResult> {
+        let j = self.configs.iter().position(|c| c == config)?;
+        let i = self.penalties.iter().position(|&p| p == penalty)?;
+        Some(&self.rows[i][j])
+    }
+}
+
+/// Sweeps `configs` × `penalties` at the base config's load latency.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the compiler model.
+pub fn penalty_sweep(
+    program: &Program,
+    base: &SimConfig,
+    configs: &[HwConfig],
+    penalties: &[u32],
+) -> Result<PenaltySweep, CompileError> {
+    let compiled = compile(program, base.load_latency)?;
+    let mut rows = Vec::with_capacity(penalties.len());
+    for &pen in penalties {
+        let mut row = Vec::with_capacity(configs.len());
+        for hw in configs {
+            let cfg = SimConfig { hw: hw.clone(), ..base.clone() }.with_penalty(pen);
+            row.push(run_compiled(&program.name, &compiled, &cfg));
+        }
+        rows.push(row);
+    }
+    Ok(PenaltySweep {
+        benchmark: program.name.clone(),
+        configs: configs.iter().map(HwConfig::label).collect(),
+        penalties: penalties.to_vec(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_trace::workloads::{build, Scale};
+
+    #[test]
+    fn latency_sweep_shape_and_lookup() {
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let configs = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::NoRestrict];
+        let s = latency_sweep(&p, &base, &configs, &[1, 10]).unwrap();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].len(), 3);
+        assert_eq!(s.curve(0).len(), 2);
+        let r = s.at("mc=1", 10).unwrap();
+        assert_eq!(r.config, "mc=1");
+        assert_eq!(r.load_latency, 10);
+        assert!(s.at("mc=7", 10).is_none());
+        assert!(s.at("mc=1", 11).is_none());
+    }
+
+    #[test]
+    fn penalty_sweep_blocking_is_linear() {
+        let p = build("tomcatv", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let s = penalty_sweep(&p, &base, &[HwConfig::Mc0], &[8, 16, 32]).unwrap();
+        let m8 = s.at("mc=0", 8).unwrap().mcpi;
+        let m16 = s.at("mc=0", 16).unwrap().mcpi;
+        let m32 = s.at("mc=0", 32).unwrap().mcpi;
+        // "The blocking organization's miss CPI is strictly a linear
+        // function of the miss penalty."
+        assert!((m16 / m8 - 2.0).abs() < 0.05, "{m8} {m16}");
+        assert!((m32 / m16 - 2.0).abs() < 0.05, "{m16} {m32}");
+    }
+}

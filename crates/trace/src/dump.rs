@@ -1,0 +1,519 @@
+//! Binary trace capture and replay.
+//!
+//! The paper's infrastructure produced long address traces as a byproduct
+//! of object-code instrumentation (cf. Borg et al., "Long Address Traces
+//! from RISC Machines"). This module provides the equivalent tooling for
+//! our synthetic workloads: a [`TraceWriter`] is a
+//! [`crate::machine::InstSink`] that captures the *exact*
+//! dynamic instruction stream a processor would execute, and a
+//! [`TraceReader`] replays it later — e.g. to drive the simulator from a
+//! file, ship a workload without its generator, or diff two compilations.
+//!
+//! # Format
+//!
+//! Little-endian, streaming, no seeking required:
+//!
+//! ```text
+//! magic    b"NBLT"
+//! version  u16            (currently 1)
+//! latency  u32            scheduled load latency the trace was compiled for
+//! name     u16 len + utf8 benchmark name
+//! records  1-byte opcode then fields:
+//!   0x00 Load   dst:u8 src:u8|0xff fmt:u8 addr:u64
+//!   0x01 Store  data:u8|0xff asrc:u8|0xff addr:u64
+//!   0x02 Alu    dst:u8 src0:u8|0xff src1:u8|0xff
+//!   0x03 Branch src0:u8|0xff src1:u8|0xff
+//!   0xff End    (count:u64 follows, for integrity checking)
+//! ```
+//!
+//! Registers are encoded by their dense index (0–63), `0xfe` for
+//! non-register load destinations never appear (loads always target
+//! registers in this machine model).
+
+use crate::machine::InstSink;
+use nbl_core::inst::{DynInst, DynKind};
+use nbl_core::types::{AccessSize, Addr, LoadFormat, PhysReg};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"NBLT";
+const VERSION: u16 = 1;
+const OP_LOAD: u8 = 0x00;
+const OP_STORE: u8 = 0x01;
+const OP_ALU: u8 = 0x02;
+const OP_BRANCH: u8 = 0x03;
+const OP_END: u8 = 0xff;
+const REG_NONE: u8 = 0xff;
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with the `NBLT` magic.
+    BadMagic,
+    /// The version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// A record was malformed (bad opcode, bad register, bad format).
+    Corrupt(&'static str),
+    /// The end marker's instruction count disagrees with what was read.
+    CountMismatch {
+        /// Count claimed by the end marker.
+        expected: u64,
+        /// Records actually decoded.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not an NBLT trace"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::CountMismatch { expected, actual } => {
+                write!(f, "trace count mismatch: header {expected}, read {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn encode_reg(r: Option<PhysReg>) -> u8 {
+    r.map_or(REG_NONE, |r| r.dense_index() as u8)
+}
+
+fn decode_reg(b: u8) -> Result<Option<PhysReg>, TraceError> {
+    if b == REG_NONE {
+        Ok(None)
+    } else if (b as usize) < 64 {
+        Ok(Some(PhysReg::from_dense(b as usize)))
+    } else {
+        Err(TraceError::Corrupt("register index out of range"))
+    }
+}
+
+fn encode_format(f: LoadFormat) -> u8 {
+    let size = match f.size {
+        AccessSize::B1 => 0u8,
+        AccessSize::B2 => 1,
+        AccessSize::B4 => 2,
+        AccessSize::B8 => 3,
+    };
+    size | (u8::from(f.sign_extend) << 2)
+}
+
+fn decode_format(b: u8) -> Result<LoadFormat, TraceError> {
+    let size = match b & 0b11 {
+        0 => AccessSize::B1,
+        1 => AccessSize::B2,
+        2 => AccessSize::B4,
+        _ => AccessSize::B8,
+    };
+    if b & !0b111 != 0 {
+        return Err(TraceError::Corrupt("format bits out of range"));
+    }
+    Ok(LoadFormat { size, sign_extend: b & 0b100 != 0 })
+}
+
+/// Streaming trace capture: plug it in wherever an `InstSink` goes.
+///
+/// Call [`TraceWriter::finish`] when the stream ends to write the end
+/// marker; dropping without finishing leaves a truncated (detectably
+/// incomplete) trace.
+///
+/// # Examples
+///
+/// ```
+/// use nbl_trace::dump::{TraceReader, TraceWriter};
+/// use nbl_trace::machine::InstSink;
+/// use nbl_core::inst::DynInst;
+/// use nbl_core::types::{Addr, LoadFormat, PhysReg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bytes = Vec::new();
+/// let mut writer = TraceWriter::new(&mut bytes, "demo", 10)?;
+/// writer.exec(DynInst::load(Addr(0x40), PhysReg::int(1), LoadFormat::WORD));
+/// writer.exec(DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]));
+/// let written = writer.finish()?;
+/// let reader = TraceReader::new(&bytes[..])?;
+/// assert_eq!(reader.name(), "demo");
+/// assert_eq!(reader.collect::<Result<Vec<_>, _>>()?.len() as u64, written);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(mut out: W, name: &str, load_latency: u32) -> io::Result<TraceWriter<W>> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&load_latency.to_le_bytes())?;
+        let name_bytes = name.as_bytes();
+        let len = u16::try_from(name_bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "name too long"))?;
+        out.write_all(&len.to_le_bytes())?;
+        out.write_all(name_bytes)?;
+        Ok(TraceWriter { out, written: 0, error: None })
+    }
+
+    fn write_inst(&mut self, inst: &DynInst) -> io::Result<()> {
+        match inst.kind {
+            DynKind::Load { addr, dst, format } => {
+                self.out.write_all(&[
+                    OP_LOAD,
+                    encode_reg(Some(dst)),
+                    encode_reg(inst.srcs[0]),
+                    encode_format(format),
+                ])?;
+                self.out.write_all(&addr.0.to_le_bytes())?;
+            }
+            DynKind::Store { addr } => {
+                self.out.write_all(&[OP_STORE, encode_reg(inst.srcs[0]), encode_reg(inst.srcs[1])])?;
+                self.out.write_all(&addr.0.to_le_bytes())?;
+            }
+            DynKind::Alu { dst: Some(d) } => {
+                self.out.write_all(&[
+                    OP_ALU,
+                    encode_reg(Some(d)),
+                    encode_reg(inst.srcs[0]),
+                    encode_reg(inst.srcs[1]),
+                ])?;
+            }
+            DynKind::Alu { dst: None } => {
+                self.out
+                    .write_all(&[OP_BRANCH, encode_reg(inst.srcs[0]), encode_reg(inst.srcs[1])])?;
+            }
+        }
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes the end marker and returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered during streaming (writes after
+    /// an error are skipped) or while flushing.
+    pub fn finish(mut self) -> Result<u64, io::Error> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.write_all(&[OP_END])?;
+        self.out.write_all(&self.written.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write> InstSink for TraceWriter<W> {
+    fn exec(&mut self, inst: DynInst) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_inst(&inst) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Streaming trace replay: an iterator of `Result<DynInst, TraceError>`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    name: String,
+    load_latency: u32,
+    read: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`] for
+    /// foreign input, or I/O errors.
+    pub fn new(mut input: R) -> Result<TraceReader<R>, TraceError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut buf2 = [0u8; 2];
+        input.read_exact(&mut buf2)?;
+        let version = u16::from_le_bytes(buf2);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut buf4 = [0u8; 4];
+        input.read_exact(&mut buf4)?;
+        let load_latency = u32::from_le_bytes(buf4);
+        input.read_exact(&mut buf2)?;
+        let name_len = u16::from_le_bytes(buf2) as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        input.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceError::Corrupt("benchmark name is not utf-8"))?;
+        Ok(TraceReader { input, name, load_latency, read: 0, done: false })
+    }
+
+    /// Benchmark name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scheduled load latency the trace was compiled for.
+    pub fn load_latency(&self) -> u32 {
+        self.load_latency
+    }
+
+    /// The format is streaming; the count lives in the end marker, so
+    /// there is no up-front hint. Always `None` (kept for API symmetry
+    /// with formats that do know).
+    pub fn count_hint(&self) -> Option<u64> {
+        None
+    }
+
+    fn read_u8(&mut self) -> Result<u8, TraceError> {
+        let mut b = [0u8; 1];
+        self.input.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn read_u64(&mut self) -> Result<u64, TraceError> {
+        let mut b = [0u8; 8];
+        self.input.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_record(&mut self) -> Result<Option<DynInst>, TraceError> {
+        let op = self.read_u8()?;
+        let inst = match op {
+            OP_LOAD => {
+                let dst = decode_reg(self.read_u8()?)?
+                    .ok_or(TraceError::Corrupt("load without destination"))?;
+                let src = decode_reg(self.read_u8()?)?;
+                let format = decode_format(self.read_u8()?)?;
+                let addr = Addr(self.read_u64()?);
+                match src {
+                    Some(s) => DynInst::load_via(addr, s, dst, format),
+                    None => DynInst::load(addr, dst, format),
+                }
+            }
+            OP_STORE => {
+                let data = decode_reg(self.read_u8()?)?;
+                let asrc = decode_reg(self.read_u8()?)?;
+                let addr = Addr(self.read_u64()?);
+                DynInst { srcs: [data, asrc], kind: DynKind::Store { addr } }
+            }
+            OP_ALU => {
+                let dst = decode_reg(self.read_u8()?)?
+                    .ok_or(TraceError::Corrupt("alu without destination"))?;
+                let s0 = decode_reg(self.read_u8()?)?;
+                let s1 = decode_reg(self.read_u8()?)?;
+                DynInst::alu(dst, [s0, s1])
+            }
+            OP_BRANCH => {
+                let s0 = decode_reg(self.read_u8()?)?;
+                let s1 = decode_reg(self.read_u8()?)?;
+                DynInst::branch([s0, s1])
+            }
+            OP_END => {
+                let expected = self.read_u64()?;
+                self.done = true;
+                if expected != self.read {
+                    return Err(TraceError::CountMismatch { expected, actual: self.read });
+                }
+                return Ok(None);
+            }
+            _ => return Err(TraceError::Corrupt("unknown opcode")),
+        };
+        self.read += 1;
+        Ok(Some(inst))
+    }
+
+    /// Replays the whole trace into an [`InstSink`], validating the end
+    /// marker.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] encountered while decoding.
+    pub fn replay_into<S: InstSink>(mut self, sink: &mut S) -> Result<u64, TraceError> {
+        while let Some(inst) = self.read_record()? {
+            sink.exec(inst);
+        }
+        Ok(self.read)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<DynInst, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(inst)) => Some(Ok(inst)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insts() -> Vec<DynInst> {
+        vec![
+            DynInst::load(Addr(0x1000), PhysReg::int(3), LoadFormat::WORD),
+            DynInst::load_via(Addr(0x2000), PhysReg::int(3), PhysReg::fp(1), LoadFormat::DOUBLE),
+            DynInst::store(Addr(0x3008), Some(PhysReg::fp(1))),
+            DynInst::alu(PhysReg::int(4), [Some(PhysReg::int(3)), None]),
+            DynInst::branch([Some(PhysReg::int(4)), None]),
+            DynInst::load(
+                Addr(0xffff_ffff_ff),
+                PhysReg::fp(31),
+                LoadFormat { size: AccessSize::B1, sign_extend: true },
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_instruction() {
+        let insts = sample_insts();
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, "demo", 6).unwrap();
+        for i in &insts {
+            w.exec(*i);
+        }
+        assert_eq!(w.finish().unwrap(), insts.len() as u64);
+
+        let r = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.name(), "demo");
+        assert_eq!(r.load_latency(), 6);
+        let decoded: Vec<DynInst> = r.map(|x| x.unwrap()).collect();
+        assert_eq!(decoded, insts);
+    }
+
+    #[test]
+    fn replay_into_counts() {
+        let insts = sample_insts();
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, "demo", 1).unwrap();
+        for i in &insts {
+            w.exec(*i);
+        }
+        w.finish().unwrap();
+        let mut sink = crate::machine::CountingSink::default();
+        let n = TraceReader::new(&bytes[..]).unwrap().replay_into(&mut sink).unwrap();
+        assert_eq!(n, insts.len() as u64);
+        assert_eq!(sink.instructions, insts.len() as u64);
+        assert_eq!(sink.loads, 3);
+        assert_eq!(sink.stores, 1);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let r = TraceReader::new(&b"NOPE\x01\x00"[..]);
+        assert!(matches!(r, Err(TraceError::BadMagic)));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            TraceReader::new(&bytes[..]),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let insts = sample_insts();
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, "demo", 1).unwrap();
+        for i in &insts {
+            w.exec(*i);
+        }
+        w.finish().unwrap();
+        // Chop off the end marker and part of the last record.
+        bytes.truncate(bytes.len() - 12);
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(results.iter().any(|r| r.is_err()), "truncation must surface an error");
+    }
+
+    #[test]
+    fn corrupt_count_is_detected() {
+        let mut bytes = Vec::new();
+        let w = TraceWriter::new(&mut bytes, "x", 1).unwrap();
+        w.finish().unwrap();
+        // Tamper with the trailing count.
+        let n = bytes.len();
+        bytes[n - 1] = 7;
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(matches!(results.last(), Some(Err(TraceError::CountMismatch { .. }))));
+    }
+
+    #[test]
+    fn corrupt_opcode_is_detected() {
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, "x", 1).unwrap();
+        w.exec(DynInst::branch([None, None]));
+        w.finish().unwrap();
+        // Overwrite the branch opcode with garbage.
+        let header_len = 4 + 2 + 4 + 2 + 1;
+        bytes[header_len] = 0x77;
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(matches!(results[0], Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            TraceError::BadMagic,
+            TraceError::UnsupportedVersion(9),
+            TraceError::Corrupt("x"),
+            TraceError::CountMismatch { expected: 1, actual: 2 },
+            TraceError::Io(io::Error::new(io::ErrorKind::Other, "boom")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn format_codes_roundtrip() {
+        for size in [AccessSize::B1, AccessSize::B2, AccessSize::B4, AccessSize::B8] {
+            for sign_extend in [false, true] {
+                let f = LoadFormat { size, sign_extend };
+                assert_eq!(decode_format(encode_format(f)).unwrap(), f);
+            }
+        }
+        assert!(decode_format(0b1000).is_err());
+    }
+}

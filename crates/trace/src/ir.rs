@@ -1,0 +1,564 @@
+//! The RISC-like intermediate representation that workload generators emit
+//! and the compiler model (`nbl-sched`) consumes.
+//!
+//! A [`Program`] is a set of basic [`Block`]s over *virtual* registers plus
+//! a [`ScriptNode`] tree describing the dynamic loop structure (which block
+//! runs how many times, in what nesting). Memory operations do not carry
+//! literal addresses; they reference an [`AddrPattern`] whose state advances
+//! every time the operation executes — the same separation the paper's
+//! object-code instrumentation achieves by calling a memory-model procedure
+//! before every emulated load and store.
+
+use nbl_core::types::{LoadFormat, RegClass};
+use std::fmt;
+
+/// A virtual register (SSA-ish temporary) local to one [`Block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtReg(pub u32);
+
+impl fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of an [`AddrPattern`] in the program's pattern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternId(pub u32);
+
+/// Index of a [`Block`] in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub u32);
+
+/// A stateful address generator attached to a memory operation.
+///
+/// Patterns are deterministic functions of their state and seed, so a
+/// program replays identically across runs and configurations — only the
+/// *code schedule* (produced by `nbl-sched` for a given load latency)
+/// changes the dynamic instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Sequential walk: element `i`, `i+stride`, ... over `length` elements
+    /// of `elem_bytes` each, wrapping. Models array streaming (tomcatv's
+    /// mesh rows, swm256's grids).
+    Strided {
+        /// First byte of the array.
+        base: u64,
+        /// Element size in bytes.
+        elem_bytes: u32,
+        /// Elements advanced per execution (may be negative).
+        stride: i64,
+        /// Array length in elements.
+        length: u64,
+    },
+    /// Pseudo-random element within a region (hash probes, scattered
+    /// references). Deterministic LCG stream from `seed`.
+    Gather {
+        /// First byte of the region.
+        base: u64,
+        /// Element size in bytes.
+        elem_bytes: u32,
+        /// Region length in elements.
+        length: u64,
+        /// LCG seed.
+        seed: u64,
+    },
+    /// Pointer chase over a shuffled ring of `nodes` nodes of `node_bytes`
+    /// each (xlisp's cons heap). The executor materializes a single-cycle
+    /// permutation from `seed`; each execution steps to the successor and
+    /// yields `base + node*node_bytes + field_offset`.
+    Chase {
+        /// First byte of the node arena.
+        base: u64,
+        /// Node size in bytes.
+        node_bytes: u32,
+        /// Number of nodes in the ring.
+        nodes: u64,
+        /// Byte offset of the referenced field within the node.
+        field_offset: u32,
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// A fixed address (spill slots, globals, scalar locals).
+    Fixed {
+        /// The byte address.
+        addr: u64,
+    },
+}
+
+/// One IR operation over virtual registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrOp {
+    /// Load the next address of `pattern` into `dst`. If `addr_src` is
+    /// given, the load's address computation reads that register (a
+    /// dependent load — e.g. pointer chasing sets `addr_src` to the
+    /// previous pointer value).
+    Load {
+        /// Destination.
+        dst: VirtReg,
+        /// Address stream.
+        pattern: PatternId,
+        /// Access width / sign extension.
+        format: LoadFormat,
+        /// Register the effective address depends on, if any.
+        addr_src: Option<VirtReg>,
+    },
+    /// Store to the next address of `pattern`. Reads `data` (the stored
+    /// value) and optionally `addr_src`.
+    Store {
+        /// Address stream.
+        pattern: PatternId,
+        /// Value stored, if register-carried.
+        data: Option<VirtReg>,
+        /// Register the effective address depends on, if any.
+        addr_src: Option<VirtReg>,
+    },
+    /// Single-cycle computation `dst <- op(srcs)`.
+    Alu {
+        /// Destination.
+        dst: VirtReg,
+        /// Operands.
+        srcs: [Option<VirtReg>; 2],
+    },
+    /// A branch (or compare-and-branch): reads registers, writes nothing,
+    /// costs one cycle under perfect prediction.
+    Branch {
+        /// Operands.
+        srcs: [Option<VirtReg>; 2],
+    },
+}
+
+impl IrOp {
+    /// The virtual register written, if any.
+    pub fn dst(&self) -> Option<VirtReg> {
+        match self {
+            IrOp::Load { dst, .. } | IrOp::Alu { dst, .. } => Some(*dst),
+            IrOp::Store { .. } | IrOp::Branch { .. } => None,
+        }
+    }
+
+    /// The virtual registers read.
+    pub fn srcs(&self) -> Vec<VirtReg> {
+        match self {
+            IrOp::Load { addr_src, .. } => addr_src.iter().copied().collect(),
+            IrOp::Store { data, addr_src, .. } => {
+                data.iter().chain(addr_src.iter()).copied().collect()
+            }
+            IrOp::Alu { srcs, .. } | IrOp::Branch { srcs } => {
+                srcs.iter().flatten().copied().collect()
+            }
+        }
+    }
+
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, IrOp::Load { .. })
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, IrOp::Store { .. })
+    }
+}
+
+/// A basic block over virtual registers.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Operations in generator ("program") order.
+    pub ops: Vec<IrOp>,
+    /// Register class of each virtual register (indexed by `VirtReg.0`).
+    pub classes: Vec<RegClass>,
+    /// Virtual registers that are live across iterations of this block
+    /// (loop-carried: induction variables, chase pointers, accumulators).
+    /// They are allocated first and never spilled.
+    pub carried: Vec<VirtReg>,
+}
+
+impl Block {
+    /// Number of virtual registers used.
+    pub fn num_vregs(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The register class of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created through the builder for this block.
+    pub fn class_of(&self, v: VirtReg) -> RegClass {
+        self.classes[v.0 as usize]
+    }
+
+    /// `true` if `v` is loop-carried.
+    pub fn is_carried(&self, v: VirtReg) -> bool {
+        self.carried.contains(&v)
+    }
+
+    /// Counts (loads, stores, alu+branch) in one execution of the block.
+    pub fn op_mix(&self) -> (usize, usize, usize) {
+        let loads = self.ops.iter().filter(|o| o.is_load()).count();
+        let stores = self.ops.iter().filter(|o| o.is_store()).count();
+        (loads, stores, self.ops.len() - loads - stores)
+    }
+}
+
+/// Dynamic control structure: which blocks run, how often, in what nesting.
+#[derive(Debug, Clone)]
+pub enum ScriptNode {
+    /// Execute `block` `times` times consecutively.
+    Run {
+        /// The block.
+        block: BlockId,
+        /// Consecutive executions.
+        times: u64,
+    },
+    /// Execute the body `trips` times.
+    Loop {
+        /// Nested structure.
+        body: Vec<ScriptNode>,
+        /// Trip count.
+        trips: u64,
+    },
+}
+
+impl ScriptNode {
+    /// Total dynamic block executions under this node.
+    pub fn dynamic_blocks(&self) -> u64 {
+        match self {
+            ScriptNode::Run { times, .. } => *times,
+            ScriptNode::Loop { body, trips } => {
+                trips * body.iter().map(ScriptNode::dynamic_blocks).sum::<u64>()
+            }
+        }
+    }
+}
+
+/// A complete workload program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Human-readable benchmark name (e.g. `"doduc"`).
+    pub name: String,
+    /// Address pattern table.
+    pub patterns: Vec<AddrPattern>,
+    /// Basic blocks.
+    pub blocks: Vec<Block>,
+    /// Control structure.
+    pub script: Vec<ScriptNode>,
+}
+
+/// A structural defect found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An op reads a virtual register that no earlier op in the block
+    /// defined and that is not loop-carried.
+    UseBeforeDef {
+        /// Offending block.
+        block: usize,
+        /// Offending op index.
+        op: usize,
+        /// The undefined register.
+        vreg: VirtReg,
+    },
+    /// An op references a virtual register outside the block's class table.
+    UnknownVreg {
+        /// Offending block.
+        block: usize,
+        /// The out-of-range register.
+        vreg: VirtReg,
+    },
+    /// A memory op references a pattern index outside the pattern table.
+    UnknownPattern {
+        /// Offending block.
+        block: usize,
+        /// The out-of-range pattern.
+        pattern: PatternId,
+    },
+    /// The script names a block index outside the block table.
+    UnknownBlock {
+        /// The out-of-range block.
+        block: BlockId,
+    },
+    /// A pattern is degenerate (zero length, zero element size, or a
+    /// chase with zero nodes).
+    DegeneratePattern {
+        /// Index in the pattern table.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UseBeforeDef { block, op, vreg } => {
+                write!(f, "block {block}, op {op}: {vreg} used before any definition")
+            }
+            ProgramError::UnknownVreg { block, vreg } => {
+                write!(f, "block {block}: {vreg} not in the class table")
+            }
+            ProgramError::UnknownPattern { block, pattern } => {
+                write!(f, "block {block}: pattern {} out of range", pattern.0)
+            }
+            ProgramError::UnknownBlock { block } => {
+                write!(f, "script names block {} which does not exist", block.0)
+            }
+            ProgramError::DegeneratePattern { index } => {
+                write!(f, "pattern {index} is degenerate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Checks the structural invariants every generator must uphold:
+    /// def-before-use for non-carried registers, in-range register /
+    /// pattern / block references, and non-degenerate patterns.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ProgramError`] found, if any.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for (index, p) in self.patterns.iter().enumerate() {
+            let degenerate = match *p {
+                AddrPattern::Strided { elem_bytes, length, .. } => {
+                    elem_bytes == 0 || length == 0
+                }
+                AddrPattern::Gather { elem_bytes, length, .. } => {
+                    elem_bytes == 0 || length == 0
+                }
+                AddrPattern::Chase { node_bytes, nodes, field_offset, .. } => {
+                    node_bytes == 0 || nodes == 0 || field_offset >= node_bytes
+                }
+                AddrPattern::Fixed { .. } => false,
+            };
+            if degenerate {
+                return Err(ProgramError::DegeneratePattern { index });
+            }
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let mut defined: Vec<bool> = vec![false; block.num_vregs()];
+            for &c in &block.carried {
+                match defined.get_mut(c.0 as usize) {
+                    Some(slot) => *slot = true,
+                    None => return Err(ProgramError::UnknownVreg { block: bi, vreg: c }),
+                }
+            }
+            for (oi, op) in block.ops.iter().enumerate() {
+                for v in op.srcs() {
+                    match defined.get(v.0 as usize) {
+                        Some(true) => {}
+                        Some(false) => {
+                            return Err(ProgramError::UseBeforeDef { block: bi, op: oi, vreg: v })
+                        }
+                        None => return Err(ProgramError::UnknownVreg { block: bi, vreg: v }),
+                    }
+                }
+                if let Some(d) = op.dst() {
+                    match defined.get_mut(d.0 as usize) {
+                        Some(slot) => *slot = true,
+                        None => return Err(ProgramError::UnknownVreg { block: bi, vreg: d }),
+                    }
+                }
+                let pattern = match *op {
+                    IrOp::Load { pattern, .. } | IrOp::Store { pattern, .. } => Some(pattern),
+                    _ => None,
+                };
+                if let Some(p) = pattern {
+                    if p.0 as usize >= self.patterns.len() {
+                        return Err(ProgramError::UnknownPattern { block: bi, pattern: p });
+                    }
+                }
+            }
+        }
+        fn check_script(nodes: &[ScriptNode], num_blocks: usize) -> Result<(), ProgramError> {
+            for n in nodes {
+                match n {
+                    ScriptNode::Run { block, .. } => {
+                        if block.0 as usize >= num_blocks {
+                            return Err(ProgramError::UnknownBlock { block: *block });
+                        }
+                    }
+                    ScriptNode::Loop { body, .. } => check_script(body, num_blocks)?,
+                }
+            }
+            Ok(())
+        }
+        check_script(&self.script, self.blocks.len())
+    }
+
+    /// Total dynamic block executions of the whole script.
+    pub fn dynamic_blocks(&self) -> u64 {
+        self.script.iter().map(ScriptNode::dynamic_blocks).sum()
+    }
+
+    /// Estimated dynamic instruction count (before compilation, which may
+    /// add spill code): Σ executions × block length.
+    pub fn estimated_instructions(&self) -> u64 {
+        let mut total = 0;
+        let mut per_block = vec![0u64; self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            per_block[i] = b.ops.len() as u64;
+        }
+        fn walk(nodes: &[ScriptNode], per_block: &[u64], total: &mut u64, mult: u64) {
+            for n in nodes {
+                match n {
+                    ScriptNode::Run { block, times } => {
+                        *total += mult * times * per_block[block.0 as usize];
+                    }
+                    ScriptNode::Loop { body, trips } => {
+                        walk(body, per_block, total, mult * trips);
+                    }
+                }
+            }
+        }
+        walk(&self.script, &per_block, &mut total, 1);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        let ld = IrOp::Load {
+            dst: VirtReg(0),
+            pattern: PatternId(0),
+            format: LoadFormat::WORD,
+            addr_src: Some(VirtReg(1)),
+        };
+        assert_eq!(ld.dst(), Some(VirtReg(0)));
+        assert_eq!(ld.srcs(), vec![VirtReg(1)]);
+        assert!(ld.is_load() && !ld.is_store());
+
+        let st = IrOp::Store { pattern: PatternId(0), data: Some(VirtReg(2)), addr_src: None };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.srcs(), vec![VirtReg(2)]);
+        assert!(st.is_store());
+
+        let alu = IrOp::Alu { dst: VirtReg(3), srcs: [Some(VirtReg(0)), Some(VirtReg(2))] };
+        assert_eq!(alu.srcs().len(), 2);
+
+        let br = IrOp::Branch { srcs: [Some(VirtReg(3)), None] };
+        assert_eq!(br.dst(), None);
+        assert_eq!(br.srcs(), vec![VirtReg(3)]);
+    }
+
+    #[test]
+    fn script_counting() {
+        let script = vec![
+            ScriptNode::Run { block: BlockId(0), times: 10 },
+            ScriptNode::Loop {
+                body: vec![
+                    ScriptNode::Run { block: BlockId(0), times: 2 },
+                    ScriptNode::Run { block: BlockId(1), times: 1 },
+                ],
+                trips: 5,
+            },
+        ];
+        let total: u64 = script.iter().map(ScriptNode::dynamic_blocks).sum();
+        assert_eq!(total, 10 + 5 * 3);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_programs() {
+        let mut b0 = Block::default();
+        b0.classes.push(nbl_core::types::RegClass::Int);
+        b0.carried.push(VirtReg(0));
+        b0.ops.push(IrOp::Alu { dst: VirtReg(0), srcs: [Some(VirtReg(0)), None] });
+        b0.ops.push(IrOp::Store { pattern: PatternId(0), data: Some(VirtReg(0)), addr_src: None });
+        let p = Program {
+            name: "ok".into(),
+            patterns: vec![AddrPattern::Fixed { addr: 4 }],
+            blocks: vec![b0],
+            script: vec![ScriptNode::Run { block: BlockId(0), times: 3 }],
+        };
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_use_before_def() {
+        let mut b = Block::default();
+        b.classes.push(nbl_core::types::RegClass::Int);
+        b.ops.push(IrOp::Branch { srcs: [Some(VirtReg(0)), None] });
+        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
+        assert!(matches!(p.validate(), Err(ProgramError::UseBeforeDef { vreg: VirtReg(0), .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_references() {
+        // Unknown vreg in dst.
+        let mut b = Block::default();
+        b.ops.push(IrOp::Alu { dst: VirtReg(9), srcs: [None, None] });
+        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
+        assert!(matches!(p.validate(), Err(ProgramError::UnknownVreg { .. })));
+
+        // Unknown pattern.
+        let mut b = Block::default();
+        b.ops.push(IrOp::Store { pattern: PatternId(5), data: None, addr_src: None });
+        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
+        assert!(matches!(p.validate(), Err(ProgramError::UnknownPattern { .. })));
+
+        // Unknown block in a nested script.
+        let p = Program {
+            name: "bad".into(),
+            patterns: vec![],
+            blocks: vec![],
+            script: vec![ScriptNode::Loop {
+                body: vec![ScriptNode::Run { block: BlockId(3), times: 1 }],
+                trips: 2,
+            }],
+        };
+        assert!(matches!(p.validate(), Err(ProgramError::UnknownBlock { block: BlockId(3) })));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_patterns() {
+        for pat in [
+            AddrPattern::Strided { base: 0, elem_bytes: 0, stride: 1, length: 4 },
+            AddrPattern::Gather { base: 0, elem_bytes: 8, length: 0, seed: 1 },
+            AddrPattern::Chase { base: 0, node_bytes: 16, nodes: 8, field_offset: 16, seed: 1 },
+        ] {
+            let p = Program { name: "bad".into(), patterns: vec![pat], blocks: vec![], script: vec![] };
+            assert!(matches!(p.validate(), Err(ProgramError::DegeneratePattern { index: 0 })));
+        }
+    }
+
+    #[test]
+    fn program_error_display_is_nonempty() {
+        for e in [
+            ProgramError::UseBeforeDef { block: 0, op: 1, vreg: VirtReg(2) },
+            ProgramError::UnknownVreg { block: 0, vreg: VirtReg(9) },
+            ProgramError::UnknownPattern { block: 0, pattern: PatternId(7) },
+            ProgramError::UnknownBlock { block: BlockId(3) },
+            ProgramError::DegeneratePattern { index: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn estimated_instructions() {
+        let mut b0 = Block::default();
+        b0.ops.push(IrOp::Branch { srcs: [None, None] });
+        b0.ops.push(IrOp::Branch { srcs: [None, None] });
+        let mut b1 = Block::default();
+        b1.ops.push(IrOp::Branch { srcs: [None, None] });
+        let p = Program {
+            name: "t".into(),
+            patterns: vec![],
+            blocks: vec![b0, b1],
+            script: vec![
+                ScriptNode::Run { block: BlockId(0), times: 3 },
+                ScriptNode::Loop {
+                    body: vec![ScriptNode::Run { block: BlockId(1), times: 4 }],
+                    trips: 2,
+                },
+            ],
+        };
+        assert_eq!(p.estimated_instructions(), 3 * 2 + 2 * 4);
+        assert_eq!(p.dynamic_blocks(), 3 + 8);
+    }
+}

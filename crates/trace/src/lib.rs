@@ -1,0 +1,29 @@
+//! # nbl-trace — workloads, IR, and trace execution
+//!
+//! The paper drives its cache simulator with instrumented SPEC92 binaries;
+//! this crate provides the equivalent substrate built from scratch:
+//!
+//! * [`ir`] — a small RISC-like IR (basic blocks over virtual registers,
+//!   stateful address patterns, a loop-structure script);
+//! * [`builder`] — fluent program construction for the generators;
+//! * [`workloads`] — 18 synthetic SPEC92-archetype benchmark generators
+//!   (see DESIGN.md for the substitution argument);
+//! * [`machine`] — the compiled (scheduled + register-allocated) program
+//!   form produced by `nbl-sched`;
+//! * [`exec`] — the deterministic executor that turns a compiled program
+//!   into a dynamic instruction stream for the processor models;
+//! * [`dump`] — binary trace capture and replay (the long-address-trace
+//!   tooling of the paper's infrastructure lineage).
+
+pub mod builder;
+pub mod dump;
+pub mod exec;
+pub mod ir;
+pub mod machine;
+pub mod workloads;
+
+pub use builder::ProgramBuilder;
+pub use dump::{TraceReader, TraceWriter};
+pub use exec::Executor;
+pub use ir::{AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg};
+pub use machine::{CompiledProgram, CountingSink, InstSink, MachineBlock, MachineOp};

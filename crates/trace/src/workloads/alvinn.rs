@@ -1,0 +1,89 @@
+//! `alvinn` — neural-network training for autonomous driving (SPEC92 CFP).
+//!
+//! Forward/backward passes are dot products whose inner loop is *tiny*:
+//! load a weight, multiply-accumulate, loop. With basic blocks of a
+//! handful of instructions the compiler cannot move a use away from its
+//! load no matter what latency it schedules for, so even the unrestricted
+//! cache barely beats blocking (Fig. 13: `mc=0` is only 1.35× the
+//! unrestricted MCPI) — a scheduling-freedom limit, not a hardware one.
+//!
+//! Model: a 6-instruction dot-product block (single-precision weight
+//! stream + resident activation + serial accumulator) and a small
+//! per-neuron epilogue.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program, ScriptNode};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("alvinn");
+    // Weight matrix: streams through 512 KB of 4-byte weights.
+    let weights = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 4,
+        stride: 1,
+        length: 128 * 1024,
+    });
+    // Input activations: 4 KB, resident.
+    let acts = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 2048),
+        elem_bytes: 4,
+        stride: 1,
+        length: 1024,
+    });
+    let hidden = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 4096),
+        elem_bytes: 4,
+        stride: 1,
+        length: 1024,
+    });
+
+    // The dot-product inner loop: one element per block. The block is too
+    // short for any schedule to separate the weight load from the MAC.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    let sum = b.carried(RegClass::Fp);
+    let w = b.load(weights, RegClass::Fp, LoadFormat::WORD);
+    let a = b.load(acts, RegClass::Fp, LoadFormat::WORD);
+    let prod = b.alu(RegClass::Fp, Some(w), Some(a));
+    b.alu_into(sum, Some(prod), Some(sum));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let dot = b.finish();
+
+    // Per-neuron epilogue: sigmoid + store.
+    let mut b = pb.block();
+    let sum2 = b.carried(RegClass::Fp);
+    let s = b.alu_chain(RegClass::Fp, sum2, 6);
+    b.store(hidden, Some(s));
+    b.alu_into(sum2, None, None);
+    let cmp = b.alu(RegClass::Int, None, None);
+    b.branch(Some(cmp));
+    let neuron = b.finish();
+
+    let unit = 16 * 6 + 10;
+    let trips = scale.trips(unit);
+    pb.loop_of(
+        trips,
+        vec![
+            ScriptNode::Run { block: dot, times: 16 },
+            ScriptNode::Run { block: neuron, times: 1 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_loop_is_tiny() {
+        let p = build(Scale::quick());
+        assert!(p.blocks[0].ops.len() <= 6, "no scheduling freedom in a dot-product step");
+        let (loads, _, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 2);
+        assert_eq!(p.blocks[0].carried.len(), 2);
+    }
+}

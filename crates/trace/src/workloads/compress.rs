@@ -1,0 +1,91 @@
+//! `compress` — LZW text compression (SPEC92 CINT).
+//!
+//! The inner loop hashes the (prefix, char) pair and probes a 64 KB code
+//! table: the probe address depends on the hash, and the *next* iteration
+//! depends on the probe result — a dependent gather chain. Non-blocking
+//! hardware beyond hit-under-miss is useless here (Fig. 13: `mc=1` =
+//! 0.354 vs unrestricted 0.348).
+//!
+//! Model: sequential input-byte loads (mostly hitting), a hash ALU chain,
+//! a dependent probe into a large gather region, and table update stores.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("compress");
+    // Input text: byte stream (one line serves 32 loads).
+    let input = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 1,
+        stride: 1,
+        length: 256 * 1024,
+    });
+    // Hash/code tables: 64 KB scattered probes.
+    let htab = pb.pattern(AddrPattern::Gather {
+        base: layout::region(1, 1024),
+        elem_bytes: 8,
+        length: 1152, // 9 KB
+        seed: 0xc0de,
+    });
+    let codetab = pb.pattern(AddrPattern::Gather {
+        base: layout::region(2, 3072),
+        elem_bytes: 4,
+        length: 1024, // 4 KB
+        seed: 0xc0de + 7,
+    });
+    let output = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 2048),
+        elem_bytes: 1,
+        stride: 1,
+        length: 128 * 1024,
+    });
+
+    let mut b = pb.block();
+    let ent = b.carried(RegClass::Int); // current prefix code
+    let ch = b.load(input, RegClass::Int, LoadFormat { size: nbl_core::types::AccessSize::B1, sign_extend: false });
+    // Hash computation feeds the probe address: the probe is dependent.
+    let h1 = b.alu(RegClass::Int, Some(ch), Some(ent));
+    let h2 = b.alu(RegClass::Int, Some(h1), None);
+    let h3 = b.alu(RegClass::Int, Some(h2), None);
+    let probe = b.load_via(htab, h3, RegClass::Int, LoadFormat::DOUBLE);
+    // The comparison result feeds next iteration's prefix.
+    let eq = b.alu(RegClass::Int, Some(probe), Some(ent));
+    b.branch(Some(eq));
+    // Secondary probe (collision path) depends on the first.
+    let reprobe = b.load_via(codetab, probe, RegClass::Int, LoadFormat::WORD);
+    let nx = b.alu(RegClass::Int, Some(reprobe), Some(eq));
+    b.alu_into(ent, Some(nx), None);
+    // Table update + output emission.
+    b.store(htab, Some(nx));
+    b.store(output, Some(nx));
+    let t = b.alu_chain(RegClass::Int, nx, 13);
+    b.branch(Some(t));
+    let lzw = b.finish();
+
+    let trips = scale.trips(25);
+    pb.run(lzw, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrOp;
+
+    #[test]
+    fn probes_are_dependent_loads() {
+        let p = build(Scale::quick());
+        let dependent_loads = p.blocks[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IrOp::Load { addr_src: Some(_), .. }))
+            .count();
+        assert_eq!(dependent_loads, 2, "hash probe and collision reprobe");
+        let (loads, stores, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 3);
+        assert_eq!(stores, 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! `doduc` — Monte-Carlo simulation of a nuclear reactor component
+//! (SPEC92 CFP). The paper's primary expository benchmark (Figs. 5–8, 14,
+//! 16, 17).
+//!
+//! doduc is a mid-sized FP code with many medium basic blocks: cross-
+//! section table lookups (scattered), particle-state array sweeps
+//! (streaming), and long arithmetic stretches over a small resident
+//! working set. Misses come in clusters of 2–4 — enough that `mc=2`
+//! clearly beats hit-under-miss, and two primary misses in flight matter
+//! more than unlimited secondaries (`mc=2` < `fc=1`, Fig. 5).
+//!
+//! Model: three alternating block shapes — a table-lookup kernel with
+//! scattered loads over a region somewhat larger than the cache, a
+//! particle-sweep kernel over two streams, and a compute kernel over a
+//! resident lookup table.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program, ScriptNode};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("doduc");
+    // Address layout note: doduc's whole working set (~57 KB) must stay
+    // set-disjoint in a 64 KB direct-mapped cache for the Fig. 16
+    // experiment, so every pattern gets an explicit offset; the 16 MB
+    // region slots all alias at 64 KB granularity.
+    //
+    // Cross-section master table: 20 KB, genuinely uncacheable at 8 KB —
+    // the source of doduc's clustered primary misses.
+    let xsect = pb.pattern(AddrPattern::Gather {
+        base: layout::region(0, 0),
+        elem_bytes: 8,
+        length: 2560, // 20 KB
+        seed: 0xd0d0c,
+    });
+    // Per-isotope side table: small and hot.
+    let xsect2 = pb.pattern(AddrPattern::Gather {
+        base: layout::region(1, 20 * 1024 + 512),
+        elem_bytes: 8,
+        length: 384, // 3 KB: resident
+        seed: 0xd0d0c + 1,
+    });
+    // Particle state: streaming at 8 KB, resident at 64 KB.
+    let part_pos = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 26 * 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 2 * 1024, // 16 KB
+    });
+    let part_vel = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 43 * 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 2 * 1024, // 16 KB
+    });
+    let part_out = pb.pattern(AddrPattern::Strided {
+        base: layout::region(4, 60 * 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 2 * 1024,
+    });
+    // Resident physics constants (2 KB: always hits after warmup).
+    let lut = pb.pattern(AddrPattern::Strided {
+        base: layout::region(5, 24 * 1024),
+        elem_bytes: 8,
+        stride: 7,
+        length: 256,
+    });
+    let tally = pb.pattern(AddrPattern::Fixed { addr: layout::region(5, 63 * 1024) });
+
+    // Kernel A: cross-section lookup — a cluster of scattered loads whose
+    // results combine after some arithmetic.
+    let mut b = pb.block();
+    let e = b.carried(RegClass::Fp);
+    let s1 = b.load(xsect, RegClass::Fp, LoadFormat::DOUBLE);
+    let s2 = b.load(xsect2, RegClass::Fp, LoadFormat::DOUBLE);
+    let s3 = b.load(xsect2, RegClass::Fp, LoadFormat::DOUBLE);
+    let t1 = b.alu(RegClass::Fp, Some(s1), Some(s2));
+    let t2 = b.alu(RegClass::Fp, Some(t1), Some(s3));
+    let t3 = b.alu_chain(RegClass::Fp, t2, 12);
+    b.alu_into(e, Some(t3), Some(e));
+    let cmp = b.alu(RegClass::Int, None, None);
+    b.branch(Some(cmp));
+    let lookup = b.finish();
+
+    // Kernel B: particle sweep — two streams in, one out, unrolled 4×
+    // so one iteration touches all four words of each stream's cache
+    // line: a line miss is one primary plus three secondary misses, the
+    // cluster structure that separates the MSHR target layouts (Fig. 14).
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    for _ in 0..4 {
+        let p1 = b.load(part_pos, RegClass::Fp, LoadFormat::DOUBLE);
+        let v1 = b.load(part_vel, RegClass::Fp, LoadFormat::DOUBLE);
+        let u1 = b.alu(RegClass::Fp, Some(p1), Some(v1));
+        let u2 = b.alu_chain(RegClass::Fp, u1, 4);
+        b.store(part_out, Some(u2));
+    }
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let sweep = b.finish();
+
+    // Kernel C: resident-table compute stretch (hits; dilutes the miss
+    // density to doduc's moderate absolute MCPI).
+    let mut b = pb.block();
+    let acc = b.carried(RegClass::Fp);
+    for _ in 0..4 {
+        let c = b.load(lut, RegClass::Fp, LoadFormat::DOUBLE);
+        let t = b.alu(RegClass::Fp, Some(c), Some(acc));
+        let t2 = b.alu_chain(RegClass::Fp, t, 8);
+        b.alu_into(acc, Some(t2), Some(acc));
+    }
+    b.store(tally, Some(acc));
+    let cmp = b.alu(RegClass::Int, None, None);
+    b.branch(Some(cmp));
+    let compute = b.finish();
+
+    // One "history" = a few lookups, a few sweep steps, a compute stretch.
+    let unit = 2 * 19 + 30 + 2 * 43;
+    let trips = scale.trips(unit as u64);
+    pb.loop_of(
+        trips,
+        vec![
+            ScriptNode::Run { block: lookup, times: 2 },
+            ScriptNode::Run { block: sweep, times: 1 },
+            ScriptNode::Run { block: compute, times: 2 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_kernel_structure() {
+        let p = build(Scale::quick());
+        assert_eq!(p.blocks.len(), 3);
+        let (l0, _, _) = p.blocks[0].op_mix();
+        let (l1, s1, _) = p.blocks[1].op_mix();
+        let (l2, _, _) = p.blocks[2].op_mix();
+        assert_eq!(l0, 3, "lookup kernel: a cluster of scattered loads");
+        assert_eq!((l1, s1), (8, 4), "sweep kernel: streams in/out");
+        assert_eq!(l2, 4, "compute kernel: resident LUT");
+    }
+
+    #[test]
+    fn gather_tables_compete_with_the_cache() {
+        let p = build(Scale::quick());
+        match p.patterns[0] {
+            AddrPattern::Gather { elem_bytes, length, .. } => {
+                // Far beyond cacheable: the master table misses often.
+                assert!(u64::from(elem_bytes) * length > 2 * 8 * 1024);
+            }
+            _ => panic!("xsect should be a gather"),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `ear` — human-ear (cochlea) model: cascaded second-order filters over
+//! an audio stream (SPEC92 CFP).
+//!
+//! The filter state is small and hot; only the audio input streams.
+//! Misses are therefore rare (the lowest MCPI of the FP suite) and what
+//! few there are overlap easily (Fig. 13: 0.094 blocking → 0.048
+//! unrestricted, with `mc=2` already optimal).
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("ear");
+    // Audio samples: streaming, but only one load per filter cascade.
+    let audio = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 4,
+        stride: 1,
+        length: 256 * 1024,
+    });
+    // Filter coefficient/state banks: 4 KB, resident.
+    let coeffs = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 512),
+        elem_bytes: 8,
+        stride: 3,
+        length: 256,
+    });
+    let state = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 5632),
+        elem_bytes: 8,
+        stride: 1,
+        length: 256,
+    });
+    let state_wr = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 5632),
+        elem_bytes: 8,
+        stride: 1,
+        length: 256,
+    });
+    let out = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 128 * 1024,
+    });
+
+    // One cascade stage: sample in, filter arithmetic over hot state,
+    // state write-back.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    let x = b.load(audio, RegClass::Fp, LoadFormat::WORD);
+    for _ in 0..3 {
+        let c1 = b.load(coeffs, RegClass::Fp, LoadFormat::DOUBLE);
+        let c2 = b.load(coeffs, RegClass::Fp, LoadFormat::DOUBLE);
+        let s = b.load(state, RegClass::Fp, LoadFormat::DOUBLE);
+        let t1 = b.alu(RegClass::Fp, Some(x), Some(c1));
+        let t2 = b.alu(RegClass::Fp, Some(t1), Some(s));
+        let t3 = b.alu(RegClass::Fp, Some(t2), Some(c2));
+        let t4 = b.alu_chain(RegClass::Fp, t3, 3);
+        b.store(state_wr, Some(t4));
+    }
+    b.store(out, Some(x));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let stage = b.finish();
+
+    let trips = scale.trips(34);
+    pb.run(stage, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_is_mostly_resident() {
+        let p = build(Scale::quick());
+        // Coefficient and state banks fit comfortably in 8 KB.
+        let resident_bytes: u64 = p
+            .patterns
+            .iter()
+            .filter_map(|pt| match pt {
+                AddrPattern::Strided { elem_bytes, length, .. } if *length <= 1024 => {
+                    Some(u64::from(*elem_bytes) * length)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(resident_bytes < 8 * 1024);
+        let (loads, stores, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 10);
+        assert_eq!(stores, 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! `fpppp` — two-electron integral derivatives from quantum chemistry
+//! (SPEC92 CFP).
+//!
+//! Famous for its enormous basic blocks (hundreds of FP operations with
+//! high ILP). Loads cluster at block entry, gathering integrals from
+//! buffers larger than the cache, and the wide dataflow gives the
+//! scheduler plenty of independent work — so non-blocking hardware pays
+//! off more than anywhere else in Fig. 13's middle band (blocking is 7.1×
+//! the unrestricted MCPI).
+//!
+//! Model: one huge block with eight independent load-and-chain clusters
+//! drawing from two gather buffers, merged by a reduction tree, plus a
+//! store tail.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("fpppp");
+    let ints_a = pb.pattern(AddrPattern::Gather {
+        base: layout::region(0, 0),
+        elem_bytes: 8,
+        length: 640, // 5 KB
+        seed: 0xf999,
+    });
+    let ints_b = pb.pattern(AddrPattern::Gather {
+        base: layout::region(1, 4096),
+        elem_bytes: 8,
+        length: 512, // 4 KB
+        seed: 0xf99a,
+    });
+    let out = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 16 * 1024,
+    });
+
+    let mut b = pb.block();
+    let mut cluster_results = Vec::new();
+    // Eighteen independent clusters: 2 loads + a private FP chain each.
+    // (Enough parallel live ranges that long-latency schedules spill —
+    // the Fig. 4 reference-count effect.)
+    for k in 0..18 {
+        let src = if k % 2 == 0 { ints_a } else { ints_b };
+        let v1 = b.load(src, RegClass::Fp, LoadFormat::DOUBLE);
+        let v2 = b.load(src, RegClass::Fp, LoadFormat::DOUBLE);
+        let t = b.alu(RegClass::Fp, Some(v1), Some(v2));
+        let t2 = b.alu_chain(RegClass::Fp, t, 6);
+        cluster_results.push(t2);
+    }
+    // Reduction tree.
+    while cluster_results.len() > 1 {
+        let a = cluster_results.remove(0);
+        let c = cluster_results.remove(0);
+        cluster_results.push(b.alu(RegClass::Fp, Some(a), Some(c)));
+    }
+    let total = cluster_results[0];
+    let polished = b.alu_chain(RegClass::Fp, total, 8);
+    b.store(out, Some(polished));
+    b.store(out, Some(total));
+    let cmp = b.alu(RegClass::Int, None, None);
+    b.branch(Some(cmp));
+    let giant = b.finish();
+
+    let trips = scale.trips(18 * 9 + 17 + 12);
+    pb.run(giant, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_giant_block_with_clustered_loads() {
+        let p = build(Scale::quick());
+        assert_eq!(p.blocks.len(), 1);
+        let (loads, _, other) = p.blocks[0].op_mix();
+        assert_eq!(loads, 36, "loads cluster at block entry");
+        assert!(other > 50, "fpppp blocks are FP-op heavy");
+        assert!(p.blocks[0].ops.len() > 80);
+    }
+}

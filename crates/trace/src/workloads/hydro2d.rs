@@ -1,0 +1,72 @@
+//! `hydro2d` — 2-D hydrodynamical Navier-Stokes solver (SPEC92 CFP).
+//!
+//! Galactic-jet simulation sweeping many large state arrays with stencil
+//! updates. Streaming like tomcatv, but each point needs more arrays and
+//! more arithmetic, so the absolute MCPI is the second-highest in the
+//! suite while the overlap headroom is moderate (Fig. 13: 0.708 blocking
+//! → 0.189 unrestricted).
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+const GRID_ELEMS: u64 = 40 * 1024; // 320 KB per array
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("hydro2d");
+    let stream = |i: u64, off: u64| AddrPattern::Strided {
+        base: layout::region(i, off),
+        elem_bytes: 8,
+        stride: 1,
+        length: GRID_ELEMS,
+    };
+    let ro = pb.pattern(stream(0, 0));
+    let vx = pb.pattern(stream(1, 96));
+    let vy = pb.pattern(stream(2, 1120));
+    let pr = pb.pattern(stream(3, 2144));
+    let en = pb.pattern(stream(4, 3168));
+    let ro_out = pb.pattern(stream(5, 4192));
+    let en_out = pb.pattern(stream(6, 5216));
+
+    // One stencil update: five state arrays in, two out, a flux chain.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    let r = b.load(ro, RegClass::Fp, LoadFormat::DOUBLE);
+    let u = b.load(vx, RegClass::Fp, LoadFormat::DOUBLE);
+    let v = b.load(vy, RegClass::Fp, LoadFormat::DOUBLE);
+    let p = b.load(pr, RegClass::Fp, LoadFormat::DOUBLE);
+    let e = b.load(en, RegClass::Fp, LoadFormat::DOUBLE);
+    let f1 = b.alu(RegClass::Fp, Some(r), Some(u));
+    let f2 = b.alu(RegClass::Fp, Some(v), Some(p));
+    let f3 = b.alu(RegClass::Fp, Some(f1), Some(f2));
+    let f4 = b.alu(RegClass::Fp, Some(f3), Some(e));
+    let f5 = b.alu_chain(RegClass::Fp, f4, 5);
+    // The second flux consumes the first (the corrector step), limiting ILP.
+    let g1 = b.alu(RegClass::Fp, Some(f5), Some(p));
+    let g2 = b.alu(RegClass::Fp, Some(g1), Some(u));
+    let g3 = b.alu_chain(RegClass::Fp, g2, 4);
+    b.store(ro_out, Some(f5));
+    b.store(en_out, Some(g3));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let stencil = b.finish();
+
+    let trips = scale.trips(23);
+    pb.run(stencil, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_in_two_out_streaming() {
+        let p = build(Scale::quick());
+        let (loads, stores, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 5);
+        assert_eq!(stores, 2);
+        assert_eq!(p.patterns.len(), 7);
+    }
+}

@@ -1,0 +1,161 @@
+//! `nasa7` — seven floating-point kernels (matrix multiply, 2-D FFT,
+//! Cholesky, block tridiagonal, vortex, emit, penta-diagonal) over large
+//! arrays (SPEC92 CFP).
+//!
+//! The highest absolute MCPI in Fig. 13 (1.865 blocking): big strides,
+//! big arrays, little temporal reuse. Three representative kernels are
+//! modeled: a blocked matrix multiply (one resident operand, one
+//! streaming), a strided FFT butterfly pass (power-of-two strides that
+//! conflict in a direct-mapped cache), and a penta-diagonal sweep over
+//! five streams.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program, ScriptNode};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("nasa7");
+    // MXM: streaming A row, resident B panel.
+    let mxm_a = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 8,
+        stride: 1,
+        length: 64 * 1024,
+    });
+    let mxm_b = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 2048),
+        elem_bytes: 8,
+        stride: 5,
+        length: 512, // 4 KB panel, resident
+    });
+    let mxm_c = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 4096),
+        elem_bytes: 8,
+        stride: 1,
+        length: 64 * 1024,
+    });
+    // FFT butterflies: power-of-two stride (1024 elements = 8 KB) walks a
+    // single set column of the direct-mapped cache.
+    let fft = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 0),
+        elem_bytes: 8,
+        stride: 1024,
+        length: 128 * 1024,
+    });
+    let fft_wr = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 0),
+        elem_bytes: 8,
+        stride: 1024,
+        length: 128 * 1024,
+    });
+    let fft_twiddle = pb.pattern(AddrPattern::Strided {
+        base: layout::region(4, 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 256,
+    });
+    // VPENTA: five diagonal streams.
+    let penta: Vec<_> = (0..5)
+        .map(|k| {
+            pb.pattern(AddrPattern::Strided {
+                base: layout::region(5 + k, 96 + 512 * k),
+                elem_bytes: 8,
+                stride: 1,
+                length: 32 * 1024,
+            })
+        })
+        .collect();
+
+    // Kernel 1: matrix-multiply inner loop, unrolled 2×.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    let acc = b.carried(RegClass::Fp);
+    for _ in 0..2 {
+        let a = b.load(mxm_a, RegClass::Fp, LoadFormat::DOUBLE);
+        let bb = b.load(mxm_b, RegClass::Fp, LoadFormat::DOUBLE);
+        let prod = b.alu(RegClass::Fp, Some(a), Some(bb));
+        b.alu_into(acc, Some(prod), Some(acc));
+    }
+    b.store(mxm_c, Some(acc));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let mxm = b.finish();
+
+    // Kernel 2: FFT butterfly with conflicting stride.
+    let mut b = pb.block();
+    let j = b.carried(RegClass::Int);
+    let u = b.load(fft, RegClass::Fp, LoadFormat::DOUBLE);
+    let v = b.load(fft, RegClass::Fp, LoadFormat::DOUBLE);
+    let w = b.load(fft_twiddle, RegClass::Fp, LoadFormat::DOUBLE);
+    let t1 = b.alu(RegClass::Fp, Some(u), Some(w));
+    let t2 = b.alu(RegClass::Fp, Some(v), Some(t1));
+    let t3 = b.alu_chain(RegClass::Fp, t2, 6);
+    b.store(fft_wr, Some(t3));
+    b.alu_into(j, Some(j), None);
+    b.branch(Some(j));
+    let butterfly = b.finish();
+
+    // Kernel 3: penta-diagonal sweep (output stream separate from the
+    // five read diagonals).
+    let penta_wr = pb.pattern(AddrPattern::Strided {
+        base: layout::region(10, 96),
+        elem_bytes: 8,
+        stride: 1,
+        length: 32 * 1024,
+    });
+    let mut b = pb.block();
+    let k = b.carried(RegClass::Int);
+    let vals: Vec<_> =
+        penta.iter().map(|&p| b.load(p, RegClass::Fp, LoadFormat::DOUBLE)).collect();
+    let s1 = b.alu(RegClass::Fp, Some(vals[0]), Some(vals[1]));
+    let s2 = b.alu(RegClass::Fp, Some(vals[2]), Some(vals[3]));
+    let s3 = b.alu(RegClass::Fp, Some(s1), Some(s2));
+    let s4a = b.alu(RegClass::Fp, Some(s3), Some(vals[4]));
+    let s4 = b.alu_chain(RegClass::Fp, s4a, 4);
+    b.store(penta_wr, Some(s4));
+    b.alu_into(k, Some(k), None);
+    b.branch(Some(k));
+    let vpenta = b.finish();
+
+    let unit = 2 * 13 + 2 * 15 + 17;
+    let trips = scale.trips(unit);
+    pb.loop_of(
+        trips,
+        vec![
+            ScriptNode::Run { block: mxm, times: 2 },
+            ScriptNode::Run { block: butterfly, times: 2 },
+            ScriptNode::Run { block: vpenta, times: 1 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::geometry::CacheGeometry;
+    use nbl_core::types::Addr;
+
+    #[test]
+    fn fft_stride_walks_one_set() {
+        let p = build(Scale::quick());
+        let geom = CacheGeometry::baseline();
+        match p.patterns[3] {
+            AddrPattern::Strided { base, elem_bytes, stride, .. } => {
+                let a0 = Addr(base);
+                let a1 = Addr(base + stride as u64 * u64::from(elem_bytes));
+                assert_eq!(geom.set_of(a0), geom.set_of(a1), "butterfly accesses collide");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn three_kernels() {
+        let p = build(Scale::quick());
+        assert_eq!(p.blocks.len(), 3);
+        let (l, s, _) = p.blocks[2].op_mix();
+        assert_eq!((l, s), (5, 1), "vpenta: five streams in, one out");
+    }
+}

@@ -1,0 +1,79 @@
+//! `ora` — optical ray tracing through lens assemblies (SPEC92 CFP).
+//!
+//! Fig. 13's oddity: an MCPI of 1.000 under *every* organization — the
+//! misses exist but are perfectly serial, so no amount of non-blocking
+//! hardware helps and no load latency hides them. That happens when each
+//! load's address depends on the previous load's result and the
+//! intervening arithmetic chain consumes the loaded value immediately.
+//!
+//! Model: a pointer chase through a ring far larger than the cache (every
+//! chase misses), with the inter-chase arithmetic forming a single
+//! dependent chain seeded by the loaded value — the schedule cannot move
+//! the next chase earlier, so the stall per miss is the full penalty
+//! regardless of configuration or latency.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("ora");
+    // Surface description ring: 512 KB of 32-byte nodes — one node per
+    // line, never resident.
+    let surfaces = pb.pattern(AddrPattern::Chase {
+        base: layout::region(0, 0),
+        node_bytes: 32,
+        nodes: 16 * 1024,
+        field_offset: 0,
+        seed: 0x02a,
+    });
+    let tally = pb.pattern(AddrPattern::Fixed { addr: layout::region(1, 64) });
+
+    let mut b = pb.block();
+    let ray = b.carried(RegClass::Int); // current surface pointer
+    b.chase(surfaces, ray, LoadFormat::DOUBLE);
+    // Intersection arithmetic: a serial chain seeded by the loaded pointer.
+    let t = b.alu(RegClass::Fp, Some(ray), None);
+    let t2 = b.alu_chain(RegClass::Fp, t, 12);
+    b.store(tally, Some(t2));
+    b.branch(Some(t2));
+    let trace = b.finish();
+
+    let trips = scale.trips(16);
+    pb.run(trace, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrOp;
+
+    #[test]
+    fn everything_hangs_off_the_chase() {
+        let p = build(Scale::quick());
+        let ops = &p.blocks[0].ops;
+        // One chase load per 16 instructions.
+        assert_eq!(ops.len(), 16);
+        let (loads, _, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 1);
+        // The first ALU op reads the chase destination directly.
+        let chase_dst = ops[0].dst().unwrap();
+        match &ops[1] {
+            IrOp::Alu { srcs, .. } => assert!(srcs.contains(&Some(chase_dst))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn ring_never_fits() {
+        let p = build(Scale::quick());
+        match p.patterns[0] {
+            AddrPattern::Chase { node_bytes, nodes, .. } => {
+                assert!(u64::from(node_bytes) * nodes >= 64 * 8 * 1024);
+            }
+            _ => panic!(),
+        }
+    }
+}

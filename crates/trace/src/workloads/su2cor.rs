@@ -1,0 +1,133 @@
+//! `su2cor` — quark-gluon lattice QCD (SPEC92 CFP).
+//!
+//! The real program walks several large lattice arrays in lock-step.
+//! FORTRAN's habit of allocating arrays back-to-back at power-of-two sizes
+//! makes corresponding elements of different arrays map to the *same*
+//! direct-mapped cache set, so a single loop iteration produces several
+//! conflicting fetches to one set — which is why the paper chose su2cor
+//! for its per-set fetch-limit study (Fig. 15): `fs=1` costs 2.3× the
+//! unrestricted MCPI at latency 10, `fs=2` only 1.3×.
+//!
+//! Model: two *aligned* gauge-field streams whose equal indices collide in
+//! the baseline cache (every access to either misses and the two fetches
+//! target the same set), plus two clean propagator streams and a
+//! moderately sized staple table that mostly hits.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+const LATTICE_ELEMS: u64 = 48 * 1024; // 384 KB per array
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("su2cor");
+    // Conflicting pair: identical alignment => same set for equal indices.
+    let gauge_a = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 8,
+        stride: 1,
+        length: LATTICE_ELEMS,
+    });
+    let gauge_b = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 0),
+        elem_bytes: 8,
+        stride: 1,
+        length: LATTICE_ELEMS,
+    });
+    // Clean streams at distinct alignments.
+    let prop_a = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 2048),
+        elem_bytes: 8,
+        stride: 1,
+        length: LATTICE_ELEMS,
+    });
+    let prop_b = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 4096 + 64),
+        elem_bytes: 8,
+        stride: 1,
+        length: LATTICE_ELEMS,
+    });
+    // Small staple table, resident after the first lap.
+    let staple = pb.pattern(AddrPattern::Strided {
+        base: layout::region(4, 6144),
+        elem_bytes: 8,
+        stride: 1,
+        length: 256, // 2 KB
+    });
+    let out = pb.pattern(AddrPattern::Strided {
+        base: layout::region(5, 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: LATTICE_ELEMS,
+    });
+
+    // Gauge update: the conflicting pair back to back, then the clean
+    // streams, a staple reuse, and an SU(2) multiply chain.
+    // Unrolled 2x: eight independent lattice loads per block give the
+    // memory system several concurrent conflict fetches to hide.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    for _ in 0..2 {
+        let ga = b.load(gauge_a, RegClass::Fp, LoadFormat::DOUBLE);
+        let gb = b.load(gauge_b, RegClass::Fp, LoadFormat::DOUBLE);
+        let pa = b.load(prop_a, RegClass::Fp, LoadFormat::DOUBLE);
+        let pc = b.load(prop_b, RegClass::Fp, LoadFormat::DOUBLE);
+        let st = b.load(staple, RegClass::Fp, LoadFormat::DOUBLE);
+        let m1 = b.alu(RegClass::Fp, Some(ga), Some(gb));
+        let m2 = b.alu(RegClass::Fp, Some(pa), Some(pc));
+        let m3 = b.alu(RegClass::Fp, Some(m1), Some(st));
+        let m4 = b.alu(RegClass::Fp, Some(m2), Some(m3));
+        let m5 = b.alu_chain(RegClass::Fp, m4, 9);
+        // Independent second multiply for instruction-level parallelism.
+        let n1 = b.alu(RegClass::Fp, Some(ga), Some(pa));
+        let n2 = b.alu(RegClass::Fp, Some(gb), Some(pc));
+        let n3 = b.alu(RegClass::Fp, Some(n1), Some(n2));
+        let n4 = b.alu_chain(RegClass::Fp, n3, 6);
+        b.store(out, Some(m5));
+        b.store(out, Some(n4));
+    }
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let update = b.finish();
+
+    let trips = scale.trips(62);
+    pb.run(update, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::geometry::CacheGeometry;
+    use nbl_core::types::Addr;
+
+    #[test]
+    fn gauge_streams_collide_in_the_baseline_cache() {
+        let p = build(Scale::quick());
+        let geom = CacheGeometry::baseline();
+        let (a, b) = match (&p.patterns[0], &p.patterns[1]) {
+            (
+                AddrPattern::Strided { base: a, .. },
+                AddrPattern::Strided { base: b, .. },
+            ) => (*a, *b),
+            _ => panic!("expected strided gauge patterns"),
+        };
+        for i in [0u64, 8, 64, 4096] {
+            assert_eq!(
+                geom.set_of(Addr(a + i)),
+                geom.set_of(Addr(b + i)),
+                "equal lattice indices must map to equal sets"
+            );
+        }
+    }
+
+    #[test]
+    fn block_mix() {
+        let p = build(Scale::quick());
+        let (loads, stores, other) = p.blocks[0].op_mix();
+        assert_eq!(loads, 10);
+        assert_eq!(stores, 4);
+        assert!(other >= 30);
+    }
+}

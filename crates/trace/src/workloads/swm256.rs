@@ -1,0 +1,88 @@
+//! `swm256` — shallow-water equations on a 256×256 grid (SPEC92 CFP).
+//!
+//! Pure stencil streaming over many grid arrays, but each loop touches
+//! only a few of them and the misses arrive staggered (one per 4 elements
+//! per stream), so *two* outstanding misses already capture everything:
+//! Fig. 13 shows `mc=2` = 0.070 vs unrestricted 0.067, while blocking is
+//! 4.4× worse — the cheapest big win in the suite.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program, ScriptNode};
+use nbl_core::types::{LoadFormat, RegClass};
+
+const GRID: u64 = 33 * 1024; // 264 KB per array
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("swm256");
+    // swm256 is the *single-precision* shallow-water benchmark: 4-byte
+    // elements, so only every 8th element starts a new line.
+    let stream = |i: u64, off: u64| AddrPattern::Strided {
+        base: layout::region(i, off),
+        elem_bytes: 4,
+        stride: 1,
+        length: GRID,
+    };
+    let u = pb.pattern(stream(0, 0));
+    let v = pb.pattern(stream(1, 1056));
+    let p = pb.pattern(stream(2, 2112));
+    let unew = pb.pattern(stream(3, 3168));
+    let vnew = pb.pattern(stream(4, 4224));
+    let cu = pb.pattern(stream(5, 5280));
+    let _cv = pb.pattern(stream(6, 6336)); // vorticity: written by a phase we do not model
+
+    // calc1: two streams in, one out, light arithmetic.
+    let mut b = pb.block();
+    let i1 = b.carried(RegClass::Int);
+    for _ in 0..2 {
+        let uv = b.load(u, RegClass::Fp, LoadFormat::WORD);
+        let vv = b.load(v, RegClass::Fp, LoadFormat::WORD);
+        let t = b.alu(RegClass::Fp, Some(uv), Some(vv));
+        let t2 = b.alu_chain(RegClass::Fp, t, 6);
+        b.store(cu, Some(t2));
+    }
+    b.alu_into(i1, Some(i1), None);
+    b.branch(Some(i1));
+    let calc1 = b.finish();
+
+    // calc2: three streams in, two out.
+    let mut b = pb.block();
+    let i2 = b.carried(RegClass::Int);
+    for _ in 0..2 {
+        let pa = b.load(p, RegClass::Fp, LoadFormat::WORD);
+        let ca = b.load(u, RegClass::Fp, LoadFormat::WORD);
+        let cb = b.load(v, RegClass::Fp, LoadFormat::WORD);
+        let s1 = b.alu(RegClass::Fp, Some(pa), Some(ca));
+        let s2 = b.alu(RegClass::Fp, Some(s1), Some(cb));
+        let s3 = b.alu_chain(RegClass::Fp, s2, 8);
+        b.store(unew, Some(s3));
+        b.store(vnew, Some(s1));
+    }
+    b.alu_into(i2, Some(i2), None);
+    b.branch(Some(i2));
+    let calc2 = b.finish();
+
+    let unit = 22 + 30;
+    let trips = scale.trips(unit);
+    pb.loop_of(
+        trips,
+        vec![
+            ScriptNode::Run { block: calc1, times: 1 },
+            ScriptNode::Run { block: calc2, times: 1 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_streams_per_loop() {
+        let p = build(Scale::quick());
+        let (l1, s1, _) = p.blocks[0].op_mix();
+        let (l2, s2, _) = p.blocks[1].op_mix();
+        assert!((l1, s1) == (4, 2) && (l2, s2) == (6, 4), "narrow loops: misses stagger");
+    }
+}

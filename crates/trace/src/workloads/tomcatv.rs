@@ -1,0 +1,104 @@
+//! `tomcatv` — vectorized 2-D mesh generation (SPEC92 CFP).
+//!
+//! The real program sweeps several 257×257 double-precision arrays with
+//! two nested loops that the compiler unrolls heavily; nearly every load
+//! streams through memory, so misses are frequent (every 4th element with
+//! 32-byte lines) **and** mutually independent — the textbook case for
+//! aggressive non-blocking support (the paper's Fig. 12 shows a 17×
+//! MCPI gap between `mc=0` and the unrestricted cache at latency 10, and
+//! Fig. 18 uses tomcatv for the miss-penalty sweep).
+//!
+//! Model: an unrolled forward sweep over four streaming input arrays with
+//! short FP combine chains and two output stores per iteration, plus a
+//! small backward-recurrence block (the tridiagonal back-substitution)
+//! whose dependent loads resist overlap.
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+/// Mesh arrays: large enough that a sweep never fits in the 8 KB cache.
+const MESH_ELEMS: u64 = 64 * 1024; // 512 KB per array
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("tomcatv");
+    let stream = |i: u64| AddrPattern::Strided {
+        base: layout::region(i, 64 * i), // distinct set alignment per array
+        elem_bytes: 8,
+        stride: 1,
+        length: MESH_ELEMS,
+    };
+    let x = pb.pattern(stream(0));
+    let y = pb.pattern(stream(1));
+    let rx = pb.pattern(stream(2));
+    let ry = pb.pattern(stream(3));
+    let rxout = pb.pattern(stream(4));
+    let ryout = pb.pattern(stream(5));
+    let diag = pb.pattern(stream(6));
+
+    // Forward sweep, unrolled 6×: 14 independent loads per iteration —
+    // wide enough that long-latency schedules push each load a full miss
+    // penalty ahead of its use.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    for _ in 0..6 {
+        let xv = b.load(x, RegClass::Fp, LoadFormat::DOUBLE);
+        let yv = b.load(y, RegClass::Fp, LoadFormat::DOUBLE);
+        let t = b.alu(RegClass::Fp, Some(xv), Some(yv));
+        let t2 = b.alu(RegClass::Fp, Some(t), Some(xv));
+        let t3 = b.alu(RegClass::Fp, Some(t2), Some(yv));
+        b.store(rxout, Some(t3));
+    }
+    // Residual update reads two more streams every iteration.
+    let rv = b.load(rx, RegClass::Fp, LoadFormat::DOUBLE);
+    let rv2 = b.load(ry, RegClass::Fp, LoadFormat::DOUBLE);
+    let res = b.alu(RegClass::Fp, Some(rv), Some(rv2));
+    b.store(ryout, Some(res));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let sweep = b.finish();
+
+    // Backward recurrence: acc = d[i] - coeff*acc — a dependent chain the
+    // scheduler cannot hide.
+    let mut b = pb.block();
+    let j = b.carried(RegClass::Int);
+    let acc = b.carried(RegClass::Fp);
+    for _ in 0..2 {
+        let d = b.load(diag, RegClass::Fp, LoadFormat::DOUBLE);
+        let t = b.alu(RegClass::Fp, Some(d), Some(acc));
+        b.alu_into(acc, Some(t), Some(acc));
+    }
+    b.alu_into(j, Some(j), None);
+    b.branch(Some(j));
+    let solve = b.finish();
+
+    let sweep_len = 41u64; // 12+2 loads, 19+1 alu, 7 stores, 2 ctrl
+    let solve_len = 8u64;
+    let unit = 8 * sweep_len + solve_len;
+    let trips = scale.trips(unit);
+    pb.loop_of(
+        trips,
+        vec![
+            crate::ir::ScriptNode::Run { block: sweep, times: 8 },
+            crate::ir::ScriptNode::Run { block: solve, times: 1 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_load_heavy_and_streaming() {
+        let p = build(Scale::quick());
+        let (loads, stores, _other) = p.blocks[0].op_mix();
+        assert_eq!(loads, 14);
+        assert_eq!(stores, 7);
+        assert!(p.estimated_instructions() >= 20_000);
+        // All patterns are strided streams.
+        assert!(p.patterns.iter().all(|pt| matches!(pt, AddrPattern::Strided { .. })));
+    }
+}

@@ -1,0 +1,110 @@
+//! `wave5` — 2-D particle-in-cell plasma simulation (SPEC92 CFP).
+//!
+//! Alternates field sweeps (streaming, overlap-friendly) with particle
+//! pushes that gather field values at each particle's cell (scattered,
+//! partially dependent). The blend puts it mid-pack in Fig. 13
+//! (2.6× blocking → 1.2× at `mc=2`).
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program, ScriptNode};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("wave5");
+    // Field arrays: streaming sweeps.
+    let ex = pb.pattern(AddrPattern::Strided {
+        base: layout::region(0, 0),
+        elem_bytes: 4,
+        stride: 1,
+        length: 48 * 1024,
+    });
+    let ey = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 1056),
+        elem_bytes: 4,
+        stride: 1,
+        length: 48 * 1024,
+    });
+    let ex_out = pb.pattern(AddrPattern::Strided {
+        base: layout::region(2, 2112),
+        elem_bytes: 8,
+        stride: 1,
+        length: 48 * 1024,
+    });
+    // Particle store: positions stream, field gathers scatter.
+    let ppos = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 3168),
+        elem_bytes: 4,
+        stride: 1,
+        length: 64 * 1024,
+    });
+    let ppos_wr = pb.pattern(AddrPattern::Strided {
+        base: layout::region(3, 3168),
+        elem_bytes: 4,
+        stride: 1,
+        length: 64 * 1024,
+    });
+    let grid = pb.pattern(AddrPattern::Gather {
+        base: layout::region(4, 0),
+        elem_bytes: 8,
+        length: 768, // 6 KB field grid
+        seed: 0x3a5e,
+    });
+
+    // Field sweep.
+    let mut b = pb.block();
+    let i = b.carried(RegClass::Int);
+    let a = b.load(ex, RegClass::Fp, LoadFormat::DOUBLE);
+    let c = b.load(ey, RegClass::Fp, LoadFormat::DOUBLE);
+    let t = b.alu(RegClass::Fp, Some(a), Some(c));
+    let t2 = b.alu_chain(RegClass::Fp, t, 3);
+    b.store(ex_out, Some(t2));
+    b.alu_into(i, Some(i), None);
+    b.branch(Some(i));
+    let sweep = b.finish();
+
+    // Particle push: position load drives a dependent field gather.
+    let mut b = pb.block();
+    let j = b.carried(RegClass::Int);
+    let pos = b.load(ppos, RegClass::Fp, LoadFormat::WORD);
+    let cell = b.alu(RegClass::Int, Some(pos), None);
+    let f1 = b.load_via(grid, cell, RegClass::Fp, LoadFormat::DOUBLE);
+    let acc = b.alu(RegClass::Fp, Some(f1), Some(pos));
+    let vel = b.alu_chain(RegClass::Fp, acc, 9);
+    b.store(ppos_wr, Some(vel));
+    b.alu_into(j, Some(j), None);
+    b.branch(Some(j));
+    let push = b.finish();
+
+    let unit = 2 * 9 + 16;
+    let trips = scale.trips(unit);
+    pb.loop_of(
+        trips,
+        vec![
+            ScriptNode::Run { block: sweep, times: 2 },
+            ScriptNode::Run { block: push, times: 1 },
+        ],
+    );
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_streaming_and_gather() {
+        let p = build(Scale::quick());
+        let gathers = p
+            .patterns
+            .iter()
+            .filter(|pt| matches!(pt, AddrPattern::Gather { .. }))
+            .count();
+        let streams = p
+            .patterns
+            .iter()
+            .filter(|pt| matches!(pt, AddrPattern::Strided { .. }))
+            .count();
+        assert!(gathers >= 1 && streams >= 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! `xlisp` — a small LISP interpreter running the nine-queens problem
+//! (SPEC92 CINT).
+//!
+//! Interpreter behaviour: chase cons-cell pointers through a heap somewhat
+//! larger than the cache, touch each node's fields, and write constantly
+//! (xlisp executes ~6× more stores than loads — environment updates, GC
+//! bookkeeping, stack pushes). The chase loads are *dependent* (the next
+//! address is the loaded value), so non-blocking hardware beyond
+//! hit-under-miss buys almost nothing (Fig. 9: `mc=1` is within 6% of
+//! unrestricted), and the direct-mapped conflicts between the heap walk
+//! and the interpreter's hot tables are what a fully associative cache
+//! removes (Fig. 10 flattens and drops 2–3×).
+
+use super::{layout, Scale};
+use crate::builder::ProgramBuilder;
+use crate::ir::{AddrPattern, Program};
+use nbl_core::types::{LoadFormat, RegClass};
+
+pub(super) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new("xlisp");
+    // Live cons cells: 16 bytes of data each, but *scattered* through a
+    // fragmented heap arena (176-byte spacing — allocation holes from
+    // garbage collection). The hot data totals only 6 KB, yet the
+    // scattered placements collide in a direct-mapped cache: these are
+    // conflict misses, which is exactly what Fig. 10's fully associative
+    // cache removes.
+    let heap = pb.pattern(AddrPattern::Chase {
+        base: layout::region(0, 0),
+        node_bytes: 176,
+        nodes: 112,
+        field_offset: 0,
+        seed: 0x115b,
+    });
+    // The cdr field of the current cell (dependent on the chase pointer;
+    // same 32-byte line as the car, so it hits once the cell arrives).
+    let cdr = pb.pattern(AddrPattern::Chase {
+        base: layout::region(0, 0),
+        node_bytes: 176,
+        nodes: 112,
+        field_offset: 8,
+        seed: 0x115b,
+    });
+    // Interpreter hot tables (symbol table, opcode dispatch): 2 KB, hot —
+    // but *aligned into the same sets as part of the heap*, so the chase
+    // keeps evicting them in a direct-mapped cache.
+    let symtab = pb.pattern(AddrPattern::Gather {
+        base: layout::region(0, 512 * 1024), // same slot alignment as the heap
+        elem_bytes: 8,
+        length: 256,
+        seed: 0x5717,
+    });
+    // Cold cells: older list structure revisited occasionally — capacity
+    // misses that associativity cannot remove.
+    let cold = pb.pattern(AddrPattern::Gather {
+        base: layout::region(2, 0),
+        elem_bytes: 8,
+        length: 1280, // 10 KB
+        seed: 0xc01d,
+    });
+    // Environment/stack writes: a small frame region (write hits) ...
+    let frame = pb.pattern(AddrPattern::Strided {
+        base: layout::region(1, 1024),
+        elem_bytes: 8,
+        stride: 1,
+        length: 128,
+    });
+    // ... and heap mutation (write-around misses; free under the paper's
+    // store model).
+    let heap_wr = pb.pattern(AddrPattern::Gather {
+        base: layout::region(0, 0),
+        elem_bytes: 176,
+        length: 112,
+        seed: 0x9e47,
+    });
+
+    // One interpreter dispatch: chase a cell, read its cdr and two hot
+    // table entries, run integer bookkeeping, push/pop frames, mutate.
+    let mut b = pb.block();
+    let ptr = b.carried(RegClass::Int);
+    let tail = b.carried(RegClass::Int); // interpreter state from last dispatch
+    // The next dispatch target depends on the previous dispatch's result —
+    // an interpreter cannot fetch bytecode N+1 before finishing N. This
+    // serializes iterations, which is why no amount of MSHR hardware makes
+    // xlisp much faster than hit-under-miss.
+    b.alu_into(ptr, Some(ptr), Some(tail));
+    b.chase(heap, ptr, LoadFormat::DOUBLE);
+    let cd = b.load_via(cdr, ptr, RegClass::Int, LoadFormat::DOUBLE);
+    let s1 = b.load(symtab, RegClass::Int, LoadFormat::WORD);
+    let old_cell = b.load_via(cold, cd, RegClass::Int, LoadFormat::DOUBLE);
+    let t0 = b.alu(RegClass::Int, Some(old_cell), None);
+    let t1 = b.alu(RegClass::Int, Some(cd), Some(s1));
+    let t3 = b.alu_chain(RegClass::Int, t1, 9);
+    let t3b = b.alu(RegClass::Int, Some(t3), Some(t0));
+    b.branch(Some(t3b));
+    // Environment manipulation: store-heavy stretch.
+    for k in 0..7 {
+        let v = b.alu(RegClass::Int, Some(t3), None);
+        if k % 2 == 0 {
+            b.store(frame, Some(v));
+        } else {
+            b.store(heap_wr, Some(v));
+        }
+    }
+    let t4a = b.alu(RegClass::Int, Some(t3b), None);
+    let t4 = b.alu_chain(RegClass::Int, t4a, 9);
+    b.store(frame, Some(t4));
+    b.alu_into(tail, Some(t4), None);
+    b.branch(Some(t4));
+    let dispatch = b.finish();
+
+    let trips = scale.trips(45);
+    pb.run(dispatch, trips);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrOp;
+
+    #[test]
+    fn store_heavy_dependent_mix() {
+        let p = build(Scale::quick());
+        let (loads, stores, _) = p.blocks[0].op_mix();
+        assert_eq!(loads, 4);
+        assert_eq!(stores, 8, "xlisp writes far more than it reads");
+        // The dispatch computes the next pointer from the previous
+        // iteration's result, then the chase load reads and writes it.
+        match p.blocks[0].ops[0] {
+            IrOp::Alu { srcs, .. } => assert!(srcs[1].is_some(), "dispatch reads last result"),
+            _ => panic!("first op is the dispatch computation"),
+        }
+        match p.blocks[0].ops[1] {
+            IrOp::Load { dst, addr_src, .. } => assert_eq!(Some(dst), addr_src),
+            _ => panic!("second op is the chase"),
+        }
+    }
+
+    #[test]
+    fn live_cells_fit_but_the_arena_does_not() {
+        let p = build(Scale::quick());
+        match p.patterns[0] {
+            AddrPattern::Chase { node_bytes, nodes, .. } => {
+                // Live data (one line per cell) fits an 8 KB cache...
+                assert!(nodes * 32 < 8 * 1024);
+                // ...but the fragmented arena the cells sit in does not.
+                assert!(u64::from(node_bytes) * nodes > 8 * 1024, "conflict-dominated sizing");
+            }
+            _ => panic!("heap is a chase pattern"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Is hit-under-miss enough? The paper's headline question, answered per
+//! benchmark class.
+//!
+//! For every SPEC92 stand-in, compares the simple hit-under-miss cache
+//! (`mc=1`, roughly what the HP PA7100 shipped) against the unrestricted
+//! inverted-MSHR cache, and reports how much performance the cheap
+//! hardware leaves on the table.
+//!
+//! ```text
+//! cargo run --release --example hit_under_miss
+//! ```
+
+use nonblocking_loads::sim::config::{HwConfig, SimConfig};
+use nonblocking_loads::sim::driver::run_program;
+use nonblocking_loads::trace::workloads::{build, is_integer, Scale, ALL};
+
+fn main() {
+    println!(
+        "{:>10} {:>6} {:>10} {:>12} {:>10} {:>28}",
+        "benchmark", "class", "mc=1 MCPI", "no-restrict", "left over", "verdict"
+    );
+    let mut int_worst: f64 = 0.0;
+    let mut fp_worst: f64 = 0.0;
+    for name in ALL {
+        let p = build(name, Scale::full()).expect("known benchmark");
+        let hum = run_program(&p, &SimConfig::baseline(HwConfig::Mc(1))).unwrap();
+        let full = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap();
+        let ratio = hum.mcpi / full.mcpi.max(1e-9);
+        let class = if is_integer(name) { "int" } else { "fp" };
+        let verdict = if ratio < 1.25 {
+            "hit-under-miss is enough"
+        } else if ratio < 2.0 {
+            "mc=2 / fc=2 worth considering"
+        } else {
+            "buy aggressive MSHRs"
+        };
+        if is_integer(name) {
+            int_worst = int_worst.max(ratio);
+        } else {
+            fp_worst = fp_worst.max(ratio);
+        }
+        println!(
+            "{:>10} {:>6} {:>10.3} {:>12.3} {:>9.2}x {:>28}",
+            name, class, hum.mcpi, full.mcpi, ratio, verdict
+        );
+    }
+    println!();
+    println!("the worst integer benchmark leaves only {int_worst:.2}x on the table,");
+    println!("while the numeric suite leaves up to {fp_worst:.2}x unclaimed.");
+    println!("That asymmetry is the paper's §7 conclusion.");
+}

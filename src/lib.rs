@@ -1,0 +1,42 @@
+//! # nonblocking-loads
+//!
+//! A from-scratch reproduction of **Farkas & Jouppi,
+//! *Complexity/Performance Tradeoffs with Non-Blocking Loads***
+//! (WRL Research Report 94/3, ISCA 1994): a lockup-free data-cache
+//! simulator covering the paper's full MSHR design space, the in-order
+//! processor and memory models of its §3, a compiler model implementing
+//! its scheduled-load-latency knob, and 18 synthetic SPEC92-archetype
+//! workloads — plus a harness that regenerates every table and figure of
+//! the evaluation (see `EXPERIMENTS.md`).
+//!
+//! This crate is the façade: it re-exports the workspace members.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] (`nbl-core`) | MSHR organizations, lockup-free cache |
+//! | [`mem`] (`nbl-mem`) | pipelined memory, write buffer |
+//! | [`cpu`] (`nbl-cpu`) | single-/dual-issue processors, MCPI accounting |
+//! | [`trace`] (`nbl-trace`) | IR, workload generators, executor |
+//! | [`sched`] (`nbl-sched`) | list scheduler + register allocator |
+//! | [`sim`] (`nbl-sim`) | configurations, driver, sweeps, reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nonblocking_loads::sim::config::{HwConfig, SimConfig};
+//! use nonblocking_loads::sim::driver::run_program;
+//! use nonblocking_loads::trace::workloads::{build, Scale};
+//!
+//! // How much does hit-under-miss buy on a pointer-chasing workload?
+//! let program = build("xlisp", Scale::quick()).expect("known benchmark");
+//! let blocking = run_program(&program, &SimConfig::baseline(HwConfig::Mc0)).unwrap();
+//! let hum = run_program(&program, &SimConfig::baseline(HwConfig::Mc(1))).unwrap();
+//! assert!(hum.mcpi < blocking.mcpi);
+//! ```
+
+pub use nbl_core as core;
+pub use nbl_cpu as cpu;
+pub use nbl_mem as mem;
+pub use nbl_sched as sched;
+pub use nbl_sim as sim;
+pub use nbl_trace as trace;

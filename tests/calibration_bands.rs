@@ -1,0 +1,89 @@
+//! Calibration regression bands: every benchmark's baseline MCPI must stay
+//! inside a band around the values recorded in EXPERIMENTS.md.
+//!
+//! The workload generators were tuned against the paper's Fig. 13 (see
+//! DESIGN.md §7); an innocent-looking change to a generator, the
+//! scheduler, or the cache can silently drift a benchmark out of its
+//! calibrated regime. These tests pin the mc=0 and unrestricted MCPI of
+//! all 18 benchmarks to ±25 % of the recorded full-scale values (the
+//! band absorbs the small shift between full scale and this test's
+//! faster, smaller scale).
+
+use nonblocking_loads::sim::config::{HwConfig, SimConfig};
+use nonblocking_loads::sim::driver::run_program;
+use nonblocking_loads::trace::workloads::{build, Scale};
+
+/// (benchmark, mc=0 MCPI, unrestricted MCPI) from results/figures_full.txt.
+const RECORDED: [(&str, f64, f64); 18] = [
+    ("alvinn", 0.456, 0.255),
+    ("doduc", 0.564, 0.210),
+    ("ear", 0.112, 0.030),
+    ("fpppp", 0.367, 0.060),
+    ("hydro2d", 0.833, 0.125),
+    ("mdljdp2", 0.312, 0.222),
+    ("mdljsp2", 0.202, 0.120),
+    ("nasa7", 1.961, 0.714),
+    ("ora", 1.000, 0.938),
+    ("su2cor", 1.727, 0.096),
+    ("swm256", 0.380, 0.155),
+    ("spice2g6", 1.201, 0.810),
+    ("tomcatv", 1.339, 0.078),
+    ("wave5", 0.466, 0.314),
+    ("compress", 0.493, 0.437),
+    ("eqntott", 0.108, 0.049),
+    ("espresso", 0.211, 0.178),
+    ("xlisp", 0.549, 0.286),
+];
+
+fn within(measured: f64, recorded: f64, band: f64) -> bool {
+    measured >= recorded * (1.0 - band) && measured <= recorded * (1.0 + band)
+}
+
+#[test]
+fn baseline_mcpi_stays_in_calibrated_bands() {
+    let scale = Scale { instr_target: 200_000 };
+    let mut failures = Vec::new();
+    for (name, rec_mc0, rec_inf) in RECORDED {
+        let p = build(name, scale).expect("known benchmark");
+        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0)).unwrap().mcpi;
+        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap().mcpi;
+        if !within(mc0, rec_mc0, 0.25) {
+            failures.push(format!("{name}: mc=0 {mc0:.3} vs recorded {rec_mc0:.3}"));
+        }
+        if !within(inf, rec_inf, 0.25) {
+            failures.push(format!("{name}: unrestricted {inf:.3} vs recorded {rec_inf:.3}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "calibration drift — update the generators or EXPERIMENTS.md:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The suite-level conclusion of the paper's §7: non-blocking hardware
+/// cuts integer MCPI up to ~2× and numeric MCPI far more.
+#[test]
+fn suite_level_conclusion_holds() {
+    let scale = Scale { instr_target: 150_000 };
+    let mut numeric_best: f64 = 1.0;
+    for (name, _, _) in RECORDED {
+        let p = build(name, scale).expect("known benchmark");
+        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0)).unwrap().mcpi;
+        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap().mcpi;
+        let gain = mc0 / inf.max(1e-9);
+        if nonblocking_loads::trace::workloads::is_integer(name) {
+            assert!(
+                gain < 3.0,
+                "{name}: integer benchmarks gain at most ~2x ({gain:.1}x measured)"
+            );
+        } else {
+            numeric_best = numeric_best.max(gain);
+        }
+    }
+    assert!(
+        numeric_best > 8.0,
+        "some numeric benchmark must gain close to an order of magnitude \
+         (best seen {numeric_best:.1}x)"
+    );
+}

@@ -1,0 +1,201 @@
+//! Property test: compilation preserves dataflow.
+//!
+//! The compiler reorders instructions, renames registers, and inserts
+//! spill code. None of that may change *what is computed*: the value
+//! stored by each store must be built from the same loads and operations
+//! after compilation as before. We check this by evaluating both the IR
+//! block (in source order) and the compiled machine block (in schedule
+//! order) over symbolic values — structural expression hashes — and
+//! comparing the sequence of stored expressions (the scheduler preserves
+//! store order, so the sequences must match element-wise).
+//!
+//! This catches scheduling that breaks dependences, allocation that
+//! assigns overlapping live ranges to one register, and spill code that
+//! reloads the wrong slot — in one end-to-end property.
+
+use nonblocking_loads::sched::compile::compile;
+use nonblocking_loads::trace::ir::{
+    AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg,
+};
+use nonblocking_loads::trace::machine::MachineOp;
+use nonblocking_loads::core::types::{LoadFormat, PhysReg, RegClass};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Structural expression hash: a value is identified by how it was
+/// computed, not by where it lives.
+fn node(tag: &str, parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    parts.hash(&mut h);
+    h.finish()
+}
+
+/// Evaluates the IR block in source order; returns the stored expressions
+/// in store order.
+fn eval_ir(block: &Block) -> Vec<Option<u64>> {
+    let mut vals: HashMap<VirtReg, u64> = HashMap::new();
+    let mut stores = Vec::new();
+    for op in &block.ops {
+        match *op {
+            IrOp::Load { dst, pattern, addr_src, .. } => {
+                let addr = addr_src.map(|s| vals[&s]).unwrap_or(0);
+                vals.insert(dst, node("load", &[u64::from(pattern.0), addr]));
+            }
+            IrOp::Store { data, .. } => {
+                stores.push(data.map(|d| vals[&d]));
+            }
+            IrOp::Alu { dst, srcs } => {
+                let parts: Vec<u64> = srcs.iter().flatten().map(|s| vals[s]).collect();
+                vals.insert(dst, node("alu", &parts));
+            }
+            IrOp::Branch { .. } => {}
+        }
+    }
+    stores
+}
+
+/// Evaluates the compiled machine block in schedule order; spill slots
+/// (patterns beyond the original table) act as symbolic memory.
+fn eval_machine(ops: &[MachineOp], original_patterns: usize) -> Vec<Option<u64>> {
+    let mut regs: HashMap<PhysReg, u64> = HashMap::new();
+    let mut spill_mem: HashMap<PatternId, u64> = HashMap::new();
+    let mut stores = Vec::new();
+    let is_spill = |p: PatternId| (p.0 as usize) >= original_patterns;
+    for op in ops {
+        match *op {
+            MachineOp::Load { dst, pattern, addr_src, .. } => {
+                let v = if is_spill(pattern) {
+                    *spill_mem.get(&pattern).expect("reload before spill store")
+                } else {
+                    let addr = addr_src.map(|s| regs[&s]).unwrap_or(0);
+                    node("load", &[u64::from(pattern.0), addr])
+                };
+                regs.insert(dst, v);
+            }
+            MachineOp::Store { pattern, data, .. } => {
+                let v = data.map(|d| regs[&d]);
+                if is_spill(pattern) {
+                    spill_mem.insert(pattern, v.expect("spill stores carry data"));
+                } else {
+                    stores.push(v);
+                }
+            }
+            MachineOp::Alu { dst, srcs } => {
+                let parts: Vec<u64> = srcs.iter().flatten().map(|s| regs[&s]).collect();
+                regs.insert(dst, node("alu", &parts));
+            }
+            MachineOp::Branch { .. } => {}
+        }
+    }
+    stores
+}
+
+/// Random block without loop-carried registers (def-before-use, as the
+/// builder guarantees). High ALU fan-in plus a forced store of every
+/// "live" tail value maximizes the chance that a bad schedule or
+/// allocation changes an observable output.
+fn arb_block(max_ops: usize) -> impl Strategy<Value = Block> {
+    let op = (0u8..5, 0usize..64, 0usize..64);
+    proptest::collection::vec(op, 4..max_ops).prop_map(|raw| {
+        let mut block = Block::default();
+        let mut defined: Vec<VirtReg> = Vec::new();
+        for (kind, a, b) in raw {
+            let pick = |defined: &Vec<VirtReg>, k: usize| {
+                if defined.is_empty() {
+                    None
+                } else {
+                    Some(defined[k % defined.len()])
+                }
+            };
+            match kind {
+                0 | 3 => {
+                    let dst = VirtReg(block.classes.len() as u32);
+                    block.classes.push(RegClass::Fp);
+                    block.ops.push(IrOp::Load {
+                        dst,
+                        pattern: PatternId((a % 3) as u32),
+                        format: LoadFormat::DOUBLE,
+                        addr_src: if kind == 3 { pick(&defined, b) } else { None },
+                    });
+                    defined.push(dst);
+                }
+                1 => {
+                    block.ops.push(IrOp::Store {
+                        pattern: PatternId((b % 3) as u32),
+                        data: pick(&defined, a),
+                        addr_src: None,
+                    });
+                }
+                2 | 4 => {
+                    let dst = VirtReg(block.classes.len() as u32);
+                    block.classes.push(RegClass::Fp);
+                    block.ops.push(IrOp::Alu {
+                        dst,
+                        srcs: [pick(&defined, a), pick(&defined, b)],
+                    });
+                    defined.push(dst);
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Make the final values observable.
+        for k in 0..defined.len().min(6) {
+            block.ops.push(IrOp::Store {
+                pattern: PatternId(0),
+                data: Some(defined[defined.len() - 1 - k]),
+                addr_src: None,
+            });
+        }
+        block.ops.push(IrOp::Branch { srcs: [None, None] });
+        block
+    })
+}
+
+fn program_around(block: Block) -> Program {
+    Program {
+        name: "prop".into(),
+        patterns: vec![
+            AddrPattern::Strided { base: 0x1000, elem_bytes: 8, stride: 1, length: 64 },
+            AddrPattern::Gather { base: 0x8000, elem_bytes: 8, length: 64, seed: 1 },
+            AddrPattern::Fixed { addr: 0x20000 },
+        ],
+        blocks: vec![block],
+        script: vec![ScriptNode::Run { block: BlockId(0), times: 1 }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled block stores exactly the same expressions, in the same
+    /// order, at every scheduled load latency.
+    #[test]
+    fn compilation_preserves_dataflow(block in arb_block(60), lat in 1u32..25) {
+        let expected = eval_ir(&block);
+        let program = program_around(block);
+        let compiled = compile(&program, lat).expect("random blocks compile");
+        let got = eval_machine(&compiled.blocks[0].ops, program.patterns.len());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Dataflow preservation holds even under extreme register pressure
+    /// (the fpppp workload is known to spill at long scheduled latencies),
+    /// exercising the spill store/reload path end to end.
+    #[test]
+    fn spill_code_preserves_dataflow(lat in 2u32..25) {
+        use nonblocking_loads::trace::workloads::{build, Scale};
+        let program = build("fpppp", Scale::quick()).expect("fpppp exists");
+        prop_assert!(program.blocks[0].carried.is_empty(), "eval assumes no carried registers");
+        let expected = eval_ir(&program.blocks[0]);
+        let compiled = compile(&program, lat).expect("fpppp compiles");
+        prop_assert!(
+            compiled.blocks[0].spill_ops > 0,
+            "fpppp must spill at latency {lat}"
+        );
+        let got = eval_machine(&compiled.blocks[0].ops, program.patterns.len());
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests over the core invariants: the scheduler never
+//! violates dependences, the cache agrees with a reference model, MSHR
+//! files never exceed their configured limits, and simulation is
+//! deterministic.
+
+use nonblocking_loads::core::cache::{CacheConfig, LoadAccess, LockupFreeCache};
+use nonblocking_loads::core::geometry::CacheGeometry;
+use nonblocking_loads::core::limit::Limit;
+use nonblocking_loads::core::mshr::{
+    MissRequest, MshrConfig, MshrResponse, RegisterFileConfig, RegisterMshrFile, TargetPolicy,
+};
+use nonblocking_loads::core::types::{Addr, BlockAddr, Dest, LoadFormat, PhysReg, RegClass};
+use nonblocking_loads::sched::list_schedule::{respects_dependences, schedule};
+use nonblocking_loads::trace::ir::{AddrPattern, Block, IrOp, PatternId, VirtReg};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Strategy: a random basic block over `n` virtual registers with
+/// def-before-use discipline (as the generators guarantee).
+fn arb_block(max_ops: usize) -> impl Strategy<Value = Block> {
+    let op = (0u8..4, 0usize..64, 0usize..64);
+    proptest::collection::vec(op, 1..max_ops).prop_map(|raw| {
+        let mut block = Block::default();
+        let mut defined: Vec<VirtReg> = Vec::new();
+        let new_vreg = |block: &mut Block| {
+            let v = VirtReg(block.classes.len() as u32);
+            block.classes.push(RegClass::Int);
+            v
+        };
+        for (kind, a, b) in raw {
+            let pick = |defined: &Vec<VirtReg>, k: usize| {
+                if defined.is_empty() {
+                    None
+                } else {
+                    Some(defined[k % defined.len()])
+                }
+            };
+            match kind {
+                0 => {
+                    let dst = new_vreg(&mut block);
+                    block.ops.push(IrOp::Load {
+                        dst,
+                        pattern: PatternId(0),
+                        format: LoadFormat::WORD,
+                        addr_src: pick(&defined, a),
+                    });
+                    defined.push(dst);
+                }
+                1 => {
+                    block.ops.push(IrOp::Store {
+                        pattern: PatternId(0),
+                        data: pick(&defined, a),
+                        addr_src: None,
+                    });
+                }
+                2 => {
+                    let dst = new_vreg(&mut block);
+                    block.ops.push(IrOp::Alu {
+                        dst,
+                        srcs: [pick(&defined, a), pick(&defined, b)],
+                    });
+                    defined.push(dst);
+                }
+                _ => {
+                    block.ops.push(IrOp::Branch { srcs: [pick(&defined, a), None] });
+                }
+            }
+        }
+        block
+    })
+}
+
+proptest! {
+    /// The list schedule is a dependence-respecting permutation at every
+    /// latency.
+    #[test]
+    fn schedules_are_valid_permutations(block in arb_block(40), lat in 1u32..25) {
+        let order = schedule(&block, lat);
+        prop_assert_eq!(order.len(), block.ops.len());
+        let distinct: HashSet<_> = order.iter().collect();
+        prop_assert_eq!(distinct.len(), order.len(), "a permutation has no duplicates");
+        prop_assert!(respects_dependences(&block, &order));
+    }
+
+    /// Longer scheduled latencies never shrink the average load-use
+    /// distance below the latency-1 schedule's by more than noise —
+    /// the scheduler's entire purpose.
+    #[test]
+    fn longer_latency_never_packs_loads_tighter(block in arb_block(40)) {
+        fn mean_distance(block: &Block, order: &[usize]) -> f64 {
+            let mut pos = vec![0usize; block.ops.len()];
+            for (p, &i) in order.iter().enumerate() {
+                pos[i] = p;
+            }
+            let mut total = 0isize;
+            let mut n = 0;
+            for (i, op) in block.ops.iter().enumerate() {
+                if !op.is_load() { continue; }
+                let Some(dst) = op.dst() else { continue };
+                let first_use = block.ops.iter().enumerate()
+                    .filter(|(j, o)| *j != i && o.srcs().contains(&dst))
+                    .map(|(j, _)| pos[j] as isize)
+                    .min();
+                if let Some(u) = first_use {
+                    total += u - pos[i] as isize;
+                    n += 1;
+                }
+            }
+            if n == 0 { 0.0 } else { total as f64 / n as f64 }
+        }
+        let d1 = mean_distance(&block, &schedule(&block, 1));
+        let d20 = mean_distance(&block, &schedule(&block, 20));
+        prop_assert!(d20 + 1e-9 >= d1 - 1.0, "latency 20 distance {d20} collapsed below latency 1 {d1}");
+    }
+
+    /// A direct-mapped blocking cache agrees access-for-access with a
+    /// trivial reference model (tag per set).
+    #[test]
+    fn cache_matches_reference_model(addrs in proptest::collection::vec(0u64..(1 << 16), 1..400)) {
+        let geom = CacheGeometry::direct_mapped(1024, 32).unwrap();
+        let mut cache = LockupFreeCache::new(CacheConfig {
+            geometry: geom,
+            write_miss: nonblocking_loads::core::cache::WriteMissPolicy::WriteAround,
+            mshr: MshrConfig::Blocking,
+            victim_entries: 0,
+        });
+        let mut reference: HashMap<u32, u64> = HashMap::new();
+        for raw in addrs {
+            let a = Addr(raw);
+            let set = geom.set_of(a);
+            let tag = geom.tag_of_block(geom.block_of(a));
+            let expect_hit = reference.get(&set) == Some(&tag);
+            let got = cache.access_load(a, Dest::Reg(PhysReg::int(1)), LoadFormat::WORD);
+            if expect_hit {
+                prop_assert_eq!(got, LoadAccess::Hit);
+            } else {
+                prop_assert!(matches!(got, LoadAccess::Stalled(_)), "blocking cache rejects misses");
+                cache.fill(geom.block_of(a));
+                reference.insert(set, tag);
+            }
+        }
+    }
+
+    /// A register MSHR file never exceeds any configured limit, and fills
+    /// return exactly the accepted targets.
+    #[test]
+    fn mshr_file_honors_limits(
+        entries in 1u32..5,
+        misses in 1u32..8,
+        per_set in 1u32..3,
+        ops in proptest::collection::vec((0u64..32, 0u32..32, any::<bool>()), 1..300),
+    ) {
+        let geom = CacheGeometry::baseline();
+        let cfg = RegisterFileConfig {
+            entries: Limit::Finite(entries),
+            targets: TargetPolicy::explicit(Limit::Unlimited),
+            max_outstanding_misses: Limit::Finite(misses),
+            max_fetches_per_set: Limit::Finite(per_set),
+        };
+        let mut file = RegisterMshrFile::new(cfg, &geom);
+        let mut in_flight: VecDeque<BlockAddr> = VecDeque::new();
+        let mut accepted: HashMap<BlockAddr, usize> = HashMap::new();
+        for (block_raw, offset, do_fill) in ops {
+            if do_fill {
+                if let Some(block) = in_flight.pop_front() {
+                    let woken = file.fill(block);
+                    prop_assert_eq!(woken.len(), accepted.remove(&block).unwrap_or(0));
+                }
+                continue;
+            }
+            let block = BlockAddr(block_raw);
+            let set = geom.set_of_block(block);
+            let req = MissRequest {
+                block,
+                set,
+                offset,
+                dest: Dest::Reg(PhysReg::int((block_raw % 32) as u8)),
+                format: LoadFormat::WORD,
+            };
+            let before_fetches = file.outstanding_fetches();
+            match file.try_load_miss(&req) {
+                MshrResponse::Accepted(kind) => {
+                    *accepted.entry(block).or_default() += 1;
+                    if kind == nonblocking_loads::core::mshr::MissKind::Primary {
+                        in_flight.push_back(block);
+                        prop_assert_eq!(file.outstanding_fetches(), before_fetches + 1);
+                    }
+                }
+                MshrResponse::Rejected(_) => {}
+            }
+            prop_assert!(file.outstanding_fetches() <= entries as usize);
+            prop_assert!(file.outstanding_misses() <= misses as usize);
+            for s in 0..geom.num_sets() as u32 {
+                prop_assert!(file.fetches_in_set(s) <= per_set as usize);
+            }
+        }
+    }
+
+    /// Pattern streams are deterministic: two executors over the same
+    /// compiled program produce identical address sequences.
+    #[test]
+    fn executors_replay_identically(seed in any::<u64>(), n in 1u64..200) {
+        use nonblocking_loads::trace::machine::{CompiledProgram, MachineBlock, MachineOp};
+        use nonblocking_loads::trace::ir::{BlockId, ScriptNode};
+        use nonblocking_loads::trace::exec::Executor;
+        use nonblocking_loads::core::inst::DynInst;
+        let program = CompiledProgram {
+            name: "prop".into(),
+            load_latency: 1,
+            patterns: vec![
+                AddrPattern::Gather { base: 0x1000, elem_bytes: 8, length: 64, seed },
+                AddrPattern::Chase { base: 0x40000, node_bytes: 32, nodes: 16, field_offset: 0, seed },
+            ],
+            blocks: vec![MachineBlock {
+                ops: vec![
+                    MachineOp::Load {
+                        dst: PhysReg::int(1),
+                        pattern: PatternId(0),
+                        format: LoadFormat::WORD,
+                        addr_src: None,
+                    },
+                    MachineOp::Load {
+                        dst: PhysReg::int(2),
+                        pattern: PatternId(1),
+                        format: LoadFormat::DOUBLE,
+                        addr_src: Some(PhysReg::int(2)),
+                    },
+                ],
+                spill_ops: 0,
+            }],
+            script: vec![ScriptNode::Run { block: BlockId(0), times: n }],
+        };
+        let mut s1: Vec<DynInst> = Vec::new();
+        let mut s2: Vec<DynInst> = Vec::new();
+        Executor::new(&program).run(&mut s1);
+        Executor::new(&program).run(&mut s2);
+        prop_assert_eq!(s1, s2);
+    }
+}
