@@ -15,25 +15,30 @@
 //!    this sweep inserts a minimum gap between fetch completions (a
 //!    bandwidth-limited bus) and measures how much of the non-blocking
 //!    benefit depends on that assumption.
+//!
+//! Each section is a small benchmark × variant grid; the grids run on the
+//! shared parallel engine and print from the input-ordered results.
 
-use super::{program, RunScale};
+use super::{mcpi_grid, programs_for, RunScale};
 use nbl_core::limit::Limit;
 use nbl_core::mshr::TargetPolicy;
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::run_program;
 use std::io::Write;
 
-/// Prints all three ablations.
+/// Prints all the ablations.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let _ = writeln!(out, "== Ablations ==");
 
     // 1. In-cache storage vs discrete MSHRs at the same per-set limit.
     let _ = writeln!(out, "\n-- victim claimed at miss time (in-cache) vs fill time (fs=1) --");
     let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10}", "bench", "fs=1", "in-cache", "penalty");
-    for bench in ["su2cor", "doduc", "tomcatv"] {
-        let p = program(bench, scale);
-        let fs1 = run_program(&p, &SimConfig::baseline(HwConfig::Fs(1))).unwrap().mcpi;
-        let inc = run_program(&p, &SimConfig::baseline(HwConfig::InCache)).unwrap().mcpi;
+    let benches = ["su2cor", "doduc", "tomcatv"];
+    let grid = mcpi_grid(
+        &programs_for(&benches, scale),
+        &[SimConfig::baseline(HwConfig::Fs(1)), SimConfig::baseline(HwConfig::InCache)],
+    );
+    for (bench, row) in benches.iter().zip(&grid) {
+        let (fs1, inc) = (row[0], row[1]);
         let _ = writeln!(
             out,
             "{:>10} {:>10.3} {:>10.3} {:>9.1}%",
@@ -48,12 +53,13 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     let _ = writeln!(out, "\n-- in-cache MSHR read-port width (su2cor, extra fill cycles) --");
     let _ = writeln!(out, "{:>10} {:>9} {:>9} {:>9}", "", "+0cy", "+2cy", "+4cy");
     {
-        let p = program("su2cor", scale);
+        let cfgs: Vec<SimConfig> = [0u32, 2, 4]
+            .into_iter()
+            .map(|k| SimConfig::baseline(HwConfig::InCacheNarrowPort(k)))
+            .collect();
+        let grid = mcpi_grid(&programs_for(&["su2cor"], scale), &cfgs);
         let _ = write!(out, "{:>10}", "MCPI");
-        for k in [0u32, 2, 4] {
-            let m = run_program(&p, &SimConfig::baseline(HwConfig::InCacheNarrowPort(k)))
-                .unwrap()
-                .mcpi;
+        for m in &grid[0] {
             let _ = write!(out, " {m:>8.3}");
         }
         let _ = writeln!(out);
@@ -62,10 +68,13 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     // 2. Write-miss allocate cost on store-heavy codes.
     let _ = writeln!(out, "\n-- write-around vs write-miss-allocate (blocking cache) --");
     let _ = writeln!(out, "{:>10} {:>10} {:>12} {:>10}", "bench", "mc=0", "mc=0+wma", "overhead");
-    for bench in ["xlisp", "tomcatv", "compress"] {
-        let p = program(bench, scale);
-        let around = run_program(&p, &SimConfig::baseline(HwConfig::Mc0)).unwrap().mcpi;
-        let alloc = run_program(&p, &SimConfig::baseline(HwConfig::Mc0Wma)).unwrap().mcpi;
+    let benches = ["xlisp", "tomcatv", "compress"];
+    let grid = mcpi_grid(
+        &programs_for(&benches, scale),
+        &[SimConfig::baseline(HwConfig::Mc0), SimConfig::baseline(HwConfig::Mc0Wma)],
+    );
+    for (bench, row) in benches.iter().zip(&grid) {
+        let (around, alloc) = (row[0], row[1]);
         let _ = writeln!(
             out,
             "{:>10} {:>10.3} {:>12.3} {:>9.1}%",
@@ -79,20 +88,16 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     // 3. Pure value of secondary-miss merging (entries unlimited).
     let _ = writeln!(out, "\n-- secondary-miss merging: 1 target field vs unlimited --");
     let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10}", "bench", "1 field", "unlimited", "gain");
-    for bench in ["doduc", "mdljdp2", "tomcatv"] {
-        let p = program(bench, scale);
-        let one = run_program(
-            &p,
-            &SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Finite(1)))),
-        )
-        .unwrap()
-        .mcpi;
-        let unl = run_program(
-            &p,
-            &SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Unlimited))),
-        )
-        .unwrap()
-        .mcpi;
+    let benches = ["doduc", "mdljdp2", "tomcatv"];
+    let grid = mcpi_grid(
+        &programs_for(&benches, scale),
+        &[
+            SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Finite(1)))),
+            SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Unlimited))),
+        ],
+    );
+    for (bench, row) in benches.iter().zip(&grid) {
+        let (one, unl) = (row[0], row[1]);
         let _ = writeln!(
             out,
             "{:>10} {:>10.3} {:>10.3} {:>9.1}%",
@@ -102,19 +107,19 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
             100.0 * (1.0 - unl / one)
         );
     }
+
     // 4. Bandwidth-limited memory.
     let _ = writeln!(out, "\n-- fully pipelined memory vs bandwidth-limited bus (no restrict) --");
     let _ = writeln!(out, "{:>10} {:>9} {:>9} {:>9} {:>9}", "bench", "gap=0", "gap=4", "gap=8", "gap=16");
-    for bench in ["tomcatv", "su2cor", "eqntott"] {
-        let p = program(bench, scale);
+    let benches = ["tomcatv", "su2cor", "eqntott"];
+    let cfgs: Vec<SimConfig> = [0u32, 4, 8, 16]
+        .into_iter()
+        .map(|gap| SimConfig::baseline(HwConfig::NoRestrict).with_memory_gap(gap))
+        .collect();
+    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    for (bench, row) in benches.iter().zip(&grid) {
         let _ = write!(out, "{bench:>10}");
-        for gap in [0u32, 4, 8, 16] {
-            let m = run_program(
-                &p,
-                &SimConfig::baseline(HwConfig::NoRestrict).with_memory_gap(gap),
-            )
-            .unwrap()
-            .mcpi;
+        for m in row {
             let _ = write!(out, " {m:>8.3}");
         }
         let _ = writeln!(out);

@@ -3,7 +3,6 @@
 
 use super::paper::fig13_row;
 use super::{fig13, RunScale};
-use nbl_trace::workloads::ALL;
 use std::io::Write;
 
 /// Prints measured-vs-paper MCPI and ratios for all 18 benchmarks.
@@ -17,8 +16,7 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "{:>10} | {:>11} {:>11} | {:>17} {:>17}",
         "bench", "mc0 (p/m)", "inf (p/m)", "ratios paper", "ratios measured"
     );
-    for name in ALL {
-        let measured = fig13::row(name, scale);
+    for (name, measured) in fig13::grid(scale) {
         let paper = fig13_row(name).expect("all benchmarks transcribed");
         let p_inf = paper.mcpi[5];
         let m_inf = measured[5].mcpi.max(1e-9);

@@ -16,11 +16,13 @@
 //!   associative caches, with and without the fs=1 restriction — and
 //!   finds it only half true: the steady conflict misses disappear, the
 //!   simultaneous same-set fetches do not.
+//!
+//! Each study is a benchmark × variant grid run on the shared parallel
+//! engine; the tables print from the input-ordered results.
 
-use super::{program, RunScale};
+use super::{mcpi_grid, programs_for, RunScale};
 use nbl_core::geometry::CacheGeometry;
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::run_program;
 use std::io::Write;
 
 /// E-NBW: non-blocking write allocation on the store-heavy benchmarks.
@@ -31,13 +33,18 @@ pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
         "{:>10} {:>12} {:>10} {:>10} {:>14} {:>14}",
         "bench", "mc=0 + wma", "mc=0", "fc=2", "fc=2 + nb-wma", "wma recovered"
     );
-    for bench in ["xlisp", "tomcatv", "compress", "su2cor"] {
-        let p = program(bench, scale);
-        let m = |hw: HwConfig| run_program(&p, &SimConfig::baseline(hw)).unwrap().mcpi;
-        let wma_blocking = m(HwConfig::Mc0Wma);
-        let around_blocking = m(HwConfig::Mc0);
-        let fc2 = m(HwConfig::Fc(2));
-        let fc2_nbw = m(HwConfig::FcWma(2));
+    let benches = ["xlisp", "tomcatv", "compress", "su2cor"];
+    let grid = mcpi_grid(
+        &programs_for(&benches, scale),
+        &[
+            SimConfig::baseline(HwConfig::Mc0Wma),
+            SimConfig::baseline(HwConfig::Mc0),
+            SimConfig::baseline(HwConfig::Fc(2)),
+            SimConfig::baseline(HwConfig::FcWma(2)),
+        ],
+    );
+    for (bench, row) in benches.iter().zip(&grid) {
+        let [wma_blocking, around_blocking, fc2, fc2_nbw] = row[..] else { unreachable!() };
         // How much of the (blocking) write-allocate overhead does the
         // non-blocking version eliminate, relative to write-around fc=2?
         let blocking_overhead = wma_blocking - around_blocking;
@@ -65,16 +72,20 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
         "{:>8} {:>10} {:>12} {:>10}",
         "ways", "fs=1", "no restrict", "fs=1 cost"
     );
-    let p = program("su2cor", scale);
-    for ways in [1u32, 2, 4, 256] {
-        let geom = CacheGeometry::new(8 * 1024, 32, ways).expect("valid geometry");
-        let fs1 = run_program(&p, &SimConfig::baseline(HwConfig::Fs(1)).with_geometry(geom))
-            .unwrap()
-            .mcpi;
-        let inf =
-            run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict).with_geometry(geom))
-                .unwrap()
-                .mcpi;
+    const WAYS: [u32; 4] = [1, 2, 4, 256];
+    let cfgs: Vec<SimConfig> = WAYS
+        .into_iter()
+        .flat_map(|ways| {
+            let geom = CacheGeometry::new(8 * 1024, 32, ways).expect("valid geometry");
+            [
+                SimConfig::baseline(HwConfig::Fs(1)).with_geometry(geom),
+                SimConfig::baseline(HwConfig::NoRestrict).with_geometry(geom),
+            ]
+        })
+        .collect();
+    let grid = mcpi_grid(&programs_for(&["su2cor"], scale), &cfgs);
+    for (i, ways) in WAYS.into_iter().enumerate() {
+        let (fs1, inf) = (grid[0][2 * i], grid[0][2 * i + 1]);
         let label = if ways == 256 { "full".to_string() } else { ways.to_string() };
         let _ = writeln!(
             out,
@@ -108,25 +119,34 @@ pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
         "{:>10} {:>18} {:>10} {:>10} {:>10} {:>12}",
         "bench", "hierarchy", "mc=0", "mc=1", "fc=2", "no restrict"
     );
-    for bench in ["doduc", "tomcatv", "xlisp"] {
-        let p = program(bench, scale);
-        for (label, with_l2) in [("flat 16cy", false), ("L2 6/40cy", true)] {
-            let m = |hw: HwConfig| {
-                let mut cfg = SimConfig::baseline(hw);
+    let benches = ["doduc", "tomcatv", "xlisp"];
+    let hws = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::Fc(2), HwConfig::NoRestrict];
+    // Columns: the four configurations flat, then the four L2 variants.
+    let cfgs: Vec<SimConfig> = [false, true]
+        .into_iter()
+        .flat_map(|with_l2| {
+            hws.clone().map(|hw| {
+                let cfg = SimConfig::baseline(hw);
                 if with_l2 {
-                    cfg = cfg.with_penalty(40).with_l2(256 * 1024, 6);
+                    cfg.with_penalty(40).with_l2(256 * 1024, 6)
+                } else {
+                    cfg
                 }
-                run_program(&p, &cfg).unwrap().mcpi
-            };
+            })
+        })
+        .collect();
+    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    for (bench, row) in benches.iter().zip(&grid) {
+        for (h, label) in ["flat 16cy", "L2 6/40cy"].into_iter().enumerate() {
             let _ = writeln!(
                 out,
                 "{:>10} {:>18} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
                 bench,
                 label,
-                m(HwConfig::Mc0),
-                m(HwConfig::Mc(1)),
-                m(HwConfig::Fc(2)),
-                m(HwConfig::NoRestrict),
+                row[4 * h],
+                row[4 * h + 1],
+                row[4 * h + 2],
+                row[4 * h + 3],
             );
         }
     }
@@ -151,25 +171,20 @@ pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
         "{:>10} {:>8} {:>10} {:>10} {:>12}",
         "bench", "DM", "DM+4v", "DM+16v", "fully assoc"
     );
-    for bench in ["xlisp", "su2cor", "doduc"] {
-        let p = program(bench, scale);
-        let m = |victims: usize, fa: bool| {
-            let mut cfg = SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(victims);
-            if fa {
-                cfg = cfg.with_geometry(
-                    CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry"),
-                );
-            }
-            run_program(&p, &cfg).unwrap().mcpi
-        };
+    let benches = ["xlisp", "su2cor", "doduc"];
+    let fa = CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry");
+    let cfgs = [
+        SimConfig::baseline(HwConfig::Mc(1)),
+        SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(4),
+        SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(16),
+        SimConfig::baseline(HwConfig::Mc(1)).with_geometry(fa),
+    ];
+    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    for (bench, row) in benches.iter().zip(&grid) {
         let _ = writeln!(
             out,
             "{:>10} {:>8.3} {:>10.3} {:>10.3} {:>12.3}",
-            bench,
-            m(0, false),
-            m(4, false),
-            m(16, false),
-            m(0, true),
+            bench, row[0], row[1], row[2], row[3],
         );
     }
     let _ = writeln!(

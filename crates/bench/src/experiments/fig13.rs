@@ -2,22 +2,27 @@
 //! scheduled load latency 10, under mc=0 / mc=1 / mc=2 / fc=1 / fc=2 and
 //! the unrestricted cache, with ratios to the unrestricted MCPI.
 
-use super::{program, RunScale};
-use nbl_sched::compile::compile;
+use super::{engine, program, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::{run_compiled, RunResult};
+use nbl_sim::driver::RunResult;
 use nbl_sim::report;
+use nbl_trace::ir::Program;
 use nbl_trace::workloads::ALL;
 use std::io::Write;
 
-/// Runs one benchmark row (shared with the integration tests).
-pub fn row(name: &str, scale: RunScale) -> Vec<RunResult> {
-    let p = program(name, scale);
-    let compiled = compile(&p, 10).expect("workloads compile");
-    HwConfig::table13_six()
-        .into_iter()
-        .map(|hw| run_compiled(name, &compiled, &SimConfig::baseline(hw)))
-        .collect()
+/// All 18 rows — the full 18 × 6 grid as one flat pool invocation, each
+/// benchmark compiled once (at latency 10) for all six configurations.
+pub fn grid(scale: RunScale) -> Vec<(&'static str, Vec<RunResult>)> {
+    let programs: Vec<Program> = ALL.iter().map(|name| program(name, scale)).collect();
+    let configs = HwConfig::table13_six();
+    let nc = configs.len();
+    let jobs: Vec<(&Program, SimConfig)> = programs
+        .iter()
+        .flat_map(|p| configs.iter().map(move |hw| (p, SimConfig::baseline(hw.clone()))))
+        .collect();
+    let results = engine().run_many(&jobs).expect("workloads compile");
+    let mut iter = results.into_iter();
+    ALL.iter().map(|name| (*name, iter.by_ref().take(nc).collect())).collect()
 }
 
 /// Prints the Fig. 13 table.
@@ -28,8 +33,7 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "{:>10} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7}",
         "bench", "mc=0", "r", "mc=1", "r", "mc=2", "r", "fc=1", "r", "fc=2", "r", "inf"
     );
-    for name in ALL {
-        let results = row(name, scale);
+    for (name, results) in grid(scale) {
         let _ = writeln!(out, "{}", report::fig13_row(name, &results));
     }
     let _ = writeln!(out);

@@ -6,13 +6,12 @@
 //! rows/columns vary only the per-MSHR target-field structure:
 //! rows = sub-blocks per line, columns = misses per sub-block.
 
-use super::{program, RunScale};
+use super::{engine, program, RunScale};
 use nbl_core::geometry::CacheGeometry;
 use nbl_core::mshr::cost::MshrCostModel;
 use nbl_core::mshr::TargetPolicy;
-use nbl_sched::compile::compile;
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::run_compiled;
+use nbl_trace::ir::Program;
 use std::io::Write;
 
 /// The (sub-blocks, misses-per-sub-block) grid of the paper's Fig. 14:
@@ -23,15 +22,36 @@ pub const GRID: [(u32, u32); 6] = [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (4, 1
 /// The near-implicit 8-sub-block point the paper also reports.
 pub const IMPLICIT_8: (u32, u32) = (8, 1);
 
+fn policy_for(sub: u32, misses: u32) -> TargetPolicy {
+    if misses == 1 && sub > 1 {
+        TargetPolicy::implicit_sub_blocks(sub)
+    } else if sub == 1 {
+        TargetPolicy::explicit(nbl_core::limit::Limit::Finite(misses))
+    } else {
+        TargetPolicy::hybrid(sub, misses)
+    }
+}
+
 /// Prints the Fig. 14 table.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("doduc", scale);
-    let compiled = compile(&p, 10).expect("doduc compiles");
     let geom = CacheGeometry::baseline();
     let costs = MshrCostModel::default();
 
-    let unrestricted =
-        run_compiled("doduc", &compiled, &SimConfig::baseline(HwConfig::NoRestrict)).mcpi;
+    // One pool invocation: the unrestricted reference plus every layout.
+    let points: Vec<(u32, u32, TargetPolicy)> = GRID
+        .iter()
+        .copied()
+        .chain(std::iter::once(IMPLICIT_8))
+        .map(|(sub, misses)| (sub, misses, policy_for(sub, misses)))
+        .collect();
+    let mut jobs: Vec<(&Program, SimConfig)> =
+        vec![(&p, SimConfig::baseline(HwConfig::NoRestrict))];
+    jobs.extend(
+        points.iter().map(|(_, _, pol)| (&p, SimConfig::baseline(HwConfig::Targets(*pol)))),
+    );
+    let results = engine().run_many(&jobs).expect("doduc compiles");
+    let unrestricted = results[0].mcpi;
 
     let _ = writeln!(out, "== Figure 14: explicit, implicit, and hybrid MSHRs for doduc ==");
     let _ = writeln!(
@@ -39,17 +59,9 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "{:>12} {:>14} {:>8} {:>6} {:>10}",
         "sub-blocks", "misses/sub-bl", "MCPI", "ratio", "bits/MSHR"
     );
-    for (sub, misses) in GRID.iter().copied().chain(std::iter::once(IMPLICIT_8)) {
-        let policy = if misses == 1 && sub > 1 {
-            TargetPolicy::implicit_sub_blocks(sub)
-        } else if sub == 1 {
-            TargetPolicy::explicit(nbl_core::limit::Limit::Finite(misses))
-        } else {
-            TargetPolicy::hybrid(sub, misses)
-        };
-        let r = run_compiled("doduc", &compiled, &SimConfig::baseline(HwConfig::Targets(policy)));
+    for ((sub, misses, policy), r) in points.iter().zip(&results[1..]) {
         let bits = costs
-            .register_mshr(policy, &geom)
+            .register_mshr(*policy, &geom)
             .map(|c| c.bits.to_string())
             .unwrap_or_else(|| "-".into());
         let _ = writeln!(

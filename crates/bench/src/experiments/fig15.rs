@@ -2,10 +2,9 @@
 //! curves (`fs=1`, `fs=2`) added to the usual seven — the paper's
 //! in-cache-MSHR-storage study.
 
-use super::{program, write_csv, RunScale, LATENCIES};
+use super::{engine, program, write_csv, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
-use nbl_sim::sweep::latency_sweep;
 use std::io::Write;
 
 /// The nine configurations of Fig. 15.
@@ -20,7 +19,7 @@ pub fn configs() -> Vec<HwConfig> {
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("su2cor", scale);
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let sweep = latency_sweep(&p, &base, &configs(), &LATENCIES).expect("su2cor compiles");
+    let sweep = engine().latency_sweep(&p, &base, &configs(), &LATENCIES).expect("su2cor compiles");
     let _ = writeln!(out, "== Figure 15: baseline miss CPI for su2cor (with fs= curves) ==");
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_table(&sweep));
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_chart(&sweep));

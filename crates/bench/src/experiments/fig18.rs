@@ -5,10 +5,9 @@
 //! because overlap capacity exhausts.
 
 use super::paper::{FIG18, FIG18_PENALTIES};
-use super::{program, write_csv, RunScale};
+use super::{engine, program, write_csv, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
-use nbl_sim::sweep::penalty_sweep;
 use std::io::Write;
 
 /// The miss penalties the paper sweeps.
@@ -18,7 +17,8 @@ pub const PENALTIES: [u32; 6] = [4, 8, 16, 32, 64, 128];
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("tomcatv", scale);
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let sweep = penalty_sweep(&p, &base, &HwConfig::baseline_seven(), &PENALTIES)
+    let sweep = engine()
+        .penalty_sweep(&p, &base, &HwConfig::baseline_seven(), &PENALTIES)
         .expect("tomcatv compiles");
     let _ = writeln!(out, "== Figure 18: MCPI vs miss penalty for tomcatv (latency 10) ==");
     let _ = writeln!(out, "{}", report::mcpi_vs_penalty_table(&sweep));

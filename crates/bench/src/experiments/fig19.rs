@@ -10,9 +10,10 @@
 //! like the paper ("it was not convenient to compile the code for all
 //! values of the load latency").
 
-use super::{program, RunScale, LATENCIES};
+use super::{engine, program, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::{run_dual, run_program};
+use nbl_sim::driver::{run_dual_cached, run_program_cached};
+use nbl_trace::ir::Program;
 use std::io::Write;
 
 /// The four configurations the paper compares.
@@ -38,6 +39,37 @@ pub fn snap_latency(scaled: f64) -> u32 {
 
 /// Prints the Fig. 19 comparison.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
+    let programs: Vec<Program> =
+        BENCHMARKS.iter().map(|name| program(name, scale)).collect();
+    let pool = engine().pool();
+
+    // Stage 1: each benchmark's IPC probe (perfect-cache dual run), in
+    // parallel across benchmarks.
+    let probes = pool.run(programs.len(), |b| {
+        run_dual_cached(&programs[b], &SimConfig::baseline(HwConfig::NoRestrict))
+            .expect("workloads compile")
+    });
+
+    // Stage 2: every (benchmark, configuration) cell — a dual-issue run
+    // and the IPC-scaled single-issue prediction — as one flat grid.
+    let hws = configs();
+    let nc = hws.len();
+    let cells = pool.run(programs.len() * nc, |idx| {
+        let (b, c) = (idx / nc, idx % nc);
+        let p = &programs[b];
+        let ipc = probes[b].ipc;
+        let hw = hws[c].clone();
+        let dual = run_dual_cached(p, &SimConfig::baseline(hw.clone()))
+            .expect("workloads compile");
+        let single_cfg = SimConfig::baseline(hw)
+            .at_latency(snap_latency(10.0 * ipc))
+            .with_penalty((16.0 * ipc).round().max(1.0) as u32);
+        let single = run_program_cached(p, &single_cfg).expect("workloads compile");
+        // The scaled single-issue MCPI is per *scaled* cycle; mapping
+        // back to dual-issue cycles divides by the IPC.
+        (dual.mcpi, single.mcpi / ipc)
+    });
+
     let _ = writeln!(out, "== Figure 19: dual vs IPC-scaled single-issue MCPI ==");
     let _ = writeln!(
         out,
@@ -47,31 +79,18 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "s.lat",
         "s.pen"
     );
-    for name in BENCHMARKS {
-        let p = program(name, scale);
-        // IPC comes from the perfect-cache dual run; measure it once.
-        let probe = run_dual(&p, &SimConfig::baseline(HwConfig::NoRestrict))
-            .expect("workloads compile");
-        let ipc = probe.ipc;
+    for (b, name) in BENCHMARKS.iter().enumerate() {
+        let ipc = probes[b].ipc;
         let scaled_lat = snap_latency(10.0 * ipc);
         let scaled_pen = (16.0 * ipc).round().max(1.0) as u32;
-        let _ = write!(out, "{:>10} {:>6.2} {:>8} {:>8} |", name, ipc, scaled_lat, scaled_pen);
-        for hw in configs() {
-            let dual =
-                run_dual(&p, &SimConfig::baseline(hw.clone())).expect("workloads compile");
-            let single_cfg = SimConfig::baseline(hw)
-                .at_latency(scaled_lat)
-                .with_penalty(scaled_pen);
-            let single = run_program(&p, &single_cfg).expect("workloads compile");
-            // The scaled single-issue MCPI is per *scaled* cycle; mapping
-            // back to dual-issue cycles divides by the IPC.
-            let predicted = single.mcpi / ipc;
-            let diff = if dual.mcpi > 0.0 {
-                100.0 * (predicted - dual.mcpi) / dual.mcpi
+        let _ = write!(out, "{name:>10} {ipc:>6.2} {scaled_lat:>8} {scaled_pen:>8} |");
+        for (dual_mcpi, predicted) in &cells[b * nc..(b + 1) * nc] {
+            let diff = if *dual_mcpi > 0.0 {
+                100.0 * (predicted - dual_mcpi) / dual_mcpi
             } else {
                 0.0
             };
-            let _ = write!(out, "  {:>6.3} {:>6.3} {:>5.0}%", dual.mcpi, predicted, diff);
+            let _ = write!(out, "  {dual_mcpi:>6.3} {predicted:>6.3} {diff:>5.0}%");
         }
         let _ = writeln!(out);
     }

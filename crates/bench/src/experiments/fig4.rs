@@ -6,8 +6,8 @@
 //! after scheduling and spill code differs per schedule; our compiler
 //! model reproduces the mechanism (see `nbl-sched`).
 
-use super::{program, RunScale, LATENCIES};
-use nbl_sched::compile::compile;
+use super::{engine, program, RunScale, LATENCIES};
+use nbl_trace::ir::Program;
 use nbl_trace::workloads::DETAILED_FIVE;
 use std::io::Write;
 
@@ -46,14 +46,25 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     // fpppp is appended to the paper's five: at our workload scale it is
     // the benchmark whose register pressure actually crosses the spill
     // threshold, demonstrating the reference-count mechanism.
-    for name in DETAILED_FIVE.iter().copied().chain(std::iter::once("fpppp")) {
-        let p = program(name, scale);
+    let names: Vec<&str> =
+        DETAILED_FIVE.iter().copied().chain(std::iter::once("fpppp")).collect();
+    let programs: Vec<Program> = names.iter().map(|name| program(name, scale)).collect();
+    // All (benchmark, latency) compilations in parallel, through the
+    // shared cache — the sweeps that follow in an `all` run reuse them.
+    let nl = LATENCIES.len();
+    let mixes = engine().pool().run(programs.len() * nl, |idx| {
+        let c = engine()
+            .cache()
+            .get_or_compile(&programs[idx / nl], LATENCIES[idx % nl])
+            .expect("workloads compile");
+        c.dynamic_mix()
+    });
+    for (b, name) in names.iter().enumerate() {
         let mut insts = Vec::new();
         let mut loads = Vec::new();
         let mut stores = Vec::new();
-        for lat in LATENCIES {
-            let c = compile(&p, lat).expect("workloads compile");
-            let (l, s, o) = c.dynamic_mix();
+        for (i, lat) in LATENCIES.into_iter().enumerate() {
+            let (l, s, o) = mixes[b * nl + i];
             insts.push((lat, l + s + o));
             loads.push((lat, l));
             stores.push((lat, s));

@@ -2,23 +2,21 @@
 //! scheduled load latency, measured on the unrestricted configuration
 //! with the baseline system.
 
-use super::{program, RunScale, LATENCIES};
+use super::{engine, program, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::driver::run_program;
 use nbl_sim::report;
+use nbl_trace::ir::Program;
 use std::io::Write;
 
 /// Prints the Fig. 6 table.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("doduc", scale);
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let mut results = Vec::new();
-    for lat in LATENCIES {
-        let r = run_program(&p, &base.clone().at_latency(lat)).expect("doduc compiles");
-        results.push((lat, r));
-    }
+    let jobs: Vec<(&Program, SimConfig)> =
+        LATENCIES.into_iter().map(|lat| (&p, base.clone().at_latency(lat))).collect();
+    let results = engine().run_many(&jobs).expect("doduc compiles");
     let rows: Vec<(u32, &nbl_sim::driver::RunResult)> =
-        results.iter().map(|(l, r)| (*l, r)).collect();
+        LATENCIES.into_iter().zip(results.iter()).collect();
     let _ = writeln!(out, "== Figure 6: in-flight misses and fetches for doduc ==");
     let _ = writeln!(out, "{}", report::inflight_table("doduc", &rows));
 }

@@ -17,11 +17,20 @@ pub mod fig6;
 pub mod figs_baseline;
 
 use nbl_sim::config::{HwConfig, SimConfig};
-use nbl_sim::sweep::{latency_sweep, LatencySweep};
+use nbl_sim::sweep::{LatencySweep, SweepEngine};
 use nbl_trace::ir::Program;
 use nbl_trace::workloads::{build, Scale};
 use std::path::PathBuf;
 use std::sync::OnceLock;
+
+/// The process-wide parallel sweep engine every exhibit runs on: its pool
+/// fans `(benchmark, latency, configuration)` cells across threads
+/// (`NBL_THREADS` overrides the count) and its cache compiles each
+/// `(benchmark, latency)` pair at most once per invocation, however many
+/// exhibits replay it.
+pub fn engine() -> &'static SweepEngine {
+    SweepEngine::global()
+}
 
 static CSV_DIR: OnceLock<PathBuf> = OnceLock::new();
 
@@ -69,10 +78,28 @@ pub fn program(name: &str, scale: RunScale) -> Program {
     build(name, scale.workload_scale()).unwrap_or_else(|| panic!("unknown benchmark {name}"))
 }
 
+/// Builds several benchmark programs.
+pub fn programs_for(names: &[&str], scale: RunScale) -> Vec<Program> {
+    names.iter().map(|name| program(name, scale)).collect()
+}
+
+/// Runs a `benchmarks × configs` grid on the shared engine and returns
+/// `mcpi[bench][config]`, rows in benchmark order — the workhorse behind
+/// the ablation and extension tables.
+pub fn mcpi_grid(programs: &[Program], cfgs: &[SimConfig]) -> Vec<Vec<f64>> {
+    let jobs: Vec<(&Program, SimConfig)> =
+        programs.iter().flat_map(|p| cfgs.iter().map(move |c| (p, c.clone()))).collect();
+    let results = engine().run_many(&jobs).expect("workloads compile");
+    results.chunks(cfgs.len()).map(|row| row.iter().map(|r| r.mcpi).collect()).collect()
+}
+
 /// The full baseline latency sweep (7 configurations × 6 latencies) for
-/// one benchmark — the data behind Figs. 5–12 and 15–17.
+/// one benchmark — the data behind Figs. 5–12 and 15–17. Runs on the
+/// shared [`engine`], so the 42 cells execute in parallel and the six
+/// compilations are shared with every other exhibit.
 pub fn baseline_sweep(name: &str, scale: RunScale, base: &SimConfig) -> LatencySweep {
     let p = program(name, scale);
-    latency_sweep(&p, base, &HwConfig::baseline_seven(), &LATENCIES)
+    engine()
+        .latency_sweep(&p, base, &HwConfig::baseline_seven(), &LATENCIES)
         .expect("workloads compile at all latencies")
 }

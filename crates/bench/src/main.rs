@@ -6,14 +6,82 @@
 //! cargo run -p nbl-bench --release -- fig5 fig13     # selected exhibits
 //! cargo run -p nbl-bench --release -- all --quick    # smoke-scale
 //! cargo run -p nbl-bench --release -- all --out results.txt
+//! NBL_THREADS=4 cargo run -p nbl-bench --release -- all   # fixed pool
 //! ```
+//!
+//! Simulation cells run on the parallel sweep engine (worker count from
+//! `NBL_THREADS` or the machine); every exhibit is timed, and a throughput
+//! summary (wall clock, simulated instructions per second, compile-cache
+//! counters) prints at the end of the run.
 
 mod experiments;
 
 use experiments::RunScale;
+use nbl_sim::telemetry::{Telemetry, TelemetrySnapshot};
 use std::io::Write;
+use std::time::Instant;
 
 const USAGE: &str = "usage: figures <all | fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 compare ablations extensions ...> [--quick] [--out FILE] [--csv DIR]";
+
+/// One timed exhibit: name, wall-clock seconds, simulated work done.
+struct Timing {
+    name: &'static str,
+    wall: f64,
+    work: TelemetrySnapshot,
+}
+
+/// Runs one exhibit, recording its wall clock and simulated-work delta.
+fn timed<T>(timings: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let before = Telemetry::global().snapshot();
+    let t0 = Instant::now();
+    let value = f();
+    timings.push(Timing { name, wall: t0.elapsed().as_secs_f64(), work: Telemetry::global().snapshot().since(before) });
+    value
+}
+
+fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
+    let threads = experiments::engine().pool().threads();
+    let _ = writeln!(out, "== Throughput summary ({threads} worker thread{}) ==", if threads == 1 { "" } else { "s" });
+    let _ = writeln!(
+        out,
+        "{:>12} {:>9} {:>7} {:>10} {:>12}",
+        "exhibit", "wall (s)", "runs", "Minst", "Minst/s"
+    );
+    let mut total_wall = 0.0;
+    let mut total = TelemetrySnapshot::default();
+    for t in timings {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>9.2} {:>7} {:>10.1} {:>12.2}",
+            t.name,
+            t.wall,
+            t.work.runs,
+            t.work.instructions as f64 / 1e6,
+            t.work.inst_per_sec(t.wall) / 1e6,
+        );
+        total_wall += t.wall;
+        total = TelemetrySnapshot {
+            instructions: total.instructions + t.work.instructions,
+            cycles: total.cycles + t.work.cycles,
+            runs: total.runs + t.work.runs,
+        };
+    }
+    let _ = writeln!(
+        out,
+        "{:>12} {:>9.2} {:>7} {:>10.1} {:>12.2}",
+        "total",
+        total_wall,
+        total.runs,
+        total.instructions as f64 / 1e6,
+        total.inst_per_sec(total_wall) / 1e6,
+    );
+    let cache = experiments::engine().cache().stats();
+    let _ = writeln!(
+        out,
+        "compile cache: {} compilations, {} reuses (each (benchmark, latency) pair compiled once)",
+        cache.compiles, cache.hits
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +108,7 @@ fn main() {
         println!("exhibits: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19");
         println!("extras:   compare (paper vs measured), ablations, extensions, all");
         println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs)");
+        println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
         return;
     }
     if wanted.is_empty() {
@@ -54,67 +123,70 @@ fn main() {
         sinks.push(Box::new(std::fs::File::create(path).expect("create output file")));
     }
     let mut out = Tee(sinks);
+    let mut timings: Vec<Timing> = Vec::new();
+    let t = &mut timings;
 
     if want("compare") {
-        experiments::compare::run(&mut out, scale);
+        timed(t, "compare", || experiments::compare::run(&mut out, scale));
     }
     if want("fig4") {
-        experiments::fig4::run(&mut out, scale);
+        timed(t, "fig4", || experiments::fig4::run(&mut out, scale));
     }
     // Figures 5–8 share the doduc baseline sweep.
     let needs_doduc_sweep = ["fig5", "fig7", "fig8"].iter().any(|f| want(f));
-    let doduc_sweep =
-        needs_doduc_sweep.then(|| experiments::figs_baseline::fig5(&mut out, scale));
+    let doduc_sweep = needs_doduc_sweep
+        .then(|| timed(t, "fig5", || experiments::figs_baseline::fig5(&mut out, scale)));
     if want("fig6") {
-        experiments::fig6::run(&mut out, scale);
+        timed(t, "fig6", || experiments::fig6::run(&mut out, scale));
     }
     if let Some(sweep) = &doduc_sweep {
         if want("fig7") {
-            experiments::figs_baseline::fig7(&mut out, sweep);
+            timed(t, "fig7", || experiments::figs_baseline::fig7(&mut out, sweep));
         }
         if want("fig8") {
-            experiments::figs_baseline::fig8(&mut out, sweep);
+            timed(t, "fig8", || experiments::figs_baseline::fig8(&mut out, sweep));
         }
     }
     if want("fig9") {
-        experiments::figs_baseline::fig9(&mut out, scale);
+        timed(t, "fig9", || experiments::figs_baseline::fig9(&mut out, scale));
     }
     if want("fig10") {
-        experiments::figs_baseline::fig10(&mut out, scale);
+        timed(t, "fig10", || experiments::figs_baseline::fig10(&mut out, scale));
     }
     if want("fig11") {
-        experiments::figs_baseline::fig11(&mut out, scale);
+        timed(t, "fig11", || experiments::figs_baseline::fig11(&mut out, scale));
     }
     if want("fig12") {
-        experiments::figs_baseline::fig12(&mut out, scale);
+        timed(t, "fig12", || experiments::figs_baseline::fig12(&mut out, scale));
     }
     if want("fig13") {
-        experiments::fig13::run(&mut out, scale);
+        timed(t, "fig13", || experiments::fig13::run(&mut out, scale));
     }
     if want("fig14") {
-        experiments::fig14::run(&mut out, scale);
+        timed(t, "fig14", || experiments::fig14::run(&mut out, scale));
     }
     if want("fig15") {
-        experiments::fig15::run(&mut out, scale);
+        timed(t, "fig15", || experiments::fig15::run(&mut out, scale));
     }
     if want("fig16") {
-        experiments::figs_baseline::fig16(&mut out, scale);
+        timed(t, "fig16", || experiments::figs_baseline::fig16(&mut out, scale));
     }
     if want("fig17") {
-        experiments::figs_baseline::fig17(&mut out, scale);
+        timed(t, "fig17", || experiments::figs_baseline::fig17(&mut out, scale));
     }
     if want("fig18") {
-        experiments::fig18::run(&mut out, scale);
+        timed(t, "fig18", || experiments::fig18::run(&mut out, scale));
     }
     if want("fig19") {
-        experiments::fig19::run(&mut out, scale);
+        timed(t, "fig19", || experiments::fig19::run(&mut out, scale));
     }
     if want("ablations") {
-        experiments::ablations::run(&mut out, scale);
+        timed(t, "ablations", || experiments::ablations::run(&mut out, scale));
     }
     if want("extensions") {
-        experiments::extensions::run(&mut out, scale);
+        timed(t, "extensions", || experiments::extensions::run(&mut out, scale));
     }
+    print_summary(&mut out, &timings);
 }
 
 /// Writes to every sink (stdout + optional file).

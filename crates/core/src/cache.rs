@@ -14,6 +14,7 @@
 use crate::geometry::CacheGeometry;
 use crate::mshr::{MissKind, MissRequest, MshrBank, MshrConfig, MshrResponse, Rejection, TargetRecord};
 use crate::types::{Addr, BlockAddr, Dest, LoadFormat};
+use std::collections::HashMap;
 use std::fmt;
 
 /// What happens on a store miss.
@@ -193,7 +194,15 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct LockupFreeCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Tag store, flattened: the lines of set `s` occupy
+    /// `lines[s * ways .. (s + 1) * ways]`.
+    lines: Vec<Line>,
+    ways: usize,
+    /// Resident-block index (block → flat line slot), maintained only when
+    /// the associativity is high enough that the tag probe's linear scan
+    /// costs more than a hash lookup (e.g. the fully associative geometry
+    /// of Fig. 10, where a probe would otherwise compare 256 tags).
+    index: Option<HashMap<BlockAddr, u32>>,
     mshrs: MshrBank,
     counters: CacheCounters,
     use_clock: u64,
@@ -202,17 +211,25 @@ pub struct LockupFreeCache {
     victims: Vec<BlockAddr>,
 }
 
+/// Associativity above which probes go through the block index instead of
+/// scanning the set's tags. At 8 ways and below the scan is a handful of
+/// contiguous compares and beats the hash.
+const INDEXED_LOOKUP_MIN_WAYS: usize = 16;
+
 impl LockupFreeCache {
     /// Builds an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> LockupFreeCache {
         let geometry = config.geometry;
-        let sets = (0..geometry.num_sets())
-            .map(|_| vec![Line { valid: false, tag: 0, last_use: 0 }; geometry.ways() as usize])
-            .collect();
+        let ways = geometry.ways() as usize;
+        let lines =
+            vec![Line { valid: false, tag: 0, last_use: 0 }; geometry.num_sets() as usize * ways];
+        let index = (ways >= INDEXED_LOOKUP_MIN_WAYS).then(HashMap::new);
         let mshrs = MshrBank::new(&config.mshr, &geometry);
         LockupFreeCache {
             config,
-            sets,
+            lines,
+            ways,
+            index,
             mshrs,
             counters: CacheCounters::default(),
             use_clock: 0,
@@ -248,19 +265,60 @@ impl LockupFreeCache {
         &self.mshrs
     }
 
-    fn probe(&mut self, block: BlockAddr) -> bool {
+    /// The flat `lines` range holding `set`.
+    #[inline]
+    fn set_slots(&self, set: u32) -> std::ops::Range<usize> {
+        let start = set as usize * self.ways;
+        start..start + self.ways
+    }
+
+    /// Reconstructs the block address resident in `slot`.
+    #[inline]
+    fn block_at(&self, slot: usize) -> BlockAddr {
+        let set = (slot / self.ways) as u64;
+        let set_bits = self.config.geometry.num_sets().trailing_zeros();
+        BlockAddr((self.lines[slot].tag << set_bits) | set)
+    }
+
+    /// Flat slot of `block` if it is resident: an O(1) index lookup for
+    /// high-associativity geometries, a short tag scan otherwise.
+    #[inline]
+    fn find_resident(&self, block: BlockAddr) -> Option<usize> {
+        if let Some(index) = &self.index {
+            return index.get(&block).map(|&s| s as usize);
+        }
         let set = self.config.geometry.set_of_block(block);
         let tag = self.config.geometry.tag_of_block(block);
-        self.use_clock += 1;
-        let clock = self.use_clock;
-        let lines = &mut self.sets[set as usize];
-        for line in lines.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.last_use = clock;
-                return true;
+        let range = self.set_slots(set);
+        self.lines[range.clone()]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|i| range.start + i)
+    }
+
+    /// The least-recently-used slot of `range` (first on ties, matching
+    /// iteration order over the set).
+    #[inline]
+    fn lru_slot(&self, range: std::ops::Range<usize>) -> usize {
+        let mut best = range.start;
+        for s in range {
+            if self.lines[s].last_use < self.lines[best].last_use {
+                best = s;
             }
         }
-        false
+        best
+    }
+
+    fn probe(&mut self, block: BlockAddr) -> bool {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        match self.find_resident(block) {
+            Some(slot) => {
+                self.lines[slot].last_use = clock;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Records an evicted block in the victim buffer (if configured).
@@ -287,25 +345,26 @@ impl LockupFreeCache {
         let tag = self.config.geometry.tag_of_block(block);
         self.use_clock += 1;
         let clock = self.use_clock;
-        let set_bits = self.config.geometry.num_sets().trailing_zeros();
-        let lines = &mut self.sets[set as usize];
-        let slot = if let Some(i) = lines.iter().position(|l| !l.valid) {
-            i
+        let range = self.set_slots(set);
+        let slot = if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
+            range.start + i
         } else {
-            let (i, occupant) = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, l)| (i, BlockAddr((l.tag << set_bits) | u64::from(set))))
-                .expect("sets always have lines");
+            let slot = self.lru_slot(range);
+            let occupant = self.block_at(slot);
             // The classic victim-cache swap: displaced line enters the buffer.
             self.victims.push(occupant);
             if self.victims.len() > self.config.victim_entries {
                 self.victims.remove(0);
             }
-            i
+            if let Some(index) = &mut self.index {
+                index.remove(&occupant);
+            }
+            slot
         };
-        self.sets[set as usize][slot] = Line { valid: true, tag, last_use: clock };
+        self.lines[slot] = Line { valid: true, tag, last_use: clock };
+        if let Some(index) = &mut self.index {
+            index.insert(block, slot as u32);
+        }
         true
     }
 
@@ -400,15 +459,18 @@ impl LockupFreeCache {
     /// the replacement candidate so the set's storage is the MSHR.
     fn claim_victim_for_transit(&mut self, block: BlockAddr) {
         let set = self.config.geometry.set_of_block(block);
-        let lines = &mut self.sets[set as usize];
-        if let Some(line) = lines.iter_mut().find(|l| !l.valid) {
+        let range = self.set_slots(set);
+        if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
             // A free line will hold the fetch; nothing to evict.
-            line.last_use = 0;
+            self.lines[range.start + i].last_use = 0;
             return;
         }
-        let victim =
-            lines.iter_mut().min_by_key(|l| l.last_use).expect("sets always have lines");
-        victim.valid = false;
+        let slot = self.lru_slot(range);
+        let victim = self.block_at(slot);
+        self.lines[slot].valid = false;
+        if let Some(index) = &mut self.index {
+            index.remove(&victim);
+        }
     }
 
     /// Installs the line for `block` (evicting the LRU victim if the set is
@@ -421,28 +483,27 @@ impl LockupFreeCache {
         let tag = self.config.geometry.tag_of_block(block);
         self.use_clock += 1;
         let clock = self.use_clock;
-        let lines = &mut self.sets[set as usize];
-        let slot = if let Some(i) = lines.iter().position(|l| l.valid && l.tag == tag) {
-            i // refetch of a line already present (possible after races)
-        } else if let Some(i) = lines.iter().position(|l| !l.valid) {
-            i
+        let range = self.set_slots(set);
+        let slot = if let Some(s) = self.find_resident(block) {
+            s // refetch of a line already present (possible after races)
+        } else if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
+            range.start + i
         } else {
-            lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("sets always have lines")
+            self.lru_slot(range)
         };
         let evicted = {
-            let line = &lines[slot];
-            let set_bits = self.config.geometry.num_sets().trailing_zeros();
-            (line.valid && line.tag != tag)
-                .then(|| BlockAddr((line.tag << set_bits) | u64::from(set)))
+            let line = &self.lines[slot];
+            (line.valid && line.tag != tag).then(|| self.block_at(slot))
         };
-        lines[slot] = Line { valid: true, tag, last_use: clock };
+        self.lines[slot] = Line { valid: true, tag, last_use: clock };
         if let Some(v) = evicted {
+            if let Some(index) = &mut self.index {
+                index.remove(&v);
+            }
             self.remember_victim(v);
+        }
+        if let Some(index) = &mut self.index {
+            index.insert(block, slot as u32);
         }
         self.counters.fills += 1;
         self.mshrs.fill(block)
@@ -450,9 +511,7 @@ impl LockupFreeCache {
 
     /// `true` if `block` currently resides in the cache (ignoring transit).
     pub fn contains_block(&self, block: BlockAddr) -> bool {
-        let set = self.config.geometry.set_of_block(block);
-        let tag = self.config.geometry.tag_of_block(block);
-        self.sets[set as usize].iter().any(|l| l.valid && l.tag == tag)
+        self.find_resident(block).is_some()
     }
 }
 

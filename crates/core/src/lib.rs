@@ -50,6 +50,7 @@ pub mod geometry;
 pub mod inst;
 pub mod limit;
 pub mod mshr;
+pub mod rng;
 pub mod types;
 
 pub use cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};

@@ -2,7 +2,9 @@
 //! latency, stream it through the configured processor, and collect the
 //! paper's metrics.
 
+use crate::compile_cache::CompileCache;
 use crate::config::SimConfig;
+use crate::telemetry::Telemetry;
 use nbl_core::geometry::CacheGeometry;
 use nbl_cpu::core_engine::{EngineConfig, L2Params};
 use nbl_cpu::dual::DualIssueProcessor;
@@ -164,7 +166,22 @@ pub fn run_compiled(benchmark: &str, compiled: &CompiledProgram, cfg: &SimConfig
     let mut cpu = Processor::new(engine);
     Executor::new(compiled).run(&mut SingleSink(&mut cpu));
     cpu.finish();
-    summarize(benchmark, cfg, compiled, &cpu)
+    let result = summarize(benchmark, cfg, compiled, &cpu);
+    Telemetry::global().record_run(result.instructions, result.cycles);
+    result
+}
+
+/// Like [`run_program`], but compiling through the process-wide
+/// [`CompileCache`] — repeated runs of one `(benchmark, latency)` pair
+/// (across configurations, experiments, or pool workers) share a single
+/// compilation.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the compiler model.
+pub fn run_program_cached(program: &Program, cfg: &SimConfig) -> Result<RunResult, CompileError> {
+    let compiled = CompileCache::global().get_or_compile(program, cfg.load_latency)?;
+    Ok(run_compiled(&program.name, &compiled, cfg))
 }
 
 /// Compiles `program` for `cfg.load_latency` and runs it.
@@ -205,6 +222,28 @@ pub struct DualRunResult {
 /// Propagates [`CompileError`] from the compiler model.
 pub fn run_dual(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, CompileError> {
     let compiled = compile(program, cfg.load_latency)?;
+    Ok(run_dual_compiled(&program.name, &compiled, cfg))
+}
+
+/// Like [`run_dual`], but compiling through the process-wide
+/// [`CompileCache`].
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the compiler model.
+pub fn run_dual_cached(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, CompileError> {
+    let compiled = CompileCache::global().get_or_compile(program, cfg.load_latency)?;
+    Ok(run_dual_compiled(&program.name, &compiled, cfg))
+}
+
+/// The dual-issue run on an already-compiled program (which must match
+/// `cfg.load_latency`).
+pub fn run_dual_compiled(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+) -> DualRunResult {
+    debug_assert_eq!(compiled.load_latency, cfg.load_latency);
     let mk_engine = |perfect: bool| {
         let mut cache = cfg.hw.cache_config(cfg.geometry);
         cache.victim_entries = cfg.victim_entries;
@@ -217,21 +256,24 @@ pub fn run_dual(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, Com
         }
     };
     let mut perfect = DualIssueProcessor::new(mk_engine(true));
-    Executor::new(&compiled).run(&mut DualSink(&mut perfect));
+    Executor::new(compiled).run(&mut DualSink(&mut perfect));
     perfect.finish();
     let mut real = DualIssueProcessor::new(mk_engine(false));
-    Executor::new(&compiled).run(&mut DualSink(&mut real));
+    Executor::new(compiled).run(&mut DualSink(&mut real));
     real.finish();
     let instructions = real.stats().instructions;
-    Ok(DualRunResult {
-        benchmark: program.name.clone(),
+    // Both passes (perfect + real) are simulated work.
+    Telemetry::global().record_run(instructions, perfect.now().0);
+    Telemetry::global().record_run(instructions, real.now().0);
+    DualRunResult {
+        benchmark: benchmark.to_string(),
         config: cfg.hw.label(),
         instructions,
         cycles: real.now().0,
         perfect_cycles: perfect.now().0,
         ipc: instructions as f64 / perfect.now().0.max(1) as f64,
         mcpi: real.mcpi_against(perfect.now()),
-    })
+    }
 }
 
 impl RunResult {

@@ -9,15 +9,31 @@
 //!   producing a [`driver::RunResult`] with every metric the paper plots
 //!   (MCPI, stall breakdown, miss rates, in-flight histograms);
 //! * [`sweep`] — configuration × latency and configuration × penalty
-//!   sweeps with compilation shared across configurations;
+//!   sweeps with compilation shared across configurations, serially or on
+//!   the parallel [`sweep::SweepEngine`];
+//! * [`pool`] — the scoped-thread job pool behind the parallel sweeps
+//!   (`NBL_THREADS` overrides the worker count);
+//! * [`compile_cache`] — exactly-once compilation per `(benchmark,
+//!   latency)` pair, shared by reference across configurations and sweeps;
+//! * [`telemetry`] — process-wide counters of simulated work, for
+//!   throughput reporting;
 //! * [`report`] — fixed-width text rendering in the shape of the paper's
 //!   figures and tables.
 
+pub mod compile_cache;
 pub mod config;
 pub mod driver;
+pub mod pool;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 
+pub use compile_cache::{CacheStats, CompileCache};
 pub use config::{HwConfig, IssueWidth, SimConfig};
-pub use driver::{run_compiled, run_dual, run_program, DualRunResult, RunResult};
-pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep};
+pub use driver::{
+    run_compiled, run_dual, run_dual_cached, run_dual_compiled, run_program, run_program_cached,
+    DualRunResult, RunResult,
+};
+pub use pool::{available_threads, JobPool};
+pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep, SweepEngine};
+pub use telemetry::{Telemetry, TelemetrySnapshot};

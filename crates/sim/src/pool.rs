@@ -1,0 +1,165 @@
+//! A scoped-thread job pool for embarrassingly parallel sweep cells.
+//!
+//! The paper's studies are thousands of independent `(benchmark, latency,
+//! configuration)` simulations; this pool runs them across OS threads with
+//! no external dependencies: [`std::thread::scope`] plus a chunked atomic
+//! work queue. Results are placed in **input order** — `run(n, f)` returns
+//! exactly `[f(0), f(1), …, f(n-1)]` regardless of which worker computed
+//! each job — so parallel sweeps are bit-identical to serial ones.
+//!
+//! Thread count comes from the `NBL_THREADS` environment variable when set
+//! (any value ≥ 1), else from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Jobs claimed per queue transaction, per worker. Small enough to keep
+/// workers load-balanced when cell costs vary by benchmark, large enough
+/// that the shared counter is not contended.
+const MAX_CHUNK: usize = 64;
+
+/// Parses an `NBL_THREADS`-style override. `None` (unset, empty, garbage,
+/// or zero) means "no override".
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// The worker count to use by default: `NBL_THREADS` if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+pub fn available_threads() -> usize {
+    parse_threads(std::env::var("NBL_THREADS").ok().as_deref())
+        .or_else(|| std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok())
+        .unwrap_or(1)
+}
+
+/// A fixed-width pool of scoped workers. Creating one is free — threads
+/// are spawned per [`JobPool::run`] call and joined before it returns, so
+/// borrowed state (`&Program`, `&SimConfig`) flows into jobs without
+/// `'static` bounds or `Arc`.
+#[derive(Debug, Clone)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// A pool that will use `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A pool sized by [`available_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// Worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(jobs-1)` across the pool's workers and
+    /// returns the results in input order.
+    ///
+    /// With one worker (or ≤ 1 job) this degenerates to a plain serial
+    /// loop on the calling thread — no threads are spawned, so the serial
+    /// and parallel paths share one code path for determinism tests.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job after all workers have drained.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let chunk = (jobs / (self.threads * 4)).clamp(1, MAX_CHUNK);
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs);
+        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= jobs {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(jobs) {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        });
+        // Merge worker-local results back into input order.
+        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        for part in parts {
+            for (i, t) in part {
+                debug_assert!(slots[i].is_none(), "job {i} produced twice");
+                slots[i] = Some(t);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every job produces exactly one result")).collect()
+    }
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_input_ordered_with_more_jobs_than_threads() {
+        // 4 workers, 257 jobs (not a multiple of the chunk size): every
+        // slot must hold its own job's value, in input order.
+        let pool = JobPool::new(4);
+        let out = pool.run(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let pool = JobPool::new(3);
+        let out = pool.run(100, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_and_serial_fallback() {
+        assert!(JobPool::new(8).run(0, |i| i).is_empty());
+        assert_eq!(JobPool::new(1).run(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        // threads=0 is clamped up to a serial pool rather than deadlocking.
+        assert_eq!(JobPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads(Some("8")), Some(8));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None, "zero means no override");
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+        assert!(available_threads() >= 1);
+    }
+}

@@ -7,10 +7,13 @@
 //! pair is compiled once and replayed under every configuration, exactly
 //! as the paper replays each binary.
 
+use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, SimConfig};
 use crate::driver::{run_compiled, RunResult};
+use crate::pool::JobPool;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::ir::Program;
+use std::sync::OnceLock;
 
 /// MCPI-vs-load-latency curves for one benchmark (the shape of Figs. 5,
 /// 9–12, 15–17).
@@ -121,6 +124,149 @@ pub fn penalty_sweep(
     })
 }
 
+/// The parallel sweep engine: a [`JobPool`] plus a [`CompileCache`].
+///
+/// Sweeps flatten their `(benchmark, latency, configuration)` grids into a
+/// single pool invocation; each cell fetches its compiled program from the
+/// cache (compiled exactly once per `(benchmark, latency)` pair, however
+/// many configurations or sweeps replay it) and simulates independently.
+/// The pool places results in input order, so the parallel sweeps return
+/// [`RunResult`]s **identical** to the serial ones.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    pool: JobPool,
+    cache: CompileCache,
+}
+
+impl SweepEngine {
+    /// An engine with `threads` workers and a fresh cache.
+    pub fn new(threads: usize) -> Self {
+        Self { pool: JobPool::new(threads), cache: CompileCache::new() }
+    }
+
+    /// The process-wide engine: default thread count (`NBL_THREADS` or the
+    /// machine's parallelism) and a cache shared across every sweep, so a
+    /// whole bench invocation compiles each pair at most once.
+    pub fn global() -> &'static SweepEngine {
+        static GLOBAL: OnceLock<SweepEngine> = OnceLock::new();
+        GLOBAL.get_or_init(|| Self { pool: JobPool::with_default_threads(), cache: CompileCache::new() })
+    }
+
+    /// The engine's pool (e.g. for ad-hoc fan-out over benchmarks).
+    pub fn pool(&self) -> &JobPool {
+        &self.pool
+    }
+
+    /// The engine's compile cache (e.g. for counter reporting).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Parallel [`latency_sweep`]: identical results, cells run on the
+    /// pool, compilation via the engine's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compiler model.
+    pub fn latency_sweep(
+        &self,
+        program: &Program,
+        base: &SimConfig,
+        configs: &[HwConfig],
+        latencies: &[u32],
+    ) -> Result<LatencySweep, CompileError> {
+        let sweeps = self.grid_sweep(&[program], base, configs, latencies)?;
+        Ok(sweeps.into_iter().next().expect("one program in, one sweep out"))
+    }
+
+    /// Cross-benchmark sweep: every `(program, latency, config)` cell of
+    /// the full grid runs as one flat pool invocation, one [`LatencySweep`]
+    /// per program returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compiler model.
+    pub fn grid_sweep(
+        &self,
+        programs: &[&Program],
+        base: &SimConfig,
+        configs: &[HwConfig],
+        latencies: &[u32],
+    ) -> Result<Vec<LatencySweep>, CompileError> {
+        let (nl, nc) = (latencies.len(), configs.len());
+        let cells = self.pool.run(programs.len() * nl * nc, |idx| {
+            let program = programs[idx / (nl * nc)];
+            let lat = latencies[(idx / nc) % nl];
+            let compiled = self.cache.get_or_compile(program, lat)?;
+            let cfg = SimConfig { hw: configs[idx % nc].clone(), ..base.clone() }.at_latency(lat);
+            Ok(run_compiled(&program.name, &compiled, &cfg))
+        });
+        let mut iter = cells.into_iter();
+        programs
+            .iter()
+            .map(|program| {
+                let mut rows = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    rows.push(iter.by_ref().take(nc).collect::<Result<Vec<_>, _>>()?);
+                }
+                Ok(LatencySweep {
+                    benchmark: program.name.clone(),
+                    configs: configs.iter().map(HwConfig::label).collect(),
+                    latencies: latencies.to_vec(),
+                    rows,
+                })
+            })
+            .collect()
+    }
+
+    /// Parallel [`penalty_sweep`]: identical results, cells run on the
+    /// pool, the single compilation via the engine's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compiler model.
+    pub fn penalty_sweep(
+        &self,
+        program: &Program,
+        base: &SimConfig,
+        configs: &[HwConfig],
+        penalties: &[u32],
+    ) -> Result<PenaltySweep, CompileError> {
+        let compiled = self.cache.get_or_compile(program, base.load_latency)?;
+        let nc = configs.len();
+        let cells = self.pool.run(penalties.len() * nc, |idx| {
+            let cfg = SimConfig { hw: configs[idx % nc].clone(), ..base.clone() }
+                .with_penalty(penalties[idx / nc]);
+            run_compiled(&program.name, &compiled, &cfg)
+        });
+        let mut iter = cells.into_iter();
+        Ok(PenaltySweep {
+            benchmark: program.name.clone(),
+            configs: configs.iter().map(HwConfig::label).collect(),
+            penalties: penalties.to_vec(),
+            rows: penalties.iter().map(|_| iter.by_ref().take(nc).collect()).collect(),
+        })
+    }
+
+    /// Runs many independent `(program, config)` jobs on the pool, results
+    /// in input order, compilation cached. The workhorse for experiment
+    /// tables that aren't latency sweeps (per-benchmark rows, ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compiler model.
+    pub fn run_many(&self, jobs: &[(&Program, SimConfig)]) -> Result<Vec<RunResult>, CompileError> {
+        self.pool
+            .run(jobs.len(), |i| {
+                let (program, cfg) = &jobs[i];
+                let compiled = self.cache.get_or_compile(program, cfg.load_latency)?;
+                Ok(run_compiled(&program.name, &compiled, cfg))
+            })
+            .into_iter()
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +286,79 @@ mod tests {
         assert_eq!(r.load_latency, 10);
         assert!(s.at("mc=7", 10).is_none());
         assert!(s.at("mc=1", 11).is_none());
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_exactly() {
+        // The determinism contract: parallel execution returns RunResults
+        // *equal* (full struct equality, every metric) to the serial path,
+        // across ≥2 benchmarks × 2 latencies × 3 configs.
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let configs = [HwConfig::Mc(1), HwConfig::Fc(4), HwConfig::NoRestrict];
+        let latencies = [2, 10];
+        let engine = SweepEngine::new(4);
+        for name in ["doduc", "eqntott"] {
+            let p = build(name, Scale::quick()).unwrap();
+            let serial = latency_sweep(&p, &base, &configs, &latencies).unwrap();
+            let parallel = engine.latency_sweep(&p, &base, &configs, &latencies).unwrap();
+            assert_eq!(serial.configs, parallel.configs);
+            assert_eq!(serial.latencies, parallel.latencies);
+            assert_eq!(serial.rows, parallel.rows, "{name}: parallel must be bit-identical");
+        }
+        // And the penalty sweep.
+        let p = build("tomcatv", Scale::quick()).unwrap();
+        let serial = penalty_sweep(&p, &base, &configs, &[8, 32]).unwrap();
+        let parallel = engine.penalty_sweep(&p, &base, &configs, &[8, 32]).unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn grid_sweep_shape_and_compile_sharing() {
+        let engine = SweepEngine::new(3);
+        let doduc = build("doduc", Scale::quick()).unwrap();
+        let eqntott = build("eqntott", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let configs = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::NoRestrict];
+        let latencies = [1, 10];
+        let sweeps =
+            engine.grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies).unwrap();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].benchmark, "doduc");
+        assert_eq!(sweeps[1].benchmark, "eqntott");
+        for s in &sweeps {
+            assert_eq!(s.rows.len(), 2);
+            assert_eq!(s.rows[0].len(), 3);
+            for (i, row) in s.rows.iter().enumerate() {
+                for (j, r) in row.iter().enumerate() {
+                    assert_eq!(r.benchmark, s.benchmark, "input-ordered placement");
+                    assert_eq!(r.load_latency, latencies[i]);
+                    assert_eq!(r.config, configs[j].label());
+                }
+            }
+        }
+        // 2 benchmarks × 2 latencies compiled; the 3 configs (and any
+        // repeat sweep) share those compilations.
+        let stats = engine.cache().stats();
+        assert_eq!(stats.compiles, 4, "each (benchmark, latency) pair compiles exactly once");
+        assert_eq!(stats.hits, 2 * 2 * 3 - 4);
+        engine.grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies).unwrap();
+        assert_eq!(engine.cache().stats().compiles, 4, "re-sweep recompiles nothing");
+    }
+
+    #[test]
+    fn run_many_matches_run_program() {
+        use crate::driver::run_program;
+        let engine = SweepEngine::new(2);
+        let p = build("xlisp", Scale::quick()).unwrap();
+        let jobs = [
+            (&p, SimConfig::baseline(HwConfig::Mc0)),
+            (&p, SimConfig::baseline(HwConfig::NoRestrict)),
+        ];
+        let out = engine.run_many(&jobs).unwrap();
+        assert_eq!(out.len(), 2);
+        for (job, got) in jobs.iter().zip(&out) {
+            assert_eq!(*got, run_program(job.0, &job.1).unwrap());
+        }
     }
 
     #[test]

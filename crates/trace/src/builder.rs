@@ -186,7 +186,7 @@ mod tests {
         assert!(p.blocks[0].is_carried(VirtReg(0)));
         assert!(!p.blocks[0].is_carried(VirtReg(1)));
         assert_eq!(p.blocks[0].op_mix(), (1, 1, 3));
-        assert_eq!(p.estimated_instructions(), 100 * 5 + 1 * 1);
+        assert_eq!(p.estimated_instructions(), 100 * 5 + 1);
     }
 
     #[test]

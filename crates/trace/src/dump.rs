@@ -393,7 +393,7 @@ mod tests {
             DynInst::alu(PhysReg::int(4), [Some(PhysReg::int(3)), None]),
             DynInst::branch([Some(PhysReg::int(4)), None]),
             DynInst::load(
-                Addr(0xffff_ffff_ff),
+                Addr(0x00ff_ffff_ffff),
                 PhysReg::fp(31),
                 LoadFormat { size: AccessSize::B1, sign_extend: true },
             ),
@@ -500,7 +500,7 @@ mod tests {
             TraceError::UnsupportedVersion(9),
             TraceError::Corrupt("x"),
             TraceError::CountMismatch { expected: 1, actual: 2 },
-            TraceError::Io(io::Error::new(io::ErrorKind::Other, "boom")),
+            TraceError::Io(io::Error::other("boom")),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -11,9 +11,8 @@
 use crate::ir::{AddrPattern, ScriptNode};
 use crate::machine::{CompiledProgram, InstSink, MachineOp};
 use nbl_core::inst::DynInst;
+use nbl_core::rng::SplitMix64;
 use nbl_core::types::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Runtime state of one address pattern.
 #[derive(Debug, Clone)]
@@ -72,10 +71,10 @@ fn single_cycle_permutation(nodes: u64, seed: u64) -> Vec<u32> {
     let n = nodes.max(1) as usize;
     assert!(n <= u32::MAX as usize, "chase arenas are bounded by u32 node indices");
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Sattolo: shuffle into a single cycle.
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..i);
+        let j = rng.next_below(i as u64) as usize;
         order.swap(i, j);
     }
     // order is a cyclic arrangement; successor of order[i] is order[i+1].

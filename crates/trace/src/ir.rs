@@ -36,7 +36,7 @@ pub struct BlockId(pub u32);
 /// program replays identically across runs and configurations — only the
 /// *code schedule* (produced by `nbl-sched` for a given load latency)
 /// changes the dynamic instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddrPattern {
     /// Sequential walk: element `i`, `i+stride`, ... over `length` elements
     /// of `elem_bytes` each, wrapping. Models array streaming (tomcatv's
@@ -87,7 +87,7 @@ pub enum AddrPattern {
 }
 
 /// One IR operation over virtual registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IrOp {
     /// Load the next address of `pattern` into `dst`. If `addr_src` is
     /// given, the load's address computation reads that register (a
@@ -162,7 +162,7 @@ impl IrOp {
 }
 
 /// A basic block over virtual registers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Hash, Default)]
 pub struct Block {
     /// Operations in generator ("program") order.
     pub ops: Vec<IrOp>,
@@ -203,7 +203,7 @@ impl Block {
 }
 
 /// Dynamic control structure: which blocks run, how often, in what nesting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub enum ScriptNode {
     /// Execute `block` `times` times consecutively.
     Run {
@@ -234,7 +234,7 @@ impl ScriptNode {
 }
 
 /// A complete workload program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct Program {
     /// Human-readable benchmark name (e.g. `"doduc"`).
     pub name: String,
@@ -448,16 +448,14 @@ mod tests {
 
     #[test]
     fn script_counting() {
-        let script = vec![
-            ScriptNode::Run { block: BlockId(0), times: 10 },
+        let script = [ScriptNode::Run { block: BlockId(0), times: 10 },
             ScriptNode::Loop {
                 body: vec![
                     ScriptNode::Run { block: BlockId(0), times: 2 },
                     ScriptNode::Run { block: BlockId(1), times: 1 },
                 ],
                 trips: 5,
-            },
-        ];
+            }];
         let total: u64 = script.iter().map(ScriptNode::dynamic_blocks).sum();
         assert_eq!(total, 10 + 5 * 3);
     }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline verification: the tier-1 gate plus lints. Everything here runs
+# with no network access — the workspace has no external dependencies.
+#
+#   scripts/verify.sh            # build + tests + clippy
+#   NBL_THREADS=4 scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: cargo build --release =="
+cargo build --release
+
+echo "== tier 1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke: parallel figures run =="
+cargo run --release -p nbl-bench -- fig5 --quick --out /dev/null >/dev/null
+
+echo "verify: OK"
