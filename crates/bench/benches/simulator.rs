@@ -62,13 +62,18 @@ fn cache_hit_path(filter: Option<&str>) {
     // Warm one line.
     cache.access_load(Addr(0x1000), Dest::Reg(PhysReg::int(1)), LoadFormat::WORD);
     cache.fill(cache.block_of(Addr(0x1000)));
-    bench("cache_hit_path/direct_mapped", filter, 1_000_000, &mut || {
-        black_box(cache.access_load(
-            black_box(Addr(0x1008)),
-            Dest::Reg(PhysReg::int(2)),
-            LoadFormat::WORD,
-        ));
-    });
+    bench(
+        "cache_hit_path/direct_mapped",
+        filter,
+        1_000_000,
+        &mut || {
+            black_box(cache.access_load(
+                black_box(Addr(0x1008)),
+                Dest::Reg(PhysReg::int(2)),
+                LoadFormat::WORD,
+            ));
+        },
+    );
 
     // The fully associative geometry of Fig. 10: 256 ways, where the tag
     // probe is the hot linear scan the indexed lookup replaces.
@@ -81,14 +86,19 @@ fn cache_hit_path(filter: Option<&str>) {
         fa.fill(fa.block_of(a));
     }
     let mut i = 0u64;
-    bench("cache_hit_path/fully_associative", filter, 1_000_000, &mut || {
-        i = (i + 1) % 256;
-        black_box(fa.access_load(
-            black_box(Addr(i * 32)),
-            Dest::Reg(PhysReg::int(2)),
-            LoadFormat::WORD,
-        ));
-    });
+    bench(
+        "cache_hit_path/fully_associative",
+        filter,
+        1_000_000,
+        &mut || {
+            i = (i + 1) % 256;
+            black_box(fa.access_load(
+                black_box(Addr(i * 32)),
+                Dest::Reg(PhysReg::int(2)),
+                LoadFormat::WORD,
+            ));
+        },
+    );
 }
 
 fn mshr_miss_fill_cycle(filter: Option<&str>) {
@@ -114,13 +124,18 @@ fn mshr_miss_fill_cycle(filter: Option<&str>) {
     for (name, mshr) in organizations {
         let mut cache = LockupFreeCache::new(CacheConfig::baseline(mshr));
         let mut addr = 0u64;
-        bench(&format!("mshr_miss_fill/{name}"), filter, 200_000, &mut || {
-            addr = addr.wrapping_add(0x2040);
-            let a = Addr(addr & 0xff_ffff);
-            let r = cache.access_load(a, Dest::Reg(PhysReg::int(3)), LoadFormat::WORD);
-            black_box(r);
-            black_box(cache.fill(cache.block_of(a)));
-        });
+        bench(
+            &format!("mshr_miss_fill/{name}"),
+            filter,
+            200_000,
+            &mut || {
+                addr = addr.wrapping_add(0x2040);
+                let a = Addr(addr & 0xff_ffff);
+                let r = cache.access_load(a, Dest::Reg(PhysReg::int(3)), LoadFormat::WORD);
+                black_box(r);
+                black_box(cache.fill(cache.block_of(a)));
+            },
+        );
     }
 }
 
@@ -143,7 +158,7 @@ fn end_to_end_simulation(filter: Option<&str>) {
         let compiled = compile(&p, 10).unwrap();
         let cfg = SimConfig::baseline(hw);
         bench(&format!("simulate_40k/{label}"), filter, 10, &mut || {
-            black_box(run_compiled("doduc", &compiled, &cfg));
+            black_box(run_compiled("doduc", &compiled, &cfg).unwrap());
         });
     }
     // Fully associative geometry: stresses the cache-lookup path the
@@ -152,13 +167,21 @@ fn end_to_end_simulation(filter: Option<&str>) {
     let compiled = compile(&p, 10).unwrap();
     let cfg = SimConfig::baseline(HwConfig::NoRestrict)
         .with_geometry(CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry"));
-    bench("simulate_40k/fully_associative_xlisp", filter, 10, &mut || {
-        black_box(run_compiled("xlisp", &compiled, &cfg));
-    });
+    bench(
+        "simulate_40k/fully_associative_xlisp",
+        filter,
+        10,
+        &mut || {
+            black_box(run_compiled("xlisp", &compiled, &cfg).unwrap());
+        },
+    );
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let filter = args.first().map(String::as_str);
     cache_hit_path(filter);
     mshr_miss_fill_cycle(filter);

@@ -30,12 +30,22 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     let _ = writeln!(out, "== Ablations ==");
 
     // 1. In-cache storage vs discrete MSHRs at the same per-set limit.
-    let _ = writeln!(out, "\n-- victim claimed at miss time (in-cache) vs fill time (fs=1) --");
-    let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10}", "bench", "fs=1", "in-cache", "penalty");
+    let _ = writeln!(
+        out,
+        "\n-- victim claimed at miss time (in-cache) vs fill time (fs=1) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10}",
+        "bench", "fs=1", "in-cache", "penalty"
+    );
     let benches = ["su2cor", "doduc", "tomcatv"];
     let grid = mcpi_grid(
         &programs_for(&benches, scale),
-        &[SimConfig::baseline(HwConfig::Fs(1)), SimConfig::baseline(HwConfig::InCache)],
+        &[
+            SimConfig::baseline(HwConfig::Fs(1)),
+            SimConfig::baseline(HwConfig::InCache),
+        ],
     );
     for (bench, row) in benches.iter().zip(&grid) {
         let (fs1, inc) = (row[0], row[1]);
@@ -50,7 +60,10 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     }
 
     // 1b. Narrow read port: extra fill cycles for in-cache storage.
-    let _ = writeln!(out, "\n-- in-cache MSHR read-port width (su2cor, extra fill cycles) --");
+    let _ = writeln!(
+        out,
+        "\n-- in-cache MSHR read-port width (su2cor, extra fill cycles) --"
+    );
     let _ = writeln!(out, "{:>10} {:>9} {:>9} {:>9}", "", "+0cy", "+2cy", "+4cy");
     {
         let cfgs: Vec<SimConfig> = [0u32, 2, 4]
@@ -66,12 +79,22 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     }
 
     // 2. Write-miss allocate cost on store-heavy codes.
-    let _ = writeln!(out, "\n-- write-around vs write-miss-allocate (blocking cache) --");
-    let _ = writeln!(out, "{:>10} {:>10} {:>12} {:>10}", "bench", "mc=0", "mc=0+wma", "overhead");
+    let _ = writeln!(
+        out,
+        "\n-- write-around vs write-miss-allocate (blocking cache) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>12} {:>10}",
+        "bench", "mc=0", "mc=0+wma", "overhead"
+    );
     let benches = ["xlisp", "tomcatv", "compress"];
     let grid = mcpi_grid(
         &programs_for(&benches, scale),
-        &[SimConfig::baseline(HwConfig::Mc0), SimConfig::baseline(HwConfig::Mc0Wma)],
+        &[
+            SimConfig::baseline(HwConfig::Mc0),
+            SimConfig::baseline(HwConfig::Mc0Wma),
+        ],
     );
     for (bench, row) in benches.iter().zip(&grid) {
         let (around, alloc) = (row[0], row[1]);
@@ -86,8 +109,15 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     }
 
     // 3. Pure value of secondary-miss merging (entries unlimited).
-    let _ = writeln!(out, "\n-- secondary-miss merging: 1 target field vs unlimited --");
-    let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10}", "bench", "1 field", "unlimited", "gain");
+    let _ = writeln!(
+        out,
+        "\n-- secondary-miss merging: 1 target field vs unlimited --"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10}",
+        "bench", "1 field", "unlimited", "gain"
+    );
     let benches = ["doduc", "mdljdp2", "tomcatv"];
     let grid = mcpi_grid(
         &programs_for(&benches, scale),
@@ -109,8 +139,15 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     }
 
     // 4. Bandwidth-limited memory.
-    let _ = writeln!(out, "\n-- fully pipelined memory vs bandwidth-limited bus (no restrict) --");
-    let _ = writeln!(out, "{:>10} {:>9} {:>9} {:>9} {:>9}", "bench", "gap=0", "gap=4", "gap=8", "gap=16");
+    let _ = writeln!(
+        out,
+        "\n-- fully pipelined memory vs bandwidth-limited bus (no restrict) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>9} {:>9} {:>9} {:>9}",
+        "bench", "gap=0", "gap=4", "gap=8", "gap=16"
+    );
     let benches = ["tomcatv", "su2cor", "eqntott"];
     let cfgs: Vec<SimConfig> = [0u32, 4, 8, 16]
         .into_iter()

@@ -20,10 +20,14 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         let paper = fig13_row(name).expect("all benchmarks transcribed");
         let p_inf = paper.mcpi[5];
         let m_inf = measured[5].mcpi.max(1e-9);
-        let p_ratios: Vec<String> =
-            paper.mcpi[..5].iter().map(|m| format!("{:.1}", m / p_inf)).collect();
-        let m_ratios: Vec<String> =
-            measured[..5].iter().map(|r| format!("{:.1}", r.mcpi / m_inf)).collect();
+        let p_ratios: Vec<String> = paper.mcpi[..5]
+            .iter()
+            .map(|m| format!("{:.1}", m / p_inf))
+            .collect();
+        let m_ratios: Vec<String> = measured[..5]
+            .iter()
+            .map(|r| format!("{:.1}", r.mcpi / m_inf))
+            .collect();
         let _ = writeln!(
             out,
             "{:>10} | {:>5.3}/{:<5.3} {:>5.3}/{:<5.3} | {:>17} {:>17}",

@@ -27,7 +27,10 @@ use std::io::Write;
 
 /// E-NBW: non-blocking write allocation on the store-heavy benchmarks.
 pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Extension E-NBW: non-blocking write-miss allocation ==");
+    let _ = writeln!(
+        out,
+        "== Extension E-NBW: non-blocking write-miss allocation =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>10} {:>10} {:>14} {:>14}",
@@ -44,7 +47,9 @@ pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
         ],
     );
     for (bench, row) in benches.iter().zip(&grid) {
-        let [wma_blocking, around_blocking, fc2, fc2_nbw] = row[..] else { unreachable!() };
+        let [wma_blocking, around_blocking, fc2, fc2_nbw] = row[..] else {
+            unreachable!()
+        };
         // How much of the (blocking) write-allocate overhead does the
         // non-blocking version eliminate, relative to write-around fc=2?
         let blocking_overhead = wma_blocking - around_blocking;
@@ -66,7 +71,10 @@ pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
 /// E-ASSOC: associativity removes the conflicts that per-set fetch limits
 /// choke on.
 pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Extension E-ASSOC: associativity vs per-set fetch limits (su2cor) ==");
+    let _ = writeln!(
+        out,
+        "== Extension E-ASSOC: associativity vs per-set fetch limits (su2cor) =="
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>10} {:>12} {:>10}",
@@ -86,7 +94,11 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
     let grid = mcpi_grid(&programs_for(&["su2cor"], scale), &cfgs);
     for (i, ways) in WAYS.into_iter().enumerate() {
         let (fs1, inf) = (grid[0][2 * i], grid[0][2 * i + 1]);
-        let label = if ways == 256 { "full".to_string() } else { ways.to_string() };
+        let label = if ways == 256 {
+            "full".to_string()
+        } else {
+            ways.to_string()
+        };
         let _ = writeln!(
             out,
             "{:>8} {:>10.3} {:>12.3} {:>9.2}x",
@@ -113,14 +125,22 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
 /// central ranking survives when a 256 KB L2 turns most L1 misses into
 /// 6-cycle hits and stretches true memory trips to 40 cycles.
 pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Extension E-L2: 256KB L2 (6-cycle hit, 40-cycle miss) ==");
+    let _ = writeln!(
+        out,
+        "== Extension E-L2: 256KB L2 (6-cycle hit, 40-cycle miss) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>18} {:>10} {:>10} {:>10} {:>12}",
         "bench", "hierarchy", "mc=0", "mc=1", "fc=2", "no restrict"
     );
     let benches = ["doduc", "tomcatv", "xlisp"];
-    let hws = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::Fc(2), HwConfig::NoRestrict];
+    let hws = [
+        HwConfig::Mc0,
+        HwConfig::Mc(1),
+        HwConfig::Fc(2),
+        HwConfig::NoRestrict,
+    ];
     // Columns: the four configurations flat, then the four L2 variants.
     let cfgs: Vec<SimConfig> = [false, true]
         .into_iter()
@@ -165,7 +185,10 @@ pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
 /// the conflict-dominated benchmarks. How close does a 4-entry buffer get
 /// to the fully associative cache of Fig. 10?
 pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Extension E-VICTIM: victim buffer vs associativity (mc=1) ==");
+    let _ = writeln!(
+        out,
+        "== Extension E-VICTIM: victim buffer vs associativity (mc=1) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>8} {:>10} {:>10} {:>12}",

@@ -18,16 +18,25 @@ pub fn grid(scale: RunScale) -> Vec<(&'static str, Vec<RunResult>)> {
     let nc = configs.len();
     let jobs: Vec<(&Program, SimConfig)> = programs
         .iter()
-        .flat_map(|p| configs.iter().map(move |hw| (p, SimConfig::baseline(hw.clone()))))
+        .flat_map(|p| {
+            configs
+                .iter()
+                .map(move |hw| (p, SimConfig::baseline(hw.clone())))
+        })
         .collect();
     let results = engine().run_many(&jobs).expect("workloads compile");
     let mut iter = results.into_iter();
-    ALL.iter().map(|name| (*name, iter.by_ref().take(nc).collect())).collect()
+    ALL.iter()
+        .map(|name| (*name, iter.by_ref().take(nc).collect()))
+        .collect()
 }
 
 /// Prints the Fig. 13 table.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Figure 13: baseline MCPI for 18 benchmarks (latency 10) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 13: baseline MCPI for 18 benchmarks (latency 10) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7}",

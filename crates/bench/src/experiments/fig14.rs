@@ -48,12 +48,17 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     let mut jobs: Vec<(&Program, SimConfig)> =
         vec![(&p, SimConfig::baseline(HwConfig::NoRestrict))];
     jobs.extend(
-        points.iter().map(|(_, _, pol)| (&p, SimConfig::baseline(HwConfig::Targets(*pol)))),
+        points
+            .iter()
+            .map(|(_, _, pol)| (&p, SimConfig::baseline(HwConfig::Targets(*pol)))),
     );
     let results = engine().run_many(&jobs).expect("doduc compiles");
     let unrestricted = results[0].mcpi;
 
-    let _ = writeln!(out, "== Figure 14: explicit, implicit, and hybrid MSHRs for doduc ==");
+    let _ = writeln!(
+        out,
+        "== Figure 14: explicit, implicit, and hybrid MSHRs for doduc =="
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>14} {:>8} {:>6} {:>10}",

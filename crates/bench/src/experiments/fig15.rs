@@ -2,7 +2,7 @@
 //! curves (`fs=1`, `fs=2`) added to the usual seven — the paper's
 //! in-cache-MSHR-storage study.
 
-use super::{engine, program, write_csv, RunScale, LATENCIES};
+use super::{engine, program, write_csv, write_json, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
 use std::io::Write;
@@ -19,9 +19,15 @@ pub fn configs() -> Vec<HwConfig> {
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("su2cor", scale);
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let sweep = engine().latency_sweep(&p, &base, &configs(), &LATENCIES).expect("su2cor compiles");
-    let _ = writeln!(out, "== Figure 15: baseline miss CPI for su2cor (with fs= curves) ==");
+    let sweep = engine()
+        .latency_sweep(&p, &base, &configs(), &LATENCIES)
+        .expect("su2cor compiles");
+    let _ = writeln!(
+        out,
+        "== Figure 15: baseline miss CPI for su2cor (with fs= curves) =="
+    );
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_table(&sweep));
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_chart(&sweep));
     write_csv("fig15", &report::latency_sweep_csv(&sweep));
+    write_json("fig15", &report::latency_sweep_json(&sweep));
 }

@@ -5,7 +5,7 @@
 //! because overlap capacity exhausts.
 
 use super::paper::{FIG18, FIG18_PENALTIES};
-use super::{engine, program, write_csv, RunScale};
+use super::{engine, program, write_csv, write_json, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
 use std::io::Write;
@@ -20,9 +20,13 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     let sweep = engine()
         .penalty_sweep(&p, &base, &HwConfig::baseline_seven(), &PENALTIES)
         .expect("tomcatv compiles");
-    let _ = writeln!(out, "== Figure 18: MCPI vs miss penalty for tomcatv (latency 10) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 18: MCPI vs miss penalty for tomcatv (latency 10) =="
+    );
     let _ = writeln!(out, "{}", report::mcpi_vs_penalty_table(&sweep));
     write_csv("fig18", &report::penalty_sweep_csv(&sweep));
+    write_json("fig18", &report::penalty_sweep_json(&sweep));
     // The paper's numbers, for side-by-side comparison.
     let _ = writeln!(out, "paper's Fig. 18 (same layout):");
     let _ = write!(out, "{:>14}", "config");

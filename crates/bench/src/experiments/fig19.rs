@@ -18,7 +18,12 @@ use std::io::Write;
 
 /// The four configurations the paper compares.
 pub fn configs() -> Vec<HwConfig> {
-    vec![HwConfig::Mc0, HwConfig::Mc(1), HwConfig::Fc(2), HwConfig::NoRestrict]
+    vec![
+        HwConfig::Mc0,
+        HwConfig::Mc(1),
+        HwConfig::Fc(2),
+        HwConfig::NoRestrict,
+    ]
 }
 
 /// The benchmarks of the Fig. 19 table.
@@ -39,8 +44,7 @@ pub fn snap_latency(scaled: f64) -> u32 {
 
 /// Prints the Fig. 19 comparison.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let programs: Vec<Program> =
-        BENCHMARKS.iter().map(|name| program(name, scale)).collect();
+    let programs: Vec<Program> = BENCHMARKS.iter().map(|name| program(name, scale)).collect();
     let pool = engine().pool();
 
     // Stage 1: each benchmark's IPC probe (perfect-cache dual run), in
@@ -59,8 +63,7 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         let p = &programs[b];
         let ipc = probes[b].ipc;
         let hw = hws[c].clone();
-        let dual = run_dual_cached(p, &SimConfig::baseline(hw.clone()))
-            .expect("workloads compile");
+        let dual = run_dual_cached(p, &SimConfig::baseline(hw.clone())).expect("workloads compile");
         let single_cfg = SimConfig::baseline(hw)
             .at_latency(snap_latency(10.0 * ipc))
             .with_penalty((16.0 * ipc).round().max(1.0) as u32);
@@ -74,16 +77,16 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     let _ = writeln!(
         out,
         "{:>10} {:>6} {:>8} {:>8} | per config: dual MCPI, scaled-single MCPI, % diff",
-        "bench",
-        "IPC",
-        "s.lat",
-        "s.pen"
+        "bench", "IPC", "s.lat", "s.pen"
     );
     for (b, name) in BENCHMARKS.iter().enumerate() {
         let ipc = probes[b].ipc;
         let scaled_lat = snap_latency(10.0 * ipc);
         let scaled_pen = (16.0 * ipc).round().max(1.0) as u32;
-        let _ = write!(out, "{name:>10} {ipc:>6.2} {scaled_lat:>8} {scaled_pen:>8} |");
+        let _ = write!(
+            out,
+            "{name:>10} {ipc:>6.2} {scaled_lat:>8} {scaled_pen:>8} |"
+        );
         for (dual_mcpi, predicted) in &cells[b * nc..(b + 1) * nc] {
             let diff = if *dual_mcpi > 0.0 {
                 100.0 * (predicted - dual_mcpi) / dual_mcpi

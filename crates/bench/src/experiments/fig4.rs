@@ -31,23 +31,45 @@ fn extremes(values: &[(u32, u64)]) -> Extremes {
             max_lat = lat;
         }
     }
-    Extremes { min, min_lat, max, max_lat }
+    Extremes {
+        min,
+        min_lat,
+        max,
+        max_lat,
+    }
 }
 
 /// Prints the Fig. 4 table for the five detailed benchmarks.
 pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let _ = writeln!(out, "== Figure 4: benchmark characteristics (counts in thousands) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 4: benchmark characteristics (counts in thousands) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} | {:>8} {:>3} {:>8} {:>3} | {:>8} {:>3} {:>8} {:>3} | {:>8} {:>3} {:>8} {:>3}",
-        "bench", "inst min", "lat", "inst max", "lat", "ld min", "lat", "ld max", "lat",
-        "st min", "lat", "st max", "lat"
+        "bench",
+        "inst min",
+        "lat",
+        "inst max",
+        "lat",
+        "ld min",
+        "lat",
+        "ld max",
+        "lat",
+        "st min",
+        "lat",
+        "st max",
+        "lat"
     );
     // fpppp is appended to the paper's five: at our workload scale it is
     // the benchmark whose register pressure actually crosses the spill
     // threshold, demonstrating the reference-count mechanism.
-    let names: Vec<&str> =
-        DETAILED_FIVE.iter().copied().chain(std::iter::once("fpppp")).collect();
+    let names: Vec<&str> = DETAILED_FIVE
+        .iter()
+        .copied()
+        .chain(std::iter::once("fpppp"))
+        .collect();
     let programs: Vec<Program> = names.iter().map(|name| program(name, scale)).collect();
     // All (benchmark, latency) compilations in parallel, through the
     // shared cache — the sweeps that follow in an `all` run reuse them.

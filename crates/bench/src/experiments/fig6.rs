@@ -12,11 +12,16 @@ use std::io::Write;
 pub fn run(out: &mut dyn Write, scale: RunScale) {
     let p = program("doduc", scale);
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let jobs: Vec<(&Program, SimConfig)> =
-        LATENCIES.into_iter().map(|lat| (&p, base.clone().at_latency(lat))).collect();
+    let jobs: Vec<(&Program, SimConfig)> = LATENCIES
+        .into_iter()
+        .map(|lat| (&p, base.clone().at_latency(lat)))
+        .collect();
     let results = engine().run_many(&jobs).expect("doduc compiles");
     let rows: Vec<(u32, &nbl_sim::driver::RunResult)> =
         LATENCIES.into_iter().zip(results.iter()).collect();
-    let _ = writeln!(out, "== Figure 6: in-flight misses and fetches for doduc ==");
+    let _ = writeln!(
+        out,
+        "== Figure 6: in-flight misses and fetches for doduc =="
+    );
     let _ = writeln!(out, "{}", report::inflight_table("doduc", &rows));
 }

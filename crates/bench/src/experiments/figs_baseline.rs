@@ -3,7 +3,7 @@
 //! and 17 (doduc, 16-byte lines): baseline MCPI-vs-latency sweeps under
 //! the seven legend configurations.
 
-use super::{baseline_sweep, write_csv, RunScale};
+use super::{baseline_sweep, write_csv, write_json, RunScale};
 use nbl_core::geometry::CacheGeometry;
 use nbl_mem::memory::PipelinedMemory;
 use nbl_sim::config::{HwConfig, SimConfig};
@@ -20,6 +20,7 @@ fn emit_sweep(out: &mut dyn Write, fig: &str, title: &str, sweep: &LatencySweep)
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_table(sweep));
     let _ = writeln!(out, "{}", report::mcpi_vs_latency_chart(sweep));
     write_csv(fig, &report::latency_sweep_csv(sweep));
+    write_json(fig, &report::latency_sweep_json(sweep));
 }
 
 /// Fig. 5: baseline miss CPI for doduc. Returns the sweep so `all` can
@@ -53,26 +54,46 @@ pub fn fig9(out: &mut dyn Write, scale: RunScale) {
 pub fn fig10(out: &mut dyn Write, scale: RunScale) {
     let geom = CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry");
     let sweep = baseline_sweep("xlisp", scale, &baseline().with_geometry(geom));
-    emit_sweep(out, "fig10", "Figure 10: miss CPI for xlisp, fully associative cache", &sweep);
+    emit_sweep(
+        out,
+        "fig10",
+        "Figure 10: miss CPI for xlisp, fully associative cache",
+        &sweep,
+    );
 }
 
 /// Fig. 11: baseline miss CPI for eqntott.
 pub fn fig11(out: &mut dyn Write, scale: RunScale) {
     let sweep = baseline_sweep("eqntott", scale, &baseline());
-    emit_sweep(out, "fig11", "Figure 11: baseline miss CPI for eqntott", &sweep);
+    emit_sweep(
+        out,
+        "fig11",
+        "Figure 11: baseline miss CPI for eqntott",
+        &sweep,
+    );
 }
 
 /// Fig. 12: baseline miss CPI for tomcatv.
 pub fn fig12(out: &mut dyn Write, scale: RunScale) {
     let sweep = baseline_sweep("tomcatv", scale, &baseline());
-    emit_sweep(out, "fig12", "Figure 12: baseline miss CPI for tomcatv", &sweep);
+    emit_sweep(
+        out,
+        "fig12",
+        "Figure 12: baseline miss CPI for tomcatv",
+        &sweep,
+    );
 }
 
 /// Fig. 16: miss CPI for doduc with a 64 KB data cache.
 pub fn fig16(out: &mut dyn Write, scale: RunScale) {
     let geom = CacheGeometry::direct_mapped(64 * 1024, 32).expect("valid geometry");
     let sweep = baseline_sweep("doduc", scale, &baseline().with_geometry(geom));
-    emit_sweep(out, "fig16", "Figure 16: miss CPI for doduc, 64KB cache", &sweep);
+    emit_sweep(
+        out,
+        "fig16",
+        "Figure 16: miss CPI for doduc, 64KB cache",
+        &sweep,
+    );
 }
 
 /// Fig. 17: miss CPI for doduc with 16-byte lines (14-cycle penalty,
@@ -83,5 +104,10 @@ pub fn fig17(out: &mut dyn Write, scale: RunScale) {
         .with_geometry(geom)
         .with_penalty(PipelinedMemory::penalty_for_line(16));
     let sweep = baseline_sweep("doduc", scale, &base);
-    emit_sweep(out, "fig17", "Figure 17: miss CPI for doduc, 16-byte lines", &sweep);
+    emit_sweep(
+        out,
+        "fig17",
+        "Figure 17: miss CPI for doduc, 16-byte lines",
+        &sweep,
+    );
 }

@@ -12,9 +12,10 @@ pub mod fig15;
 pub mod fig18;
 pub mod fig19;
 pub mod fig4;
-pub mod paper;
 pub mod fig6;
 pub mod figs_baseline;
+pub mod misslife;
+pub mod paper;
 
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::sweep::{LatencySweep, SweepEngine};
@@ -33,6 +34,7 @@ pub fn engine() -> &'static SweepEngine {
 }
 
 static CSV_DIR: OnceLock<PathBuf> = OnceLock::new();
+static JSON_DIR: OnceLock<PathBuf> = OnceLock::new();
 
 /// Enables CSV side-output: each sweep-producing exhibit also writes
 /// `<dir>/<figN>.csv`. Call once, before running exhibits.
@@ -45,6 +47,23 @@ pub fn enable_csv(dir: PathBuf) {
 pub fn write_csv(name: &str, contents: &str) {
     if let Some(dir) = CSV_DIR.get() {
         let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, contents)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
+/// Enables JSON side-output: each sweep-producing exhibit also writes
+/// `<dir>/<figN>.json` (machine-readable results, typically `results/`).
+/// Call once, before running exhibits.
+pub fn enable_json(dir: PathBuf) {
+    std::fs::create_dir_all(&dir).expect("create json directory");
+    let _ = JSON_DIR.set(dir);
+}
+
+/// Writes `contents` to `<json dir>/<name>.json` if JSON output is enabled.
+pub fn write_json(name: &str, contents: &str) {
+    if let Some(dir) = JSON_DIR.get() {
+        let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, contents)
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     }
@@ -87,10 +106,15 @@ pub fn programs_for(names: &[&str], scale: RunScale) -> Vec<Program> {
 /// `mcpi[bench][config]`, rows in benchmark order — the workhorse behind
 /// the ablation and extension tables.
 pub fn mcpi_grid(programs: &[Program], cfgs: &[SimConfig]) -> Vec<Vec<f64>> {
-    let jobs: Vec<(&Program, SimConfig)> =
-        programs.iter().flat_map(|p| cfgs.iter().map(move |c| (p, c.clone()))).collect();
+    let jobs: Vec<(&Program, SimConfig)> = programs
+        .iter()
+        .flat_map(|p| cfgs.iter().map(move |c| (p, c.clone())))
+        .collect();
     let results = engine().run_many(&jobs).expect("workloads compile");
-    results.chunks(cfgs.len()).map(|row| row.iter().map(|r| r.mcpi).collect()).collect()
+    results
+        .chunks(cfgs.len())
+        .map(|row| row.iter().map(|r| r.mcpi).collect())
+        .collect()
 }
 
 /// The full baseline latency sweep (7 configurations × 6 latencies) for

@@ -14,24 +14,78 @@ pub struct PaperRow {
 
 /// Fig. 13 of the paper, transcribed.
 pub const FIG13: [PaperRow; 18] = [
-    PaperRow { name: "alvinn", mcpi: [0.494, 0.398, 0.371, 0.394, 0.367, 0.365] },
-    PaperRow { name: "doduc", mcpi: [0.346, 0.245, 0.147, 0.197, 0.109, 0.084] },
-    PaperRow { name: "ear", mcpi: [0.094, 0.067, 0.050, 0.067, 0.050, 0.048] },
-    PaperRow { name: "fpppp", mcpi: [0.434, 0.234, 0.119, 0.197, 0.091, 0.062] },
-    PaperRow { name: "hydro2d", mcpi: [0.708, 0.466, 0.246, 0.457, 0.242, 0.189] },
-    PaperRow { name: "mdljdp2", mcpi: [0.314, 0.231, 0.193, 0.227, 0.190, 0.167] },
-    PaperRow { name: "mdljsp2", mcpi: [0.154, 0.088, 0.057, 0.070, 0.052, 0.046] },
-    PaperRow { name: "nasa7", mcpi: [1.865, 1.452, 0.753, 1.360, 0.670, 0.519] },
-    PaperRow { name: "ora", mcpi: [1.000, 1.000, 1.000, 1.000, 1.000, 1.000] },
-    PaperRow { name: "su2cor", mcpi: [1.266, 1.055, 0.437, 1.002, 0.394, 0.093] },
-    PaperRow { name: "swm256", mcpi: [0.297, 0.110, 0.070, 0.109, 0.069, 0.067] },
-    PaperRow { name: "spice2g6", mcpi: [1.092, 0.958, 0.903, 0.945, 0.896, 0.891] },
-    PaperRow { name: "tomcatv", mcpi: [1.140, 0.714, 0.310, 0.649, 0.219, 0.066] },
-    PaperRow { name: "wave5", mcpi: [0.277, 0.194, 0.132, 0.183, 0.126, 0.107] },
-    PaperRow { name: "compress", mcpi: [0.453, 0.354, 0.349, 0.351, 0.348, 0.348] },
-    PaperRow { name: "eqntott", mcpi: [0.108, 0.078, 0.073, 0.078, 0.073, 0.073] },
-    PaperRow { name: "espresso", mcpi: [0.209, 0.176, 0.170, 0.174, 0.170, 0.169] },
-    PaperRow { name: "xlisp", mcpi: [0.211, 0.185, 0.176, 0.181, 0.176, 0.176] },
+    PaperRow {
+        name: "alvinn",
+        mcpi: [0.494, 0.398, 0.371, 0.394, 0.367, 0.365],
+    },
+    PaperRow {
+        name: "doduc",
+        mcpi: [0.346, 0.245, 0.147, 0.197, 0.109, 0.084],
+    },
+    PaperRow {
+        name: "ear",
+        mcpi: [0.094, 0.067, 0.050, 0.067, 0.050, 0.048],
+    },
+    PaperRow {
+        name: "fpppp",
+        mcpi: [0.434, 0.234, 0.119, 0.197, 0.091, 0.062],
+    },
+    PaperRow {
+        name: "hydro2d",
+        mcpi: [0.708, 0.466, 0.246, 0.457, 0.242, 0.189],
+    },
+    PaperRow {
+        name: "mdljdp2",
+        mcpi: [0.314, 0.231, 0.193, 0.227, 0.190, 0.167],
+    },
+    PaperRow {
+        name: "mdljsp2",
+        mcpi: [0.154, 0.088, 0.057, 0.070, 0.052, 0.046],
+    },
+    PaperRow {
+        name: "nasa7",
+        mcpi: [1.865, 1.452, 0.753, 1.360, 0.670, 0.519],
+    },
+    PaperRow {
+        name: "ora",
+        mcpi: [1.000, 1.000, 1.000, 1.000, 1.000, 1.000],
+    },
+    PaperRow {
+        name: "su2cor",
+        mcpi: [1.266, 1.055, 0.437, 1.002, 0.394, 0.093],
+    },
+    PaperRow {
+        name: "swm256",
+        mcpi: [0.297, 0.110, 0.070, 0.109, 0.069, 0.067],
+    },
+    PaperRow {
+        name: "spice2g6",
+        mcpi: [1.092, 0.958, 0.903, 0.945, 0.896, 0.891],
+    },
+    PaperRow {
+        name: "tomcatv",
+        mcpi: [1.140, 0.714, 0.310, 0.649, 0.219, 0.066],
+    },
+    PaperRow {
+        name: "wave5",
+        mcpi: [0.277, 0.194, 0.132, 0.183, 0.126, 0.107],
+    },
+    PaperRow {
+        name: "compress",
+        mcpi: [0.453, 0.354, 0.349, 0.351, 0.348, 0.348],
+    },
+    PaperRow {
+        name: "eqntott",
+        mcpi: [0.108, 0.078, 0.073, 0.078, 0.073, 0.073],
+    },
+    PaperRow {
+        name: "espresso",
+        mcpi: [0.209, 0.176, 0.170, 0.174, 0.170, 0.169],
+    },
+    PaperRow {
+        name: "xlisp",
+        mcpi: [0.211, 0.185, 0.176, 0.181, 0.176, 0.176],
+    },
 ];
 
 /// Looks up a paper row by name.

@@ -21,7 +21,7 @@ use nbl_sim::telemetry::{Telemetry, TelemetrySnapshot};
 use std::io::Write;
 use std::time::Instant;
 
-const USAGE: &str = "usage: figures <all | fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 compare ablations extensions ...> [--quick] [--out FILE] [--csv DIR]";
+const USAGE: &str = "usage: figures <all | fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 compare ablations extensions misslife ...> [--quick] [--out FILE] [--csv DIR] [--json DIR]";
 
 /// One timed exhibit: name, wall-clock seconds, simulated work done.
 struct Timing {
@@ -35,13 +35,21 @@ fn timed<T>(timings: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> T
     let before = Telemetry::global().snapshot();
     let t0 = Instant::now();
     let value = f();
-    timings.push(Timing { name, wall: t0.elapsed().as_secs_f64(), work: Telemetry::global().snapshot().since(before) });
+    timings.push(Timing {
+        name,
+        wall: t0.elapsed().as_secs_f64(),
+        work: Telemetry::global().snapshot().since(before),
+    });
     value
 }
 
 fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
     let threads = experiments::engine().pool().threads();
-    let _ = writeln!(out, "== Throughput summary ({threads} worker thread{}) ==", if threads == 1 { "" } else { "s" });
+    let _ = writeln!(
+        out,
+        "== Throughput summary ({threads} worker thread{}) ==",
+        if threads == 1 { "" } else { "s" }
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>9} {:>7} {:>10} {:>12}",
@@ -64,6 +72,7 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
             instructions: total.instructions + t.work.instructions,
             cycles: total.cycles + t.work.cycles,
             runs: total.runs + t.work.runs,
+            events: total.events + t.work.events,
         };
     }
     let _ = writeln!(
@@ -81,6 +90,9 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
         "compile cache: {} compilations, {} reuses (each (benchmark, latency) pair compiled once)",
         cache.compiles, cache.hits
     );
+    if total.events > 0 {
+        let _ = writeln!(out, "miss-lifecycle events recorded: {}", total.events);
+    }
 }
 
 fn main() {
@@ -97,6 +109,10 @@ fn main() {
                 let dir = it.next().expect("--csv needs a directory");
                 experiments::enable_csv(dir.into());
             }
+            "--json" => {
+                let dir = it.next().expect("--json needs a directory");
+                experiments::enable_json(dir.into());
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
@@ -106,8 +122,9 @@ fn main() {
     }
     if wanted.iter().any(|w| w == "list") {
         println!("exhibits: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19");
-        println!("extras:   compare (paper vs measured), ablations, extensions, all");
-        println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs)");
+        println!("extras:   compare (paper vs measured), ablations, extensions, misslife, all");
+        println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs),");
+        println!("          --json DIR (machine-readable results, e.g. results/)");
         println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
         return;
     }
@@ -120,7 +137,9 @@ fn main() {
 
     let mut sinks: Vec<Box<dyn Write>> = vec![Box::new(std::io::stdout())];
     if let Some(path) = &out_path {
-        sinks.push(Box::new(std::fs::File::create(path).expect("create output file")));
+        sinks.push(Box::new(
+            std::fs::File::create(path).expect("create output file"),
+        ));
     }
     let mut out = Tee(sinks);
     let mut timings: Vec<Timing> = Vec::new();
@@ -134,30 +153,45 @@ fn main() {
     }
     // Figures 5–8 share the doduc baseline sweep.
     let needs_doduc_sweep = ["fig5", "fig7", "fig8"].iter().any(|f| want(f));
-    let doduc_sweep = needs_doduc_sweep
-        .then(|| timed(t, "fig5", || experiments::figs_baseline::fig5(&mut out, scale)));
+    let doduc_sweep = needs_doduc_sweep.then(|| {
+        timed(t, "fig5", || {
+            experiments::figs_baseline::fig5(&mut out, scale)
+        })
+    });
     if want("fig6") {
         timed(t, "fig6", || experiments::fig6::run(&mut out, scale));
     }
     if let Some(sweep) = &doduc_sweep {
         if want("fig7") {
-            timed(t, "fig7", || experiments::figs_baseline::fig7(&mut out, sweep));
+            timed(t, "fig7", || {
+                experiments::figs_baseline::fig7(&mut out, sweep)
+            });
         }
         if want("fig8") {
-            timed(t, "fig8", || experiments::figs_baseline::fig8(&mut out, sweep));
+            timed(t, "fig8", || {
+                experiments::figs_baseline::fig8(&mut out, sweep)
+            });
         }
     }
     if want("fig9") {
-        timed(t, "fig9", || experiments::figs_baseline::fig9(&mut out, scale));
+        timed(t, "fig9", || {
+            experiments::figs_baseline::fig9(&mut out, scale)
+        });
     }
     if want("fig10") {
-        timed(t, "fig10", || experiments::figs_baseline::fig10(&mut out, scale));
+        timed(t, "fig10", || {
+            experiments::figs_baseline::fig10(&mut out, scale)
+        });
     }
     if want("fig11") {
-        timed(t, "fig11", || experiments::figs_baseline::fig11(&mut out, scale));
+        timed(t, "fig11", || {
+            experiments::figs_baseline::fig11(&mut out, scale)
+        });
     }
     if want("fig12") {
-        timed(t, "fig12", || experiments::figs_baseline::fig12(&mut out, scale));
+        timed(t, "fig12", || {
+            experiments::figs_baseline::fig12(&mut out, scale)
+        });
     }
     if want("fig13") {
         timed(t, "fig13", || experiments::fig13::run(&mut out, scale));
@@ -169,10 +203,14 @@ fn main() {
         timed(t, "fig15", || experiments::fig15::run(&mut out, scale));
     }
     if want("fig16") {
-        timed(t, "fig16", || experiments::figs_baseline::fig16(&mut out, scale));
+        timed(t, "fig16", || {
+            experiments::figs_baseline::fig16(&mut out, scale)
+        });
     }
     if want("fig17") {
-        timed(t, "fig17", || experiments::figs_baseline::fig17(&mut out, scale));
+        timed(t, "fig17", || {
+            experiments::figs_baseline::fig17(&mut out, scale)
+        });
     }
     if want("fig18") {
         timed(t, "fig18", || experiments::fig18::run(&mut out, scale));
@@ -181,10 +219,19 @@ fn main() {
         timed(t, "fig19", || experiments::fig19::run(&mut out, scale));
     }
     if want("ablations") {
-        timed(t, "ablations", || experiments::ablations::run(&mut out, scale));
+        timed(t, "ablations", || {
+            experiments::ablations::run(&mut out, scale)
+        });
     }
     if want("extensions") {
-        timed(t, "extensions", || experiments::extensions::run(&mut out, scale));
+        timed(t, "extensions", || {
+            experiments::extensions::run(&mut out, scale)
+        });
+    }
+    if want("misslife") {
+        timed(t, "misslife", || {
+            experiments::misslife::run(&mut out, scale)
+        });
     }
     print_summary(&mut out, &timings);
 }

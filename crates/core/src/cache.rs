@@ -12,7 +12,9 @@
 //! fetch, which the paper uses as its worst-case comparison point.
 
 use crate::geometry::CacheGeometry;
-use crate::mshr::{MissKind, MissRequest, MshrBank, MshrConfig, MshrResponse, Rejection, TargetRecord};
+use crate::mshr::{
+    MissKind, MissRequest, MshrBank, MshrConfig, MshrResponse, Rejection, TargetRecord,
+};
 use crate::types::{Addr, BlockAddr, Dest, LoadFormat};
 use std::collections::HashMap;
 use std::fmt;
@@ -221,8 +223,14 @@ impl LockupFreeCache {
     pub fn new(config: CacheConfig) -> LockupFreeCache {
         let geometry = config.geometry;
         let ways = geometry.ways() as usize;
-        let lines =
-            vec![Line { valid: false, tag: 0, last_use: 0 }; geometry.num_sets() as usize * ways];
+        let lines = vec![
+            Line {
+                valid: false,
+                tag: 0,
+                last_use: 0
+            };
+            geometry.num_sets() as usize * ways
+        ];
         let index = (ways >= INDEXED_LOOKUP_MIN_WAYS).then(HashMap::new);
         let mshrs = MshrBank::new(&config.mshr, &geometry);
         LockupFreeCache {
@@ -361,7 +369,11 @@ impl LockupFreeCache {
             }
             slot
         };
-        self.lines[slot] = Line { valid: true, tag, last_use: clock };
+        self.lines[slot] = Line {
+            valid: true,
+            tag,
+            last_use: clock,
+        };
         if let Some(index) = &mut self.index {
             index.insert(block, slot as u32);
         }
@@ -495,7 +507,11 @@ impl LockupFreeCache {
             let line = &self.lines[slot];
             (line.valid && line.tag != tag).then(|| self.block_at(slot))
         };
-        self.lines[slot] = Line { valid: true, tag, last_use: clock };
+        self.lines[slot] = Line {
+            valid: true,
+            tag,
+            last_use: clock,
+        };
         if let Some(v) = evicted {
             if let Some(index) = &mut self.index {
                 index.remove(&v);
@@ -543,7 +559,10 @@ mod tests {
     fn cold_miss_then_hit() {
         let mut c = LockupFreeCache::new(unrestricted());
         let a = Addr(0x4000);
-        assert_eq!(c.access_load(a, dest(1), LoadFormat::WORD), LoadAccess::Miss(MissKind::Primary));
+        assert_eq!(
+            c.access_load(a, dest(1), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
         let t = c.fill(c.block_of(a));
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].dest, dest(1));
@@ -557,8 +576,14 @@ mod tests {
         let mut c = LockupFreeCache::new(unrestricted());
         let a = Addr(0x4000);
         let b = Addr(0x4008); // same 32-byte line
-        assert_eq!(c.access_load(a, dest(1), LoadFormat::WORD), LoadAccess::Miss(MissKind::Primary));
-        assert_eq!(c.access_load(b, dest(2), LoadFormat::WORD), LoadAccess::Miss(MissKind::Secondary));
+        assert_eq!(
+            c.access_load(a, dest(1), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
+        assert_eq!(
+            c.access_load(b, dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Secondary)
+        );
         let t = c.fill(c.block_of(a));
         assert_eq!(t.len(), 2);
     }
@@ -574,8 +599,14 @@ mod tests {
         c.access_load(b, dest(2), LoadFormat::WORD);
         c.fill(c.block_of(b));
         assert!(c.contains_block(c.block_of(b)));
-        assert!(!c.contains_block(c.block_of(a)), "direct-mapped fill evicts the conflicting line");
-        assert_eq!(c.access_load(a, dest(3), LoadFormat::WORD), LoadAccess::Miss(MissKind::Primary));
+        assert!(
+            !c.contains_block(c.block_of(a)),
+            "direct-mapped fill evicts the conflicting line"
+        );
+        assert_eq!(
+            c.access_load(a, dest(3), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
     }
 
     #[test]
@@ -589,7 +620,9 @@ mod tests {
             c.fill(c.block_of(a));
         }
         for i in 0..4u64 {
-            assert!(c.access_load(Addr(i * 0x2000), dest(9), LoadFormat::WORD).is_hit());
+            assert!(c
+                .access_load(Addr(i * 0x2000), dest(9), LoadFormat::WORD)
+                .is_hit());
         }
     }
 
@@ -608,7 +641,9 @@ mod tests {
         assert!(c.contains_block(c.block_of(Addr(0x20))));
         assert!(c.contains_block(c.block_of(Addr(0x40))));
         // Touch 0x20, fill 0x60: victim should now be 0x40.
-        assert!(c.access_load(Addr(0x20), dest(2), LoadFormat::WORD).is_hit());
+        assert!(c
+            .access_load(Addr(0x20), dest(2), LoadFormat::WORD)
+            .is_hit());
         c.access_load(Addr(0x60), dest(3), LoadFormat::WORD);
         c.fill(c.block_of(Addr(0x60)));
         assert!(c.contains_block(c.block_of(Addr(0x20))));
@@ -618,7 +653,10 @@ mod tests {
     #[test]
     fn structural_stall_surfaces_rejection() {
         let mut c = LockupFreeCache::new(fc(1));
-        assert!(matches!(c.access_load(Addr(0x1000), dest(1), LoadFormat::WORD), LoadAccess::Miss(_)));
+        assert!(matches!(
+            c.access_load(Addr(0x1000), dest(1), LoadFormat::WORD),
+            LoadAccess::Miss(_)
+        ));
         assert_eq!(
             c.access_load(Addr(0x2000), dest(2), LoadFormat::WORD),
             LoadAccess::Stalled(Rejection::NoFreeMshr)
@@ -633,7 +671,10 @@ mod tests {
         let mut c = LockupFreeCache::new(unrestricted());
         assert_eq!(c.access_store(Addr(0x5000)), StoreAccess::MissAround);
         // Store miss does not allocate: the next load still misses.
-        assert!(matches!(c.access_load(Addr(0x5000), dest(1), LoadFormat::WORD), LoadAccess::Miss(_)));
+        assert!(matches!(
+            c.access_load(Addr(0x5000), dest(1), LoadFormat::WORD),
+            LoadAccess::Miss(_)
+        ));
         c.fill(c.block_of(Addr(0x5000)));
         assert_eq!(c.access_store(Addr(0x5008)), StoreAccess::Hit);
         assert_eq!(c.counters().store_hits, 1);
@@ -664,7 +705,10 @@ mod tests {
         let t = c.fill(c.block_of(Addr(0x5000)));
         assert_eq!(t.len(), 3);
         let regs = t.iter().filter(|r| matches!(r.dest, Dest::Reg(_))).count();
-        let wbs = t.iter().filter(|r| matches!(r.dest, Dest::WriteBuffer(_))).count();
+        let wbs = t
+            .iter()
+            .filter(|r| matches!(r.dest, Dest::WriteBuffer(_)))
+            .count();
         assert_eq!((regs, wbs), (1, 2));
         assert_eq!(c.access_store(Addr(0x5000)), StoreAccess::Hit);
     }
@@ -705,7 +749,10 @@ mod tests {
         c.fill(c.block_of(old));
         assert!(c.contains_block(c.block_of(old)));
         // Primary miss on the conflicting line: the old line is claimed NOW.
-        assert_eq!(c.access_load(new, dest(2), LoadFormat::WORD), LoadAccess::Miss(MissKind::Primary));
+        assert_eq!(
+            c.access_load(new, dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
         assert!(
             !c.contains_block(c.block_of(old)),
             "in-cache MSHR storage reuses the victim line as MSHR state"
@@ -730,14 +777,27 @@ mod tests {
         c.fill(c.block_of(a));
         c.access_load(b, dest(2), LoadFormat::WORD);
         c.fill(c.block_of(b)); // evicts a -> victim buffer
-        // The reload of `a` is a victim hit, not a miss.
-        assert_eq!(c.access_load(a, dest(3), LoadFormat::WORD), LoadAccess::VictimHit);
+                               // The reload of `a` is a victim hit, not a miss.
+        assert_eq!(
+            c.access_load(a, dest(3), LoadFormat::WORD),
+            LoadAccess::VictimHit
+        );
         assert_eq!(c.counters().victim_hits, 1);
         // The swap displaced `b` into the buffer: it victim-hits too.
-        assert_eq!(c.access_load(b, dest(4), LoadFormat::WORD), LoadAccess::VictimHit);
+        assert_eq!(
+            c.access_load(b, dest(4), LoadFormat::WORD),
+            LoadAccess::VictimHit
+        );
         // And now `a` is back in the buffer again.
-        assert_eq!(c.access_load(a, dest(5), LoadFormat::WORD), LoadAccess::VictimHit);
-        assert_eq!(c.counters().load_primary_misses, 2, "no extra fetches occurred");
+        assert_eq!(
+            c.access_load(a, dest(5), LoadFormat::WORD),
+            LoadAccess::VictimHit
+        );
+        assert_eq!(
+            c.counters().load_primary_misses,
+            2,
+            "no extra fetches occurred"
+        );
     }
 
     #[test]
@@ -754,10 +814,85 @@ mod tests {
         }
         // Lines 0x2000 and 0x4000 were evicted most recently (0x6000 is
         // resident); 0x0000 fell out of the buffer.
-        assert!(matches!(c.access_load(Addr(0), dest(2), LoadFormat::WORD), LoadAccess::Miss(_)));
+        assert!(matches!(
+            c.access_load(Addr(0), dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(_)
+        ));
         assert_eq!(c.counters().victim_hits, 0);
         // 0x4000 is still buffered.
-        assert_eq!(c.access_load(Addr(0x4000), dest(3), LoadFormat::WORD), LoadAccess::VictimHit);
+        assert_eq!(
+            c.access_load(Addr(0x4000), dest(3), LoadFormat::WORD),
+            LoadAccess::VictimHit
+        );
+    }
+
+    #[test]
+    fn eviction_while_a_fetch_to_the_set_is_outstanding() {
+        let mut cfg = unrestricted();
+        cfg.victim_entries = 4;
+        let mut c = LockupFreeCache::new(cfg);
+        let resident = Addr(0x0000);
+        let in_flight = Addr(0x2000); // same set
+        let third = Addr(0x4000); // same set again
+        c.access_load(resident, dest(1), LoadFormat::WORD);
+        c.fill(c.block_of(resident));
+        // Launch a fetch into the set and leave it outstanding.
+        assert_eq!(
+            c.access_load(in_flight, dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
+        // A third conflicting fill lands while that fetch is in flight:
+        // the resident line must be displaced into the victim buffer.
+        c.access_load(third, dest(3), LoadFormat::WORD);
+        c.fill(c.block_of(third));
+        assert_eq!(
+            c.access_load(resident, dest(4), LoadFormat::WORD),
+            LoadAccess::VictimHit
+        );
+        // The in-flight block is a secondary miss, never a victim hit —
+        // transit is checked before the buffer.
+        assert_eq!(
+            c.access_load(in_flight, dest(5), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Secondary)
+        );
+        // Its fill still drains both targets and installs the line.
+        let t = c.fill(c.block_of(in_flight));
+        assert_eq!(t.len(), 2);
+        assert!(c.contains_block(c.block_of(in_flight)));
+        assert!(c.access_load(in_flight, dest(6), LoadFormat::WORD).is_hit());
+    }
+
+    #[test]
+    fn in_cache_claim_does_not_feed_the_victim_buffer() {
+        // In-cache MSHR storage invalidates the victim at miss time to hold
+        // transit state; that line's data is gone, so it must NOT become a
+        // victim-buffer hit.
+        let mut cfg = CacheConfig::baseline(MshrConfig::InCache {
+            targets: TargetPolicy::explicit(Limit::Unlimited),
+            read_extra_cycles: 0,
+        });
+        cfg.victim_entries = 4;
+        let mut c = LockupFreeCache::new(cfg);
+        let old = Addr(0x0000);
+        let new = Addr(0x2000); // same set
+        c.access_load(old, dest(1), LoadFormat::WORD);
+        c.fill(c.block_of(old));
+        assert_eq!(
+            c.access_load(new, dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(MissKind::Primary)
+        );
+        assert!(
+            !c.contains_block(c.block_of(old)),
+            "victim claimed as MSHR state"
+        );
+        c.fill(c.block_of(new));
+        assert!(
+            matches!(
+                c.access_load(old, dest(3), LoadFormat::WORD),
+                LoadAccess::Miss(_)
+            ),
+            "a claimed victim's data was reused through the buffer"
+        );
     }
 
     #[test]
@@ -769,7 +904,10 @@ mod tests {
             c.access_load(addr, dest(1), LoadFormat::WORD);
             c.fill(c.block_of(addr));
         }
-        assert!(matches!(c.access_load(a, dest(2), LoadFormat::WORD), LoadAccess::Miss(_)));
+        assert!(matches!(
+            c.access_load(a, dest(2), LoadFormat::WORD),
+            LoadAccess::Miss(_)
+        ));
         assert_eq!(c.counters().victim_hits, 0);
     }
 

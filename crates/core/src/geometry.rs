@@ -19,7 +19,10 @@ impl fmt::Display for GeometryError {
             GeometryError::NotPowerOfTwo(what, v) => {
                 write!(f, "{what} must be a nonzero power of two, got {v}")
             }
-            GeometryError::TooAssociative { ways, sets_would_be } => {
+            GeometryError::TooAssociative {
+                ways,
+                sets_would_be,
+            } => {
                 write!(f, "associativity {ways} leaves {sets_would_be} sets")
             }
         }
@@ -60,19 +63,32 @@ impl CacheGeometry {
     ///
     /// Returns [`GeometryError`] if any parameter is zero or not a power of
     /// two, or if the associativity exceeds the number of lines.
-    pub fn new(size_bytes: u64, line_bytes: u32, ways: u32) -> Result<CacheGeometry, GeometryError> {
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u32,
+        ways: u32,
+    ) -> Result<CacheGeometry, GeometryError> {
         if size_bytes == 0 || !size_bytes.is_power_of_two() {
             return Err(GeometryError::NotPowerOfTwo("cache size", size_bytes));
         }
         if line_bytes == 0 || !line_bytes.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo("line size", u64::from(line_bytes)));
+            return Err(GeometryError::NotPowerOfTwo(
+                "line size",
+                u64::from(line_bytes),
+            ));
         }
         if ways == 0 || !ways.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo("associativity", u64::from(ways)));
+            return Err(GeometryError::NotPowerOfTwo(
+                "associativity",
+                u64::from(ways),
+            ));
         }
         let lines = size_bytes / u64::from(line_bytes);
         if u64::from(ways) > lines {
-            return Err(GeometryError::TooAssociative { ways, sets_would_be: 0 });
+            return Err(GeometryError::TooAssociative {
+                ways,
+                sets_would_be: 0,
+            });
         }
         let sets = lines / u64::from(ways);
         Ok(CacheGeometry {
@@ -98,7 +114,10 @@ impl CacheGeometry {
     /// # Errors
     ///
     /// Propagates [`GeometryError`] from [`CacheGeometry::new`].
-    pub fn fully_associative(size_bytes: u64, line_bytes: u32) -> Result<CacheGeometry, GeometryError> {
+    pub fn fully_associative(
+        size_bytes: u64,
+        line_bytes: u32,
+    ) -> Result<CacheGeometry, GeometryError> {
         let lines = size_bytes / u64::from(line_bytes);
         CacheGeometry::new(size_bytes, line_bytes, lines as u32)
     }
@@ -200,7 +219,13 @@ impl fmt::Display for CacheGeometry {
         } else {
             format!("{}w", self.ways)
         };
-        write!(f, "{}KB/{}B/{}", self.size_bytes / 1024, self.line_bytes, assoc)
+        write!(
+            f,
+            "{}KB/{}B/{}",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            assoc
+        )
     }
 }
 

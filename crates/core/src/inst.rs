@@ -51,28 +51,43 @@ impl DynInst {
     /// A load with no register-carried address dependence (address from an
     /// induction variable kept in a register that is never a load target).
     pub fn load(addr: Addr, dst: PhysReg, format: LoadFormat) -> DynInst {
-        DynInst { srcs: [None, None], kind: DynKind::Load { addr, dst, format } }
+        DynInst {
+            srcs: [None, None],
+            kind: DynKind::Load { addr, dst, format },
+        }
     }
 
     /// A load whose address depends on `addr_src` (e.g. pointer chasing:
     /// the load cannot issue until `addr_src` is valid).
     pub fn load_via(addr: Addr, addr_src: PhysReg, dst: PhysReg, format: LoadFormat) -> DynInst {
-        DynInst { srcs: [Some(addr_src), None], kind: DynKind::Load { addr, dst, format } }
+        DynInst {
+            srcs: [Some(addr_src), None],
+            kind: DynKind::Load { addr, dst, format },
+        }
     }
 
     /// A store of the value in `data_src` (if given) to `addr`.
     pub fn store(addr: Addr, data_src: Option<PhysReg>) -> DynInst {
-        DynInst { srcs: [data_src, None], kind: DynKind::Store { addr } }
+        DynInst {
+            srcs: [data_src, None],
+            kind: DynKind::Store { addr },
+        }
     }
 
     /// An ALU instruction `dst <- op(srcs)`.
     pub fn alu(dst: PhysReg, srcs: [Option<PhysReg>; 2]) -> DynInst {
-        DynInst { srcs, kind: DynKind::Alu { dst: Some(dst) } }
+        DynInst {
+            srcs,
+            kind: DynKind::Alu { dst: Some(dst) },
+        }
     }
 
     /// A branch or other value-less single-cycle instruction.
     pub fn branch(srcs: [Option<PhysReg>; 2]) -> DynInst {
-        DynInst { srcs, kind: DynKind::Alu { dst: None } }
+        DynInst {
+            srcs,
+            kind: DynKind::Alu { dst: None },
+        }
     }
 
     /// The register this instruction writes, if any.
@@ -121,7 +136,9 @@ impl DynInst {
 impl fmt::Display for DynInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
-            DynKind::Load { addr, dst, format } => write!(f, "ld.{} {dst} <- [{addr}]", format.size),
+            DynKind::Load { addr, dst, format } => {
+                write!(f, "ld.{} {dst} <- [{addr}]", format.size)
+            }
             DynKind::Store { addr } => write!(f, "st [{addr}]"),
             DynKind::Alu { dst: Some(d) } => write!(f, "alu {d}"),
             DynKind::Alu { dst: None } => write!(f, "br"),

@@ -34,7 +34,11 @@ pub struct MshrCostModel {
 
 impl Default for MshrCostModel {
     fn default() -> Self {
-        MshrCostModel { phys_addr_bits: Addr::PHYSICAL_BITS, dest_bits: 6, format_bits: 5 }
+        MshrCostModel {
+            phys_addr_bits: Addr::PHYSICAL_BITS,
+            dest_bits: 6,
+            format_bits: 5,
+        }
     }
 }
 
@@ -68,7 +72,8 @@ impl MshrCostModel {
         match policy.fields_per_sub_block() {
             Limit::Finite(1) => base,
             _ => {
-                let sub_block_addr_bits = geometry.block_bits() - policy.sub_blocks().trailing_zeros();
+                let sub_block_addr_bits =
+                    geometry.block_bits() - policy.sub_blocks().trailing_zeros();
                 base + sub_block_addr_bits
             }
         }
@@ -79,11 +84,19 @@ impl MshrCostModel {
     /// Returns `None` for idealized unlimited-field policies, which have no
     /// finite hardware realization (the paper's `fc=` curves assume one and
     /// Fig. 14 quantifies what finite approximations cost).
-    pub fn register_mshr(&self, policy: TargetPolicy, geometry: &CacheGeometry) -> Option<MshrCost> {
+    pub fn register_mshr(
+        &self,
+        policy: TargetPolicy,
+        geometry: &CacheGeometry,
+    ) -> Option<MshrCost> {
         let fields = policy.total_fields().finite()?;
         let bits = u64::from(self.block_addr_bits(geometry)) + 1 // block valid bit
             + u64::from(fields) * u64::from(self.field_bits(policy, geometry));
-        Some(MshrCost { bits, comparator_bits: self.block_addr_bits(geometry), comparators: 1 })
+        Some(MshrCost {
+            bits,
+            comparator_bits: self.block_addr_bits(geometry),
+            comparators: 1,
+        })
     }
 
     /// Storage cost of one inverted-MSHR destination entry (Fig. 3: block
@@ -134,7 +147,9 @@ mod tests {
     #[test]
     fn basic_implicit_mshr_is_92_bits() {
         // Paper Fig. 1: (4×12) + 44 = 92 bits.
-        let cost = model().register_mshr(TargetPolicy::implicit_sub_blocks(4), &geom()).unwrap();
+        let cost = model()
+            .register_mshr(TargetPolicy::implicit_sub_blocks(4), &geom())
+            .unwrap();
         assert_eq!(cost.bits, 92);
         assert_eq!(cost.comparator_bits, 43);
         assert_eq!(cost.comparators, 1);
@@ -143,15 +158,18 @@ mod tests {
     #[test]
     fn implicit_4byte_granularity_is_140_bits() {
         // Paper §2.2 / §4.1: doubling word records to 8 makes 44 + 96 = 140.
-        let cost = model().register_mshr(TargetPolicy::implicit_sub_blocks(8), &geom()).unwrap();
+        let cost = model()
+            .register_mshr(TargetPolicy::implicit_sub_blocks(8), &geom())
+            .unwrap();
         assert_eq!(cost.bits, 140);
     }
 
     #[test]
     fn explicit_4_field_mshr_is_112_bits() {
         // Paper Fig. 2 / §4.1: 44 + (4×17) = 112.
-        let cost =
-            model().register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &geom()).unwrap();
+        let cost = model()
+            .register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &geom())
+            .unwrap();
         assert_eq!(cost.bits, 112);
     }
 
@@ -160,13 +178,17 @@ mod tests {
         // Paper §4.1 prints "44+(4×16)=106", but 44 + 4×16 is 108 — the
         // total in the paper is a typo; its own per-field arithmetic (one
         // address bit saved per field, 16 bits/field) gives 108.
-        let cost = model().register_mshr(TargetPolicy::hybrid(2, 2), &geom()).unwrap();
+        let cost = model()
+            .register_mshr(TargetPolicy::hybrid(2, 2), &geom())
+            .unwrap();
         assert_eq!(cost.bits, 108);
     }
 
     #[test]
     fn unlimited_fields_have_no_finite_cost() {
-        assert!(model().register_mshr(TargetPolicy::explicit(Limit::Unlimited), &geom()).is_none());
+        assert!(model()
+            .register_mshr(TargetPolicy::explicit(Limit::Unlimited), &geom())
+            .is_none());
     }
 
     #[test]
@@ -174,8 +196,14 @@ mod tests {
         // Fig. 3 row: 43 + 1 + ~5 + 5 = 54 bits per destination.
         assert_eq!(model().inverted_entry_bits(&geom()), 54);
         let cost = model().inverted(InvertedConfig::typical(), &geom());
-        assert_eq!(cost.comparators as usize, InvertedConfig::typical().total_entries());
-        assert_eq!(cost.bits, 54 * InvertedConfig::typical().total_entries() as u64);
+        assert_eq!(
+            cost.comparators as usize,
+            InvertedConfig::typical().total_entries()
+        );
+        assert_eq!(
+            cost.bits,
+            54 * InvertedConfig::typical().total_entries() as u64
+        );
     }
 
     #[test]
@@ -190,9 +218,18 @@ mod tests {
         // implicit-8 (140) > explicit-4 (112) > hybrid-2x2 (106).
         let m = model();
         let g = geom();
-        let imp = m.register_mshr(TargetPolicy::implicit_sub_blocks(8), &g).unwrap().bits;
-        let exp = m.register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g).unwrap().bits;
-        let hyb = m.register_mshr(TargetPolicy::hybrid(2, 2), &g).unwrap().bits;
+        let imp = m
+            .register_mshr(TargetPolicy::implicit_sub_blocks(8), &g)
+            .unwrap()
+            .bits;
+        let exp = m
+            .register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g)
+            .unwrap()
+            .bits;
+        let hyb = m
+            .register_mshr(TargetPolicy::hybrid(2, 2), &g)
+            .unwrap()
+            .bits;
         assert!(imp > exp && exp > hyb);
     }
 
@@ -201,7 +238,9 @@ mod tests {
         let g16 = CacheGeometry::direct_mapped(8 * 1024, 16).unwrap();
         // 48-4 = 44 block addr bits; explicit field = 12 + 4 = 16.
         assert_eq!(model().block_addr_bits(&g16), 44);
-        let cost = model().register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g16).unwrap();
+        let cost = model()
+            .register_mshr(TargetPolicy::explicit(Limit::Finite(4)), &g16)
+            .unwrap();
         assert_eq!(cost.bits, 44 + 1 + 4 * 16);
     }
 }

@@ -86,10 +86,18 @@ impl RegisterMshrFile {
     /// Presents a load miss.
     pub fn try_load_miss(&mut self, req: &MissRequest) -> MshrResponse {
         // Every accepted miss consumes one miss "slot" regardless of kind.
-        if !self.config.max_outstanding_misses.allows_one_more(self.total_misses) {
+        if !self
+            .config
+            .max_outstanding_misses
+            .allows_one_more(self.total_misses)
+        {
             return MshrResponse::Rejected(Rejection::MissLimit);
         }
-        let record = TargetRecord { dest: req.dest, offset: req.offset, format: req.format };
+        let record = TargetRecord {
+            dest: req.dest,
+            offset: req.offset,
+            format: req.format,
+        };
         if let Some(entry) = self.entries.get_mut(&req.block) {
             // Outstanding fetch for this block: try to merge (secondary miss).
             return match entry.targets.try_add(record) {
@@ -113,7 +121,13 @@ impl RegisterMshrFile {
             Ok(()) => {}
             Err(reason) => return MshrResponse::Rejected(reason),
         }
-        self.entries.insert(req.block, Entry { set: req.set, targets });
+        self.entries.insert(
+            req.block,
+            Entry {
+                set: req.set,
+                targets,
+            },
+        );
         *self.per_set.entry(req.set).or_insert(0) += 1;
         self.total_misses += 1;
         MshrResponse::Accepted(MissKind::Primary)
@@ -126,7 +140,10 @@ impl RegisterMshrFile {
         };
         let records = entry.targets.drain();
         self.total_misses -= records.len();
-        let count = self.per_set.get_mut(&entry.set).expect("per-set count tracks entries");
+        let count = self
+            .per_set
+            .get_mut(&entry.set)
+            .expect("per-set count tracks entries");
         *count -= 1;
         if *count == 0 {
             self.per_set.remove(&entry.set);
@@ -208,11 +225,20 @@ mod tests {
     #[test]
     fn hit_under_miss_allows_exactly_one_miss() {
         let mut f = RegisterMshrFile::new(mc(1), &geom());
-        assert_eq!(f.try_load_miss(&req(10, 10, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
+        assert_eq!(
+            f.try_load_miss(&req(10, 10, 0, 1)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
         // A second miss to any block stalls.
-        assert_eq!(f.try_load_miss(&req(11, 11, 0, 2)), MshrResponse::Rejected(Rejection::MissLimit));
+        assert_eq!(
+            f.try_load_miss(&req(11, 11, 0, 2)),
+            MshrResponse::Rejected(Rejection::MissLimit)
+        );
         // Even a secondary to the same block stalls under mc=1.
-        assert_eq!(f.try_load_miss(&req(10, 10, 8, 3)), MshrResponse::Rejected(Rejection::MissLimit));
+        assert_eq!(
+            f.try_load_miss(&req(10, 10, 8, 3)),
+            MshrResponse::Rejected(Rejection::MissLimit)
+        );
         // After the fill both are possible again.
         let targets = f.fill(BlockAddr(10));
         assert_eq!(targets.len(), 1);
@@ -224,23 +250,41 @@ mod tests {
     fn mc2_allows_two_misses_any_mix() {
         let mut f = RegisterMshrFile::new(mc(2), &geom());
         // Two primaries.
-        assert_eq!(f.try_load_miss(&req(1, 1, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
-        assert_eq!(f.try_load_miss(&req(2, 2, 0, 2)), MshrResponse::Accepted(MissKind::Primary));
-        assert_eq!(f.try_load_miss(&req(3, 3, 0, 3)), MshrResponse::Rejected(Rejection::MissLimit));
+        assert_eq!(
+            f.try_load_miss(&req(1, 1, 0, 1)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
+        assert_eq!(
+            f.try_load_miss(&req(2, 2, 0, 2)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
+        assert_eq!(
+            f.try_load_miss(&req(3, 3, 0, 3)),
+            MshrResponse::Rejected(Rejection::MissLimit)
+        );
         f.fill(BlockAddr(1));
         f.fill(BlockAddr(2));
         // Or one primary + one secondary to a *different word* (the single
         // explicit field is taken by the primary, so same-entry merges need a
         // second MSHR... but mc=2 entries each have 1 field, so the secondary
         // to the same block conflicts on fields).
-        assert_eq!(f.try_load_miss(&req(5, 5, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
-        assert_eq!(f.try_load_miss(&req(5, 5, 8, 2)), MshrResponse::Rejected(Rejection::TargetConflict));
+        assert_eq!(
+            f.try_load_miss(&req(5, 5, 0, 1)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
+        assert_eq!(
+            f.try_load_miss(&req(5, 5, 8, 2)),
+            MshrResponse::Rejected(Rejection::TargetConflict)
+        );
     }
 
     #[test]
     fn fc1_merges_unlimited_secondaries_single_fetch() {
         let mut f = RegisterMshrFile::new(fc(1), &geom());
-        assert_eq!(f.try_load_miss(&req(7, 7, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
+        assert_eq!(
+            f.try_load_miss(&req(7, 7, 0, 1)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
         for i in 0..10u8 {
             assert_eq!(
                 f.try_load_miss(&req(7, 7, u32::from(i) % 32, i)),
@@ -250,7 +294,10 @@ mod tests {
         assert_eq!(f.outstanding_fetches(), 1);
         assert_eq!(f.outstanding_misses(), 11);
         // A second block has no MSHR.
-        assert_eq!(f.try_load_miss(&req(8, 8, 0, 2)), MshrResponse::Rejected(Rejection::NoFreeMshr));
+        assert_eq!(
+            f.try_load_miss(&req(8, 8, 0, 2)),
+            MshrResponse::Rejected(Rejection::NoFreeMshr)
+        );
         let targets = f.fill(BlockAddr(7));
         assert_eq!(targets.len(), 11);
         assert_eq!(f.outstanding_misses(), 0);
@@ -261,10 +308,19 @@ mod tests {
         let mut f = RegisterMshrFile::new(fc(2), &geom());
         assert!(f.try_load_miss(&req(1, 1, 0, 1)).is_accepted());
         assert!(f.try_load_miss(&req(2, 2, 0, 2)).is_accepted());
-        assert_eq!(f.try_load_miss(&req(3, 3, 0, 3)), MshrResponse::Rejected(Rejection::NoFreeMshr));
+        assert_eq!(
+            f.try_load_miss(&req(3, 3, 0, 3)),
+            MshrResponse::Rejected(Rejection::NoFreeMshr)
+        );
         // Secondaries to both in-flight blocks still merge.
-        assert_eq!(f.try_load_miss(&req(1, 1, 8, 4)), MshrResponse::Accepted(MissKind::Secondary));
-        assert_eq!(f.try_load_miss(&req(2, 2, 8, 5)), MshrResponse::Accepted(MissKind::Secondary));
+        assert_eq!(
+            f.try_load_miss(&req(1, 1, 8, 4)),
+            MshrResponse::Accepted(MissKind::Secondary)
+        );
+        assert_eq!(
+            f.try_load_miss(&req(2, 2, 8, 5)),
+            MshrResponse::Accepted(MissKind::Secondary)
+        );
     }
 
     #[test]
@@ -308,7 +364,9 @@ mod tests {
     fn unrestricted_file_tracks_counts() {
         let mut f = RegisterMshrFile::new(RegisterFileConfig::default(), &geom());
         for b in 0..20u64 {
-            assert!(f.try_load_miss(&req(b, (b % 256) as u32, 0, (b % 32) as u8)).is_accepted());
+            assert!(f
+                .try_load_miss(&req(b, (b % 256) as u32, 0, (b % 32) as u8))
+                .is_accepted());
         }
         assert_eq!(f.outstanding_fetches(), 20);
         assert_eq!(f.outstanding_misses(), 20);
@@ -331,7 +389,13 @@ mod tests {
         };
         let mut f = RegisterMshrFile::new(cfg, &geom());
         assert!(f.try_load_miss(&req(1, 1, 0, 1)).is_accepted());
-        assert_eq!(f.try_load_miss(&req(1, 1, 4, 2)), MshrResponse::Rejected(Rejection::TargetConflict));
-        assert_eq!(f.try_load_miss(&req(1, 1, 8, 2)), MshrResponse::Accepted(MissKind::Secondary));
+        assert_eq!(
+            f.try_load_miss(&req(1, 1, 4, 2)),
+            MshrResponse::Rejected(Rejection::TargetConflict)
+        );
+        assert_eq!(
+            f.try_load_miss(&req(1, 1, 8, 2)),
+            MshrResponse::Accepted(MissKind::Secondary)
+        );
     }
 }

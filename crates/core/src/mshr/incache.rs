@@ -58,7 +58,11 @@ impl InCacheMshr {
 
     /// Presents a load miss.
     pub fn try_load_miss(&mut self, req: &MissRequest) -> MshrResponse {
-        let record = TargetRecord { dest: req.dest, offset: req.offset, format: req.format };
+        let record = TargetRecord {
+            dest: req.dest,
+            offset: req.offset,
+            format: req.format,
+        };
         let lines = self.per_set.entry(req.set).or_default();
         if let Some(line) = lines.iter_mut().find(|l| l.block == req.block) {
             return match line.targets.try_add(record) {
@@ -79,7 +83,10 @@ impl InCacheMshr {
             Ok(()) => {}
             Err(reason) => return MshrResponse::Rejected(reason),
         }
-        lines.push(TransitLine { block: req.block, targets });
+        lines.push(TransitLine {
+            block: req.block,
+            targets,
+        });
         self.by_block.insert(req.block, req.set);
         self.total_misses += 1;
         MshrResponse::Accepted(MissKind::Primary)
@@ -91,7 +98,10 @@ impl InCacheMshr {
             return Vec::new();
         };
         let lines = self.per_set.get_mut(&set).expect("by_block tracks per_set");
-        let idx = lines.iter().position(|l| l.block == block).expect("by_block tracks per_set");
+        let idx = lines
+            .iter()
+            .position(|l| l.block == block)
+            .expect("by_block tracks per_set");
         let mut line = lines.swap_remove(idx);
         if lines.is_empty() {
             self.per_set.remove(&set);
@@ -146,14 +156,20 @@ mod tests {
     fn direct_mapped_allows_one_fetch_per_set() {
         let geom = CacheGeometry::baseline();
         let mut m = InCacheMshr::new(TargetPolicy::explicit(Limit::Unlimited), &geom);
-        assert_eq!(m.try_load_miss(&req(0x100, 0, 0, 1)), MshrResponse::Accepted(MissKind::Primary));
+        assert_eq!(
+            m.try_load_miss(&req(0x100, 0, 0, 1)),
+            MshrResponse::Accepted(MissKind::Primary)
+        );
         // Another block in the same set: the set's only line is in transit.
         assert_eq!(
             m.try_load_miss(&req(0x200, 0, 0, 2)),
             MshrResponse::Rejected(Rejection::PerSetFetchLimit)
         );
         // Secondary misses to the in-transit block merge freely.
-        assert_eq!(m.try_load_miss(&req(0x100, 0, 8, 3)), MshrResponse::Accepted(MissKind::Secondary));
+        assert_eq!(
+            m.try_load_miss(&req(0x100, 0, 8, 3)),
+            MshrResponse::Accepted(MissKind::Secondary)
+        );
         // A different set is independent.
         assert!(m.try_load_miss(&req(0x101, 1, 0, 4)).is_accepted());
         assert_eq!(m.outstanding_fetches(), 2);

@@ -32,7 +32,10 @@ impl InvertedConfig {
     /// The paper's "typical" sizing: 64 registers + PC + a handful of write
     /// buffer and prefetch entries, landing in the 65–75 entry range.
     pub fn typical() -> InvertedConfig {
-        InvertedConfig { write_buffer_entries: 6, prefetch_entries: 4 }
+        InvertedConfig {
+            write_buffer_entries: 6,
+            prefetch_entries: 4,
+        }
     }
 
     /// Total number of destination entries.
@@ -73,7 +76,11 @@ pub struct InvertedMshr {
 impl InvertedMshr {
     /// Creates an empty inverted MSHR.
     pub fn new(config: InvertedConfig) -> InvertedMshr {
-        InvertedMshr { config, entries: HashMap::new(), fetches: HashMap::new() }
+        InvertedMshr {
+            config,
+            entries: HashMap::new(),
+            fetches: HashMap::new(),
+        }
     }
 
     /// The sizing this MSHR was built with.
@@ -93,7 +100,11 @@ impl InvertedMshr {
         }
         self.entries.insert(
             req.dest,
-            EntryState { block: req.block, offset: req.offset, format: req.format },
+            EntryState {
+                block: req.block,
+                offset: req.offset,
+                format: req.format,
+            },
         );
         let waiting = self.fetches.entry(req.block).or_insert(0);
         *waiting += 1;
@@ -113,7 +124,11 @@ impl InvertedMshr {
         let mut records = Vec::new();
         self.entries.retain(|dest, state| {
             if state.block == block {
-                records.push(TargetRecord { dest: *dest, offset: state.offset, format: state.format });
+                records.push(TargetRecord {
+                    dest: *dest,
+                    offset: state.offset,
+                    format: state.format,
+                });
                 false
             } else {
                 true
@@ -168,7 +183,11 @@ mod tests {
     #[test]
     fn typical_sizing_is_in_paper_range() {
         let c = InvertedConfig::typical();
-        assert!(c.total_entries() >= 65 && c.total_entries() <= 75, "got {}", c.total_entries());
+        assert!(
+            c.total_entries() >= 65 && c.total_entries() <= 75,
+            "got {}",
+            c.total_entries()
+        );
     }
 
     #[test]
@@ -176,7 +195,10 @@ mod tests {
         let mut m = InvertedMshr::new(InvertedConfig::typical());
         // 30 distinct blocks in flight at once — no restriction.
         for b in 0..30u64 {
-            assert_eq!(m.try_load_miss(&req(b, b as u8)), MshrResponse::Accepted(MissKind::Primary));
+            assert_eq!(
+                m.try_load_miss(&req(b, b as u8)),
+                MshrResponse::Accepted(MissKind::Primary)
+            );
         }
         assert_eq!(m.outstanding_fetches(), 30);
         assert_eq!(m.outstanding_misses(), 30);
@@ -188,7 +210,10 @@ mod tests {
             dest: Dest::Reg(PhysReg::fp(0)),
             format: LoadFormat::DOUBLE,
         };
-        assert_eq!(m.try_load_miss(&second), MshrResponse::Accepted(MissKind::Secondary));
+        assert_eq!(
+            m.try_load_miss(&second),
+            MshrResponse::Accepted(MissKind::Secondary)
+        );
         let t = m.fill(BlockAddr(0));
         assert_eq!(t.len(), 2);
         assert_eq!(m.outstanding_fetches(), 29);
@@ -200,7 +225,10 @@ mod tests {
         let mut m = InvertedMshr::new(InvertedConfig::typical());
         assert!(m.try_load_miss(&req(1, 4)).is_accepted());
         // Same destination register, different block.
-        assert_eq!(m.try_load_miss(&req(2, 4)), MshrResponse::Rejected(Rejection::DestinationBusy));
+        assert_eq!(
+            m.try_load_miss(&req(2, 4)),
+            MshrResponse::Rejected(Rejection::DestinationBusy)
+        );
         m.fill(BlockAddr(1));
         assert!(m.try_load_miss(&req(2, 4)).is_accepted());
     }
@@ -210,7 +238,10 @@ mod tests {
         let mut m = InvertedMshr::new(InvertedConfig::typical());
         m.try_load_miss(&req(1, 1));
         m.try_load_miss(&req(2, 2));
-        m.try_load_miss(&MissRequest { offset: 16, ..req(1, 3) });
+        m.try_load_miss(&MissRequest {
+            offset: 16,
+            ..req(1, 3)
+        });
         let t = m.fill(BlockAddr(1));
         assert_eq!(t.len(), 2);
         assert!(t.iter().all(|r| r.offset == 0 || r.offset == 16));

@@ -203,7 +203,9 @@ impl MshrConfig {
     #[inline]
     pub fn fill_extra_cycles(&self) -> u32 {
         match self {
-            MshrConfig::InCache { read_extra_cycles, .. } => *read_extra_cycles,
+            MshrConfig::InCache {
+                read_extra_cycles, ..
+            } => *read_extra_cycles,
             _ => 0,
         }
     }

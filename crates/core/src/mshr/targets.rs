@@ -45,22 +45,34 @@ impl TargetPolicy {
     /// sub-block counts, as Fig. 14 does.
     pub fn implicit_sub_blocks(sub_blocks: u32) -> TargetPolicy {
         assert!(sub_blocks >= 1, "an MSHR needs at least one sub-block");
-        TargetPolicy { sub_blocks, fields_per_sub_block: Limit::Finite(1) }
+        TargetPolicy {
+            sub_blocks,
+            fields_per_sub_block: Limit::Finite(1),
+        }
     }
 
     /// Explicitly addressed MSHR with `fields` generic fields (paper Fig. 2).
     pub fn explicit(fields: Limit) -> TargetPolicy {
         if let Limit::Finite(n) = fields {
-            assert!(n >= 1, "an explicitly addressed MSHR needs at least one field");
+            assert!(
+                n >= 1,
+                "an explicitly addressed MSHR needs at least one field"
+            );
         }
-        TargetPolicy { sub_blocks: 1, fields_per_sub_block: fields }
+        TargetPolicy {
+            sub_blocks: 1,
+            fields_per_sub_block: fields,
+        }
     }
 
     /// Hybrid organization (paper Fig. 14): `sub_blocks` sub-blocks, each
     /// with `fields_per_sub_block` explicitly addressed fields.
     pub fn hybrid(sub_blocks: u32, fields_per_sub_block: u32) -> TargetPolicy {
         assert!(sub_blocks >= 1 && fields_per_sub_block >= 1);
-        TargetPolicy { sub_blocks, fields_per_sub_block: Limit::Finite(fields_per_sub_block) }
+        TargetPolicy {
+            sub_blocks,
+            fields_per_sub_block: Limit::Finite(fields_per_sub_block),
+        }
     }
 
     /// Number of sub-blocks the line is divided into.
@@ -101,7 +113,11 @@ impl fmt::Display for TargetPolicy {
         } else if self.is_implicit() {
             write!(f, "implicit({} sub-blocks)", self.sub_blocks)
         } else {
-            write!(f, "hybrid({}x{})", self.sub_blocks, self.fields_per_sub_block)
+            write!(
+                f,
+                "hybrid({}x{})",
+                self.sub_blocks, self.fields_per_sub_block
+            )
         }
     }
 }
@@ -165,7 +181,11 @@ impl TargetStorage {
     pub fn try_add(&mut self, record: TargetRecord) -> Result<(), Rejection> {
         let sb = self.sub_block_of(record.offset);
         debug_assert!(sb < self.occupancy.len(), "offset beyond line size");
-        if !self.policy.fields_per_sub_block.allows_one_more(self.occupancy[sb] as usize) {
+        if !self
+            .policy
+            .fields_per_sub_block
+            .allows_one_more(self.occupancy[sb] as usize)
+        {
             return Err(Rejection::TargetConflict);
         }
         self.occupancy[sb] += 1;
@@ -206,7 +226,11 @@ mod tests {
     use crate::types::{Dest, LoadFormat, PhysReg};
 
     fn rec(offset: u32, reg: u8) -> TargetRecord {
-        TargetRecord { dest: Dest::Reg(PhysReg::int(reg)), offset, format: LoadFormat::WORD }
+        TargetRecord {
+            dest: Dest::Reg(PhysReg::int(reg)),
+            offset,
+            format: LoadFormat::WORD,
+        }
     }
 
     fn geom() -> CacheGeometry {
@@ -306,8 +330,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(TargetPolicy::implicit_sub_blocks(8).to_string(), "implicit(8 sub-blocks)");
-        assert_eq!(TargetPolicy::explicit(Limit::Finite(4)).to_string(), "explicit(4)");
+        assert_eq!(
+            TargetPolicy::implicit_sub_blocks(8).to_string(),
+            "implicit(8 sub-blocks)"
+        );
+        assert_eq!(
+            TargetPolicy::explicit(Limit::Finite(4)).to_string(),
+            "explicit(4)"
+        );
         assert_eq!(TargetPolicy::hybrid(2, 2).to_string(), "hybrid(2x2)");
         assert_eq!(TargetPolicy::default().to_string(), "explicit(inf)");
     }

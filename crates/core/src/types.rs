@@ -139,8 +139,14 @@ impl PhysReg {
     /// Panics if `index >= 32`.
     #[inline]
     pub fn int(index: u8) -> PhysReg {
-        assert!(index < REGS_PER_CLASS, "integer register index {index} out of range");
-        PhysReg { class: RegClass::Int, index }
+        assert!(
+            index < REGS_PER_CLASS,
+            "integer register index {index} out of range"
+        );
+        PhysReg {
+            class: RegClass::Int,
+            index,
+        }
     }
 
     /// Creates a floating-point register.
@@ -150,8 +156,14 @@ impl PhysReg {
     /// Panics if `index >= 32`.
     #[inline]
     pub fn fp(index: u8) -> PhysReg {
-        assert!(index < REGS_PER_CLASS, "fp register index {index} out of range");
-        PhysReg { class: RegClass::Fp, index }
+        assert!(
+            index < REGS_PER_CLASS,
+            "fp register index {index} out of range"
+        );
+        PhysReg {
+            class: RegClass::Fp,
+            index,
+        }
     }
 
     /// The register file this register belongs to.
@@ -183,7 +195,10 @@ impl PhysReg {
     /// Panics if `dense >= 64`.
     #[inline]
     pub fn from_dense(dense: usize) -> PhysReg {
-        assert!(dense < 2 * REGS_PER_CLASS as usize, "dense register index {dense} out of range");
+        assert!(
+            dense < 2 * REGS_PER_CLASS as usize,
+            "dense register index {dense} out of range"
+        );
         if dense < REGS_PER_CLASS as usize {
             PhysReg::int(dense as u8)
         } else {
@@ -292,10 +307,16 @@ pub struct LoadFormat {
 
 impl LoadFormat {
     /// A plain 8-byte (doubleword) load: the common case for FP code.
-    pub const DOUBLE: LoadFormat = LoadFormat { size: AccessSize::B8, sign_extend: false };
+    pub const DOUBLE: LoadFormat = LoadFormat {
+        size: AccessSize::B8,
+        sign_extend: false,
+    };
 
     /// A sign-extending 4-byte (word) load: the common case for integer code.
-    pub const WORD: LoadFormat = LoadFormat { size: AccessSize::B4, sign_extend: true };
+    pub const WORD: LoadFormat = LoadFormat {
+        size: AccessSize::B4,
+        sign_extend: true,
+    };
 }
 
 #[cfg(test)]
@@ -308,7 +329,10 @@ mod tests {
         let block_bits = 5; // 32-byte lines
         assert_eq!(a.block(block_bits).0, 0x1234_5678 >> 5);
         assert_eq!(a.offset_in_block(block_bits), 0x18);
-        assert_eq!(a.block(block_bits).first_byte(block_bits).0 + u64::from(a.offset_in_block(block_bits)), a.0);
+        assert_eq!(
+            a.block(block_bits).first_byte(block_bits).0 + u64::from(a.offset_in_block(block_bits)),
+            a.0
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The shared execution engine underlying both processor models.
 //!
-//! [`Core`] owns the data cache, the pipelined memory, the write buffer,
-//! the scoreboard and all timing state, and implements the event mechanics
-//! the paper's model requires:
+//! [`Core`] owns the issue clock, the register scoreboard and the stall
+//! accounting, and drives all memory traffic through the narrow
+//! [`MemorySystem`] port (which composes L1 + MSHRs, the optional L2, the
+//! pipelined memory and the write buffer). The engine implements the event
+//! mechanics the paper's model requires:
 //!
 //! * fills complete in issue order (the memory is a constant-latency pipe)
 //!   and wake **all** waiting registers simultaneously (multi-write-port
@@ -20,27 +22,36 @@
 
 use crate::scoreboard::Scoreboard;
 use crate::stats::{CpuStats, InFlightSampler, StallCause};
-use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
-use nbl_core::geometry::CacheGeometry;
-use nbl_core::mshr::MshrConfig;
-use nbl_core::types::BlockAddr;
+use nbl_core::cache::{CacheConfig, LockupFreeCache};
 use nbl_core::inst::{DynInst, DynKind};
 use nbl_core::mshr::MissKind;
 use nbl_core::types::{Addr, Cycle, Dest, LoadFormat, PhysReg};
-use nbl_mem::memory::PipelinedMemory;
-use nbl_mem::write_buffer::WriteBuffer;
+use nbl_mem::system::{FillEvent, LoadResponse, MemSystemConfig, MemorySystem, StoreResponse};
+use nbl_mem::write_buffer::RetirePolicy;
 
-/// A second-level cache between the L1 and main memory — an extension
-/// beyond the paper, which studies only on-chip first-level caches and
-/// cites two-level caching as adjacent work.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct L2Params {
-    /// L2 geometry (must have the same line size as the L1).
-    pub geometry: CacheGeometry,
-    /// Cycles for an L1 miss that hits in the L2 (instead of the full
-    /// miss penalty).
-    pub hit_penalty: u32,
+pub use nbl_mem::system::L2Params;
+
+/// A recoverable engine failure, reported instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine had to wait for a fill (a pending register, or a retry
+    /// after an MSHR rejection) but no fetch was outstanding. This means
+    /// the scoreboard and the memory system disagree — a model invariant
+    /// violation the caller can surface instead of a panic.
+    NoOutstandingFetch,
 }
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoOutstandingFetch => {
+                write!(f, "engine waited for a fill but no fetch is outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Configuration of the shared engine.
 #[derive(Debug, Clone)]
@@ -64,18 +75,31 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// Baseline memory (16-cycle penalty) over the given cache.
     pub fn with_cache(cache: CacheConfig) -> EngineConfig {
-        EngineConfig { cache, miss_penalty: 16, perfect_cache: false, memory_gap: 0, l2: None }
+        EngineConfig {
+            cache,
+            miss_penalty: 16,
+            perfect_cache: false,
+            memory_gap: 0,
+            l2: None,
+        }
+    }
+
+    /// The memory-system side of this configuration.
+    fn mem_config(&self) -> MemSystemConfig {
+        MemSystemConfig {
+            cache: self.cache.clone(),
+            miss_penalty: self.miss_penalty,
+            memory_gap: self.memory_gap,
+            l2: self.l2.clone(),
+            retire: RetirePolicy::Free,
+        }
     }
 }
 
 /// The shared execution engine. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Core {
-    cache: LockupFreeCache,
-    /// Tag-only second-level cache (extension). Probed once per L1 fetch.
-    l2: Option<(LockupFreeCache, u32)>,
-    memory: PipelinedMemory,
-    write_buffer: WriteBuffer,
+    mem: MemorySystem,
     scoreboard: Scoreboard,
     now: Cycle,
     stats: CpuStats,
@@ -86,29 +110,8 @@ pub struct Core {
 impl Core {
     /// Creates an engine at cycle zero with a cold cache.
     pub fn new(config: EngineConfig) -> Core {
-        // In-cache MSHR storage with a narrow read port pays extra cycles
-        // to recover the MSHR state on every fill (§2.3); model it as
-        // added fill latency.
-        let effective_penalty = config.miss_penalty + config.cache.mshr.fill_extra_cycles();
-        let l2 = config.l2.as_ref().map(|p| {
-            assert_eq!(
-                p.geometry.line_bytes(),
-                config.cache.geometry.line_bytes(),
-                "L1 and L2 must share a line size"
-            );
-            let tags = LockupFreeCache::new(CacheConfig {
-                geometry: p.geometry,
-                write_miss: WriteMissPolicy::WriteAround,
-                mshr: MshrConfig::Blocking,
-                victim_entries: 0,
-            });
-            (tags, p.hit_penalty + config.cache.mshr.fill_extra_cycles())
-        });
         Core {
-            memory: PipelinedMemory::with_gap(effective_penalty, config.memory_gap),
-            l2,
-            cache: LockupFreeCache::new(config.cache),
-            write_buffer: WriteBuffer::free_retirement(),
+            mem: MemorySystem::new(config.mem_config()),
             scoreboard: Scoreboard::new(),
             now: Cycle::ZERO,
             stats: CpuStats::default(),
@@ -135,16 +138,16 @@ impl Core {
         &self.sampler
     }
 
+    /// The memory system behind the port (counters, trace access).
+    #[inline]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
     /// The data cache (for miss-rate counters).
     #[inline]
     pub fn cache(&self) -> &LockupFreeCache {
-        &self.cache
-    }
-
-    /// The write buffer (occupancy statistics).
-    #[inline]
-    pub fn write_buffer(&self) -> &WriteBuffer {
-        &self.write_buffer
+        self.mem.l1()
     }
 
     /// The scoreboard (pending registers).
@@ -153,23 +156,15 @@ impl Core {
         &self.scoreboard
     }
 
-    /// Latency of fetching `block`: the L2 hit penalty when an L2 is
-    /// configured and holds the line, otherwise the full miss penalty.
-    /// Probing also updates the (inclusive) L2 tags: a missing line is
-    /// installed, modeling the fill on its way to the L1.
-    fn fetch_latency(&mut self, block: BlockAddr) -> u32 {
-        let Some((l2, hit_penalty)) = self.l2.as_mut() else {
-            return self.memory.miss_penalty();
-        };
-        if l2.contains_block(block) {
-            // Touch for LRU.
-            let addr = block.first_byte(l2.config().geometry.block_bits());
-            let _ = l2.access_load(addr, Dest::Pc, LoadFormat::DOUBLE);
-            *hit_penalty
-        } else {
-            l2.fill(block);
-            self.memory.miss_penalty()
-        }
+    /// Starts recording miss-lifecycle events (see [`nbl_mem::event`]);
+    /// the ring keeps the last `ring_capacity` raw events.
+    pub fn enable_mem_tracing(&mut self, ring_capacity: usize) {
+        self.mem.enable_tracing(ring_capacity);
+    }
+
+    /// Stops tracing and returns the recorded trace, if any.
+    pub fn take_mem_trace(&mut self) -> Option<nbl_mem::event::MemTrace> {
+        self.mem.take_trace()
     }
 
     /// Advances time to `to` (clamped), charging the elapsed cycles to
@@ -183,63 +178,85 @@ impl Core {
         self.now = to;
     }
 
-    /// Applies one completed fetch: installs the line, wakes every waiting
-    /// register, updates the sampler at the fill's own timestamp.
-    fn apply_fill(&mut self, block: nbl_core::types::BlockAddr, at: Cycle) {
-        self.sampler.advance(at);
-        let records = self.cache.fill(block);
-        for r in &records {
+    /// Applies one fill on the processor side: wakes every waiting
+    /// register and updates the sampler at the fill's own timestamp.
+    fn apply_fill(&mut self, fill: &FillEvent) {
+        self.sampler.advance(fill.at);
+        for r in &fill.targets {
             if let Dest::Reg(reg) = r.dest {
                 self.scoreboard.clear(reg);
             }
         }
-        self.sampler.on_fill(records.len());
+        self.sampler.on_fill(fill.targets.len());
     }
 
     /// Processes every fetch that has completed by the current time.
     pub fn drain_fills(&mut self) {
-        while let Ok(at) = self.memory.next_completion() {
-            if at > self.now {
-                break;
+        let Core {
+            mem,
+            scoreboard,
+            sampler,
+            now,
+            ..
+        } = self;
+        mem.advance_to(*now, |fill| {
+            sampler.advance(fill.at);
+            for r in &fill.targets {
+                if let Dest::Reg(reg) = r.dest {
+                    scoreboard.clear(reg);
+                }
             }
-            let f = self.memory.pop_next().expect("next_completion said nonempty");
-            self.apply_fill(f.block, f.at);
-        }
+            sampler.on_fill(fill.targets.len());
+        });
     }
 
     /// Stalls (charging `cause`) until the earliest outstanding fetch
     /// completes, and applies it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no fetch is outstanding — the caller must only wait when
-    /// a pending register or rejected miss guarantees one exists.
-    fn wait_for_next_fill(&mut self, cause: StallCause) {
-        let f = self
-            .memory
-            .pop_next()
-            .expect("waiting for a fill requires an outstanding fetch");
-        self.stall_until(f.at, cause);
-        self.apply_fill(f.block, f.at);
+    /// [`EngineError::NoOutstandingFetch`] if nothing is in flight — the
+    /// caller believed a fill was owed (a pending register or a rejected
+    /// miss) but the memory system disagrees.
+    fn wait_for_next_fill(&mut self, cause: StallCause) -> Result<(), EngineError> {
+        let fill = self
+            .mem
+            .advance_to_next_event()
+            .map_err(|_| EngineError::NoOutstandingFetch)?;
+        self.stall_until(fill.at, cause);
+        self.apply_fill(&fill);
+        Ok(())
     }
 
     /// Stalls until `reg` is valid (true-data-dependency stall).
-    pub fn wait_for_reg(&mut self, reg: PhysReg) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] if `reg` is pending but no
+    /// fetch is in flight to wake it.
+    pub fn wait_for_reg(&mut self, reg: PhysReg) -> Result<(), EngineError> {
         while self.scoreboard.is_pending(reg) {
-            self.wait_for_next_fill(StallCause::DataDependency);
+            self.wait_for_next_fill(StallCause::DataDependency)?;
         }
+        Ok(())
     }
 
     /// Resolves every register hazard of `inst`: sources (RAW) and
     /// destination (WAW — the fill of an earlier load must not clobber
     /// this instruction's result).
-    pub fn resolve_hazards(&mut self, inst: &DynInst) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] on a scoreboard/memory-system
+    /// disagreement (see [`Core::wait_for_reg`]).
+    pub fn resolve_hazards(&mut self, inst: &DynInst) -> Result<(), EngineError> {
         for src in inst.sources() {
-            self.wait_for_reg(src);
+            self.wait_for_reg(src)?;
         }
         if let Some(dst) = inst.dst() {
-            self.wait_for_reg(dst);
+            self.wait_for_reg(dst)?;
         }
+        Ok(())
     }
 
     /// `true` if `inst` could issue right now without waiting on any
@@ -253,10 +270,15 @@ impl Core {
     /// structural stalls internally. Does **not** advance the issue clock;
     /// the issue policy does that (it may place two instructions in one
     /// cycle).
-    pub fn execute(&mut self, inst: &DynInst) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] if a structural retry had no
+    /// fill to wait on.
+    pub fn execute(&mut self, inst: &DynInst) -> Result<(), EngineError> {
         match inst.kind {
             DynKind::Alu { .. } => {}
-            DynKind::Load { addr, dst, format } => self.execute_load(addr, dst, format),
+            DynKind::Load { addr, dst, format } => self.execute_load(addr, dst, format)?,
             DynKind::Store { addr } => self.execute_store(addr),
         }
         self.stats.instructions += 1;
@@ -265,91 +287,75 @@ impl Core {
         } else if inst.is_store() {
             self.stats.stores += 1;
         }
+        Ok(())
     }
 
-    fn execute_load(&mut self, addr: Addr, dst: PhysReg, format: LoadFormat) {
+    fn execute_load(
+        &mut self,
+        addr: Addr,
+        dst: PhysReg,
+        format: LoadFormat,
+    ) -> Result<(), EngineError> {
         if self.perfect {
-            return;
+            return Ok(());
         }
         let mut stalled_structurally = false;
         loop {
-            match self.cache.access_load(addr, Dest::Reg(dst), format) {
-                LoadAccess::Hit => break,
-                LoadAccess::VictimHit => {
+            match self.mem.access_load(addr, Dest::Reg(dst), format, self.now) {
+                LoadResponse::Hit => break,
+                LoadResponse::VictimHit => {
                     // One cycle to swap the line back from the victim
                     // buffer; the data is then as good as a hit.
                     self.stall_until(self.now.plus(1), StallCause::Blocking);
                     break;
                 }
-                LoadAccess::Miss(kind) => {
+                LoadResponse::Pending { kind } => {
                     self.sampler.advance(self.now);
-                    let primary = kind == MissKind::Primary;
-                    if primary {
-                        let block = self.cache.block_of(addr);
-                        let latency = self.fetch_latency(block);
-                        self.memory.issue_fetch_after(block, self.now, latency);
-                    }
-                    self.sampler.on_miss(primary);
+                    self.sampler.on_miss(kind == MissKind::Primary);
                     self.scoreboard.set_pending(dst);
                     break;
                 }
-                LoadAccess::Stalled(nbl_core::mshr::Rejection::Blocking) => {
-                    // Lockup cache: expose the whole miss penalty, then the
-                    // data is in the cache and the register is valid.
+                LoadResponse::Ready { at } => {
+                    // Lockup cache: the port serviced the whole miss; the
+                    // processor exposes the full penalty as a blocking
+                    // stall and the register is then valid.
                     self.stats.blocking_load_misses += 1;
-                    let block = self.cache.block_of(addr);
-                    let latency = self.fetch_latency(block);
-                    let done = self.now.plus(u64::from(latency));
-                    self.stall_until(done, StallCause::Blocking);
+                    self.stall_until(at, StallCause::Blocking);
                     self.sampler.advance(self.now);
-                    let woken = self.cache.fill(self.cache.block_of(addr));
-                    debug_assert!(woken.is_empty(), "blocking cache has no waiting targets");
                     break;
                 }
-                LoadAccess::Stalled(_reason) => {
+                LoadResponse::Retry(_reason) => {
                     // Structural hazard: wait for a fetch to complete, retry.
                     if !stalled_structurally {
                         stalled_structurally = true;
                         self.stats.structural_stall_misses += 1;
                     }
-                    self.wait_for_next_fill(StallCause::Structural);
+                    self.wait_for_next_fill(StallCause::Structural)?;
                 }
             }
         }
+        Ok(())
     }
 
     fn execute_store(&mut self, addr: Addr) {
         if self.perfect {
             return;
         }
-        match self.cache.access_store(addr) {
-            StoreAccess::Hit | StoreAccess::MissAround => {
-                self.write_buffer.push(addr, self.now);
-            }
-            StoreAccess::MissAllocate => {
-                // `mc=0 + wma`: fetch the line, stalling for the full penalty.
+        match self.mem.access_store(addr, self.now) {
+            StoreResponse::Done => {}
+            StoreResponse::Ready { at } => {
+                // `mc=0 + wma`: the port fetched the line synchronously;
+                // expose the full penalty as a blocking stall.
                 self.stats.blocking_store_misses += 1;
-                let block = self.cache.block_of(addr);
-                let latency = self.fetch_latency(block);
-                let done = self.now.plus(u64::from(latency));
-                self.stall_until(done, StallCause::Blocking);
+                self.stall_until(at, StallCause::Blocking);
                 self.sampler.advance(self.now);
-                self.cache.fill(self.cache.block_of(addr));
-                self.write_buffer.push(addr, self.now);
             }
-            StoreAccess::MissAllocateTracked(kind) => {
+            StoreResponse::Pending { kind } => {
                 // Non-blocking write allocate: the store data waits in the
                 // write buffer for the line; the processor does not stall.
                 self.stats.nonblocking_store_misses += 1;
                 self.sampler.advance(self.now);
-                let primary = kind == MissKind::Primary;
-                if primary {
-                    let block = self.cache.block_of(addr);
-                    let latency = self.fetch_latency(block);
-                    self.memory.issue_fetch_after(block, self.now, latency);
-                }
-                self.sampler.on_miss(primary);
-                self.write_buffer.push(addr, self.now);
+                self.sampler.on_miss(kind == MissKind::Primary);
             }
         }
     }
@@ -364,11 +370,11 @@ impl Core {
     /// still in flight when the program's last instruction issues wakes no
     /// one, so no stall is charged) and closes out the sampler.
     pub fn finish(&mut self) {
-        while let Ok(f) = self.memory.pop_next() {
-            if f.at > self.now {
-                self.now = f.at;
+        while let Ok(fill) = self.mem.advance_to_next_event() {
+            if fill.at > self.now {
+                self.now = fill.at;
             }
-            self.apply_fill(f.block, f.at);
+            self.apply_fill(&fill);
         }
         self.sampler.advance(self.now);
     }
@@ -385,6 +391,12 @@ mod tests {
         Core::new(EngineConfig::with_cache(CacheConfig::baseline(mshr)))
     }
 
+    fn issue(core: &mut Core, inst: &DynInst) {
+        core.resolve_hazards(inst).unwrap();
+        core.execute(inst).unwrap();
+        core.tick();
+    }
+
     fn mc1() -> MshrConfig {
         MshrConfig::Register(RegisterFileConfig {
             entries: Limit::Finite(1),
@@ -399,21 +411,15 @@ mod tests {
         let mut core = engine(mc1());
         let r1 = PhysReg::int(1);
         // Load (miss), one independent ALU op, then a use of the load.
-        let ld = DynInst::load(Addr(0x1000), r1, LoadFormat::WORD);
-        core.resolve_hazards(&ld);
-        core.execute(&ld);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1000), r1, LoadFormat::WORD),
+        );
         for _ in 0..3 {
-            let op = DynInst::alu(PhysReg::int(2), [None, None]);
-            core.resolve_hazards(&op);
-            core.execute(&op);
-            core.tick();
+            issue(&mut core, &DynInst::alu(PhysReg::int(2), [None, None]));
         }
         // Use issues after stalling until the fill at cycle 16.
-        let use_i = DynInst::alu(PhysReg::int(3), [Some(r1), None]);
-        core.resolve_hazards(&use_i);
-        core.execute(&use_i);
-        core.tick();
+        issue(&mut core, &DynInst::alu(PhysReg::int(3), [Some(r1), None]));
         // Load at cy0 (fill at 16), 3 ALU ops at cy1..3, use stalls 4..16.
         assert_eq!(core.stats().data_dep_stall_cycles, 12);
         assert_eq!(core.now(), Cycle(17));
@@ -422,34 +428,34 @@ mod tests {
     #[test]
     fn blocking_cache_exposes_full_penalty() {
         let mut core = engine(MshrConfig::Blocking);
-        let ld = DynInst::load(Addr(0x40), PhysReg::int(1), LoadFormat::WORD);
-        core.resolve_hazards(&ld);
-        core.execute(&ld);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x40), PhysReg::int(1), LoadFormat::WORD),
+        );
         assert_eq!(core.stats().blocking_stall_cycles, 16);
         assert_eq!(core.stats().blocking_load_misses, 1);
         assert_eq!(core.now(), Cycle(17));
         // The line is now resident: a reuse hits with no stall.
-        let ld2 = DynInst::load(Addr(0x48), PhysReg::int(2), LoadFormat::WORD);
-        core.resolve_hazards(&ld2);
-        core.execute(&ld2);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x48), PhysReg::int(2), LoadFormat::WORD),
+        );
         assert_eq!(core.stats().total_stall_cycles(), 16);
     }
 
     #[test]
     fn structural_stall_waits_for_fill_then_retries() {
         let mut core = engine(mc1());
-        let ld1 = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
-        core.resolve_hazards(&ld1);
-        core.execute(&ld1);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD),
+        );
         // Second load to a different line: mc=1 rejects; stalls until the
         // first fill (cycle 16), then becomes a fresh primary miss.
-        let ld2 = DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD);
-        core.resolve_hazards(&ld2);
-        core.execute(&ld2);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD),
+        );
         assert_eq!(core.stats().structural_stall_cycles, 15); // 1 -> 16
         assert_eq!(core.stats().structural_stall_misses, 1);
         assert_eq!(core.cache().counters().load_primary_misses, 2);
@@ -466,37 +472,31 @@ mod tests {
             max_fetches_per_set: Limit::Unlimited,
         });
         let mut core = engine(fc1);
-        let ld1 = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
-        let ld2 = DynInst::load(Addr(0x1008), PhysReg::int(2), LoadFormat::WORD);
-        core.resolve_hazards(&ld1);
-        core.execute(&ld1);
-        core.tick();
-        core.resolve_hazards(&ld2);
-        core.execute(&ld2);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD),
+        );
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1008), PhysReg::int(2), LoadFormat::WORD),
+        );
         assert_eq!(core.cache().counters().load_secondary_misses, 1);
         // Using the second register stalls only until the shared fill at 16.
-        let use_i = DynInst::branch([Some(PhysReg::int(2)), None]);
-        core.resolve_hazards(&use_i);
-        core.execute(&use_i);
-        core.tick();
+        issue(&mut core, &DynInst::branch([Some(PhysReg::int(2)), None]));
         assert_eq!(core.stats().data_dep_stall_cycles, 14); // 2 -> 16
-        assert!(!core.scoreboard().is_pending(PhysReg::int(1)), "fill wakes all targets at once");
+        assert!(
+            !core.scoreboard().is_pending(PhysReg::int(1)),
+            "fill wakes all targets at once"
+        );
     }
 
     #[test]
     fn waw_hazard_stalls() {
         let mut core = engine(mc1());
         let r = PhysReg::int(1);
-        let ld = DynInst::load(Addr(0x1000), r, LoadFormat::WORD);
-        core.resolve_hazards(&ld);
-        core.execute(&ld);
-        core.tick();
+        issue(&mut core, &DynInst::load(Addr(0x1000), r, LoadFormat::WORD));
         // An ALU write to the same register must wait for the fill.
-        let clobber = DynInst::alu(r, [None, None]);
-        core.resolve_hazards(&clobber);
-        core.execute(&clobber);
-        core.tick();
+        issue(&mut core, &DynInst::alu(r, [None, None]));
         assert_eq!(core.stats().data_dep_stall_cycles, 15);
     }
 
@@ -506,10 +506,10 @@ mod tests {
         cfg.perfect_cache = true;
         let mut core = Core::new(cfg);
         for i in 0..100u64 {
-            let ld = DynInst::load(Addr(i * 64), PhysReg::int((i % 30) as u8), LoadFormat::WORD);
-            core.resolve_hazards(&ld);
-            core.execute(&ld);
-            core.tick();
+            issue(
+                &mut core,
+                &DynInst::load(Addr(i * 64), PhysReg::int((i % 30) as u8), LoadFormat::WORD),
+            );
         }
         assert_eq!(core.stats().total_stall_cycles(), 0);
         assert_eq!(core.now(), Cycle(100));
@@ -519,14 +519,11 @@ mod tests {
     fn stores_never_stall_under_write_around() {
         let mut core = engine(mc1());
         for i in 0..50u64 {
-            let st = DynInst::store(Addr(i * 4096), None);
-            core.resolve_hazards(&st);
-            core.execute(&st);
-            core.tick();
+            issue(&mut core, &DynInst::store(Addr(i * 4096), None));
         }
         assert_eq!(core.stats().total_stall_cycles(), 0);
         assert_eq!(core.stats().stores, 50);
-        assert_eq!(core.write_buffer().stats().writes, 50);
+        assert_eq!(core.memory().write_buffer_stats().writes, 50);
     }
 
     #[test]
@@ -541,28 +538,30 @@ mod tests {
         let mut core = Core::new(EngineConfig::with_cache(cache_cfg));
         // Distinct sets: one cache size + one line apart.
         for i in 0..4u64 {
-            let st = DynInst::store(Addr(i * 8224), None);
-            core.resolve_hazards(&st);
-            core.execute(&st);
-            core.tick();
+            issue(&mut core, &DynInst::store(Addr(i * 8224), None));
         }
-        assert_eq!(core.stats().total_stall_cycles(), 0, "tracked store misses do not stall");
+        assert_eq!(
+            core.stats().total_stall_cycles(),
+            0,
+            "tracked store misses do not stall"
+        );
         assert_eq!(core.stats().nonblocking_store_misses, 4);
         assert_eq!(core.stats().blocking_store_misses, 0);
         // A fifth store miss finds no free MSHR and falls back to blocking.
-        let st = DynInst::store(Addr(5 * 8224), None);
-        core.resolve_hazards(&st);
-        core.execute(&st);
-        core.tick();
+        issue(&mut core, &DynInst::store(Addr(5 * 8224), None));
         assert_eq!(core.stats().blocking_store_misses, 1);
         assert!(core.stats().blocking_stall_cycles > 0);
         core.finish();
         assert_eq!(core.sampler().fetches_now(), 0);
         // After the fills, the lines are resident: stores now hit.
         let st = DynInst::store(Addr(0), None);
-        core.resolve_hazards(&st);
-        core.execute(&st);
-        assert_eq!(core.stats().nonblocking_store_misses, 4, "no new tracked miss");
+        core.resolve_hazards(&st).unwrap();
+        core.execute(&st).unwrap();
+        assert_eq!(
+            core.stats().nonblocking_store_misses,
+            4,
+            "no new tracked miss"
+        );
     }
 
     #[test]
@@ -584,10 +583,10 @@ mod tests {
         let a = Addr(0x10000);
         let b = Addr(0x20000); // conflicts with a in the 8KB L1, not in L2
         for addr in [a, b, a] {
-            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
-            flat.resolve_hazards(&ld);
-            flat.execute(&ld);
-            flat.tick();
+            issue(
+                &mut flat,
+                &DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD),
+            );
         }
         assert_eq!(flat.stats().blocking_stall_cycles, 90);
 
@@ -595,10 +594,10 @@ mod tests {
         // of `a` hits the L2 and costs only 6.
         let mut two = mk(Some(l2));
         for addr in [a, b, a] {
-            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
-            two.resolve_hazards(&ld);
-            two.execute(&ld);
-            two.tick();
+            issue(
+                &mut two,
+                &DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD),
+            );
         }
         assert_eq!(two.stats().blocking_stall_cycles, 30 + 30 + 6);
     }
@@ -624,44 +623,87 @@ mod tests {
         let b = Addr(0x20000);
         // Warm the L2 with `a` (L1 conflict evicts it from L1 via `b`).
         for addr in [a, b] {
-            let ld = DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD);
-            core.resolve_hazards(&ld);
-            core.execute(&ld);
-            core.tick();
+            issue(
+                &mut core,
+                &DynInst::load(addr, PhysReg::int(1), LoadFormat::WORD),
+            );
         }
         core.finish();
         let t0 = core.now();
         // Now: `b` is L1-resident; `a` was evicted but lives in L2. Issue a
         // long L2-missing load (new line) then the L2-hitting reload of `a`:
         // the later fetch finishes first and wakes its register first.
-        let c = DynInst::load(Addr(0x40000), PhysReg::int(2), LoadFormat::WORD);
-        core.resolve_hazards(&c);
-        core.execute(&c);
-        core.tick();
-        let r = DynInst::load(a, PhysReg::int(3), LoadFormat::WORD);
-        core.resolve_hazards(&r);
-        core.execute(&r);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x40000), PhysReg::int(2), LoadFormat::WORD),
+        );
+        issue(
+            &mut core,
+            &DynInst::load(a, PhysReg::int(3), LoadFormat::WORD),
+        );
         // Use the L2-hit result: it arrives ~6 cycles after issue even
         // though the L2-missing fetch is still outstanding.
         let use_r = DynInst::branch([Some(PhysReg::int(3)), None]);
-        core.resolve_hazards(&use_r);
-        core.execute(&use_r);
+        core.resolve_hazards(&use_r).unwrap();
+        core.execute(&use_r).unwrap();
         let waited = core.now().since(t0);
-        assert!(waited < 12, "L2 hit must not wait behind the L2 miss (waited {waited})");
-        assert!(core.scoreboard().is_pending(PhysReg::int(2)), "the long fetch is still in flight");
+        assert!(
+            waited < 12,
+            "L2 hit must not wait behind the L2 miss (waited {waited})"
+        );
+        assert!(
+            core.scoreboard().is_pending(PhysReg::int(2)),
+            "the long fetch is still in flight"
+        );
         core.finish();
     }
 
     #[test]
     fn finish_drains_outstanding_fills() {
         let mut core = engine(mc1());
-        let ld = DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD);
-        core.resolve_hazards(&ld);
-        core.execute(&ld);
-        core.tick();
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD),
+        );
         core.finish();
         assert_eq!(core.sampler().misses_now(), 0);
         assert_eq!(core.sampler().fetches_now(), 0);
+    }
+
+    #[test]
+    fn waiting_with_nothing_in_flight_is_a_typed_error() {
+        // Force the invariant violation by hand: mark a register pending
+        // with no fetch outstanding, then resolve a use of it.
+        let mut core = engine(mc1());
+        core.scoreboard.set_pending(PhysReg::int(1));
+        let use_i = DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]);
+        assert_eq!(
+            core.resolve_hazards(&use_i),
+            Err(EngineError::NoOutstandingFetch)
+        );
+        assert_eq!(
+            EngineError::NoOutstandingFetch.to_string(),
+            "engine waited for a fill but no fetch is outstanding"
+        );
+    }
+
+    #[test]
+    fn mem_tracing_round_trip_through_the_engine() {
+        let mut core = engine(mc1());
+        core.enable_mem_tracing(32);
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD),
+        );
+        issue(
+            &mut core,
+            &DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD),
+        );
+        core.finish();
+        let trace = core.take_mem_trace().expect("tracing enabled");
+        // mc=1: second load is rejected once, retries as a fresh primary.
+        assert_eq!(trace.stats.rejected, 1);
+        assert_eq!(trace.stats.fetches, 2);
+        assert_eq!(trace.stats.fills, 2);
     }
 }

@@ -18,11 +18,12 @@
 //! dual-issue MCPI, and `instructions / perfect_cycles` is the average IPC
 //! used by the paper's scaling rule.
 
-use crate::core_engine::{Core, EngineConfig};
+use crate::core_engine::{Core, EngineConfig, EngineError};
 use crate::stats::{CpuStats, InFlightSampler};
 use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
 use nbl_core::types::Cycle;
+use nbl_mem::system::MemorySystem;
 
 /// The dual-issue processor. Feed instructions with
 /// [`DualIssueProcessor::push`] and call [`DualIssueProcessor::finish`]
@@ -37,42 +38,57 @@ pub struct DualIssueProcessor {
 impl DualIssueProcessor {
     /// Creates a processor at cycle zero with a cold cache.
     pub fn new(config: EngineConfig) -> DualIssueProcessor {
-        DualIssueProcessor { core: Core::new(config), slot: None, pairs_issued: 0 }
+        DualIssueProcessor {
+            core: Core::new(config),
+            slot: None,
+            pairs_issued: 0,
+        }
     }
 
     /// Feeds the next instruction of the in-order stream.
-    pub fn push(&mut self, inst: DynInst) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if issuing the buffered leader hit a model
+    /// invariant violation.
+    pub fn push(&mut self, inst: DynInst) -> Result<(), EngineError> {
         let Some(leader) = self.slot.take() else {
             self.slot = Some(inst);
-            return;
+            return Ok(());
         };
-        self.issue_leader(&leader);
+        self.issue_leader(&leader)?;
         if self.can_coissue(&leader, &inst) {
             // Same cycle: the follower issues alongside the leader.
-            self.core.execute(&inst);
+            self.core.execute(&inst)?;
             self.pairs_issued += 1;
             self.core.tick();
         } else {
             self.core.tick();
             self.slot = Some(inst);
         }
+        Ok(())
     }
 
     /// Runs an entire instruction stream (still call
     /// [`DualIssueProcessor::finish`] afterwards).
-    pub fn run<I>(&mut self, stream: I)
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any instruction hits.
+    pub fn run<I>(&mut self, stream: I) -> Result<(), EngineError>
     where
         I: IntoIterator<Item = DynInst>,
     {
         for inst in stream {
-            self.push(inst);
+            self.push(inst)?;
         }
+        Ok(())
     }
 
-    fn issue_leader(&mut self, leader: &DynInst) {
+    fn issue_leader(&mut self, leader: &DynInst) -> Result<(), EngineError> {
         self.core.drain_fills();
-        self.core.resolve_hazards(leader);
-        self.core.execute(leader);
+        self.core.resolve_hazards(leader)?;
+        self.core.execute(leader)
     }
 
     fn can_coissue(&mut self, leader: &DynInst, follower: &DynInst) -> bool {
@@ -89,12 +105,17 @@ impl DualIssueProcessor {
     }
 
     /// Flushes the pairing buffer and finalizes the run.
-    pub fn finish(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if issuing the last buffered instruction failed.
+    pub fn finish(&mut self) -> Result<(), EngineError> {
         if let Some(last) = self.slot.take() {
-            self.issue_leader(&last);
+            self.issue_leader(&last)?;
             self.core.tick();
         }
         self.core.finish();
+        Ok(())
     }
 
     /// Current cycle.
@@ -136,6 +157,11 @@ impl DualIssueProcessor {
     pub fn cache(&self) -> &LockupFreeCache {
         self.core.cache()
     }
+
+    /// The memory system behind the port.
+    pub fn memory(&self) -> &MemorySystem {
+        self.core.memory()
+    }
 }
 
 #[cfg(test)]
@@ -163,8 +189,8 @@ mod tests {
     #[test]
     fn independent_alus_dual_issue_at_ipc_2() {
         let mut p = DualIssueProcessor::new(config(true));
-        p.run(independent_alus(17));
-        p.finish();
+        p.run(independent_alus(17)).unwrap();
+        p.finish().unwrap();
         // 16 registers rotate, neighbours never conflict: 8 pairs + 1 single.
         assert_eq!(p.now(), Cycle(9));
         assert_eq!(p.stats().instructions, 17);
@@ -176,11 +202,14 @@ mod tests {
         let mut p = DualIssueProcessor::new(config(true));
         let chain: Vec<_> = (0..10)
             .map(|i| {
-                DynInst::alu(PhysReg::int((i + 1) as u8), [Some(PhysReg::int(i as u8)), None])
+                DynInst::alu(
+                    PhysReg::int((i + 1) as u8),
+                    [Some(PhysReg::int(i as u8)), None],
+                )
             })
             .collect();
-        p.run(chain);
-        p.finish();
+        p.run(chain).unwrap();
+        p.finish().unwrap();
         assert_eq!(p.now(), Cycle(10));
         assert_eq!(p.pairs_issued(), 0);
     }
@@ -191,8 +220,8 @@ mod tests {
         let loads: Vec<_> = (0..10)
             .map(|i| DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD))
             .collect();
-        p.run(loads);
-        p.finish();
+        p.run(loads).unwrap();
+        p.finish().unwrap();
         assert_eq!(p.now(), Cycle(10), "loads cannot pair with loads");
     }
 
@@ -200,10 +229,19 @@ mod tests {
     fn load_pairs_with_alu() {
         let mut p = DualIssueProcessor::new(config(true));
         for i in 0..10u64 {
-            p.push(DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD));
-            p.push(DynInst::alu(PhysReg::int(20), [Some(PhysReg::int(21)), None]));
+            p.push(DynInst::load(
+                Addr(i * 8),
+                PhysReg::int(i as u8),
+                LoadFormat::WORD,
+            ))
+            .unwrap();
+            p.push(DynInst::alu(
+                PhysReg::int(20),
+                [Some(PhysReg::int(21)), None],
+            ))
+            .unwrap();
         }
-        p.finish();
+        p.finish().unwrap();
         assert_eq!(p.now(), Cycle(10));
         assert_eq!(p.pairs_issued(), 10);
     }
@@ -213,9 +251,15 @@ mod tests {
         let mut p = DualIssueProcessor::new(config(false));
         // Leader load misses; follower uses its result: cannot co-issue and
         // then stalls as leader of the next cycle until the fill.
-        p.push(DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD));
-        p.push(DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]));
-        p.finish();
+        p.push(DynInst::load(
+            Addr(0x1000),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        p.push(DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]))
+            .unwrap();
+        p.finish().unwrap();
         assert_eq!(p.pairs_issued(), 0);
         assert_eq!(p.stats().data_dep_stall_cycles, 15);
     }
@@ -235,13 +279,24 @@ mod tests {
         )));
         let mut p = DualIssueProcessor::new(cfg);
         // Leader load misses; follower ALU pairs with it.
-        p.push(DynInst::load(Addr(0x1000), PhysReg::int(1), LoadFormat::WORD));
-        p.push(DynInst::alu(PhysReg::int(9), [None, None]));
+        p.push(DynInst::load(
+            Addr(0x1000),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        p.push(DynInst::alu(PhysReg::int(9), [None, None])).unwrap();
         // Next pair: a second load misses structurally and must wait for
         // the first fill before its fetch can start.
-        p.push(DynInst::load(Addr(0x2000), PhysReg::int(2), LoadFormat::WORD));
-        p.push(DynInst::alu(PhysReg::int(10), [None, None]));
-        p.finish();
+        p.push(DynInst::load(
+            Addr(0x2000),
+            PhysReg::int(2),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        p.push(DynInst::alu(PhysReg::int(10), [None, None]))
+            .unwrap();
+        p.finish().unwrap();
         assert!(p.stats().structural_stall_cycles > 0);
         assert_eq!(p.stats().structural_stall_misses, 1);
         assert_eq!(p.stats().instructions, 4);
@@ -253,13 +308,13 @@ mod tests {
             .map(|i| DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD))
             .collect();
         let mut a = DualIssueProcessor::new(config(true));
-        a.run(stream.clone());
-        a.finish();
+        a.run(stream.clone()).unwrap();
+        a.finish().unwrap();
         let mut b = DualIssueProcessor::new(config(true));
         for i in stream {
-            b.push(i);
+            b.push(i).unwrap();
         }
-        b.finish();
+        b.finish().unwrap();
         assert_eq!(a.now(), b.now());
         assert_eq!(a.stats(), b.stats());
     }
@@ -269,7 +324,11 @@ mod tests {
         let stream = |n: u64| {
             (0..n).flat_map(move |i| {
                 [
-                    DynInst::load(Addr(i * 4096), PhysReg::int((i % 8) as u8), LoadFormat::WORD),
+                    DynInst::load(
+                        Addr(i * 4096),
+                        PhysReg::int((i % 8) as u8),
+                        LoadFormat::WORD,
+                    ),
                     DynInst::alu(
                         PhysReg::int(10 + (i % 8) as u8),
                         [Some(PhysReg::int((i % 8) as u8)), None],
@@ -278,11 +337,11 @@ mod tests {
             })
         };
         let mut perfect = DualIssueProcessor::new(config(true));
-        perfect.run(stream(50));
-        perfect.finish();
+        perfect.run(stream(50)).unwrap();
+        perfect.finish().unwrap();
         let mut real = DualIssueProcessor::new(config(false));
-        real.run(stream(50));
-        real.finish();
+        real.run(stream(50)).unwrap();
+        real.finish().unwrap();
         let mcpi = real.mcpi_against(perfect.now());
         assert!(mcpi > 0.0, "misses must cost something: {mcpi}");
         // Every pair misses and immediately uses the data: near-worst case.

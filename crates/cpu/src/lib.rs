@@ -8,7 +8,8 @@
 //!   (true data dependency vs. structural hazard vs. blocking miss
 //!   service) and the Fig. 6 in-flight occupancy sampler;
 //! * [`core_engine`] — the shared event mechanics (fills, hazards,
-//!   structural-stall retry, blocking fetches);
+//!   structural-stall retry, blocking fetches), driving all memory traffic
+//!   through the [`nbl_mem::system::MemorySystem`] port;
 //! * [`pipeline`] — the single-issue processor all baseline figures use;
 //! * [`dual`] — the dual-issue processor of §6 / Fig. 19.
 
@@ -18,7 +19,7 @@ pub mod pipeline;
 pub mod scoreboard;
 pub mod stats;
 
-pub use core_engine::{Core, EngineConfig};
+pub use core_engine::{Core, EngineConfig, EngineError};
 pub use dual::DualIssueProcessor;
 pub use pipeline::Processor;
 pub use scoreboard::Scoreboard;

@@ -5,11 +5,12 @@
 //! predicted — so the only stalls are data-miss induced, and the measured
 //! stall cycles per instruction are exactly the paper's miss CPI.
 
-use crate::core_engine::{Core, EngineConfig};
+use crate::core_engine::{Core, EngineConfig, EngineError};
 use crate::stats::{CpuStats, InFlightSampler};
 use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
 use nbl_core::types::Cycle;
+use nbl_mem::system::MemorySystem;
 
 /// The single-issue processor.
 ///
@@ -27,8 +28,8 @@ use nbl_core::types::Cycle;
 /// let mut cpu = Processor::new(EngineConfig::with_cache(CacheConfig::baseline(
 ///     MshrConfig::Inverted(InvertedConfig::typical()),
 /// )));
-/// cpu.step(&DynInst::load(Addr(0x100), PhysReg::int(1), LoadFormat::WORD));
-/// cpu.step(&DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]));
+/// cpu.step(&DynInst::load(Addr(0x100), PhysReg::int(1), LoadFormat::WORD)).unwrap();
+/// cpu.step(&DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None])).unwrap();
 /// cpu.finish();
 /// // The dependent use stalled for the miss penalty (16 - 1 issue cycle).
 /// assert_eq!(cpu.stats().data_dep_stall_cycles, 15);
@@ -41,25 +42,38 @@ pub struct Processor {
 impl Processor {
     /// Creates a processor at cycle zero with a cold cache.
     pub fn new(config: EngineConfig) -> Processor {
-        Processor { core: Core::new(config) }
+        Processor {
+            core: Core::new(config),
+        }
     }
 
     /// Issues one instruction, resolving all of its stalls.
-    pub fn step(&mut self, inst: &DynInst) {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if the engine had to wait on a fill that cannot
+    /// arrive (a model invariant violation).
+    pub fn step(&mut self, inst: &DynInst) -> Result<(), EngineError> {
         self.core.drain_fills();
-        self.core.resolve_hazards(inst);
-        self.core.execute(inst);
+        self.core.resolve_hazards(inst)?;
+        self.core.execute(inst)?;
         self.core.tick();
+        Ok(())
     }
 
     /// Runs an entire instruction stream.
-    pub fn run<I>(&mut self, stream: I)
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any instruction hits.
+    pub fn run<I>(&mut self, stream: I) -> Result<(), EngineError>
     where
         I: IntoIterator<Item = DynInst>,
     {
         for inst in stream {
-            self.step(&inst);
+            self.step(&inst)?;
         }
+        Ok(())
     }
 
     /// Finalizes the run (drains outstanding fills, closes the sampler).
@@ -85,6 +99,21 @@ impl Processor {
     /// The data cache.
     pub fn cache(&self) -> &LockupFreeCache {
         self.core.cache()
+    }
+
+    /// The memory system behind the port.
+    pub fn memory(&self) -> &MemorySystem {
+        self.core.memory()
+    }
+
+    /// Starts recording miss-lifecycle events (see [`nbl_mem::event`]).
+    pub fn enable_mem_tracing(&mut self, ring_capacity: usize) {
+        self.core.enable_mem_tracing(ring_capacity);
+    }
+
+    /// Stops tracing and returns the recorded trace, if any.
+    pub fn take_mem_trace(&mut self) -> Option<nbl_mem::event::MemTrace> {
+        self.core.take_mem_trace()
     }
 }
 
@@ -128,7 +157,7 @@ mod tests {
     fn overlapping_misses_beat_hit_under_miss() {
         // Unrestricted: both misses overlap; total stall ≈ one penalty.
         let mut best = cpu(unrestricted());
-        best.run(two_loads_two_uses());
+        best.run(two_loads_two_uses()).unwrap();
         best.finish();
         // ld A cy0 (fill 16), ld B cy1 (fill 17), use A stalls 2..16,
         // use B issues at 17 with no stall.
@@ -137,7 +166,7 @@ mod tests {
 
         // mc=1: the second load structurally stalls until the first fill.
         let mut hum = cpu(mc1());
-        hum.run(two_loads_two_uses());
+        hum.run(two_loads_two_uses()).unwrap();
         hum.finish();
         // ld A cy0 (fill 16); ld B stalls 1..16 then misses (fill 32);
         // use A at 17 (no stall); use B stalls 18..32.
@@ -147,7 +176,7 @@ mod tests {
 
         // Blocking: both misses serialize completely.
         let mut blk = cpu(MshrConfig::Blocking);
-        blk.run(two_loads_two_uses());
+        blk.run(two_loads_two_uses()).unwrap();
         blk.finish();
         assert_eq!(blk.stats().blocking_stall_cycles, 32);
         assert!(blk.stats().total_stall_cycles() > hum.stats().total_stall_cycles());
@@ -156,7 +185,7 @@ mod tests {
     #[test]
     fn mcpi_accounts_per_instruction() {
         let mut p = cpu(MshrConfig::Blocking);
-        p.run(two_loads_two_uses());
+        p.run(two_loads_two_uses()).unwrap();
         p.finish();
         assert_eq!(p.stats().instructions, 4);
         assert!((p.stats().mcpi() - 32.0 / 4.0).abs() < 1e-12);
@@ -165,13 +194,13 @@ mod tests {
     #[test]
     fn sampler_sees_overlap_only_when_hardware_allows() {
         let mut best = cpu(unrestricted());
-        best.run(two_loads_two_uses());
+        best.run(two_loads_two_uses()).unwrap();
         best.finish();
         assert_eq!(best.sampler().max_misses(), 2);
         assert_eq!(best.sampler().max_fetches(), 2);
 
         let mut hum = cpu(mc1());
-        hum.run(two_loads_two_uses());
+        hum.run(two_loads_two_uses()).unwrap();
         hum.finish();
         assert_eq!(hum.sampler().max_misses(), 1);
     }
@@ -181,17 +210,28 @@ mod tests {
         let mut p = cpu(mc1());
         // Touch a line (primary miss), let the fill land behind 16 ALU ops,
         // then hammer the resident line: pure hits, no further stalls.
-        p.step(&DynInst::load(Addr(0), PhysReg::int(1), LoadFormat::WORD));
+        p.step(&DynInst::load(Addr(0), PhysReg::int(1), LoadFormat::WORD))
+            .unwrap();
         for _ in 0..16 {
-            p.step(&DynInst::alu(PhysReg::int(2), [None, None]));
+            p.step(&DynInst::alu(PhysReg::int(2), [None, None]))
+                .unwrap();
         }
         let stalls_after_warmup = p.stats().total_stall_cycles();
         let before = p.now();
         for i in 0..20u64 {
-            p.step(&DynInst::load(Addr(i % 32), PhysReg::int(3 + (i % 20) as u8), LoadFormat::WORD));
+            p.step(&DynInst::load(
+                Addr(i % 32),
+                PhysReg::int(3 + (i % 20) as u8),
+                LoadFormat::WORD,
+            ))
+            .unwrap();
         }
         p.finish();
-        assert_eq!(p.now().since(before), 20, "hits cost exactly their issue cycle");
+        assert_eq!(
+            p.now().since(before),
+            20,
+            "hits cost exactly their issue cycle"
+        );
         assert_eq!(p.stats().total_stall_cycles(), stalls_after_warmup);
     }
 }

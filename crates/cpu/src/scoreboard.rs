@@ -19,7 +19,10 @@ pub struct Scoreboard {
 impl Scoreboard {
     /// A scoreboard with every register valid.
     pub fn new() -> Scoreboard {
-        Scoreboard { pending: [false; 64], count: 0 }
+        Scoreboard {
+            pending: [false; 64],
+            count: 0,
+        }
     }
 
     /// `true` if `reg` is waiting for load data.
@@ -38,7 +41,10 @@ impl Scoreboard {
     #[inline]
     pub fn set_pending(&mut self, reg: PhysReg) {
         let i = reg.dense_index();
-        debug_assert!(!self.pending[i], "register {reg} already pending (unstalled WAW hazard)");
+        debug_assert!(
+            !self.pending[i],
+            "register {reg} already pending (unstalled WAW hazard)"
+        );
         self.pending[i] = true;
         self.count += 1;
     }

@@ -258,7 +258,10 @@ mod tests {
 
     #[test]
     fn mcpi_and_breakdown() {
-        let mut s = CpuStats { instructions: 1000, ..CpuStats::default() };
+        let mut s = CpuStats {
+            instructions: 1000,
+            ..CpuStats::default()
+        };
         s.add_stall(StallCause::DataDependency, 300);
         s.add_stall(StallCause::Structural, 100);
         s.add_stall(StallCause::Blocking, 0);

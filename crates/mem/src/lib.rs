@@ -7,10 +7,20 @@
 //!   the §5.2 line-size-dependent penalty formula (14 cycles for the first
 //!   16 bytes, 2 per additional 16);
 //! * [`write_buffer`] — the free-retirement write buffer (with a throttled
-//!   variant for ablation studies).
+//!   variant for ablation studies);
+//! * [`system`] — the [`system::MemorySystem`] port composing L1 + MSHRs,
+//!   the optional L2, the pipelined memory and the write buffer behind the
+//!   narrow access/advance API the processors drive;
+//! * [`event`] — the miss-lifecycle event model (`Issued → Merged |
+//!   Rejected | FetchLaunched → Filled → TargetsWoken`) with its
+//!   zero-cost-when-disabled observers.
 
+pub mod event;
 pub mod memory;
+pub mod system;
 pub mod write_buffer;
 
+pub use event::{MemEvent, MemEventSink, MemTrace, MissLifecycleStats, RingRecorder};
 pub use memory::{CompletedFetch, MemoryError, PipelinedMemory};
+pub use system::{FillEvent, L2Params, LoadResponse, MemSystemConfig, MemorySystem, StoreResponse};
 pub use write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};

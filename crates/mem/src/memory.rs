@@ -239,7 +239,13 @@ mod tests {
         assert_eq!(m.next_completion(), Err(MemoryError::NoFetchOutstanding));
         m.issue_fetch(BlockAddr(9), Cycle(3));
         let f = m.pop_next().unwrap();
-        assert_eq!(f, CompletedFetch { block: BlockAddr(9), at: Cycle(19) });
+        assert_eq!(
+            f,
+            CompletedFetch {
+                block: BlockAddr(9),
+                at: Cycle(19)
+            }
+        );
         assert_eq!(m.outstanding(), 0);
     }
 
@@ -250,9 +256,21 @@ mod tests {
         m.issue_fetch_after(BlockAddr(2), Cycle(1), 6); // L2 hit: ready at 7
         assert_eq!(m.next_completion(), Ok(Cycle(7)));
         let first = m.pop_next().unwrap();
-        assert_eq!(first, CompletedFetch { block: BlockAddr(2), at: Cycle(7) });
+        assert_eq!(
+            first,
+            CompletedFetch {
+                block: BlockAddr(2),
+                at: Cycle(7)
+            }
+        );
         let second = m.pop_next().unwrap();
-        assert_eq!(second, CompletedFetch { block: BlockAddr(1), at: Cycle(30) });
+        assert_eq!(
+            second,
+            CompletedFetch {
+                block: BlockAddr(1),
+                at: Cycle(30)
+            }
+        );
     }
 
     #[test]
@@ -297,6 +315,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(MemoryError::NoFetchOutstanding.to_string(), "no fetch outstanding");
+        assert_eq!(
+            MemoryError::NoFetchOutstanding.to_string(),
+            "no fetch outstanding"
+        );
     }
 }

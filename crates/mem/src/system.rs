@@ -1,0 +1,717 @@
+//! The port-based memory system the processor models drive.
+//!
+//! [`MemorySystem`] composes the hierarchy of the paper's §3.1 machine —
+//! L1 + MSHRs → optional L2 tags → pipelined main memory, with the write
+//! buffer alongside — behind a narrow port:
+//!
+//! * [`MemorySystem::access_load`] / [`MemorySystem::access_store`] submit
+//!   one access and report how it resolved ([`LoadResponse`] /
+//!   [`StoreResponse`]);
+//! * [`MemorySystem::next_event`] peeks the next fill completion time;
+//! * [`MemorySystem::advance_to`] applies every fill due by a given cycle,
+//!   in completion order, handing each [`FillEvent`] to the caller;
+//! * [`MemorySystem::advance_to_next_event`] force-applies the earliest
+//!   outstanding fill regardless of the clock — the stall primitive.
+//!
+//! The processor owns *when* (its issue clock, stall accounting, register
+//! scoreboard); the memory system owns *what happens to memory traffic*
+//! (MSHR tracking, fetch launch and latency selection, fill ordering,
+//! write buffering). Each non-hit access moves through the explicit
+//! lifecycle `Issued → Merged | Rejected | FetchLaunched → Filled →
+//! TargetsWoken`, observable via [`MemorySystem::enable_tracing`] — see
+//! [`crate::event`].
+
+use crate::event::{AccessKind, MemEvent, MemEventSink, MemTrace, ServiceLevel};
+use crate::memory::{MemoryError, PipelinedMemory};
+use crate::write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};
+use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
+use nbl_core::geometry::CacheGeometry;
+use nbl_core::mshr::{MissKind, MshrConfig, Rejection, TargetRecord};
+use nbl_core::types::{Addr, BlockAddr, Cycle, Dest, LoadFormat};
+
+/// A second-level cache between the L1 and main memory — an extension
+/// beyond the paper, which studies only on-chip first-level caches and
+/// cites two-level caching as adjacent work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2Params {
+    /// L2 geometry (must have the same line size as the L1).
+    pub geometry: CacheGeometry,
+    /// Cycles for an L1 miss that hits in the L2 (instead of the full
+    /// miss penalty).
+    pub hit_penalty: u32,
+}
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone)]
+pub struct MemSystemConfig {
+    /// Data cache (geometry, write policy, MSHR organization).
+    pub cache: CacheConfig,
+    /// Miss penalty in cycles (paper baseline: 16).
+    pub miss_penalty: u32,
+    /// Minimum cycles between successive fetch completions: 0 is the
+    /// paper's fully pipelined memory; larger values model a
+    /// bandwidth-limited bus (ablation only).
+    pub memory_gap: u32,
+    /// Optional second-level cache (extension; `None` reproduces the
+    /// paper's flat L1 + memory hierarchy).
+    pub l2: Option<L2Params>,
+    /// Write-buffer retirement policy (paper: free).
+    pub retire: RetirePolicy,
+}
+
+impl MemSystemConfig {
+    /// Baseline memory (16-cycle penalty, free-retirement write buffer)
+    /// over the given cache.
+    pub fn with_cache(cache: CacheConfig) -> MemSystemConfig {
+        MemSystemConfig {
+            cache,
+            miss_penalty: 16,
+            memory_gap: 0,
+            l2: None,
+            retire: RetirePolicy::Free,
+        }
+    }
+}
+
+/// How a load access resolved at the port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadResponse {
+    /// The line is resident: data this cycle.
+    Hit,
+    /// The line was recovered from the victim buffer; the swap costs the
+    /// processor one cycle.
+    VictimHit,
+    /// A non-blocking miss is now tracked (primary: a fetch was launched;
+    /// secondary: merged into an in-flight fetch). The destination
+    /// register becomes valid at the fill.
+    Pending {
+        /// Primary or secondary.
+        kind: MissKind,
+    },
+    /// A blocking miss was serviced synchronously: the line is resident,
+    /// but the data is usable only at `at` — the processor stalls until
+    /// then.
+    Ready {
+        /// When the miss service completes.
+        at: Cycle,
+    },
+    /// The MSHR organization could not track the miss. The processor must
+    /// wait for a fill ([`MemorySystem::advance_to_next_event`]) and
+    /// retry the access.
+    Retry(Rejection),
+}
+
+/// How a store access resolved at the port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreResponse {
+    /// Hit or write-around miss: the store is buffered, the processor
+    /// continues immediately.
+    Done,
+    /// A non-blocking write-allocate miss is tracked; the store data
+    /// waits in the write buffer for the line, the processor continues.
+    Pending {
+        /// Primary or secondary.
+        kind: MissKind,
+    },
+    /// A blocking write-allocate miss was serviced synchronously; the
+    /// processor stalls until `at`.
+    Ready {
+        /// When the miss service completes.
+        at: Cycle,
+    },
+}
+
+/// One applied fill: the line is installed and all of its waiting targets
+/// woke simultaneously at `at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillEvent {
+    /// The filled block.
+    pub block: BlockAddr,
+    /// Completion time.
+    pub at: Cycle,
+    /// Every target that was waiting on the line (registers to mark
+    /// valid, write-buffer slots, prefetch tags).
+    pub targets: Vec<TargetRecord>,
+}
+
+/// The composed memory hierarchy behind the port. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    l1: LockupFreeCache,
+    /// Tag-only second-level cache (extension). Probed once per L1 fetch.
+    l2: Option<(LockupFreeCache, u32)>,
+    memory: PipelinedMemory,
+    write_buffer: WriteBuffer,
+    /// Lifecycle observer; `None` (the default) records nothing and costs
+    /// one pointer null-check per access.
+    trace: Option<Box<MemTrace>>,
+    next_txn: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy. In-cache MSHR storage with a narrow read
+    /// port pays extra cycles to recover the MSHR state on every fill
+    /// (§2.3); it is modeled as added fill latency on every service path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an L2 is configured with a different line size than the
+    /// L1.
+    pub fn new(config: MemSystemConfig) -> MemorySystem {
+        let effective_penalty = config.miss_penalty + config.cache.mshr.fill_extra_cycles();
+        let l2 = config.l2.as_ref().map(|p| {
+            assert_eq!(
+                p.geometry.line_bytes(),
+                config.cache.geometry.line_bytes(),
+                "L1 and L2 must share a line size"
+            );
+            let tags = LockupFreeCache::new(CacheConfig {
+                geometry: p.geometry,
+                write_miss: WriteMissPolicy::WriteAround,
+                mshr: MshrConfig::Blocking,
+                victim_entries: 0,
+            });
+            (tags, p.hit_penalty + config.cache.mshr.fill_extra_cycles())
+        });
+        MemorySystem {
+            memory: PipelinedMemory::with_gap(effective_penalty, config.memory_gap),
+            l2,
+            l1: LockupFreeCache::new(config.cache),
+            write_buffer: WriteBuffer::new(config.retire),
+            trace: None,
+            next_txn: 0,
+        }
+    }
+
+    /// Starts recording lifecycle events into a fresh [`MemTrace`] whose
+    /// ring keeps the last `ring_capacity` raw events.
+    pub fn enable_tracing(&mut self, ring_capacity: usize) {
+        self.trace = Some(Box::new(MemTrace::new(ring_capacity)));
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&MemTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Stops tracing and returns the recorded trace.
+    pub fn take_trace(&mut self) -> Option<MemTrace> {
+        self.trace.take().map(|b| *b)
+    }
+
+    #[inline]
+    fn emit(&mut self, event: MemEvent) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(&event);
+        }
+    }
+
+    #[inline]
+    fn fresh_txn(&mut self) -> u64 {
+        let t = self.next_txn;
+        self.next_txn += 1;
+        t
+    }
+
+    /// The first-level data cache (read-only: counters, geometry).
+    #[inline]
+    pub fn l1(&self) -> &LockupFreeCache {
+        &self.l1
+    }
+
+    /// Write-buffer statistics.
+    #[inline]
+    pub fn write_buffer_stats(&self) -> WriteBufferStats {
+        self.write_buffer.stats()
+    }
+
+    /// Number of fetches in flight.
+    #[inline]
+    pub fn outstanding_fetches(&self) -> usize {
+        self.memory.outstanding()
+    }
+
+    /// The block containing `addr` under the L1 geometry.
+    #[inline]
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        self.l1.block_of(addr)
+    }
+
+    /// Latency of fetching `block`: the L2 hit penalty when an L2 is
+    /// configured and holds the line, otherwise the full miss penalty.
+    /// Probing also updates the (inclusive) L2 tags: a missing line is
+    /// installed, modeling the fill on its way to the L1.
+    fn fetch_latency(&mut self, block: BlockAddr) -> (u32, ServiceLevel) {
+        let Some((l2, hit_penalty)) = self.l2.as_mut() else {
+            return (self.memory.miss_penalty(), ServiceLevel::Memory);
+        };
+        if l2.contains_block(block) {
+            // Touch for LRU.
+            let addr = block.first_byte(l2.config().geometry.block_bits());
+            let _ = l2.access_load(addr, Dest::Pc, LoadFormat::DOUBLE);
+            (*hit_penalty, ServiceLevel::L2Hit)
+        } else {
+            l2.fill(block);
+            (self.memory.miss_penalty(), ServiceLevel::Memory)
+        }
+    }
+
+    /// Launches the fetch of a primary miss and emits its lifecycle
+    /// events. Returns the fill time.
+    fn launch_fetch(&mut self, txn: u64, block: BlockAddr, now: Cycle) -> Cycle {
+        let (latency, level) = self.fetch_latency(block);
+        let fill_at = self.memory.issue_fetch_after(block, now, latency);
+        self.emit(MemEvent::FetchLaunched {
+            txn,
+            block,
+            at: now,
+            fill_at,
+            level,
+        });
+        fill_at
+    }
+
+    /// Services a blocking miss synchronously: probes the hierarchy for
+    /// the latency, installs the line, and returns the completion time
+    /// plus whatever targets the fill woke.
+    fn blocking_service(
+        &mut self,
+        txn: u64,
+        block: BlockAddr,
+        now: Cycle,
+    ) -> (Cycle, Vec<TargetRecord>) {
+        let (latency, level) = self.fetch_latency(block);
+        let at = now.plus(u64::from(latency));
+        self.emit(MemEvent::FetchLaunched {
+            txn,
+            block,
+            at: now,
+            fill_at: at,
+            level,
+        });
+        let targets = self.l1.fill(block);
+        self.emit(MemEvent::Filled { block, at });
+        self.emit(MemEvent::TargetsWoken {
+            block,
+            at,
+            targets: targets.len() as u32,
+        });
+        (at, targets)
+    }
+
+    /// Submits a load at time `now`. Hits resolve immediately; misses are
+    /// tracked, serviced synchronously (blocking cache), or rejected —
+    /// see [`LoadResponse`]. The port never advances the clock; the
+    /// caller charges whatever stall the response implies.
+    pub fn access_load(
+        &mut self,
+        addr: Addr,
+        dest: Dest,
+        format: LoadFormat,
+        now: Cycle,
+    ) -> LoadResponse {
+        match self.l1.access_load(addr, dest, format) {
+            LoadAccess::Hit => LoadResponse::Hit,
+            LoadAccess::VictimHit => LoadResponse::VictimHit,
+            LoadAccess::Miss(kind) => {
+                let block = self.l1.block_of(addr);
+                if self.trace.is_some() {
+                    let txn = self.fresh_txn();
+                    self.emit(MemEvent::Issued {
+                        txn,
+                        kind: AccessKind::Load,
+                        block,
+                        at: now,
+                    });
+                    match kind {
+                        MissKind::Primary => {
+                            self.launch_fetch(txn, block, now);
+                        }
+                        MissKind::Secondary => self.emit(MemEvent::Merged {
+                            txn,
+                            block,
+                            at: now,
+                        }),
+                    }
+                } else if kind == MissKind::Primary {
+                    let (latency, _) = self.fetch_latency(block);
+                    self.memory.issue_fetch_after(block, now, latency);
+                }
+                LoadResponse::Pending { kind }
+            }
+            LoadAccess::Stalled(Rejection::Blocking) => {
+                // Lockup cache: service the whole miss synchronously; the
+                // data is then in the cache and usable at `at`.
+                let block = self.l1.block_of(addr);
+                let txn = self.fresh_txn();
+                self.emit(MemEvent::Issued {
+                    txn,
+                    kind: AccessKind::Load,
+                    block,
+                    at: now,
+                });
+                let (at, woken) = self.blocking_service(txn, block, now);
+                debug_assert!(woken.is_empty(), "blocking cache has no waiting targets");
+                LoadResponse::Ready { at }
+            }
+            LoadAccess::Stalled(reason) => {
+                if self.trace.is_some() {
+                    let block = self.l1.block_of(addr);
+                    let txn = self.fresh_txn();
+                    self.emit(MemEvent::Issued {
+                        txn,
+                        kind: AccessKind::Load,
+                        block,
+                        at: now,
+                    });
+                    self.emit(MemEvent::Rejected {
+                        txn,
+                        block,
+                        reason,
+                        at: now,
+                    });
+                }
+                LoadResponse::Retry(reason)
+            }
+        }
+    }
+
+    /// Submits a store at time `now`. Write-around misses and hits are
+    /// buffered immediately; write-allocate misses fetch their line,
+    /// non-blocking when the MSHRs can track them — see [`StoreResponse`].
+    pub fn access_store(&mut self, addr: Addr, now: Cycle) -> StoreResponse {
+        match self.l1.access_store(addr) {
+            StoreAccess::Hit | StoreAccess::MissAround => {
+                self.write_buffer.push(addr, now);
+                StoreResponse::Done
+            }
+            StoreAccess::MissAllocate => {
+                // Blocking write allocate: fetch the line synchronously;
+                // the store is buffered once the line arrives.
+                let block = self.l1.block_of(addr);
+                let txn = self.fresh_txn();
+                self.emit(MemEvent::Issued {
+                    txn,
+                    kind: AccessKind::Store,
+                    block,
+                    at: now,
+                });
+                let (at, _woken) = self.blocking_service(txn, block, now);
+                self.write_buffer.push(addr, at);
+                StoreResponse::Ready { at }
+            }
+            StoreAccess::MissAllocateTracked(kind) => {
+                // Non-blocking write allocate: the store data waits in the
+                // write buffer for the line; the processor does not stall.
+                let block = self.l1.block_of(addr);
+                if self.trace.is_some() {
+                    let txn = self.fresh_txn();
+                    self.emit(MemEvent::Issued {
+                        txn,
+                        kind: AccessKind::Store,
+                        block,
+                        at: now,
+                    });
+                    match kind {
+                        MissKind::Primary => {
+                            self.launch_fetch(txn, block, now);
+                        }
+                        MissKind::Secondary => self.emit(MemEvent::Merged {
+                            txn,
+                            block,
+                            at: now,
+                        }),
+                    }
+                } else if kind == MissKind::Primary {
+                    let (latency, _) = self.fetch_latency(block);
+                    self.memory.issue_fetch_after(block, now, latency);
+                }
+                self.write_buffer.push(addr, now);
+                StoreResponse::Pending { kind }
+            }
+        }
+    }
+
+    /// Completion time of the earliest outstanding fetch, if any.
+    #[inline]
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.memory.next_completion().ok()
+    }
+
+    /// Applies every fetch that completes by `now` (inclusive), in
+    /// completion order: each line is installed, its waiting targets are
+    /// collected into a [`FillEvent`], and the event is handed to
+    /// `on_fill` (the processor wakes registers and samples from it).
+    pub fn advance_to(&mut self, now: Cycle, mut on_fill: impl FnMut(&FillEvent)) {
+        while self.memory.next_completion().is_ok_and(|at| at <= now) {
+            let fill = self
+                .apply_next_fill()
+                .expect("next_completion said nonempty");
+            on_fill(&fill);
+        }
+    }
+
+    /// Applies the earliest outstanding fetch regardless of the current
+    /// time — the stall primitive: the processor calls this when it must
+    /// wait for *some* fill (a pending register, or an MSHR rejection)
+    /// and advances its clock to the returned event's `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::NoFetchOutstanding`] when nothing is in flight — a
+    /// processor bug if it believed a fill was owed (the typed error the
+    /// engine propagates instead of panicking), and the normal
+    /// termination condition for end-of-run drains.
+    pub fn advance_to_next_event(&mut self) -> Result<FillEvent, MemoryError> {
+        match self.apply_next_fill() {
+            Some(fill) => Ok(fill),
+            None => Err(MemoryError::NoFetchOutstanding),
+        }
+    }
+
+    fn apply_next_fill(&mut self) -> Option<FillEvent> {
+        let f = self.memory.pop_next().ok()?;
+        let targets = self.l1.fill(f.block);
+        self.emit(MemEvent::Filled {
+            block: f.block,
+            at: f.at,
+        });
+        self.emit(MemEvent::TargetsWoken {
+            block: f.block,
+            at: f.at,
+            targets: targets.len() as u32,
+        });
+        Some(FillEvent {
+            block: f.block,
+            at: f.at,
+            targets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::limit::Limit;
+    use nbl_core::mshr::{RegisterFileConfig, TargetPolicy};
+    use nbl_core::types::PhysReg;
+
+    fn mc(n: u32) -> MshrConfig {
+        MshrConfig::Register(RegisterFileConfig {
+            entries: Limit::Finite(n),
+            targets: TargetPolicy::explicit(Limit::Finite(4)),
+            max_outstanding_misses: Limit::Finite(n),
+            max_fetches_per_set: Limit::Unlimited,
+        })
+    }
+
+    fn system(mshr: MshrConfig) -> MemorySystem {
+        MemorySystem::new(MemSystemConfig::with_cache(CacheConfig::baseline(mshr)))
+    }
+
+    #[test]
+    fn load_miss_fill_wake_roundtrip() {
+        let mut m = system(mc(2));
+        let r = m.access_load(
+            Addr(0x1000),
+            Dest::Reg(PhysReg::int(1)),
+            LoadFormat::WORD,
+            Cycle(0),
+        );
+        assert_eq!(
+            r,
+            LoadResponse::Pending {
+                kind: MissKind::Primary
+            }
+        );
+        assert_eq!(m.outstanding_fetches(), 1);
+        assert_eq!(m.next_event(), Some(Cycle(16)));
+        // Nothing due yet at cycle 10.
+        let mut fills = Vec::new();
+        m.advance_to(Cycle(10), |f| fills.push(f.clone()));
+        assert!(fills.is_empty());
+        m.advance_to(Cycle(16), |f| fills.push(f.clone()));
+        assert_eq!(fills.len(), 1);
+        assert_eq!(fills[0].at, Cycle(16));
+        assert_eq!(fills[0].targets.len(), 1);
+        assert_eq!(fills[0].targets[0].dest, Dest::Reg(PhysReg::int(1)));
+        assert_eq!(m.next_event(), None);
+        // The line is now resident.
+        let r = m.access_load(
+            Addr(0x1000),
+            Dest::Reg(PhysReg::int(2)),
+            LoadFormat::WORD,
+            Cycle(17),
+        );
+        assert_eq!(r, LoadResponse::Hit);
+    }
+
+    #[test]
+    fn rejection_then_forced_advance() {
+        let mut m = system(mc(1));
+        let first = m.access_load(
+            Addr(0x1000),
+            Dest::Reg(PhysReg::int(1)),
+            LoadFormat::WORD,
+            Cycle(0),
+        );
+        assert_eq!(
+            first,
+            LoadResponse::Pending {
+                kind: MissKind::Primary
+            }
+        );
+        let second = m.access_load(
+            Addr(0x2000),
+            Dest::Reg(PhysReg::int(2)),
+            LoadFormat::WORD,
+            Cycle(1),
+        );
+        assert!(matches!(second, LoadResponse::Retry(_)));
+        let fill = m.advance_to_next_event().expect("one fetch outstanding");
+        assert_eq!(fill.at, Cycle(16));
+        // Retry now succeeds as a fresh primary miss.
+        let retried = m.access_load(
+            Addr(0x2000),
+            Dest::Reg(PhysReg::int(2)),
+            LoadFormat::WORD,
+            Cycle(16),
+        );
+        assert_eq!(
+            retried,
+            LoadResponse::Pending {
+                kind: MissKind::Primary
+            }
+        );
+    }
+
+    #[test]
+    fn empty_advance_is_typed_error() {
+        let mut m = system(mc(1));
+        assert_eq!(
+            m.advance_to_next_event().unwrap_err(),
+            MemoryError::NoFetchOutstanding
+        );
+    }
+
+    #[test]
+    fn blocking_load_ready_at_full_penalty() {
+        let mut m = system(MshrConfig::Blocking);
+        let r = m.access_load(
+            Addr(0x40),
+            Dest::Reg(PhysReg::int(1)),
+            LoadFormat::WORD,
+            Cycle(5),
+        );
+        assert_eq!(r, LoadResponse::Ready { at: Cycle(21) });
+        assert_eq!(
+            m.outstanding_fetches(),
+            0,
+            "blocking service is synchronous"
+        );
+        let again = m.access_load(
+            Addr(0x48),
+            Dest::Reg(PhysReg::int(2)),
+            LoadFormat::WORD,
+            Cycle(21),
+        );
+        assert_eq!(again, LoadResponse::Hit);
+    }
+
+    #[test]
+    fn store_paths() {
+        // Baseline is write-around: store misses are buffered, done.
+        let mut m = system(mc(2));
+        assert_eq!(m.access_store(Addr(0x5000), Cycle(0)), StoreResponse::Done);
+        assert_eq!(m.write_buffer_stats().writes, 1);
+
+        // Write-allocate with MSHRs: tracked, non-blocking.
+        let mut cfg = CacheConfig::baseline(mc(2));
+        cfg.write_miss = WriteMissPolicy::WriteAllocate;
+        let mut wa = MemorySystem::new(MemSystemConfig::with_cache(cfg));
+        assert_eq!(
+            wa.access_store(Addr(0x5000), Cycle(0)),
+            StoreResponse::Pending {
+                kind: MissKind::Primary
+            }
+        );
+        assert_eq!(wa.outstanding_fetches(), 1);
+
+        // Write-allocate blocking: synchronous, ready at the penalty.
+        let mut cfg = CacheConfig::baseline(MshrConfig::Blocking);
+        cfg.write_miss = WriteMissPolicy::WriteAllocate;
+        let mut blk = MemorySystem::new(MemSystemConfig::with_cache(cfg));
+        assert_eq!(
+            blk.access_store(Addr(0x5000), Cycle(0)),
+            StoreResponse::Ready { at: Cycle(16) }
+        );
+    }
+
+    #[test]
+    fn tracing_observes_the_full_lifecycle() {
+        let mut m = system(mc(2));
+        m.enable_tracing(64);
+        // Primary miss, then a secondary to the same line, then the fill.
+        let _ = m.access_load(
+            Addr(0x1000),
+            Dest::Reg(PhysReg::int(1)),
+            LoadFormat::WORD,
+            Cycle(0),
+        );
+        let _ = m.access_load(
+            Addr(0x1008),
+            Dest::Reg(PhysReg::int(2)),
+            LoadFormat::WORD,
+            Cycle(1),
+        );
+        m.advance_to(Cycle(16), |_| {});
+        let trace = m.take_trace().expect("tracing was enabled");
+        assert!(m.trace().is_none(), "take_trace disables tracing");
+        let s = &trace.stats;
+        assert_eq!(s.issued, 2);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.merged, 1);
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.targets_woken, 2);
+        assert_eq!(s.merge_depth[1], 1);
+        assert_eq!(s.fanout[2], 1);
+        assert_eq!(s.time_in_flight[16], 1);
+        assert_eq!(trace.ring.total(), s.total_events());
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let mut m = system(mc(2));
+        let _ = m.access_load(
+            Addr(0x1000),
+            Dest::Reg(PhysReg::int(1)),
+            LoadFormat::WORD,
+            Cycle(0),
+        );
+        assert!(m.trace().is_none());
+        assert!(m.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_are_cycle_identical() {
+        let run = |traced: bool| {
+            let mut m = system(mc(1));
+            if traced {
+                m.enable_tracing(16);
+            }
+            let mut log = Vec::new();
+            for (i, addr) in [0x1000u64, 0x1008, 0x2000, 0x1000].into_iter().enumerate() {
+                let r = m.access_load(
+                    Addr(addr),
+                    Dest::Reg(PhysReg::int(i as u8)),
+                    LoadFormat::WORD,
+                    Cycle(i as u64),
+                );
+                log.push(format!("{r:?}"));
+            }
+            m.advance_to(Cycle(100), |f| log.push(format!("{f:?}")));
+            log
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb timing");
+    }
+}

@@ -70,7 +70,10 @@ pub struct WriteBuffer {
 impl WriteBuffer {
     /// Creates a buffer with the given retirement policy.
     pub fn new(policy: RetirePolicy) -> WriteBuffer {
-        WriteBuffer { policy, ..WriteBuffer::default() }
+        WriteBuffer {
+            policy,
+            ..WriteBuffer::default()
+        }
     }
 
     /// The paper's configuration: writes retire for free.
@@ -86,7 +89,11 @@ impl WriteBuffer {
             RetirePolicy::Throttled { cycles_per_retire } => {
                 self.drain(now);
                 let earliest = self.last_retire.plus(u64::from(cycles_per_retire));
-                let retire_at = if earliest > now { earliest } else { now.plus(u64::from(cycles_per_retire)) };
+                let retire_at = if earliest > now {
+                    earliest
+                } else {
+                    now.plus(u64::from(cycles_per_retire))
+                };
                 self.last_retire = retire_at;
                 self.pending.push_back(PendingWrite { addr, retire_at });
                 self.stats.max_occupancy = self.stats.max_occupancy.max(self.pending.len());
@@ -137,7 +144,9 @@ mod tests {
 
     #[test]
     fn throttled_retirement_queues_and_drains() {
-        let mut wb = WriteBuffer::new(RetirePolicy::Throttled { cycles_per_retire: 4 });
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled {
+            cycles_per_retire: 4,
+        });
         wb.push(Addr(0x10), Cycle(0)); // retires at 4
         wb.push(Addr(0x20), Cycle(0)); // retires at 8
         wb.push(Addr(0x30), Cycle(0)); // retires at 12
@@ -151,9 +160,61 @@ mod tests {
 
     #[test]
     fn throttled_retirement_spaced_after_idle() {
-        let mut wb = WriteBuffer::new(RetirePolicy::Throttled { cycles_per_retire: 4 });
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled {
+            cycles_per_retire: 4,
+        });
         wb.push(Addr(0x10), Cycle(100)); // retires at 104
         assert_eq!(wb.occupancy(Cycle(103)), 1);
         assert_eq!(wb.occupancy(Cycle(104)), 0);
+    }
+
+    #[test]
+    fn throttled_restarts_the_retire_clock_after_a_gap() {
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled {
+            cycles_per_retire: 4,
+        });
+        wb.push(Addr(0x10), Cycle(0)); // retires at 4
+                                       // The buffer went idle long before this push: the retire slot is
+                                       // now + period, not last_retire + period.
+        wb.push(Addr(0x20), Cycle(10)); // retires at 14, not 8
+        assert_eq!(wb.occupancy(Cycle(13)), 1);
+        assert_eq!(wb.occupancy(Cycle(14)), 0);
+    }
+
+    #[test]
+    fn contains_reflects_retirement() {
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled {
+            cycles_per_retire: 4,
+        });
+        wb.push(Addr(0x10), Cycle(0));
+        assert!(wb.contains(Addr(0x10), Cycle(3)));
+        assert!(!wb.contains(Addr(0x10), Cycle(4)));
+        assert!(!wb.contains(Addr(0x18), Cycle(3)), "address match is exact");
+    }
+
+    #[test]
+    fn throttled_counts_writes_and_high_water_mark() {
+        let mut wb = WriteBuffer::new(RetirePolicy::Throttled {
+            cycles_per_retire: 2,
+        });
+        for i in 0..6u64 {
+            wb.push(Addr(i * 8), Cycle(i)); // pushes outpace one-per-2-cycles
+        }
+        assert_eq!(wb.stats().writes, 6);
+        assert!(
+            wb.stats().max_occupancy >= 3,
+            "got {}",
+            wb.stats().max_occupancy
+        );
+        // Eventually everything drains.
+        assert_eq!(wb.occupancy(Cycle(100)), 0);
+    }
+
+    #[test]
+    fn default_policy_is_the_papers_free_retirement() {
+        assert_eq!(RetirePolicy::default(), RetirePolicy::Free);
+        let mut wb = WriteBuffer::default();
+        wb.push(Addr(0x10), Cycle(0));
+        assert_eq!(wb.occupancy(Cycle(0)), 0);
     }
 }

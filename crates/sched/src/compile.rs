@@ -9,9 +9,9 @@
 
 use crate::list_schedule::schedule;
 use crate::regalloc::{allocate, AllocContext, AllocError};
+use nbl_core::types::{PhysReg, RegClass, REGS_PER_CLASS};
 use nbl_trace::ir::{Program, VirtReg};
 use nbl_trace::machine::{CompiledProgram, MachineBlock};
-use nbl_core::types::{PhysReg, RegClass, REGS_PER_CLASS};
 use std::collections::HashMap;
 
 /// The scheduled load latencies the paper sweeps (§3.3 / Fig. 4).
@@ -118,7 +118,11 @@ fn assign_carried(program: &Program) -> Result<CarriedAssignment, CompileError> 
 /// }
 /// ```
 pub fn compile(program: &Program, load_latency: u32) -> Result<CompiledProgram, CompileError> {
-    debug_assert_eq!(program.validate(), Ok(()), "generators must produce valid programs");
+    debug_assert_eq!(
+        program.validate(),
+        Ok(()),
+        "generators must produce valid programs"
+    );
     let (carried_maps, int_pool, fp_pool) = assign_carried(program)?;
     let mut patterns = program.patterns.clone();
     let mut blocks: Vec<MachineBlock> = Vec::with_capacity(program.blocks.len());
@@ -157,8 +161,7 @@ mod tests {
         for name in ALL {
             let p = build(name, Scale::quick()).unwrap();
             for lat in LOAD_LATENCIES {
-                let c = compile(&p, lat)
-                    .unwrap_or_else(|e| panic!("{name} at latency {lat}: {e}"));
+                let c = compile(&p, lat).unwrap_or_else(|e| panic!("{name} at latency {lat}: {e}"));
                 assert_eq!(c.blocks.len(), p.blocks.len());
                 // Block op counts only grow (spill code).
                 for (mb, b) in c.blocks.iter().zip(&p.blocks) {
@@ -185,7 +188,10 @@ mod tests {
                 any_varied = true;
             }
         }
-        assert!(any_varied, "spill code should vary with the scheduled latency somewhere");
+        assert!(
+            any_varied,
+            "spill code should vary with the scheduled latency somewhere"
+        );
     }
 
     #[test]
@@ -222,9 +228,15 @@ mod tests {
         for (i, pat) in c.patterns.iter().enumerate() {
             if let nbl_trace::ir::AddrPattern::Fixed { addr } = pat {
                 if i < p.patterns.len() {
-                    assert!(*addr < SPILL_AREA_BASE, "workload pattern {i} inside spill area");
+                    assert!(
+                        *addr < SPILL_AREA_BASE,
+                        "workload pattern {i} inside spill area"
+                    );
                 } else {
-                    assert!(*addr >= SPILL_AREA_BASE, "spill slot {i} below the spill area");
+                    assert!(
+                        *addr >= SPILL_AREA_BASE,
+                        "spill slot {i} below the spill area"
+                    );
                 }
             }
         }

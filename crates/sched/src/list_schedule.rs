@@ -28,7 +28,11 @@ fn build_dag(ops: &[IrOp], load_latency: u32) -> (Vec<Vec<(usize, u32)>>, Vec<us
     let n = ops.len();
     let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
-    let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>, indeg: &mut Vec<usize>, a: usize, b: usize, lat: u32| {
+    let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
+                    indeg: &mut Vec<usize>,
+                    a: usize,
+                    b: usize,
+                    lat: u32| {
         if a != b {
             succs[a].push((b, lat));
             indeg[b] += 1;
@@ -203,14 +207,24 @@ pub fn respects_dependences(block: &Block, order: &[usize]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nbl_core::types::{LoadFormat, RegClass};
     use nbl_trace::builder::ProgramBuilder;
     use nbl_trace::ir::AddrPattern;
-    use nbl_core::types::{LoadFormat, RegClass};
 
     fn demo_block() -> nbl_trace::ir::Program {
         let mut pb = ProgramBuilder::new("demo");
-        let arr = pb.pattern(AddrPattern::Strided { base: 0, elem_bytes: 8, stride: 1, length: 1024 });
-        let out = pb.pattern(AddrPattern::Strided { base: 65536, elem_bytes: 8, stride: 1, length: 1024 });
+        let arr = pb.pattern(AddrPattern::Strided {
+            base: 0,
+            elem_bytes: 8,
+            stride: 1,
+            length: 1024,
+        });
+        let out = pb.pattern(AddrPattern::Strided {
+            base: 65536,
+            elem_bytes: 8,
+            stride: 1,
+            length: 1024,
+        });
         let mut b = pb.block();
         // 4 independent (load, use, store) triples in source order.
         for _ in 0..4 {
@@ -258,7 +272,10 @@ mod tests {
         let order = schedule(&p.blocks[0], 1);
         assert!(respects_dependences(&p.blocks[0], &order));
         let d = mean_load_use_distance(&p.blocks[0], &order);
-        assert!(d <= 2.0, "latency-1 schedule keeps uses near loads (got {d})");
+        assert!(
+            d <= 2.0,
+            "latency-1 schedule keeps uses near loads (got {d})"
+        );
     }
 
     #[test]
@@ -269,11 +286,16 @@ mod tests {
         assert!(respects_dependences(&p.blocks[0], &o10));
         let d1 = mean_load_use_distance(&p.blocks[0], &o1);
         let d10 = mean_load_use_distance(&p.blocks[0], &o10);
-        assert!(d10 > d1, "longer scheduled latency must widen load-use distance ({d1} -> {d10})");
+        assert!(
+            d10 > d1,
+            "longer scheduled latency must widen load-use distance ({d1} -> {d10})"
+        );
         // With 4 independent triples and latency 10, the loads group ahead.
         let first_four: Vec<_> = o10.iter().take(4).copied().collect();
-        let loads_in_front =
-            first_four.iter().filter(|&&i| p.blocks[0].ops[i].is_load()).count();
+        let loads_in_front = first_four
+            .iter()
+            .filter(|&&i| p.blocks[0].ops[i].is_load())
+            .count();
         assert_eq!(loads_in_front, 4, "all loads hoist to the front: {o10:?}");
     }
 
@@ -297,7 +319,10 @@ mod tests {
             sorted_by_source.sort();
             let positions_in_source_order: Vec<usize> =
                 sorted_by_source.iter().map(|&(_, pos)| pos).collect();
-            assert_eq!(store_positions, positions_in_source_order, "stores reordered at lat {lat}");
+            assert_eq!(
+                store_positions, positions_in_source_order,
+                "stores reordered at lat {lat}"
+            );
         }
     }
 
@@ -330,7 +355,11 @@ mod tests {
         let p = pb.build();
         for lat in [1, 20] {
             let order = schedule(&p.blocks[0], lat);
-            assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "a serial chain has only one order");
+            assert_eq!(
+                order,
+                vec![0, 1, 2, 3, 4, 5],
+                "a serial chain has only one order"
+            );
         }
     }
 

@@ -17,9 +17,9 @@
 //! a fresh short-lived register) before each use. The scan then repeats on
 //! the rewritten code until it fits.
 
+use nbl_core::types::{LoadFormat, PhysReg, RegClass};
 use nbl_trace::ir::{AddrPattern, IrOp, PatternId, VirtReg};
 use nbl_trace::machine::{MachineBlock, MachineOp};
-use nbl_core::types::{LoadFormat, PhysReg, RegClass};
 use std::collections::HashMap;
 
 /// Inputs that don't change across spill iterations.
@@ -92,7 +92,11 @@ fn intervals(ops: &[IrOp], carried: &HashMap<VirtReg, PhysReg>) -> Vec<Interval>
     }
     let mut out: Vec<Interval> = first
         .into_iter()
-        .map(|(v, s)| Interval { vreg: v, start: s, end: last[&v] })
+        .map(|(v, s)| Interval {
+            vreg: v,
+            start: s,
+            end: last[&v],
+        })
         .collect();
     out.sort_by_key(|iv| (iv.start, iv.end, iv.vreg.0));
     out
@@ -181,7 +185,11 @@ fn spill(w: &mut Working, victim: VirtReg, ctx: &mut AllocContext<'_>) {
         let defines_victim = op.dst() == Some(victim);
         out.push(op);
         if defines_victim {
-            out.push(IrOp::Store { pattern: slot, data: Some(victim), addr_src: None });
+            out.push(IrOp::Store {
+                pattern: slot,
+                data: Some(victim),
+                addr_src: None,
+            });
             w.spill_ops += 1;
         }
     }
@@ -225,7 +233,12 @@ pub fn allocate(
     classes: Vec<RegClass>,
     ctx: &mut AllocContext<'_>,
 ) -> Result<MachineBlock, AllocError> {
-    let mut w = Working { ops: scheduled_ops, classes, spill_ops: 0, next_slot: 0 };
+    let mut w = Working {
+        ops: scheduled_ops,
+        classes,
+        spill_ops: 0,
+        next_slot: 0,
+    };
     // Iterate scan → spill until the code fits. Each spill splits a
     // multi-op live range into one-op ranges, so progress is monotone; the
     // cap catches genuinely unallocatable pressure (an op whose own
@@ -247,30 +260,48 @@ pub fn allocate(
         }
     };
     let reg_of = |v: VirtReg| -> PhysReg {
-        ctx.carried.get(&v).copied().unwrap_or_else(|| assignment[&v])
+        ctx.carried
+            .get(&v)
+            .copied()
+            .unwrap_or_else(|| assignment[&v])
     };
     let ops = w
         .ops
         .iter()
         .map(|op| match *op {
-            IrOp::Load { dst, pattern, format, addr_src } => MachineOp::Load {
+            IrOp::Load {
+                dst,
+                pattern,
+                format,
+                addr_src,
+            } => MachineOp::Load {
                 dst: reg_of(dst),
                 pattern,
                 format,
                 addr_src: addr_src.map(reg_of),
             },
-            IrOp::Store { pattern, data, addr_src } => MachineOp::Store {
+            IrOp::Store {
+                pattern,
+                data,
+                addr_src,
+            } => MachineOp::Store {
                 pattern,
                 data: data.map(reg_of),
                 addr_src: addr_src.map(reg_of),
             },
-            IrOp::Alu { dst, srcs } => {
-                MachineOp::Alu { dst: reg_of(dst), srcs: srcs.map(|s| s.map(reg_of)) }
-            }
-            IrOp::Branch { srcs } => MachineOp::Branch { srcs: srcs.map(|s| s.map(reg_of)) },
+            IrOp::Alu { dst, srcs } => MachineOp::Alu {
+                dst: reg_of(dst),
+                srcs: srcs.map(|s| s.map(reg_of)),
+            },
+            IrOp::Branch { srcs } => MachineOp::Branch {
+                srcs: srcs.map(|s| s.map(reg_of)),
+            },
         })
         .collect();
-    Ok(MachineBlock { ops, spill_ops: w.spill_ops })
+    Ok(MachineBlock {
+        ops,
+        spill_ops: w.spill_ops,
+    })
 }
 
 #[cfg(test)]
@@ -299,7 +330,10 @@ mod tests {
         }
         for i in 0..n {
             classes.push(RegClass::Fp);
-            ops.push(IrOp::Alu { dst: VirtReg(n + i), srcs: [Some(VirtReg(i)), None] });
+            ops.push(IrOp::Alu {
+                dst: VirtReg(n + i),
+                srcs: [Some(VirtReg(i)), None],
+            });
         }
         (ops, classes)
     }
@@ -364,7 +398,10 @@ mod tests {
             spill_base: 1 << 40,
         };
         let mb = allocate(ops, classes, &mut ctx).unwrap();
-        assert!(mb.spill_ops > 0, "10 simultaneous lives cannot fit 6 registers");
+        assert!(
+            mb.spill_ops > 0,
+            "10 simultaneous lives cannot fit 6 registers"
+        );
         assert_eq!(mb.ops.len(), 20 + mb.spill_ops);
         // Spill slots were added to the pattern table.
         assert!(patterns.len() > 1);
@@ -385,8 +422,14 @@ mod tests {
         let mut carried = HashMap::new();
         carried.insert(VirtReg(0), PhysReg::int(31));
         let ops = vec![
-            IrOp::Alu { dst: VirtReg(1), srcs: [Some(VirtReg(0)), None] },
-            IrOp::Alu { dst: VirtReg(0), srcs: [Some(VirtReg(1)), None] },
+            IrOp::Alu {
+                dst: VirtReg(1),
+                srcs: [Some(VirtReg(0)), None],
+            },
+            IrOp::Alu {
+                dst: VirtReg(0),
+                srcs: [Some(VirtReg(1)), None],
+            },
         ];
         let classes = vec![RegClass::Int, RegClass::Int];
         let (ip, fp) = pools(4);
@@ -428,7 +471,10 @@ mod tests {
                 format: LoadFormat::DOUBLE,
                 addr_src: None,
             },
-            IrOp::Alu { dst: VirtReg(2), srcs: [Some(VirtReg(0)), Some(VirtReg(1))] },
+            IrOp::Alu {
+                dst: VirtReg(2),
+                srcs: [Some(VirtReg(0)), Some(VirtReg(1))],
+            },
         ];
         let classes = vec![RegClass::Fp; 3];
         let ip = vec![PhysReg::int(0)];

@@ -112,7 +112,10 @@ impl CompileCache {
 
     /// Number of distinct `(name, latency, fingerprint)` keys resident.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("compile cache lock poisoned").len()
+        self.slots
+            .lock()
+            .expect("compile cache lock poisoned")
+            .len()
     }
 
     /// `true` if no program has been compiled yet.
@@ -135,8 +138,17 @@ mod tests {
         let b = cache.get_or_compile(&p, 10).unwrap();
         let c = cache.get_or_compile(&p, 6).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same pair must share one compilation");
-        assert!(!Arc::ptr_eq(&a, &c), "different latency is a different pair");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, compiles: 2 });
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "different latency is a different pair"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                compiles: 2
+            }
+        );
         assert_eq!(cache.len(), 2);
     }
 

@@ -287,7 +287,10 @@ mod tests {
 
     #[test]
     fn only_wma_allocates_on_store_miss() {
-        assert_eq!(HwConfig::Mc0Wma.write_miss_policy(), WriteMissPolicy::WriteAllocate);
+        assert_eq!(
+            HwConfig::Mc0Wma.write_miss_policy(),
+            WriteMissPolicy::WriteAllocate
+        );
         for hw in HwConfig::baseline_seven().into_iter().skip(1) {
             assert_eq!(hw.write_miss_policy(), WriteMissPolicy::WriteAround);
         }

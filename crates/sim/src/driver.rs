@@ -6,15 +6,49 @@ use crate::compile_cache::CompileCache;
 use crate::config::SimConfig;
 use crate::telemetry::Telemetry;
 use nbl_core::geometry::CacheGeometry;
-use nbl_cpu::core_engine::{EngineConfig, L2Params};
+use nbl_core::inst::DynInst;
+use nbl_cpu::core_engine::{EngineConfig, EngineError, L2Params};
 use nbl_cpu::dual::DualIssueProcessor;
 use nbl_cpu::pipeline::Processor;
-use nbl_core::inst::DynInst;
+use nbl_mem::event::MemTrace;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::exec::Executor;
 use nbl_trace::ir::Program;
 use nbl_trace::machine::{CompiledProgram, InstSink};
 use std::fmt;
+
+/// Any failure a simulation run can report: the compiler model rejected
+/// the program, or the engine hit a model invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scheduling compiler failed.
+    Compile(CompileError),
+    /// The execution engine failed mid-run.
+    Engine(EngineError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Compile(e) => write!(f, "compile error: {e}"),
+            SimError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CompileError> for SimError {
+    fn from(e: CompileError) -> SimError {
+        SimError::Compile(e)
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> SimError {
+        SimError::Engine(e)
+    }
+}
 
 /// Fig. 6-style occupancy summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,21 +116,38 @@ impl fmt::Display for RunResult {
     }
 }
 
-struct SingleSink<'a>(&'a mut Processor);
+/// [`InstSink`] adapters: `InstSink::exec` is infallible, so an engine
+/// error is held sticky — execution degenerates to a no-op for the rest of
+/// the stream and the driver reports the first error after the run.
+struct SingleSink<'a> {
+    cpu: &'a mut Processor,
+    error: Option<EngineError>,
+}
 
 impl InstSink for SingleSink<'_> {
     #[inline]
     fn exec(&mut self, inst: DynInst) {
-        self.0.step(&inst);
+        if self.error.is_none() {
+            if let Err(e) = self.cpu.step(&inst) {
+                self.error = Some(e);
+            }
+        }
     }
 }
 
-struct DualSink<'a>(&'a mut DualIssueProcessor);
+struct DualSink<'a> {
+    cpu: &'a mut DualIssueProcessor,
+    error: Option<EngineError>,
+}
 
 impl InstSink for DualSink<'_> {
     #[inline]
     fn exec(&mut self, inst: DynInst) {
-        self.0.push(inst);
+        if self.error.is_none() {
+            if let Err(e) = self.cpu.push(inst) {
+                self.error = Some(e);
+            }
+        }
     }
 }
 
@@ -150,25 +201,76 @@ fn summarize(
     }
 }
 
-/// Runs one compiled program through the single-issue processor under
-/// `cfg` (the program must already be compiled for `cfg.load_latency`).
-pub fn run_compiled(benchmark: &str, compiled: &CompiledProgram, cfg: &SimConfig) -> RunResult {
-    debug_assert_eq!(compiled.load_latency, cfg.load_latency);
+fn single_engine_config(cfg: &SimConfig) -> EngineConfig {
     let mut cache = cfg.hw.cache_config(cfg.geometry);
     cache.victim_entries = cfg.victim_entries;
-    let engine = EngineConfig {
+    EngineConfig {
         cache,
         miss_penalty: cfg.miss_penalty,
         perfect_cache: false,
         memory_gap: cfg.memory_gap,
         l2: l2_params(cfg),
+    }
+}
+
+fn run_single(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+    trace_ring: Option<usize>,
+) -> Result<(RunResult, Option<MemTrace>), EngineError> {
+    debug_assert_eq!(compiled.load_latency, cfg.load_latency);
+    let mut cpu = Processor::new(single_engine_config(cfg));
+    if let Some(ring) = trace_ring {
+        cpu.enable_mem_tracing(ring);
+    }
+    let mut sink = SingleSink {
+        cpu: &mut cpu,
+        error: None,
     };
-    let mut cpu = Processor::new(engine);
-    Executor::new(compiled).run(&mut SingleSink(&mut cpu));
+    Executor::new(compiled).run(&mut sink);
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
     cpu.finish();
+    let trace = cpu.take_mem_trace();
     let result = summarize(benchmark, cfg, compiled, &cpu);
     Telemetry::global().record_run(result.instructions, result.cycles);
-    result
+    if let Some(t) = &trace {
+        Telemetry::global().record_events(t.stats.total_events());
+    }
+    Ok((result, trace))
+}
+
+/// Runs one compiled program through the single-issue processor under
+/// `cfg` (the program must already be compiled for `cfg.load_latency`).
+///
+/// # Errors
+///
+/// [`EngineError`] if the engine hit a model invariant violation mid-run.
+pub fn run_compiled(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+) -> Result<RunResult, EngineError> {
+    run_single(benchmark, compiled, cfg, None).map(|(r, _)| r)
+}
+
+/// Like [`run_compiled`], but with miss-lifecycle tracing enabled: the
+/// returned [`MemTrace`] holds the last `ring_capacity` raw events and the
+/// full [`nbl_mem::event::MissLifecycleStats`] aggregate of the run.
+///
+/// # Errors
+///
+/// [`EngineError`] if the engine hit a model invariant violation mid-run.
+pub fn run_compiled_traced(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+    ring_capacity: usize,
+) -> Result<(RunResult, MemTrace), EngineError> {
+    run_single(benchmark, compiled, cfg, Some(ring_capacity))
+        .map(|(r, t)| (r, t.expect("tracing was enabled")))
 }
 
 /// Like [`run_program`], but compiling through the process-wide
@@ -178,20 +280,40 @@ pub fn run_compiled(benchmark: &str, compiled: &CompiledProgram, cfg: &SimConfig
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
-pub fn run_program_cached(program: &Program, cfg: &SimConfig) -> Result<RunResult, CompileError> {
+/// [`SimError`] from the compiler model or the engine.
+pub fn run_program_cached(program: &Program, cfg: &SimConfig) -> Result<RunResult, SimError> {
     let compiled = CompileCache::global().get_or_compile(program, cfg.load_latency)?;
-    Ok(run_compiled(&program.name, &compiled, cfg))
+    Ok(run_compiled(&program.name, &compiled, cfg)?)
 }
 
 /// Compiles `program` for `cfg.load_latency` and runs it.
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
-pub fn run_program(program: &Program, cfg: &SimConfig) -> Result<RunResult, CompileError> {
+/// [`SimError`] from the compiler model or the engine.
+pub fn run_program(program: &Program, cfg: &SimConfig) -> Result<RunResult, SimError> {
     let compiled = compile(program, cfg.load_latency)?;
-    Ok(run_compiled(&program.name, &compiled, cfg))
+    Ok(run_compiled(&program.name, &compiled, cfg)?)
+}
+
+/// Compiles `program` and runs it with miss-lifecycle tracing (see
+/// [`run_compiled_traced`]).
+///
+/// # Errors
+///
+/// [`SimError`] from the compiler model or the engine.
+pub fn run_program_traced(
+    program: &Program,
+    cfg: &SimConfig,
+    ring_capacity: usize,
+) -> Result<(RunResult, MemTrace), SimError> {
+    let compiled = CompileCache::global().get_or_compile(program, cfg.load_latency)?;
+    Ok(run_compiled_traced(
+        &program.name,
+        &compiled,
+        cfg,
+        ring_capacity,
+    )?)
 }
 
 /// Result of a dual-issue run (paper §6 / Fig. 19).
@@ -219,10 +341,10 @@ pub struct DualRunResult {
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
-pub fn run_dual(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, CompileError> {
+/// [`SimError`] from the compiler model or the engine.
+pub fn run_dual(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, SimError> {
     let compiled = compile(program, cfg.load_latency)?;
-    Ok(run_dual_compiled(&program.name, &compiled, cfg))
+    Ok(run_dual_compiled(&program.name, &compiled, cfg)?)
 }
 
 /// Like [`run_dual`], but compiling through the process-wide
@@ -230,19 +352,23 @@ pub fn run_dual(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, Com
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
-pub fn run_dual_cached(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, CompileError> {
+/// [`SimError`] from the compiler model or the engine.
+pub fn run_dual_cached(program: &Program, cfg: &SimConfig) -> Result<DualRunResult, SimError> {
     let compiled = CompileCache::global().get_or_compile(program, cfg.load_latency)?;
-    Ok(run_dual_compiled(&program.name, &compiled, cfg))
+    Ok(run_dual_compiled(&program.name, &compiled, cfg)?)
 }
 
 /// The dual-issue run on an already-compiled program (which must match
 /// `cfg.load_latency`).
+///
+/// # Errors
+///
+/// [`EngineError`] if either pass hit a model invariant violation.
 pub fn run_dual_compiled(
     benchmark: &str,
     compiled: &CompiledProgram,
     cfg: &SimConfig,
-) -> DualRunResult {
+) -> Result<DualRunResult, EngineError> {
     debug_assert_eq!(compiled.load_latency, cfg.load_latency);
     let mk_engine = |perfect: bool| {
         let mut cache = cfg.hw.cache_config(cfg.geometry);
@@ -255,17 +381,26 @@ pub fn run_dual_compiled(
             l2: l2_params(cfg),
         }
     };
-    let mut perfect = DualIssueProcessor::new(mk_engine(true));
-    Executor::new(compiled).run(&mut DualSink(&mut perfect));
-    perfect.finish();
-    let mut real = DualIssueProcessor::new(mk_engine(false));
-    Executor::new(compiled).run(&mut DualSink(&mut real));
-    real.finish();
+    let run_pass = |perfect: bool| -> Result<DualIssueProcessor, EngineError> {
+        let mut cpu = DualIssueProcessor::new(mk_engine(perfect));
+        let mut sink = DualSink {
+            cpu: &mut cpu,
+            error: None,
+        };
+        Executor::new(compiled).run(&mut sink);
+        if let Some(e) = sink.error {
+            return Err(e);
+        }
+        cpu.finish()?;
+        Ok(cpu)
+    };
+    let perfect = run_pass(true)?;
+    let real = run_pass(false)?;
     let instructions = real.stats().instructions;
     // Both passes (perfect + real) are simulated work.
     Telemetry::global().record_run(instructions, perfect.now().0);
     Telemetry::global().record_run(instructions, real.now().0);
-    DualRunResult {
+    Ok(DualRunResult {
         benchmark: benchmark.to_string(),
         config: cfg.hw.label(),
         instructions,
@@ -273,7 +408,7 @@ pub fn run_dual_compiled(
         perfect_cycles: perfect.now().0,
         ipc: instructions as f64 / perfect.now().0.max(1) as f64,
         mcpi: real.mcpi_against(perfect.now()),
-    }
+    })
 }
 
 impl RunResult {
@@ -303,7 +438,10 @@ mod tests {
         let best = quick("tomcatv", HwConfig::NoRestrict);
         assert!(wma.mcpi >= blocking.mcpi, "wma adds store-miss stalls");
         assert!(blocking.mcpi > hum.mcpi, "hit-under-miss must help tomcatv");
-        assert!(hum.mcpi > best.mcpi, "unrestricted must beat hit-under-miss");
+        assert!(
+            hum.mcpi > best.mcpi,
+            "unrestricted must beat hit-under-miss"
+        );
         assert!(best.mcpi < 0.5 * blocking.mcpi, "tomcatv overlaps heavily");
     }
 
@@ -336,7 +474,11 @@ mod tests {
     fn dual_issue_runs_and_reports_ipc() {
         let p = build("eqntott", Scale::quick()).unwrap();
         let d = run_dual(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap();
-        assert!(d.ipc > 1.0, "dual issue must beat 1 IPC on eqntott: {}", d.ipc);
+        assert!(
+            d.ipc > 1.0,
+            "dual issue must beat 1 IPC on eqntott: {}",
+            d.ipc
+        );
         assert!(d.ipc <= 2.0);
         assert!(d.mcpi >= 0.0);
         assert!(d.cycles >= d.perfect_cycles);

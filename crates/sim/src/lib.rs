@@ -31,8 +31,8 @@ pub mod telemetry;
 pub use compile_cache::{CacheStats, CompileCache};
 pub use config::{HwConfig, IssueWidth, SimConfig};
 pub use driver::{
-    run_compiled, run_dual, run_dual_cached, run_dual_compiled, run_program, run_program_cached,
-    DualRunResult, RunResult,
+    run_compiled, run_compiled_traced, run_dual, run_dual_cached, run_dual_compiled, run_program,
+    run_program_cached, run_program_traced, DualRunResult, RunResult, SimError,
 };
 pub use pool::{available_threads, JobPool};
 pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep, SweepEngine};

@@ -20,14 +20,19 @@ const MAX_CHUNK: usize = 64;
 /// Parses an `NBL_THREADS`-style override. `None` (unset, empty, garbage,
 /// or zero) means "no override".
 fn parse_threads(var: Option<&str>) -> Option<usize> {
-    var.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// The worker count to use by default: `NBL_THREADS` if set to a positive
 /// integer, else the machine's available parallelism, else 1.
 pub fn available_threads() -> usize {
     parse_threads(std::env::var("NBL_THREADS").ok().as_deref())
-        .or_else(|| std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok())
+        .or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .ok()
+        })
         .unwrap_or(1)
 }
 
@@ -43,7 +48,9 @@ pub struct JobPool {
 impl JobPool {
     /// A pool that will use `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self {
+            threads: threads.max(1),
+        }
     }
 
     /// A pool sized by [`available_threads`].
@@ -95,7 +102,10 @@ impl JobPool {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
         });
         // Merge worker-local results back into input order.
         let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
@@ -105,7 +115,10 @@ impl JobPool {
                 slots[i] = Some(t);
             }
         }
-        slots.into_iter().map(|s| s.expect("every job produces exactly one result")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job produces exactly one result"))
+            .collect()
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::driver::RunResult;
 use crate::sweep::{LatencySweep, PenaltySweep};
+use nbl_mem::event::{MissLifecycleStats, DEPTH_BUCKETS, FLIGHT_BUCKETS};
 use std::fmt::Write as _;
 
 /// Renders a latency sweep as a fixed-width table: one row per latency,
@@ -10,7 +11,11 @@ use std::fmt::Write as _;
 /// 15–17).
 pub fn mcpi_vs_latency_table(sweep: &LatencySweep) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "miss CPI vs scheduled load latency — {}", sweep.benchmark);
+    let _ = writeln!(
+        out,
+        "miss CPI vs scheduled load latency — {}",
+        sweep.benchmark
+    );
     let _ = write!(out, "{:>8}", "lat");
     for c in &sweep.configs {
         let _ = write!(out, "{c:>14}");
@@ -30,7 +35,11 @@ pub fn mcpi_vs_latency_table(sweep: &LatencySweep) -> String {
 /// structural hazard stalls").
 pub fn structural_share_table(sweep: &LatencySweep) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "%% MCPI from structural-hazard stalls — {}", sweep.benchmark);
+    let _ = writeln!(
+        out,
+        "%% MCPI from structural-hazard stalls — {}",
+        sweep.benchmark
+    );
     let _ = write!(out, "{:>8}", "lat");
     for c in &sweep.configs {
         let _ = write!(out, "{c:>14}");
@@ -83,7 +92,11 @@ pub fn inflight_table(benchmark: &str, rows: &[(u32, &RunResult)]) -> String {
             ("misses", r.inflight.miss_dist, r.inflight.max_misses),
             ("fetches", r.inflight.fetch_dist, r.inflight.max_fetches),
         ] {
-            let _ = write!(out, "{lat:>4} {kind:>8} {:>7.0}%", 100.0 * r.inflight.frac_time_with_misses);
+            let _ = write!(
+                out,
+                "{lat:>4} {kind:>8} {:>7.0}%",
+                100.0 * r.inflight.frac_time_with_misses
+            );
             for d in dist {
                 let _ = write!(out, " {:>4.0}%", 100.0 * d);
             }
@@ -96,10 +109,17 @@ pub fn inflight_table(benchmark: &str, rows: &[(u32, &RunResult)]) -> String {
 /// One row of the Fig. 13-style table: MCPI and ratio-to-unrestricted for
 /// each configuration, unrestricted last.
 pub fn fig13_row(benchmark: &str, results: &[RunResult]) -> String {
-    let unrestricted = results.last().expect("at least the unrestricted column").mcpi;
+    let unrestricted = results
+        .last()
+        .expect("at least the unrestricted column")
+        .mcpi;
     let mut out = format!("{benchmark:>10}");
     for r in &results[..results.len() - 1] {
-        let ratio = if unrestricted > 0.0 { r.mcpi / unrestricted } else { 1.0 };
+        let ratio = if unrestricted > 0.0 {
+            r.mcpi / unrestricted
+        } else {
+            1.0
+        };
         let _ = write!(out, " {:>7.3} {:>5.1}", r.mcpi, ratio);
     }
     let _ = write!(out, " {unrestricted:>7.3}");
@@ -160,7 +180,11 @@ pub fn mcpi_vs_latency_chart(sweep: &LatencySweep) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "miss CPI vs load latency — {} (letters = configs)", sweep.benchmark);
+    let _ = writeln!(
+        out,
+        "miss CPI vs load latency — {} (letters = configs)",
+        sweep.benchmark
+    );
     for (y, row) in grid.iter().enumerate() {
         let label = max - (max - min) * y as f64 / (HEIGHT - 1) as f64;
         let line: String = row.iter().collect();
@@ -222,6 +246,227 @@ pub fn penalty_sweep_csv(sweep: &PenaltySweep) -> String {
     out
 }
 
+/// Renders the miss-lifecycle summary of a traced run: transaction
+/// counts, merge-depth and fill-fan-out histograms, and the
+/// time-in-flight distribution (the delayed-hits instrument the lifecycle
+/// events exist for).
+pub fn miss_lifecycle_table(benchmark: &str, config: &str, stats: &MissLifecycleStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "miss lifecycle — {benchmark} [{config}]");
+    let _ = writeln!(
+        out,
+        "  issued {:>8}   merged {:>8}   rejected {:>8}",
+        stats.issued, stats.merged, stats.rejected
+    );
+    let _ = writeln!(
+        out,
+        "  fetches {:>7}   l2-serviced {:>3}   fills {:>11}   targets woken {:>4}",
+        stats.fetches, stats.l2_serviced, stats.fills, stats.targets_woken
+    );
+    let _ = writeln!(
+        out,
+        "  mean merge depth {:>6.3}   mean fan-out {:>6.3}   mean in-flight {:>6.1} cy (max {})",
+        stats.mean_merge_depth(),
+        stats.mean_fanout(),
+        stats.mean_time_in_flight(),
+        stats.max_flight
+    );
+    let histogram = |out: &mut String, label: &str, buckets: &[u64], saturated: &str| {
+        let last = buckets.iter().rposition(|&v| v > 0).unwrap_or(0);
+        let _ = write!(out, "  {label:<16}");
+        for (i, &v) in buckets.iter().enumerate().take(last + 1) {
+            if v == 0 {
+                continue;
+            }
+            let tag = if i + 1 == buckets.len() {
+                saturated
+            } else {
+                ""
+            };
+            let _ = write!(out, " {i}{tag}:{v}");
+        }
+        out.push('\n');
+    };
+    histogram(&mut out, "merge depth", &stats.merge_depth, "+");
+    histogram(&mut out, "fill fan-out", &stats.fanout, "+");
+    histogram(&mut out, "cycles in flight", &stats.time_in_flight, "+");
+    out
+}
+
+/// Escapes one JSON string value (the emitters below are hand-rolled —
+/// the workspace builds offline with no serialization dependency).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_u64_array(vals: &[u64]) -> String {
+    let body: Vec<String> = vals.iter().map(u64::to_string).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Serializes one [`RunResult`] as a JSON object (machine-readable sweep
+/// output for `results/`).
+pub fn run_result_json(r: &RunResult) -> String {
+    let dist = |d: &[f64; 7]| {
+        let body: Vec<String> = d.iter().map(|&v| json_f64(v)).collect();
+        format!("[{}]", body.join(","))
+    };
+    format!(
+        concat!(
+            "{{\"benchmark\":{},\"config\":{},\"load_latency\":{},\"miss_penalty\":{},",
+            "\"instructions\":{},\"loads\":{},\"stores\":{},\"cycles\":{},\"mcpi\":{},",
+            "\"data_dep_stalls\":{},\"structural_stalls\":{},\"blocking_stalls\":{},",
+            "\"structural_fraction\":{},\"structural_stall_misses\":{},",
+            "\"load_miss_rate\":{},\"secondary_miss_rate\":{},\"static_spill_ops\":{},",
+            "\"inflight\":{{\"frac_time_with_misses\":{},\"miss_dist\":{},\"fetch_dist\":{},",
+            "\"max_misses\":{},\"max_fetches\":{}}}}}"
+        ),
+        json_str(&r.benchmark),
+        json_str(&r.config),
+        r.load_latency,
+        r.miss_penalty,
+        r.instructions,
+        r.loads,
+        r.stores,
+        r.cycles,
+        json_f64(r.mcpi),
+        r.data_dep_stalls,
+        r.structural_stalls,
+        r.blocking_stalls,
+        json_f64(r.structural_fraction),
+        r.structural_stall_misses,
+        json_f64(r.load_miss_rate),
+        json_f64(r.secondary_miss_rate),
+        r.static_spill_ops,
+        json_f64(r.inflight.frac_time_with_misses),
+        dist(&r.inflight.miss_dist),
+        dist(&r.inflight.fetch_dist),
+        r.inflight.max_misses,
+        r.inflight.max_fetches,
+    )
+}
+
+fn sweep_json(
+    kind: &str,
+    benchmark: &str,
+    axis_name: &str,
+    axis: &[u32],
+    configs: &[String],
+    rows: &[Vec<RunResult>],
+) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"kind\":{},\"benchmark\":{},\"configs\":[",
+        json_str(kind),
+        json_str(benchmark)
+    );
+    for (j, c) in configs.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(c));
+    }
+    let _ = write!(
+        out,
+        "],\"{axis_name}\":{},\"runs\":[",
+        json_u64_array(&axis.iter().map(|&v| u64::from(v)).collect::<Vec<_>>())
+    );
+    let mut first = true;
+    for row in rows {
+        for r in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&run_result_json(r));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes a latency sweep as one JSON document: the axes plus every
+/// [`RunResult`] (row-major, latencies × configurations).
+pub fn latency_sweep_json(sweep: &LatencySweep) -> String {
+    sweep_json(
+        "latency_sweep",
+        &sweep.benchmark,
+        "load_latencies",
+        &sweep.latencies,
+        &sweep.configs,
+        &sweep.rows,
+    )
+}
+
+/// Serializes a penalty sweep as one JSON document (row-major, penalties ×
+/// configurations).
+pub fn penalty_sweep_json(sweep: &PenaltySweep) -> String {
+    sweep_json(
+        "penalty_sweep",
+        &sweep.benchmark,
+        "miss_penalties",
+        &sweep.penalties,
+        &sweep.configs,
+        &sweep.rows,
+    )
+}
+
+/// Serializes a miss-lifecycle summary as a JSON object.
+pub fn miss_lifecycle_json(benchmark: &str, config: &str, stats: &MissLifecycleStats) -> String {
+    debug_assert_eq!(stats.merge_depth.len(), DEPTH_BUCKETS);
+    debug_assert_eq!(stats.time_in_flight.len(), FLIGHT_BUCKETS);
+    format!(
+        concat!(
+            "{{\"benchmark\":{},\"config\":{},\"issued\":{},\"merged\":{},",
+            "\"rejected\":{},\"fetches\":{},\"l2_serviced\":{},\"fills\":{},",
+            "\"targets_woken\":{},\"mean_merge_depth\":{},\"mean_fanout\":{},",
+            "\"mean_time_in_flight\":{},\"max_flight\":{},",
+            "\"merge_depth\":{},\"fanout\":{},\"time_in_flight\":{}}}"
+        ),
+        json_str(benchmark),
+        json_str(config),
+        stats.issued,
+        stats.merged,
+        stats.rejected,
+        stats.fetches,
+        stats.l2_serviced,
+        stats.fills,
+        stats.targets_woken,
+        json_f64(stats.mean_merge_depth()),
+        json_f64(stats.mean_fanout()),
+        json_f64(stats.mean_time_in_flight()),
+        stats.max_flight,
+        json_u64_array(&stats.merge_depth),
+        json_u64_array(&stats.fanout),
+        json_u64_array(&stats.time_in_flight),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,8 +499,12 @@ mod tests {
         let s = tiny_sweep();
         assert!(structural_share_table(&s).contains('%'));
         assert!(miss_rate_table(&s).contains("eqntott"));
-        let rows: Vec<(u32, &RunResult)> =
-            s.latencies.iter().copied().zip(s.rows.iter().map(|r| &r[1])).collect();
+        let rows: Vec<(u32, &RunResult)> = s
+            .latencies
+            .iter()
+            .copied()
+            .zip(s.rows.iter().map(|r| &r[1]))
+            .collect();
         let t = inflight_table("eqntott", &rows);
         assert!(t.contains("fetches"));
     }
@@ -320,6 +569,44 @@ mod tests {
         let csv = penalty_sweep_csv(&s);
         assert!(csv.starts_with("miss_penalty,mc=0"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_emitters_are_well_formed() {
+        let s = tiny_sweep();
+        let doc = latency_sweep_json(&s);
+        assert!(doc.starts_with("{\"kind\":\"latency_sweep\""));
+        assert!(doc.contains("\"benchmark\":\"eqntott\""));
+        assert!(doc.contains("\"load_latencies\":[1,10]"));
+        // 2 latencies x 2 configs = 4 embedded run objects.
+        assert_eq!(doc.matches("\"mcpi\":").count(), 4);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+
+        let one = run_result_json(&s.rows[0][0]);
+        assert!(one.contains("\"config\":\"mc=0\""));
+        assert_eq!(one.matches('{').count(), one.matches('}').count());
+
+        assert_eq!(json_str("say \"hi\"\n"), "\"say \\\"hi\\\"\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn miss_lifecycle_render_and_json() {
+        use crate::driver::run_program_traced;
+        let p = build("tomcatv", Scale::quick()).unwrap();
+        let (_r, trace) =
+            run_program_traced(&p, &SimConfig::baseline(HwConfig::NoRestrict), 128).unwrap();
+        let stats = &trace.stats;
+        assert!(stats.fetches > 0, "tomcatv must miss");
+        let table = miss_lifecycle_table("tomcatv", "no restrict", stats);
+        assert!(table.contains("miss lifecycle — tomcatv"));
+        assert!(table.contains("merge depth"));
+        let doc = miss_lifecycle_json("tomcatv", "no restrict", stats);
+        assert!(doc.contains("\"fetches\":"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // The histograms account for every filled fetch.
+        let filled: u64 = stats.time_in_flight.iter().sum();
+        assert_eq!(filled, stats.fills);
     }
 
     #[test]

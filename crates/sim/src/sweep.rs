@@ -9,9 +9,9 @@
 
 use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, SimConfig};
-use crate::driver::{run_compiled, RunResult};
+use crate::driver::{run_compiled, RunResult, SimError};
 use crate::pool::JobPool;
-use nbl_sched::compile::{compile, CompileError};
+use nbl_sched::compile::compile;
 use nbl_trace::ir::Program;
 use std::sync::OnceLock;
 
@@ -47,20 +47,24 @@ impl LatencySweep {
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
+/// [`SimError`] from the compiler model or the engine.
 pub fn latency_sweep(
     program: &Program,
     base: &SimConfig,
     configs: &[HwConfig],
     latencies: &[u32],
-) -> Result<LatencySweep, CompileError> {
+) -> Result<LatencySweep, SimError> {
     let mut rows = Vec::with_capacity(latencies.len());
     for &lat in latencies {
         let compiled = compile(program, lat)?;
         let mut row = Vec::with_capacity(configs.len());
         for hw in configs {
-            let cfg = SimConfig { hw: hw.clone(), ..base.clone() }.at_latency(lat);
-            row.push(run_compiled(&program.name, &compiled, &cfg));
+            let cfg = SimConfig {
+                hw: hw.clone(),
+                ..base.clone()
+            }
+            .at_latency(lat);
+            row.push(run_compiled(&program.name, &compiled, &cfg)?);
         }
         rows.push(row);
     }
@@ -99,20 +103,24 @@ impl PenaltySweep {
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`] from the compiler model.
+/// [`SimError`] from the compiler model or the engine.
 pub fn penalty_sweep(
     program: &Program,
     base: &SimConfig,
     configs: &[HwConfig],
     penalties: &[u32],
-) -> Result<PenaltySweep, CompileError> {
+) -> Result<PenaltySweep, SimError> {
     let compiled = compile(program, base.load_latency)?;
     let mut rows = Vec::with_capacity(penalties.len());
     for &pen in penalties {
         let mut row = Vec::with_capacity(configs.len());
         for hw in configs {
-            let cfg = SimConfig { hw: hw.clone(), ..base.clone() }.with_penalty(pen);
-            row.push(run_compiled(&program.name, &compiled, &cfg));
+            let cfg = SimConfig {
+                hw: hw.clone(),
+                ..base.clone()
+            }
+            .with_penalty(pen);
+            row.push(run_compiled(&program.name, &compiled, &cfg)?);
         }
         rows.push(row);
     }
@@ -141,7 +149,10 @@ pub struct SweepEngine {
 impl SweepEngine {
     /// An engine with `threads` workers and a fresh cache.
     pub fn new(threads: usize) -> Self {
-        Self { pool: JobPool::new(threads), cache: CompileCache::new() }
+        Self {
+            pool: JobPool::new(threads),
+            cache: CompileCache::new(),
+        }
     }
 
     /// The process-wide engine: default thread count (`NBL_THREADS` or the
@@ -149,7 +160,10 @@ impl SweepEngine {
     /// whole bench invocation compiles each pair at most once.
     pub fn global() -> &'static SweepEngine {
         static GLOBAL: OnceLock<SweepEngine> = OnceLock::new();
-        GLOBAL.get_or_init(|| Self { pool: JobPool::with_default_threads(), cache: CompileCache::new() })
+        GLOBAL.get_or_init(|| Self {
+            pool: JobPool::with_default_threads(),
+            cache: CompileCache::new(),
+        })
     }
 
     /// The engine's pool (e.g. for ad-hoc fan-out over benchmarks).
@@ -167,16 +181,19 @@ impl SweepEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] from the compiler model.
+    /// [`SimError`] from the compiler model or the engine.
     pub fn latency_sweep(
         &self,
         program: &Program,
         base: &SimConfig,
         configs: &[HwConfig],
         latencies: &[u32],
-    ) -> Result<LatencySweep, CompileError> {
+    ) -> Result<LatencySweep, SimError> {
         let sweeps = self.grid_sweep(&[program], base, configs, latencies)?;
-        Ok(sweeps.into_iter().next().expect("one program in, one sweep out"))
+        Ok(sweeps
+            .into_iter()
+            .next()
+            .expect("one program in, one sweep out"))
     }
 
     /// Cross-benchmark sweep: every `(program, latency, config)` cell of
@@ -185,22 +202,29 @@ impl SweepEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] from the compiler model.
+    /// [`SimError`] from the compiler model or the engine.
     pub fn grid_sweep(
         &self,
         programs: &[&Program],
         base: &SimConfig,
         configs: &[HwConfig],
         latencies: &[u32],
-    ) -> Result<Vec<LatencySweep>, CompileError> {
+    ) -> Result<Vec<LatencySweep>, SimError> {
         let (nl, nc) = (latencies.len(), configs.len());
-        let cells = self.pool.run(programs.len() * nl * nc, |idx| {
-            let program = programs[idx / (nl * nc)];
-            let lat = latencies[(idx / nc) % nl];
-            let compiled = self.cache.get_or_compile(program, lat)?;
-            let cfg = SimConfig { hw: configs[idx % nc].clone(), ..base.clone() }.at_latency(lat);
-            Ok(run_compiled(&program.name, &compiled, &cfg))
-        });
+        let cells = self.pool.run(
+            programs.len() * nl * nc,
+            |idx| -> Result<RunResult, SimError> {
+                let program = programs[idx / (nl * nc)];
+                let lat = latencies[(idx / nc) % nl];
+                let compiled = self.cache.get_or_compile(program, lat)?;
+                let cfg = SimConfig {
+                    hw: configs[idx % nc].clone(),
+                    ..base.clone()
+                }
+                .at_latency(lat);
+                Ok(run_compiled(&program.name, &compiled, &cfg)?)
+            },
+        );
         let mut iter = cells.into_iter();
         programs
             .iter()
@@ -224,27 +248,34 @@ impl SweepEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] from the compiler model.
+    /// [`SimError`] from the compiler model or the engine.
     pub fn penalty_sweep(
         &self,
         program: &Program,
         base: &SimConfig,
         configs: &[HwConfig],
         penalties: &[u32],
-    ) -> Result<PenaltySweep, CompileError> {
+    ) -> Result<PenaltySweep, SimError> {
         let compiled = self.cache.get_or_compile(program, base.load_latency)?;
         let nc = configs.len();
         let cells = self.pool.run(penalties.len() * nc, |idx| {
-            let cfg = SimConfig { hw: configs[idx % nc].clone(), ..base.clone() }
-                .with_penalty(penalties[idx / nc]);
+            let cfg = SimConfig {
+                hw: configs[idx % nc].clone(),
+                ..base.clone()
+            }
+            .with_penalty(penalties[idx / nc]);
             run_compiled(&program.name, &compiled, &cfg)
         });
         let mut iter = cells.into_iter();
+        let mut rows = Vec::with_capacity(penalties.len());
+        for _ in penalties {
+            rows.push(iter.by_ref().take(nc).collect::<Result<Vec<_>, _>>()?);
+        }
         Ok(PenaltySweep {
             benchmark: program.name.clone(),
             configs: configs.iter().map(HwConfig::label).collect(),
             penalties: penalties.to_vec(),
-            rows: penalties.iter().map(|_| iter.by_ref().take(nc).collect()).collect(),
+            rows,
         })
     }
 
@@ -254,13 +285,13 @@ impl SweepEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] from the compiler model.
-    pub fn run_many(&self, jobs: &[(&Program, SimConfig)]) -> Result<Vec<RunResult>, CompileError> {
+    /// [`SimError`] from the compiler model or the engine.
+    pub fn run_many(&self, jobs: &[(&Program, SimConfig)]) -> Result<Vec<RunResult>, SimError> {
         self.pool
-            .run(jobs.len(), |i| {
+            .run(jobs.len(), |i| -> Result<RunResult, SimError> {
                 let (program, cfg) = &jobs[i];
                 let compiled = self.cache.get_or_compile(program, cfg.load_latency)?;
-                Ok(run_compiled(&program.name, &compiled, cfg))
+                Ok(run_compiled(&program.name, &compiled, cfg)?)
             })
             .into_iter()
             .collect()
@@ -300,10 +331,15 @@ mod tests {
         for name in ["doduc", "eqntott"] {
             let p = build(name, Scale::quick()).unwrap();
             let serial = latency_sweep(&p, &base, &configs, &latencies).unwrap();
-            let parallel = engine.latency_sweep(&p, &base, &configs, &latencies).unwrap();
+            let parallel = engine
+                .latency_sweep(&p, &base, &configs, &latencies)
+                .unwrap();
             assert_eq!(serial.configs, parallel.configs);
             assert_eq!(serial.latencies, parallel.latencies);
-            assert_eq!(serial.rows, parallel.rows, "{name}: parallel must be bit-identical");
+            assert_eq!(
+                serial.rows, parallel.rows,
+                "{name}: parallel must be bit-identical"
+            );
         }
         // And the penalty sweep.
         let p = build("tomcatv", Scale::quick()).unwrap();
@@ -320,8 +356,9 @@ mod tests {
         let base = SimConfig::baseline(HwConfig::Mc0);
         let configs = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::NoRestrict];
         let latencies = [1, 10];
-        let sweeps =
-            engine.grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies).unwrap();
+        let sweeps = engine
+            .grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies)
+            .unwrap();
         assert_eq!(sweeps.len(), 2);
         assert_eq!(sweeps[0].benchmark, "doduc");
         assert_eq!(sweeps[1].benchmark, "eqntott");
@@ -339,10 +376,19 @@ mod tests {
         // 2 benchmarks × 2 latencies compiled; the 3 configs (and any
         // repeat sweep) share those compilations.
         let stats = engine.cache().stats();
-        assert_eq!(stats.compiles, 4, "each (benchmark, latency) pair compiles exactly once");
+        assert_eq!(
+            stats.compiles, 4,
+            "each (benchmark, latency) pair compiles exactly once"
+        );
         assert_eq!(stats.hits, 2 * 2 * 3 - 4);
-        engine.grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies).unwrap();
-        assert_eq!(engine.cache().stats().compiles, 4, "re-sweep recompiles nothing");
+        engine
+            .grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies)
+            .unwrap();
+        assert_eq!(
+            engine.cache().stats().compiles,
+            4,
+            "re-sweep recompiles nothing"
+        );
     }
 
     #[test]

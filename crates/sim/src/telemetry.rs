@@ -14,6 +14,7 @@ pub struct Telemetry {
     instructions: AtomicU64,
     cycles: AtomicU64,
     runs: AtomicU64,
+    events: AtomicU64,
 }
 
 /// Point-in-time copy of the counters; subtract two to get the work done
@@ -26,6 +27,9 @@ pub struct TelemetrySnapshot {
     pub cycles: u64,
     /// Simulation runs completed.
     pub runs: u64,
+    /// Miss-lifecycle events recorded by traced runs (0 unless tracing
+    /// was enabled).
+    pub events: u64,
 }
 
 impl TelemetrySnapshot {
@@ -36,6 +40,7 @@ impl TelemetrySnapshot {
             instructions: self.instructions.saturating_sub(earlier.instructions),
             cycles: self.cycles.saturating_sub(earlier.cycles),
             runs: self.runs.saturating_sub(earlier.runs),
+            events: self.events.saturating_sub(earlier.events),
         }
     }
 
@@ -56,6 +61,7 @@ impl Telemetry {
             instructions: AtomicU64::new(0),
             cycles: AtomicU64::new(0),
             runs: AtomicU64::new(0),
+            events: AtomicU64::new(0),
         };
         &GLOBAL
     }
@@ -67,12 +73,18 @@ impl Telemetry {
         self.runs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records lifecycle events observed by one traced run.
+    pub fn record_events(&self, events: u64) {
+        self.events.fetch_add(events, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             instructions: self.instructions.load(Ordering::Relaxed),
             cycles: self.cycles.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,8 +99,17 @@ mod tests {
         let before = t.snapshot();
         t.record_run(40_000, 55_000);
         t.record_run(40_000, 90_000);
+        t.record_events(12);
         let d = t.snapshot().since(before);
-        assert_eq!(d, TelemetrySnapshot { instructions: 80_000, cycles: 145_000, runs: 2 });
+        assert_eq!(
+            d,
+            TelemetrySnapshot {
+                instructions: 80_000,
+                cycles: 145_000,
+                runs: 2,
+                events: 12
+            }
+        );
         assert!((d.inst_per_sec(2.0) - 40_000.0).abs() < 1e-9);
         assert_eq!(d.inst_per_sec(0.0), 0.0);
     }

@@ -18,7 +18,12 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a program named `name`.
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder { name: name.into(), patterns: Vec::new(), blocks: Vec::new(), script: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            patterns: Vec::new(),
+            blocks: Vec::new(),
+            script: Vec::new(),
+        }
     }
 
     /// Registers an address pattern.
@@ -31,7 +36,10 @@ impl ProgramBuilder {
     /// Starts building a basic block; call [`BlockBuilder::finish`] to get
     /// its id.
     pub fn block(&mut self) -> BlockBuilder<'_> {
-        BlockBuilder { parent: self, block: Block::default() }
+        BlockBuilder {
+            parent: self,
+            block: Block::default(),
+        }
     }
 
     /// Appends "run `block` `times` times" to the top-level script.
@@ -48,7 +56,12 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(self) -> Program {
-        Program { name: self.name, patterns: self.patterns, blocks: self.blocks, script: self.script }
+        Program {
+            name: self.name,
+            patterns: self.patterns,
+            blocks: self.blocks,
+            script: self.script,
+        }
     }
 }
 
@@ -78,13 +91,23 @@ impl BlockBuilder<'_> {
     /// Emits a load from `pattern` into a fresh register of `class`.
     pub fn load(&mut self, pattern: PatternId, class: RegClass, format: LoadFormat) -> VirtReg {
         let dst = self.vreg(class);
-        self.block.ops.push(IrOp::Load { dst, pattern, format, addr_src: None });
+        self.block.ops.push(IrOp::Load {
+            dst,
+            pattern,
+            format,
+            addr_src: None,
+        });
         dst
     }
 
     /// Emits a load into an existing register (e.g. a carried accumulator).
     pub fn load_into(&mut self, dst: VirtReg, pattern: PatternId, format: LoadFormat) {
-        self.block.ops.push(IrOp::Load { dst, pattern, format, addr_src: None });
+        self.block.ops.push(IrOp::Load {
+            dst,
+            pattern,
+            format,
+            addr_src: None,
+        });
     }
 
     /// Emits a dependent load: the effective address reads `addr_src`.
@@ -96,24 +119,42 @@ impl BlockBuilder<'_> {
         format: LoadFormat,
     ) -> VirtReg {
         let dst = self.vreg(class);
-        self.block.ops.push(IrOp::Load { dst, pattern, format, addr_src: Some(addr_src) });
+        self.block.ops.push(IrOp::Load {
+            dst,
+            pattern,
+            format,
+            addr_src: Some(addr_src),
+        });
         dst
     }
 
     /// Emits a pointer-chase step: load the next pointer *through* the
     /// current one, into the same carried register.
     pub fn chase(&mut self, pattern: PatternId, ptr: VirtReg, format: LoadFormat) {
-        self.block.ops.push(IrOp::Load { dst: ptr, pattern, format, addr_src: Some(ptr) });
+        self.block.ops.push(IrOp::Load {
+            dst: ptr,
+            pattern,
+            format,
+            addr_src: Some(ptr),
+        });
     }
 
     /// Emits a store of `data` to `pattern`.
     pub fn store(&mut self, pattern: PatternId, data: Option<VirtReg>) {
-        self.block.ops.push(IrOp::Store { pattern, data, addr_src: None });
+        self.block.ops.push(IrOp::Store {
+            pattern,
+            data,
+            addr_src: None,
+        });
     }
 
     /// Emits a store whose address depends on `addr_src`.
     pub fn store_via(&mut self, pattern: PatternId, data: Option<VirtReg>, addr_src: VirtReg) {
-        self.block.ops.push(IrOp::Store { pattern, data, addr_src: Some(addr_src) });
+        self.block.ops.push(IrOp::Store {
+            pattern,
+            data,
+            addr_src: Some(addr_src),
+        });
     }
 
     /// Emits `dst <- op(a, b)` into a fresh register of `class`.
@@ -159,8 +200,18 @@ mod tests {
     #[test]
     fn builds_a_two_block_program() {
         let mut pb = ProgramBuilder::new("demo");
-        let arr = pb.pattern(AddrPattern::Strided { base: 0, elem_bytes: 8, stride: 1, length: 64 });
-        let out = pb.pattern(AddrPattern::Strided { base: 4096, elem_bytes: 8, stride: 1, length: 64 });
+        let arr = pb.pattern(AddrPattern::Strided {
+            base: 0,
+            elem_bytes: 8,
+            stride: 1,
+            length: 64,
+        });
+        let out = pb.pattern(AddrPattern::Strided {
+            base: 4096,
+            elem_bytes: 8,
+            stride: 1,
+            length: 64,
+        });
 
         let mut b = pb.block();
         let i = b.carried(RegClass::Int);

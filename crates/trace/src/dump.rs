@@ -120,7 +120,10 @@ fn decode_format(b: u8) -> Result<LoadFormat, TraceError> {
     if b & !0b111 != 0 {
         return Err(TraceError::Corrupt("format bits out of range"));
     }
-    Ok(LoadFormat { size, sign_extend: b & 0b100 != 0 })
+    Ok(LoadFormat {
+        size,
+        sign_extend: b & 0b100 != 0,
+    })
 }
 
 /// Streaming trace capture: plug it in wherever an `InstSink` goes.
@@ -170,7 +173,11 @@ impl<W: Write> TraceWriter<W> {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "name too long"))?;
         out.write_all(&len.to_le_bytes())?;
         out.write_all(name_bytes)?;
-        Ok(TraceWriter { out, written: 0, error: None })
+        Ok(TraceWriter {
+            out,
+            written: 0,
+            error: None,
+        })
     }
 
     fn write_inst(&mut self, inst: &DynInst) -> io::Result<()> {
@@ -185,7 +192,11 @@ impl<W: Write> TraceWriter<W> {
                 self.out.write_all(&addr.0.to_le_bytes())?;
             }
             DynKind::Store { addr } => {
-                self.out.write_all(&[OP_STORE, encode_reg(inst.srcs[0]), encode_reg(inst.srcs[1])])?;
+                self.out.write_all(&[
+                    OP_STORE,
+                    encode_reg(inst.srcs[0]),
+                    encode_reg(inst.srcs[1]),
+                ])?;
                 self.out.write_all(&addr.0.to_le_bytes())?;
             }
             DynKind::Alu { dst: Some(d) } => {
@@ -197,8 +208,11 @@ impl<W: Write> TraceWriter<W> {
                 ])?;
             }
             DynKind::Alu { dst: None } => {
-                self.out
-                    .write_all(&[OP_BRANCH, encode_reg(inst.srcs[0]), encode_reg(inst.srcs[1])])?;
+                self.out.write_all(&[
+                    OP_BRANCH,
+                    encode_reg(inst.srcs[0]),
+                    encode_reg(inst.srcs[1]),
+                ])?;
             }
         }
         self.written += 1;
@@ -271,7 +285,13 @@ impl<R: Read> TraceReader<R> {
         input.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| TraceError::Corrupt("benchmark name is not utf-8"))?;
-        Ok(TraceReader { input, name, load_latency, read: 0, done: false })
+        Ok(TraceReader {
+            input,
+            name,
+            load_latency,
+            read: 0,
+            done: false,
+        })
     }
 
     /// Benchmark name recorded in the header.
@@ -321,7 +341,10 @@ impl<R: Read> TraceReader<R> {
                 let data = decode_reg(self.read_u8()?)?;
                 let asrc = decode_reg(self.read_u8()?)?;
                 let addr = Addr(self.read_u64()?);
-                DynInst { srcs: [data, asrc], kind: DynKind::Store { addr } }
+                DynInst {
+                    srcs: [data, asrc],
+                    kind: DynKind::Store { addr },
+                }
             }
             OP_ALU => {
                 let dst = decode_reg(self.read_u8()?)?
@@ -339,7 +362,10 @@ impl<R: Read> TraceReader<R> {
                 let expected = self.read_u64()?;
                 self.done = true;
                 if expected != self.read {
-                    return Err(TraceError::CountMismatch { expected, actual: self.read });
+                    return Err(TraceError::CountMismatch {
+                        expected,
+                        actual: self.read,
+                    });
                 }
                 return Ok(None);
             }
@@ -388,14 +414,22 @@ mod tests {
     fn sample_insts() -> Vec<DynInst> {
         vec![
             DynInst::load(Addr(0x1000), PhysReg::int(3), LoadFormat::WORD),
-            DynInst::load_via(Addr(0x2000), PhysReg::int(3), PhysReg::fp(1), LoadFormat::DOUBLE),
+            DynInst::load_via(
+                Addr(0x2000),
+                PhysReg::int(3),
+                PhysReg::fp(1),
+                LoadFormat::DOUBLE,
+            ),
             DynInst::store(Addr(0x3008), Some(PhysReg::fp(1))),
             DynInst::alu(PhysReg::int(4), [Some(PhysReg::int(3)), None]),
             DynInst::branch([Some(PhysReg::int(4)), None]),
             DynInst::load(
                 Addr(0x00ff_ffff_ffff),
                 PhysReg::fp(31),
-                LoadFormat { size: AccessSize::B1, sign_extend: true },
+                LoadFormat {
+                    size: AccessSize::B1,
+                    sign_extend: true,
+                },
             ),
         ]
     }
@@ -427,7 +461,10 @@ mod tests {
         }
         w.finish().unwrap();
         let mut sink = crate::machine::CountingSink::default();
-        let n = TraceReader::new(&bytes[..]).unwrap().replay_into(&mut sink).unwrap();
+        let n = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay_into(&mut sink)
+            .unwrap();
         assert_eq!(n, insts.len() as u64);
         assert_eq!(sink.instructions, insts.len() as u64);
         assert_eq!(sink.loads, 3);
@@ -465,7 +502,10 @@ mod tests {
         // Chop off the end marker and part of the last record.
         bytes.truncate(bytes.len() - 12);
         let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
-        assert!(results.iter().any(|r| r.is_err()), "truncation must surface an error");
+        assert!(
+            results.iter().any(|r| r.is_err()),
+            "truncation must surface an error"
+        );
     }
 
     #[test]
@@ -477,7 +517,10 @@ mod tests {
         let n = bytes.len();
         bytes[n - 1] = 7;
         let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
-        assert!(matches!(results.last(), Some(Err(TraceError::CountMismatch { .. }))));
+        assert!(matches!(
+            results.last(),
+            Some(Err(TraceError::CountMismatch { .. }))
+        ));
     }
 
     #[test]
@@ -499,7 +542,10 @@ mod tests {
             TraceError::BadMagic,
             TraceError::UnsupportedVersion(9),
             TraceError::Corrupt("x"),
-            TraceError::CountMismatch { expected: 1, actual: 2 },
+            TraceError::CountMismatch {
+                expected: 1,
+                actual: 2,
+            },
             TraceError::Io(io::Error::other("boom")),
         ] {
             assert!(!e.to_string().is_empty());
@@ -508,7 +554,12 @@ mod tests {
 
     #[test]
     fn format_codes_roundtrip() {
-        for size in [AccessSize::B1, AccessSize::B2, AccessSize::B4, AccessSize::B8] {
+        for size in [
+            AccessSize::B1,
+            AccessSize::B2,
+            AccessSize::B4,
+            AccessSize::B8,
+        ] {
             for sign_extend in [false, true] {
                 let f = LoadFormat { size, sign_extend };
                 assert_eq!(decode_format(encode_format(f)).unwrap(), f);

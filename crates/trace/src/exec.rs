@@ -28,9 +28,10 @@ impl PatternState {
         match pattern {
             AddrPattern::Strided { .. } => PatternState::Strided { index: 0 },
             AddrPattern::Gather { seed, .. } => PatternState::Gather { lcg: *seed | 1 },
-            AddrPattern::Chase { nodes, seed, .. } => {
-                PatternState::Chase { current: 0, successor: single_cycle_permutation(*nodes, *seed) }
-            }
+            AddrPattern::Chase { nodes, seed, .. } => PatternState::Chase {
+                current: 0,
+                successor: single_cycle_permutation(*nodes, *seed),
+            },
             AddrPattern::Fixed { .. } => PatternState::Fixed,
         }
     }
@@ -38,20 +39,43 @@ impl PatternState {
     /// Computes the next address and advances the state.
     fn next(&mut self, pattern: &AddrPattern) -> Addr {
         match (pattern, self) {
-            (AddrPattern::Strided { base, elem_bytes, stride, length }, PatternState::Strided { index }) => {
+            (
+                AddrPattern::Strided {
+                    base,
+                    elem_bytes,
+                    stride,
+                    length,
+                },
+                PatternState::Strided { index },
+            ) => {
                 let addr = base + *index * u64::from(*elem_bytes);
                 let len = (*length).max(1) as i128;
                 let next = ((*index as i128) + (*stride as i128)).rem_euclid(len);
                 *index = next as u64;
                 Addr(addr)
             }
-            (AddrPattern::Gather { base, elem_bytes, length, .. }, PatternState::Gather { lcg }) => {
-                *lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (
+                AddrPattern::Gather {
+                    base,
+                    elem_bytes,
+                    length,
+                    ..
+                },
+                PatternState::Gather { lcg },
+            ) => {
+                *lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let idx = (*lcg >> 33) % (*length).max(1);
                 Addr(base + idx * u64::from(*elem_bytes))
             }
             (
-                AddrPattern::Chase { base, node_bytes, field_offset, .. },
+                AddrPattern::Chase {
+                    base,
+                    node_bytes,
+                    field_offset,
+                    ..
+                },
                 PatternState::Chase { current, successor },
             ) => {
                 let addr = base + *current * u64::from(*node_bytes) + u64::from(*field_offset);
@@ -69,7 +93,10 @@ impl PatternState {
 /// pointer chase with no short cycles.
 fn single_cycle_permutation(nodes: u64, seed: u64) -> Vec<u32> {
     let n = nodes.max(1) as usize;
-    assert!(n <= u32::MAX as usize, "chase arenas are bounded by u32 node indices");
+    assert!(
+        n <= u32::MAX as usize,
+        "chase arenas are bounded by u32 node indices"
+    );
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut rng = SplitMix64::new(seed);
     // Sattolo: shuffle into a single cycle.
@@ -135,16 +162,28 @@ impl<'p> Executor<'p> {
         for i in 0..num_ops {
             let op = self.program.blocks[block].ops[i];
             let inst = match op {
-                MachineOp::Load { dst, pattern, format, addr_src } => {
+                MachineOp::Load {
+                    dst,
+                    pattern,
+                    format,
+                    addr_src,
+                } => {
                     let addr = self.next_addr(pattern);
                     match addr_src {
                         Some(src) => DynInst::load_via(addr, src, dst, format),
                         None => DynInst::load(addr, dst, format),
                     }
                 }
-                MachineOp::Store { pattern, data, addr_src } => {
+                MachineOp::Store {
+                    pattern,
+                    data,
+                    addr_src,
+                } => {
                     let addr = self.next_addr(pattern);
-                    DynInst { srcs: [data, addr_src], kind: nbl_core::inst::DynKind::Store { addr } }
+                    DynInst {
+                        srcs: [data, addr_src],
+                        kind: nbl_core::inst::DynKind::Store { addr },
+                    }
                 }
                 MachineOp::Alu { dst, srcs } => DynInst::alu(dst, srcs),
                 MachineOp::Branch { srcs } => DynInst::branch(srcs),
@@ -163,13 +202,20 @@ mod tests {
     use nbl_core::types::{LoadFormat, PhysReg};
     use std::collections::HashSet;
 
-    fn one_block_program(patterns: Vec<AddrPattern>, ops: Vec<MachineOp>, times: u64) -> CompiledProgram {
+    fn one_block_program(
+        patterns: Vec<AddrPattern>,
+        ops: Vec<MachineOp>,
+        times: u64,
+    ) -> CompiledProgram {
         CompiledProgram {
             name: "t".into(),
             load_latency: 1,
             patterns,
             blocks: vec![MachineBlock { ops, spill_ops: 0 }],
-            script: vec![ScriptNode::Run { block: BlockId(0), times }],
+            script: vec![ScriptNode::Run {
+                block: BlockId(0),
+                times,
+            }],
         }
     }
 
@@ -187,7 +233,12 @@ mod tests {
     #[test]
     fn strided_pattern_walks_and_wraps() {
         let p = one_block_program(
-            vec![AddrPattern::Strided { base: 0x1000, elem_bytes: 8, stride: 1, length: 4 }],
+            vec![AddrPattern::Strided {
+                base: 0x1000,
+                elem_bytes: 8,
+                stride: 1,
+                length: 4,
+            }],
             vec![MachineOp::Load {
                 dst: PhysReg::int(1),
                 pattern: PatternId(0),
@@ -196,14 +247,26 @@ mod tests {
             }],
             6,
         );
-        assert_eq!(collect_addrs(&p), vec![0x1000, 0x1008, 0x1010, 0x1018, 0x1000, 0x1008]);
+        assert_eq!(
+            collect_addrs(&p),
+            vec![0x1000, 0x1008, 0x1010, 0x1018, 0x1000, 0x1008]
+        );
     }
 
     #[test]
     fn negative_stride_wraps_backwards() {
         let p = one_block_program(
-            vec![AddrPattern::Strided { base: 0, elem_bytes: 4, stride: -1, length: 3 }],
-            vec![MachineOp::Store { pattern: PatternId(0), data: None, addr_src: None }],
+            vec![AddrPattern::Strided {
+                base: 0,
+                elem_bytes: 4,
+                stride: -1,
+                length: 3,
+            }],
+            vec![MachineOp::Store {
+                pattern: PatternId(0),
+                data: None,
+                addr_src: None,
+            }],
             4,
         );
         assert_eq!(collect_addrs(&p), vec![0, 8, 4, 0]);
@@ -211,7 +274,12 @@ mod tests {
 
     #[test]
     fn gather_is_deterministic_and_in_range() {
-        let pat = AddrPattern::Gather { base: 0x8000, elem_bytes: 4, length: 100, seed: 7 };
+        let pat = AddrPattern::Gather {
+            base: 0x8000,
+            elem_bytes: 4,
+            length: 100,
+            seed: 7,
+        };
         let p = one_block_program(
             vec![pat],
             vec![MachineOp::Load {
@@ -234,7 +302,13 @@ mod tests {
     fn chase_visits_every_node_once_per_lap() {
         let nodes = 64;
         let p = one_block_program(
-            vec![AddrPattern::Chase { base: 0, node_bytes: 16, nodes, field_offset: 0, seed: 3 }],
+            vec![AddrPattern::Chase {
+                base: 0,
+                node_bytes: 16,
+                nodes,
+                field_offset: 0,
+                seed: 3,
+            }],
             vec![MachineOp::Load {
                 dst: PhysReg::int(1),
                 pattern: PatternId(0),
@@ -245,10 +319,20 @@ mod tests {
         );
         let addrs = collect_addrs(&p);
         let distinct: HashSet<_> = addrs.iter().collect();
-        assert_eq!(distinct.len(), nodes as usize, "single cycle: one lap covers all nodes");
+        assert_eq!(
+            distinct.len(),
+            nodes as usize,
+            "single cycle: one lap covers all nodes"
+        );
         // Second lap repeats the first in the same order.
         let p2 = one_block_program(
-            vec![AddrPattern::Chase { base: 0, node_bytes: 16, nodes, field_offset: 0, seed: 3 }],
+            vec![AddrPattern::Chase {
+                base: 0,
+                node_bytes: 16,
+                nodes,
+                field_offset: 0,
+                seed: 3,
+            }],
             vec![MachineOp::Load {
                 dst: PhysReg::int(1),
                 pattern: PatternId(0),
@@ -264,7 +348,13 @@ mod tests {
     #[test]
     fn chase_load_carries_address_dependence() {
         let p = one_block_program(
-            vec![AddrPattern::Chase { base: 0, node_bytes: 16, nodes: 8, field_offset: 0, seed: 1 }],
+            vec![AddrPattern::Chase {
+                base: 0,
+                node_bytes: 16,
+                nodes: 8,
+                field_offset: 0,
+                seed: 1,
+            }],
             vec![MachineOp::Load {
                 dst: PhysReg::int(1),
                 pattern: PatternId(0),
@@ -285,7 +375,11 @@ mod tests {
     fn fixed_pattern_repeats() {
         let p = one_block_program(
             vec![AddrPattern::Fixed { addr: 0xdead0 }],
-            vec![MachineOp::Store { pattern: PatternId(0), data: Some(PhysReg::int(2)), addr_src: None }],
+            vec![MachineOp::Store {
+                pattern: PatternId(0),
+                data: Some(PhysReg::int(2)),
+                addr_src: None,
+            }],
             3,
         );
         assert_eq!(collect_addrs(&p), vec![0xdead0; 3]);
@@ -302,7 +396,10 @@ mod tests {
                     format: LoadFormat::WORD,
                     addr_src: None,
                 },
-                MachineOp::Alu { dst: PhysReg::int(2), srcs: [Some(PhysReg::int(1)), None] },
+                MachineOp::Alu {
+                    dst: PhysReg::int(2),
+                    srcs: [Some(PhysReg::int(1)), None],
+                },
                 MachineOp::Branch { srcs: [None, None] },
             ],
             50,
@@ -321,7 +418,10 @@ mod tests {
             let mut seen = HashSet::new();
             let mut cur = 0u32;
             for _ in 0..n {
-                assert!(seen.insert(cur), "revisited node before completing the cycle");
+                assert!(
+                    seen.insert(cur),
+                    "revisited node before completing the cycle"
+                );
                 cur = succ[cur as usize];
             }
             assert_eq!(cur, 0, "returns to start after exactly n steps");

@@ -290,7 +290,10 @@ impl std::fmt::Display for ProgramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProgramError::UseBeforeDef { block, op, vreg } => {
-                write!(f, "block {block}, op {op}: {vreg} used before any definition")
+                write!(
+                    f,
+                    "block {block}, op {op}: {vreg} used before any definition"
+                )
             }
             ProgramError::UnknownVreg { block, vreg } => {
                 write!(f, "block {block}: {vreg} not in the class table")
@@ -321,15 +324,18 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         for (index, p) in self.patterns.iter().enumerate() {
             let degenerate = match *p {
-                AddrPattern::Strided { elem_bytes, length, .. } => {
-                    elem_bytes == 0 || length == 0
-                }
-                AddrPattern::Gather { elem_bytes, length, .. } => {
-                    elem_bytes == 0 || length == 0
-                }
-                AddrPattern::Chase { node_bytes, nodes, field_offset, .. } => {
-                    node_bytes == 0 || nodes == 0 || field_offset >= node_bytes
-                }
+                AddrPattern::Strided {
+                    elem_bytes, length, ..
+                } => elem_bytes == 0 || length == 0,
+                AddrPattern::Gather {
+                    elem_bytes, length, ..
+                } => elem_bytes == 0 || length == 0,
+                AddrPattern::Chase {
+                    node_bytes,
+                    nodes,
+                    field_offset,
+                    ..
+                } => node_bytes == 0 || nodes == 0 || field_offset >= node_bytes,
                 AddrPattern::Fixed { .. } => false,
             };
             if degenerate {
@@ -349,7 +355,11 @@ impl Program {
                     match defined.get(v.0 as usize) {
                         Some(true) => {}
                         Some(false) => {
-                            return Err(ProgramError::UseBeforeDef { block: bi, op: oi, vreg: v })
+                            return Err(ProgramError::UseBeforeDef {
+                                block: bi,
+                                op: oi,
+                                vreg: v,
+                            })
                         }
                         None => return Err(ProgramError::UnknownVreg { block: bi, vreg: v }),
                     }
@@ -366,7 +376,10 @@ impl Program {
                 };
                 if let Some(p) = pattern {
                     if p.0 as usize >= self.patterns.len() {
-                        return Err(ProgramError::UnknownPattern { block: bi, pattern: p });
+                        return Err(ProgramError::UnknownPattern {
+                            block: bi,
+                            pattern: p,
+                        });
                     }
                 }
             }
@@ -433,29 +446,49 @@ mod tests {
         assert_eq!(ld.srcs(), vec![VirtReg(1)]);
         assert!(ld.is_load() && !ld.is_store());
 
-        let st = IrOp::Store { pattern: PatternId(0), data: Some(VirtReg(2)), addr_src: None };
+        let st = IrOp::Store {
+            pattern: PatternId(0),
+            data: Some(VirtReg(2)),
+            addr_src: None,
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), vec![VirtReg(2)]);
         assert!(st.is_store());
 
-        let alu = IrOp::Alu { dst: VirtReg(3), srcs: [Some(VirtReg(0)), Some(VirtReg(2))] };
+        let alu = IrOp::Alu {
+            dst: VirtReg(3),
+            srcs: [Some(VirtReg(0)), Some(VirtReg(2))],
+        };
         assert_eq!(alu.srcs().len(), 2);
 
-        let br = IrOp::Branch { srcs: [Some(VirtReg(3)), None] };
+        let br = IrOp::Branch {
+            srcs: [Some(VirtReg(3)), None],
+        };
         assert_eq!(br.dst(), None);
         assert_eq!(br.srcs(), vec![VirtReg(3)]);
     }
 
     #[test]
     fn script_counting() {
-        let script = [ScriptNode::Run { block: BlockId(0), times: 10 },
+        let script = [
+            ScriptNode::Run {
+                block: BlockId(0),
+                times: 10,
+            },
             ScriptNode::Loop {
                 body: vec![
-                    ScriptNode::Run { block: BlockId(0), times: 2 },
-                    ScriptNode::Run { block: BlockId(1), times: 1 },
+                    ScriptNode::Run {
+                        block: BlockId(0),
+                        times: 2,
+                    },
+                    ScriptNode::Run {
+                        block: BlockId(1),
+                        times: 1,
+                    },
                 ],
                 trips: 5,
-            }];
+            },
+        ];
         let total: u64 = script.iter().map(ScriptNode::dynamic_blocks).sum();
         assert_eq!(total, 10 + 5 * 3);
     }
@@ -465,13 +498,23 @@ mod tests {
         let mut b0 = Block::default();
         b0.classes.push(nbl_core::types::RegClass::Int);
         b0.carried.push(VirtReg(0));
-        b0.ops.push(IrOp::Alu { dst: VirtReg(0), srcs: [Some(VirtReg(0)), None] });
-        b0.ops.push(IrOp::Store { pattern: PatternId(0), data: Some(VirtReg(0)), addr_src: None });
+        b0.ops.push(IrOp::Alu {
+            dst: VirtReg(0),
+            srcs: [Some(VirtReg(0)), None],
+        });
+        b0.ops.push(IrOp::Store {
+            pattern: PatternId(0),
+            data: Some(VirtReg(0)),
+            addr_src: None,
+        });
         let p = Program {
             name: "ok".into(),
             patterns: vec![AddrPattern::Fixed { addr: 4 }],
             blocks: vec![b0],
-            script: vec![ScriptNode::Run { block: BlockId(0), times: 3 }],
+            script: vec![ScriptNode::Run {
+                block: BlockId(0),
+                times: 3,
+            }],
         };
         assert_eq!(p.validate(), Ok(()));
     }
@@ -480,24 +523,60 @@ mod tests {
     fn validate_rejects_use_before_def() {
         let mut b = Block::default();
         b.classes.push(nbl_core::types::RegClass::Int);
-        b.ops.push(IrOp::Branch { srcs: [Some(VirtReg(0)), None] });
-        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
-        assert!(matches!(p.validate(), Err(ProgramError::UseBeforeDef { vreg: VirtReg(0), .. })));
+        b.ops.push(IrOp::Branch {
+            srcs: [Some(VirtReg(0)), None],
+        });
+        let p = Program {
+            name: "bad".into(),
+            patterns: vec![],
+            blocks: vec![b],
+            script: vec![],
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UseBeforeDef {
+                vreg: VirtReg(0),
+                ..
+            })
+        ));
     }
 
     #[test]
     fn validate_rejects_unknown_references() {
         // Unknown vreg in dst.
         let mut b = Block::default();
-        b.ops.push(IrOp::Alu { dst: VirtReg(9), srcs: [None, None] });
-        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
-        assert!(matches!(p.validate(), Err(ProgramError::UnknownVreg { .. })));
+        b.ops.push(IrOp::Alu {
+            dst: VirtReg(9),
+            srcs: [None, None],
+        });
+        let p = Program {
+            name: "bad".into(),
+            patterns: vec![],
+            blocks: vec![b],
+            script: vec![],
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnknownVreg { .. })
+        ));
 
         // Unknown pattern.
         let mut b = Block::default();
-        b.ops.push(IrOp::Store { pattern: PatternId(5), data: None, addr_src: None });
-        let p = Program { name: "bad".into(), patterns: vec![], blocks: vec![b], script: vec![] };
-        assert!(matches!(p.validate(), Err(ProgramError::UnknownPattern { .. })));
+        b.ops.push(IrOp::Store {
+            pattern: PatternId(5),
+            data: None,
+            addr_src: None,
+        });
+        let p = Program {
+            name: "bad".into(),
+            patterns: vec![],
+            blocks: vec![b],
+            script: vec![],
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnknownPattern { .. })
+        ));
 
         // Unknown block in a nested script.
         let p = Program {
@@ -505,31 +584,71 @@ mod tests {
             patterns: vec![],
             blocks: vec![],
             script: vec![ScriptNode::Loop {
-                body: vec![ScriptNode::Run { block: BlockId(3), times: 1 }],
+                body: vec![ScriptNode::Run {
+                    block: BlockId(3),
+                    times: 1,
+                }],
                 trips: 2,
             }],
         };
-        assert!(matches!(p.validate(), Err(ProgramError::UnknownBlock { block: BlockId(3) })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnknownBlock { block: BlockId(3) })
+        ));
     }
 
     #[test]
     fn validate_rejects_degenerate_patterns() {
         for pat in [
-            AddrPattern::Strided { base: 0, elem_bytes: 0, stride: 1, length: 4 },
-            AddrPattern::Gather { base: 0, elem_bytes: 8, length: 0, seed: 1 },
-            AddrPattern::Chase { base: 0, node_bytes: 16, nodes: 8, field_offset: 16, seed: 1 },
+            AddrPattern::Strided {
+                base: 0,
+                elem_bytes: 0,
+                stride: 1,
+                length: 4,
+            },
+            AddrPattern::Gather {
+                base: 0,
+                elem_bytes: 8,
+                length: 0,
+                seed: 1,
+            },
+            AddrPattern::Chase {
+                base: 0,
+                node_bytes: 16,
+                nodes: 8,
+                field_offset: 16,
+                seed: 1,
+            },
         ] {
-            let p = Program { name: "bad".into(), patterns: vec![pat], blocks: vec![], script: vec![] };
-            assert!(matches!(p.validate(), Err(ProgramError::DegeneratePattern { index: 0 })));
+            let p = Program {
+                name: "bad".into(),
+                patterns: vec![pat],
+                blocks: vec![],
+                script: vec![],
+            };
+            assert!(matches!(
+                p.validate(),
+                Err(ProgramError::DegeneratePattern { index: 0 })
+            ));
         }
     }
 
     #[test]
     fn program_error_display_is_nonempty() {
         for e in [
-            ProgramError::UseBeforeDef { block: 0, op: 1, vreg: VirtReg(2) },
-            ProgramError::UnknownVreg { block: 0, vreg: VirtReg(9) },
-            ProgramError::UnknownPattern { block: 0, pattern: PatternId(7) },
+            ProgramError::UseBeforeDef {
+                block: 0,
+                op: 1,
+                vreg: VirtReg(2),
+            },
+            ProgramError::UnknownVreg {
+                block: 0,
+                vreg: VirtReg(9),
+            },
+            ProgramError::UnknownPattern {
+                block: 0,
+                pattern: PatternId(7),
+            },
             ProgramError::UnknownBlock { block: BlockId(3) },
             ProgramError::DegeneratePattern { index: 4 },
         ] {
@@ -549,9 +668,15 @@ mod tests {
             patterns: vec![],
             blocks: vec![b0, b1],
             script: vec![
-                ScriptNode::Run { block: BlockId(0), times: 3 },
+                ScriptNode::Run {
+                    block: BlockId(0),
+                    times: 3,
+                },
                 ScriptNode::Loop {
-                    body: vec![ScriptNode::Run { block: BlockId(1), times: 4 }],
+                    body: vec![ScriptNode::Run {
+                        block: BlockId(1),
+                        times: 4,
+                    }],
                     trips: 2,
                 },
             ],

@@ -200,7 +200,11 @@ mod tests {
         };
         assert!(ld.is_load());
         assert_eq!(ld.dst(), Some(PhysReg::int(1)));
-        let st = MachineOp::Store { pattern: PatternId(0), data: None, addr_src: None };
+        let st = MachineOp::Store {
+            pattern: PatternId(0),
+            data: None,
+            addr_src: None,
+        };
         assert!(st.is_store());
         assert_eq!(st.dst(), None);
     }
@@ -211,7 +215,14 @@ mod tests {
         s.exec(DynInst::load(Addr(0), PhysReg::int(0), LoadFormat::WORD));
         s.exec(DynInst::store(Addr(8), None));
         s.exec(DynInst::branch([None, None]));
-        assert_eq!(s, CountingSink { instructions: 3, loads: 1, stores: 1 });
+        assert_eq!(
+            s,
+            CountingSink {
+                instructions: 3,
+                loads: 1,
+                stores: 1
+            }
+        );
     }
 
     #[test]
@@ -224,7 +235,10 @@ mod tests {
                     format: LoadFormat::WORD,
                     addr_src: None,
                 },
-                MachineOp::Alu { dst: PhysReg::int(1), srcs: [Some(PhysReg::int(0)), None] },
+                MachineOp::Alu {
+                    dst: PhysReg::int(1),
+                    srcs: [Some(PhysReg::int(0)), None],
+                },
                 MachineOp::Branch { srcs: [None, None] },
             ],
             spill_ops: 0,
@@ -235,7 +249,10 @@ mod tests {
             patterns: vec![],
             blocks: vec![block],
             script: vec![ScriptNode::Loop {
-                body: vec![ScriptNode::Run { block: BlockId(0), times: 2 }],
+                body: vec![ScriptNode::Run {
+                    block: BlockId(0),
+                    times: 2,
+                }],
                 trips: 10,
             }],
         };

@@ -67,8 +67,14 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: dot, times: 16 },
-            ScriptNode::Run { block: neuron, times: 1 },
+            ScriptNode::Run {
+                block: dot,
+                times: 16,
+            },
+            ScriptNode::Run {
+                block: neuron,
+                times: 1,
+            },
         ],
     );
     pb.build()
@@ -81,7 +87,10 @@ mod tests {
     #[test]
     fn inner_loop_is_tiny() {
         let p = build(Scale::quick());
-        assert!(p.blocks[0].ops.len() <= 6, "no scheduling freedom in a dot-product step");
+        assert!(
+            p.blocks[0].ops.len() <= 6,
+            "no scheduling freedom in a dot-product step"
+        );
         let (loads, _, _) = p.blocks[0].op_mix();
         assert_eq!(loads, 2);
         assert_eq!(p.blocks[0].carried.len(), 2);

@@ -45,7 +45,14 @@ pub(super) fn build(scale: Scale) -> Program {
 
     let mut b = pb.block();
     let ent = b.carried(RegClass::Int); // current prefix code
-    let ch = b.load(input, RegClass::Int, LoadFormat { size: nbl_core::types::AccessSize::B1, sign_extend: false });
+    let ch = b.load(
+        input,
+        RegClass::Int,
+        LoadFormat {
+            size: nbl_core::types::AccessSize::B1,
+            sign_extend: false,
+        },
+    );
     // Hash computation feeds the probe address: the probe is dependent.
     let h1 = b.alu(RegClass::Int, Some(ch), Some(ent));
     let h2 = b.alu(RegClass::Int, Some(h1), None);
@@ -81,7 +88,15 @@ mod tests {
         let dependent_loads = p.blocks[0]
             .ops
             .iter()
-            .filter(|o| matches!(o, IrOp::Load { addr_src: Some(_), .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    IrOp::Load {
+                        addr_src: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(dependent_loads, 2, "hash probe and collision reprobe");
         let (loads, stores, _) = p.blocks[0].op_mix();

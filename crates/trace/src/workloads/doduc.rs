@@ -67,7 +67,9 @@ pub(super) fn build(scale: Scale) -> Program {
         stride: 7,
         length: 256,
     });
-    let tally = pb.pattern(AddrPattern::Fixed { addr: layout::region(5, 63 * 1024) });
+    let tally = pb.pattern(AddrPattern::Fixed {
+        addr: layout::region(5, 63 * 1024),
+    });
 
     // Kernel A: cross-section lookup — a cluster of scattered loads whose
     // results combine after some arithmetic.
@@ -122,9 +124,18 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: lookup, times: 2 },
-            ScriptNode::Run { block: sweep, times: 1 },
-            ScriptNode::Run { block: compute, times: 2 },
+            ScriptNode::Run {
+                block: lookup,
+                times: 2,
+            },
+            ScriptNode::Run {
+                block: sweep,
+                times: 1,
+            },
+            ScriptNode::Run {
+                block: compute,
+                times: 2,
+            },
         ],
     );
     pb.build()
@@ -150,7 +161,9 @@ mod tests {
     fn gather_tables_compete_with_the_cache() {
         let p = build(Scale::quick());
         match p.patterns[0] {
-            AddrPattern::Gather { elem_bytes, length, .. } => {
+            AddrPattern::Gather {
+                elem_bytes, length, ..
+            } => {
                 // Far beyond cacheable: the master table misses often.
                 assert!(u64::from(elem_bytes) * length > 2 * 8 * 1024);
             }

@@ -83,9 +83,9 @@ mod tests {
             .patterns
             .iter()
             .filter_map(|pt| match pt {
-                AddrPattern::Strided { elem_bytes, length, .. } if *length <= 1024 => {
-                    Some(u64::from(*elem_bytes) * length)
-                }
+                AddrPattern::Strided {
+                    elem_bytes, length, ..
+                } if *length <= 1024 => Some(u64::from(*elem_bytes) * length),
                 _ => None,
             })
             .sum();

@@ -54,7 +54,14 @@ pub(super) fn build(scale: Scale) -> Program {
     let i = b.carried(RegClass::Int);
     let mut last = None;
     for _ in 0..1 {
-        let a = b.load(vec_a, RegClass::Int, LoadFormat { size: nbl_core::types::AccessSize::B2, sign_extend: false });
+        let a = b.load(
+            vec_a,
+            RegClass::Int,
+            LoadFormat {
+                size: nbl_core::types::AccessSize::B2,
+                sign_extend: false,
+            },
+        );
         let c = b.load(vec_b, RegClass::Int, LoadFormat::WORD);
         let x = b.alu(RegClass::Int, Some(a), Some(c)); // xor
         let m = b.alu(RegClass::Int, Some(x), None); // mask

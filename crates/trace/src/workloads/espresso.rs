@@ -66,8 +66,14 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: intersect, times: 4 },
-            ScriptNode::Run { block: sweep, times: 1 },
+            ScriptNode::Run {
+                block: intersect,
+                times: 4,
+            },
+            ScriptNode::Run {
+                block: sweep,
+                times: 1,
+            },
         ],
     );
     pb.build()

@@ -52,7 +52,14 @@ pub(super) fn build(scale: Scale) -> Program {
 
     let mut b = pb.block();
     let i = b.carried(RegClass::Int);
-    let idx = b.load(nlist, RegClass::Int, LoadFormat { size: nbl_core::types::AccessSize::B2, sign_extend: true });
+    let idx = b.load(
+        nlist,
+        RegClass::Int,
+        LoadFormat {
+            size: nbl_core::types::AccessSize::B2,
+            sign_extend: true,
+        },
+    );
     // Coordinates: dependent on the neighbour index, mutually sharing a
     // line (the y and z loads are secondary misses when x misses).
     let x = b.load_via(px, idx, RegClass::Fp, LoadFormat::DOUBLE);
@@ -89,7 +96,11 @@ mod tests {
             .patterns
             .iter()
             .filter_map(|pt| match pt {
-                AddrPattern::Gather { seed, elem_bytes: 32, .. } => Some(*seed),
+                AddrPattern::Gather {
+                    seed,
+                    elem_bytes: 32,
+                    ..
+                } => Some(*seed),
                 _ => None,
             })
             .collect();

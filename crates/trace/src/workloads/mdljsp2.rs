@@ -45,7 +45,14 @@ pub(super) fn build(scale: Scale) -> Program {
 
     let mut b = pb.block();
     let i = b.carried(RegClass::Int);
-    let idx = b.load(nlist, RegClass::Int, LoadFormat { size: nbl_core::types::AccessSize::B2, sign_extend: true });
+    let idx = b.load(
+        nlist,
+        RegClass::Int,
+        LoadFormat {
+            size: nbl_core::types::AccessSize::B2,
+            sign_extend: true,
+        },
+    );
     let x = b.load_via(px, idx, RegClass::Fp, LoadFormat::WORD);
     let y = b.load_via(py, idx, RegClass::Fp, LoadFormat::WORD);
     let _ = pz; // single-precision records pack z with y's line; two probes suffice
@@ -72,7 +79,9 @@ mod tests {
     fn footprint_is_single_precision_small() {
         let p = build(Scale::quick());
         match p.patterns[1] {
-            AddrPattern::Gather { elem_bytes, length, .. } => {
+            AddrPattern::Gather {
+                elem_bytes, length, ..
+            } => {
                 let bytes = u64::from(elem_bytes) * length;
                 assert!(bytes < 16 * 1024, "records nearly fit the cache");
             }

@@ -36,9 +36,8 @@ use crate::ir::Program;
 
 /// All 18 benchmark names, in the order of the paper's Fig. 13.
 pub const ALL: [&str; 18] = [
-    "alvinn", "doduc", "ear", "fpppp", "hydro2d", "mdljdp2", "mdljsp2", "nasa7", "ora",
-    "su2cor", "swm256", "spice2g6", "tomcatv", "wave5", "compress", "eqntott", "espresso",
-    "xlisp",
+    "alvinn", "doduc", "ear", "fpppp", "hydro2d", "mdljdp2", "mdljsp2", "nasa7", "ora", "su2cor",
+    "swm256", "spice2g6", "tomcatv", "wave5", "compress", "eqntott", "espresso", "xlisp",
 ];
 
 /// The five benchmarks the paper discusses in detail (Fig. 4).
@@ -65,12 +64,16 @@ pub struct Scale {
 impl Scale {
     /// Full experiment scale (~400 k instructions).
     pub fn full() -> Scale {
-        Scale { instr_target: 400_000 }
+        Scale {
+            instr_target: 400_000,
+        }
     }
 
     /// Quick scale for tests (~40 k instructions).
     pub fn quick() -> Scale {
-        Scale { instr_target: 40_000 }
+        Scale {
+            instr_target: 40_000,
+        }
     }
 
     /// Trip count that yields roughly `instr_target` instructions for a
@@ -132,7 +135,6 @@ pub(crate) mod layout {
         // Keep clear of address 0 so no pattern produces a null-ish address.
         (i + 1) * SLOT + align_offset
     }
-
 }
 
 #[cfg(test)]
@@ -166,23 +168,33 @@ mod tests {
                     .ops
                     .iter()
                     .map(|op| match *op {
-                        IrOp::Load { dst, pattern, format, addr_src } => MachineOp::Load {
+                        IrOp::Load {
+                            dst,
+                            pattern,
+                            format,
+                            addr_src,
+                        } => MachineOp::Load {
                             dst: map(dst),
                             pattern,
                             format,
                             addr_src: addr_src.map(map),
                         },
-                        IrOp::Store { pattern, data, addr_src } => MachineOp::Store {
+                        IrOp::Store {
+                            pattern,
+                            data,
+                            addr_src,
+                        } => MachineOp::Store {
                             pattern,
                             data: data.map(map),
                             addr_src: addr_src.map(map),
                         },
-                        IrOp::Alu { dst, srcs } => {
-                            MachineOp::Alu { dst: map(dst), srcs: srcs.map(|s| s.map(map)) }
-                        }
-                        IrOp::Branch { srcs } => {
-                            MachineOp::Branch { srcs: srcs.map(|s| s.map(map)) }
-                        }
+                        IrOp::Alu { dst, srcs } => MachineOp::Alu {
+                            dst: map(dst),
+                            srcs: srcs.map(|s| s.map(map)),
+                        },
+                        IrOp::Branch { srcs } => MachineOp::Branch {
+                            srcs: srcs.map(|s| s.map(map)),
+                        },
                     })
                     .collect();
                 MachineBlock { ops, spill_ops: 0 }

@@ -106,8 +106,10 @@ pub(super) fn build(scale: Scale) -> Program {
     });
     let mut b = pb.block();
     let k = b.carried(RegClass::Int);
-    let vals: Vec<_> =
-        penta.iter().map(|&p| b.load(p, RegClass::Fp, LoadFormat::DOUBLE)).collect();
+    let vals: Vec<_> = penta
+        .iter()
+        .map(|&p| b.load(p, RegClass::Fp, LoadFormat::DOUBLE))
+        .collect();
     let s1 = b.alu(RegClass::Fp, Some(vals[0]), Some(vals[1]));
     let s2 = b.alu(RegClass::Fp, Some(vals[2]), Some(vals[3]));
     let s3 = b.alu(RegClass::Fp, Some(s1), Some(s2));
@@ -123,9 +125,18 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: mxm, times: 2 },
-            ScriptNode::Run { block: butterfly, times: 2 },
-            ScriptNode::Run { block: vpenta, times: 1 },
+            ScriptNode::Run {
+                block: mxm,
+                times: 2,
+            },
+            ScriptNode::Run {
+                block: butterfly,
+                times: 2,
+            },
+            ScriptNode::Run {
+                block: vpenta,
+                times: 1,
+            },
         ],
     );
     pb.build()
@@ -142,10 +153,19 @@ mod tests {
         let p = build(Scale::quick());
         let geom = CacheGeometry::baseline();
         match p.patterns[3] {
-            AddrPattern::Strided { base, elem_bytes, stride, .. } => {
+            AddrPattern::Strided {
+                base,
+                elem_bytes,
+                stride,
+                ..
+            } => {
                 let a0 = Addr(base);
                 let a1 = Addr(base + stride as u64 * u64::from(elem_bytes));
-                assert_eq!(geom.set_of(a0), geom.set_of(a1), "butterfly accesses collide");
+                assert_eq!(
+                    geom.set_of(a0),
+                    geom.set_of(a1),
+                    "butterfly accesses collide"
+                );
             }
             _ => panic!(),
         }

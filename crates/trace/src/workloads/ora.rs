@@ -28,7 +28,9 @@ pub(super) fn build(scale: Scale) -> Program {
         field_offset: 0,
         seed: 0x02a,
     });
-    let tally = pb.pattern(AddrPattern::Fixed { addr: layout::region(1, 64) });
+    let tally = pb.pattern(AddrPattern::Fixed {
+        addr: layout::region(1, 64),
+    });
 
     let mut b = pb.block();
     let ray = b.carried(RegClass::Int); // current surface pointer
@@ -70,7 +72,9 @@ mod tests {
     fn ring_never_fits() {
         let p = build(Scale::quick());
         match p.patterns[0] {
-            AddrPattern::Chase { node_bytes, nodes, .. } => {
+            AddrPattern::Chase {
+                node_bytes, nodes, ..
+            } => {
                 assert!(u64::from(node_bytes) * nodes >= 64 * 8 * 1024);
             }
             _ => panic!(),

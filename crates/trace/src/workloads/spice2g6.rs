@@ -93,7 +93,9 @@ mod tests {
     fn element_arena_never_fits() {
         let p = build(Scale::quick());
         match p.patterns[0] {
-            AddrPattern::Chase { node_bytes, nodes, .. } => {
+            AddrPattern::Chase {
+                node_bytes, nodes, ..
+            } => {
                 assert!(u64::from(node_bytes) * nodes >= 64 * 8 * 1024);
             }
             _ => panic!(),

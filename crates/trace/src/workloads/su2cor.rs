@@ -107,10 +107,9 @@ mod tests {
         let p = build(Scale::quick());
         let geom = CacheGeometry::baseline();
         let (a, b) = match (&p.patterns[0], &p.patterns[1]) {
-            (
-                AddrPattern::Strided { base: a, .. },
-                AddrPattern::Strided { base: b, .. },
-            ) => (*a, *b),
+            (AddrPattern::Strided { base: a, .. }, AddrPattern::Strided { base: b, .. }) => {
+                (*a, *b)
+            }
             _ => panic!("expected strided gauge patterns"),
         };
         for i in [0u64, 8, 64, 4096] {

@@ -67,8 +67,14 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: calc1, times: 1 },
-            ScriptNode::Run { block: calc2, times: 1 },
+            ScriptNode::Run {
+                block: calc1,
+                times: 1,
+            },
+            ScriptNode::Run {
+                block: calc2,
+                times: 1,
+            },
         ],
     );
     pb.build()
@@ -83,6 +89,9 @@ mod tests {
         let p = build(Scale::quick());
         let (l1, s1, _) = p.blocks[0].op_mix();
         let (l2, s2, _) = p.blocks[1].op_mix();
-        assert!((l1, s1) == (4, 2) && (l2, s2) == (6, 4), "narrow loops: misses stagger");
+        assert!(
+            (l1, s1) == (4, 2) && (l2, s2) == (6, 4),
+            "narrow loops: misses stagger"
+        );
     }
 }

@@ -80,8 +80,14 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            crate::ir::ScriptNode::Run { block: sweep, times: 8 },
-            crate::ir::ScriptNode::Run { block: solve, times: 1 },
+            crate::ir::ScriptNode::Run {
+                block: sweep,
+                times: 8,
+            },
+            crate::ir::ScriptNode::Run {
+                block: solve,
+                times: 1,
+            },
         ],
     );
     pb.build()
@@ -99,6 +105,9 @@ mod tests {
         assert_eq!(stores, 7);
         assert!(p.estimated_instructions() >= 20_000);
         // All patterns are strided streams.
-        assert!(p.patterns.iter().all(|pt| matches!(pt, AddrPattern::Strided { .. })));
+        assert!(p
+            .patterns
+            .iter()
+            .all(|pt| matches!(pt, AddrPattern::Strided { .. })));
     }
 }

@@ -81,8 +81,14 @@ pub(super) fn build(scale: Scale) -> Program {
     pb.loop_of(
         trips,
         vec![
-            ScriptNode::Run { block: sweep, times: 2 },
-            ScriptNode::Run { block: push, times: 1 },
+            ScriptNode::Run {
+                block: sweep,
+                times: 2,
+            },
+            ScriptNode::Run {
+                block: push,
+                times: 1,
+            },
         ],
     );
     pb.build()

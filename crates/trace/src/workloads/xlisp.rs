@@ -78,10 +78,10 @@ pub(super) fn build(scale: Scale) -> Program {
     let mut b = pb.block();
     let ptr = b.carried(RegClass::Int);
     let tail = b.carried(RegClass::Int); // interpreter state from last dispatch
-    // The next dispatch target depends on the previous dispatch's result —
-    // an interpreter cannot fetch bytecode N+1 before finishing N. This
-    // serializes iterations, which is why no amount of MSHR hardware makes
-    // xlisp much faster than hit-under-miss.
+                                         // The next dispatch target depends on the previous dispatch's result —
+                                         // an interpreter cannot fetch bytecode N+1 before finishing N. This
+                                         // serializes iterations, which is why no amount of MSHR hardware makes
+                                         // xlisp much faster than hit-under-miss.
     b.alu_into(ptr, Some(ptr), Some(tail));
     b.chase(heap, ptr, LoadFormat::DOUBLE);
     let cd = b.load_via(cdr, ptr, RegClass::Int, LoadFormat::DOUBLE);
@@ -140,11 +140,16 @@ mod tests {
     fn live_cells_fit_but_the_arena_does_not() {
         let p = build(Scale::quick());
         match p.patterns[0] {
-            AddrPattern::Chase { node_bytes, nodes, .. } => {
+            AddrPattern::Chase {
+                node_bytes, nodes, ..
+            } => {
                 // Live data (one line per cell) fits an 8 KB cache...
                 assert!(nodes * 32 < 8 * 1024);
                 // ...but the fragmented arena the cells sit in does not.
-                assert!(u64::from(node_bytes) * nodes > 8 * 1024, "conflict-dominated sizing");
+                assert!(
+                    u64::from(node_bytes) * nodes > 8 * 1024,
+                    "conflict-dominated sizing"
+                );
             }
             _ => panic!("heap is a chase pattern"),
         }

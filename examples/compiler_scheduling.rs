@@ -24,7 +24,9 @@ fn mean_load_use_distance(compiled: &nonblocking_loads::trace::machine::Compiled
     let mut count = 0usize;
     for block in &compiled.blocks {
         for (i, op) in block.ops.iter().enumerate() {
-            let MachineOp::Load { dst, .. } = op else { continue };
+            let MachineOp::Load { dst, .. } = op else {
+                continue;
+            };
             let first_use = block.ops[i + 1..].iter().position(|o| match o {
                 MachineOp::Load { addr_src, .. } => *addr_src == Some(*dst),
                 MachineOp::Store { data, addr_src, .. } => {
@@ -44,7 +46,9 @@ fn mean_load_use_distance(compiled: &nonblocking_loads::trace::machine::Compiled
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tomcatv".to_string());
     let program = build(&bench, Scale::full()).expect("known benchmark");
     println!("compiler load-latency sweep for {bench}\n");
     println!(
@@ -60,7 +64,9 @@ fn main() {
         let spills: usize = compiled.blocks.iter().map(|b| b.spill_ops).sum();
         let dist = mean_load_use_distance(&compiled);
         let mcpi = |hw: HwConfig| {
-            run_compiled(&bench, &compiled, &SimConfig::baseline(hw).at_latency(lat)).mcpi
+            run_compiled(&bench, &compiled, &SimConfig::baseline(hw).at_latency(lat))
+                .expect("run succeeds")
+                .mcpi
         };
         println!(
             "{:>8} {:>12.1} {:>10} {:>12.3} {:>12.3} {:>12.3}",

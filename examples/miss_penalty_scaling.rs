@@ -17,9 +17,16 @@ use nonblocking_loads::trace::workloads::{build, Scale};
 const PENALTIES: [u32; 6] = [4, 8, 16, 32, 64, 128];
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tomcatv".to_string());
     let program = build(&bench, Scale::full()).expect("known benchmark");
-    let configs = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::Fc(2), HwConfig::NoRestrict];
+    let configs = [
+        HwConfig::Mc0,
+        HwConfig::Mc(1),
+        HwConfig::Fc(2),
+        HwConfig::NoRestrict,
+    ];
     let sweep = penalty_sweep(
         &program,
         &SimConfig::baseline(HwConfig::NoRestrict),

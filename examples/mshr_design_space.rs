@@ -18,18 +18,35 @@ use nonblocking_loads::sim::driver::run_program;
 use nonblocking_loads::trace::workloads::{build, Scale};
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "doduc".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "doduc".to_string());
     let program = build(&bench, Scale::full()).expect("known benchmark");
     let geometry = CacheGeometry::baseline();
     let costs = MshrCostModel::default();
 
     let layouts: Vec<(String, TargetPolicy)> = vec![
-        ("explicit, 1 field".into(), TargetPolicy::explicit(Limit::Finite(1))),
-        ("explicit, 2 fields".into(), TargetPolicy::explicit(Limit::Finite(2))),
-        ("explicit, 4 fields".into(), TargetPolicy::explicit(Limit::Finite(4))),
+        (
+            "explicit, 1 field".into(),
+            TargetPolicy::explicit(Limit::Finite(1)),
+        ),
+        (
+            "explicit, 2 fields".into(),
+            TargetPolicy::explicit(Limit::Finite(2)),
+        ),
+        (
+            "explicit, 4 fields".into(),
+            TargetPolicy::explicit(Limit::Finite(4)),
+        ),
         ("hybrid 2x2".into(), TargetPolicy::hybrid(2, 2)),
-        ("implicit, 8B words".into(), TargetPolicy::implicit_sub_blocks(4)),
-        ("implicit, 4B words".into(), TargetPolicy::implicit_sub_blocks(8)),
+        (
+            "implicit, 8B words".into(),
+            TargetPolicy::implicit_sub_blocks(4),
+        ),
+        (
+            "implicit, 4B words".into(),
+            TargetPolicy::implicit_sub_blocks(8),
+        ),
     ];
 
     let unrestricted = run_program(&program, &SimConfig::baseline(HwConfig::NoRestrict))
@@ -37,7 +54,10 @@ fn main() {
         .mcpi;
 
     println!("target-field design space for {bench} (unlimited MSHR entries)\n");
-    println!("{:>20} {:>10} {:>8} {:>10} {:>12}", "layout", "bits/MSHR", "MCPI", "vs best", "bits per 1%");
+    println!(
+        "{:>20} {:>10} {:>8} {:>10} {:>12}",
+        "layout", "bits/MSHR", "MCPI", "vs best", "bits per 1%"
+    );
     for (name, policy) in layouts {
         let r = run_program(&program, &SimConfig::baseline(HwConfig::Targets(policy)))
             .expect("workloads compile");

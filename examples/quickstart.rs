@@ -12,16 +12,24 @@ use nonblocking_loads::sim::driver::run_program;
 use nonblocking_loads::trace::workloads::{build, Scale, ALL};
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "doduc".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "doduc".to_string());
     let Some(program) = build(&bench, Scale::full()) else {
         eprintln!("unknown benchmark {bench:?}; choose one of {ALL:?}");
         std::process::exit(2);
     };
 
-    println!("benchmark: {bench} (~{} instructions)", program.estimated_instructions());
+    println!(
+        "benchmark: {bench} (~{} instructions)",
+        program.estimated_instructions()
+    );
     println!("baseline system: 8KB direct-mapped cache, 32B lines, 16-cycle miss penalty,");
     println!("single-issue CPU, code scheduled for a load latency of 10 cycles\n");
-    println!("{:>14} {:>10} {:>12} {:>22}", "organization", "miss CPI", "vs blocking", "hardware");
+    println!(
+        "{:>14} {:>10} {:>12} {:>22}",
+        "organization", "miss CPI", "vs blocking", "hardware"
+    );
 
     let ladder = [
         (HwConfig::Mc0Wma, "lockup + write-allocate"),
@@ -45,8 +53,6 @@ fn main() {
             hardware
         );
     }
-    println!(
-        "\nEvery configuration replays the identical instruction trace; only the",
-    );
+    println!("\nEvery configuration replays the identical instruction trace; only the",);
     println!("miss-handling hardware differs. See EXPERIMENTS.md for the full study.");
 }

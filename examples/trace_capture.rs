@@ -22,8 +22,12 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "eqntott".to_string());
-    let path = std::env::args().nth(2).unwrap_or_else(|| format!("/tmp/{bench}.nblt"));
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "eqntott".to_string());
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| format!("/tmp/{bench}.nblt"));
 
     // 1. Generate + compile + capture.
     let program = build(&bench, Scale::full()).ok_or("unknown benchmark")?;
@@ -32,11 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Executor::new(&compiled).run(&mut writer);
     let n = writer.finish()?;
     let size = std::fs::metadata(&path)?.len();
-    println!("captured {n} instructions to {path} ({size} bytes, {:.1} B/inst)", size as f64 / n as f64);
+    println!(
+        "captured {n} instructions to {path} ({size} bytes, {:.1} B/inst)",
+        size as f64 / n as f64
+    );
 
     // 2. Direct simulation for reference.
     let cfg = SimConfig::baseline(HwConfig::Fc(2));
-    let direct = run_compiled(&bench, &compiled, &cfg);
+    let direct = run_compiled(&bench, &compiled, &cfg)?;
     println!("direct simulation:   MCPI {:.6}", direct.mcpi);
 
     // 3. Replay the file through a fresh processor.
@@ -50,17 +57,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     struct Sink<'a>(&'a mut Processor);
     impl InstSink for Sink<'_> {
         fn exec(&mut self, inst: nonblocking_loads::core::inst::DynInst) {
-            self.0.step(&inst);
+            self.0.step(&inst).expect("replay hits no engine error");
         }
     }
     let reader = TraceReader::new(BufReader::new(File::open(&path)?))?;
-    println!("trace header: name={} latency={}", reader.name(), reader.load_latency());
+    println!(
+        "trace header: name={} latency={}",
+        reader.name(),
+        reader.load_latency()
+    );
     let replayed = reader.replay_into(&mut Sink(&mut cpu))?;
     cpu.finish();
-    println!("replayed simulation: MCPI {:.6} ({replayed} instructions)", cpu.stats().mcpi());
+    println!(
+        "replayed simulation: MCPI {:.6} ({replayed} instructions)",
+        cpu.stats().mcpi()
+    );
 
     assert_eq!(replayed, n);
-    assert!((cpu.stats().mcpi() - direct.mcpi).abs() < 1e-12, "replay must be bit-identical");
+    assert!(
+        (cpu.stats().mcpi() - direct.mcpi).abs() < 1e-12,
+        "replay must be bit-identical"
+    );
     println!("replay is bit-identical to direct execution ✓");
     Ok(())
 }

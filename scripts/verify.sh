@@ -2,7 +2,7 @@
 # Offline verification: the tier-1 gate plus lints. Everything here runs
 # with no network access — the workspace has no external dependencies.
 #
-#   scripts/verify.sh            # build + tests + clippy
+#   scripts/verify.sh            # build + tests + clippy + fmt + docs
 #   NBL_THREADS=4 scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +18,12 @@ cargo test --workspace -q
 
 echo "== clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "== rustdoc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== smoke: parallel figures run =="
 cargo run --release -p nbl-bench -- fig5 --quick --out /dev/null >/dev/null

@@ -41,17 +41,25 @@ fn within(measured: f64, recorded: f64, band: f64) -> bool {
 
 #[test]
 fn baseline_mcpi_stays_in_calibrated_bands() {
-    let scale = Scale { instr_target: 200_000 };
+    let scale = Scale {
+        instr_target: 200_000,
+    };
     let mut failures = Vec::new();
     for (name, rec_mc0, rec_inf) in RECORDED {
         let p = build(name, scale).expect("known benchmark");
-        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0)).unwrap().mcpi;
-        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap().mcpi;
+        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0))
+            .unwrap()
+            .mcpi;
+        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict))
+            .unwrap()
+            .mcpi;
         if !within(mc0, rec_mc0, 0.25) {
             failures.push(format!("{name}: mc=0 {mc0:.3} vs recorded {rec_mc0:.3}"));
         }
         if !within(inf, rec_inf, 0.25) {
-            failures.push(format!("{name}: unrestricted {inf:.3} vs recorded {rec_inf:.3}"));
+            failures.push(format!(
+                "{name}: unrestricted {inf:.3} vs recorded {rec_inf:.3}"
+            ));
         }
     }
     assert!(
@@ -65,12 +73,18 @@ fn baseline_mcpi_stays_in_calibrated_bands() {
 /// cuts integer MCPI up to ~2× and numeric MCPI far more.
 #[test]
 fn suite_level_conclusion_holds() {
-    let scale = Scale { instr_target: 150_000 };
+    let scale = Scale {
+        instr_target: 150_000,
+    };
     let mut numeric_best: f64 = 1.0;
     for (name, _, _) in RECORDED {
         let p = build(name, scale).expect("known benchmark");
-        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0)).unwrap().mcpi;
-        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap().mcpi;
+        let mc0 = run_program(&p, &SimConfig::baseline(HwConfig::Mc0))
+            .unwrap()
+            .mcpi;
+        let inf = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict))
+            .unwrap()
+            .mcpi;
         let gain = mc0 / inf.max(1e-9);
         if nonblocking_loads::trace::workloads::is_integer(name) {
             assert!(

@@ -13,7 +13,9 @@ use nonblocking_loads::trace::machine::CountingSink;
 use nonblocking_loads::trace::workloads::{build, Scale, ALL};
 
 fn scale() -> Scale {
-    Scale { instr_target: 60_000 }
+    Scale {
+        instr_target: 60_000,
+    }
 }
 
 /// The dynamic stream the processor executes has exactly the statically
@@ -25,12 +27,16 @@ fn processor_sees_the_static_counts() {
         let compiled = compile(&p, 10).unwrap();
         let mut counter = CountingSink::default();
         Executor::new(&compiled).run(&mut counter);
-        let r = run_compiled(name, &compiled, &SimConfig::baseline(HwConfig::Mc(1)));
+        let r = run_compiled(name, &compiled, &SimConfig::baseline(HwConfig::Mc(1))).unwrap();
         assert_eq!(r.instructions, counter.instructions, "{name}");
         assert_eq!(r.loads, counter.loads, "{name}");
         assert_eq!(r.stores, counter.stores, "{name}");
         let (l, s, o) = compiled.dynamic_mix();
-        assert_eq!((r.loads, r.stores, r.instructions), (l, s, l + s + o), "{name}");
+        assert_eq!(
+            (r.loads, r.stores, r.instructions),
+            (l, s, l + s + o),
+            "{name}"
+        );
     }
 }
 
@@ -51,14 +57,35 @@ fn simulation_is_deterministic() {
 #[test]
 fn mcpi_is_a_steady_state_ratio() {
     let cfg = SimConfig::baseline(HwConfig::NoRestrict);
-    let small = run_program(&build("tomcatv", Scale { instr_target: 150_000 }).unwrap(), &cfg)
-        .unwrap()
-        .mcpi;
-    let large = run_program(&build("tomcatv", Scale { instr_target: 300_000 }).unwrap(), &cfg)
-        .unwrap()
-        .mcpi;
+    let small = run_program(
+        &build(
+            "tomcatv",
+            Scale {
+                instr_target: 150_000,
+            },
+        )
+        .unwrap(),
+        &cfg,
+    )
+    .unwrap()
+    .mcpi;
+    let large = run_program(
+        &build(
+            "tomcatv",
+            Scale {
+                instr_target: 300_000,
+            },
+        )
+        .unwrap(),
+        &cfg,
+    )
+    .unwrap()
+    .mcpi;
     let rel = (small - large).abs() / large.max(1e-9);
-    assert!(rel < 0.10, "MCPI should be scale-stable: {small} vs {large}");
+    assert!(
+        rel < 0.10,
+        "MCPI should be scale-stable: {small} vs {large}"
+    );
 }
 
 /// `mc=0` and `mc=0 + wma` run the same trace; `+wma` only adds store-miss
@@ -83,7 +110,12 @@ fn many_fetch_mshrs_converge_to_inverted() {
     let fc64 = run_program(&p, &SimConfig::baseline(HwConfig::Fc(64))).unwrap();
     let inverted = run_program(&p, &SimConfig::baseline(HwConfig::NoRestrict)).unwrap();
     let rel = (fc64.mcpi - inverted.mcpi).abs() / inverted.mcpi.max(1e-9);
-    assert!(rel < 0.02, "fc=64 ({}) should equal inverted ({})", fc64.mcpi, inverted.mcpi);
+    assert!(
+        rel < 0.02,
+        "fc=64 ({}) should equal inverted ({})",
+        fc64.mcpi,
+        inverted.mcpi
+    );
 }
 
 /// The paper's ora anomaly: a fully serial miss chain makes every
@@ -95,7 +127,11 @@ fn ora_is_flat_across_configs_and_latencies() {
     let mut values = Vec::new();
     for hw in HwConfig::table13_six() {
         for lat in [1, 10, 20] {
-            values.push(run_program(&p, &SimConfig::baseline(hw.clone()).at_latency(lat)).unwrap().mcpi);
+            values.push(
+                run_program(&p, &SimConfig::baseline(hw.clone()).at_latency(lat))
+                    .unwrap()
+                    .mcpi,
+            );
         }
     }
     let max = values.iter().cloned().fold(0.0_f64, f64::max);
@@ -117,7 +153,12 @@ fn dual_issue_sanity() {
         let s = run_program(&p, &SimConfig::baseline(HwConfig::Fc(2))).unwrap();
         // Dual-issue compresses compute, exposing *more* stall per
         // instruction, but never more than the full penalty would allow.
-        assert!(d.mcpi <= s.mcpi * 2.5 + 0.5, "{name}: dual {} vs single {}", d.mcpi, s.mcpi);
+        assert!(
+            d.mcpi <= s.mcpi * 2.5 + 0.5,
+            "{name}: dual {} vs single {}",
+            d.mcpi,
+            s.mcpi
+        );
     }
 }
 
@@ -154,7 +195,7 @@ fn engine_composes_from_parts() {
     struct Sink<'a>(&'a mut Processor);
     impl nonblocking_loads::trace::machine::InstSink for Sink<'_> {
         fn exec(&mut self, inst: DynInst) {
-            self.0.step(&inst);
+            self.0.step(&inst).expect("no engine error on replay");
         }
     }
     Executor::new(&compiled).run(&mut Sink(&mut cpu));
@@ -163,7 +204,12 @@ fn engine_composes_from_parts() {
     assert!(cpu.stats().mcpi() > 0.0);
 
     // Hand-rolled instructions interleave fine with the same processor.
-    cpu.step(&DynInst::load(Addr(0xdead00), PhysReg::int(3), LoadFormat::WORD));
+    cpu.step(&DynInst::load(
+        Addr(0xdead00),
+        PhysReg::int(3),
+        LoadFormat::WORD,
+    ))
+    .unwrap();
     cpu.finish();
     assert!(cpu.stats().blocking_load_misses > 0);
 }

@@ -13,12 +13,12 @@
 //! assigns overlapping live ranges to one register, and spill code that
 //! reloads the wrong slot — in one end-to-end property.
 
+use nonblocking_loads::core::types::{LoadFormat, PhysReg, RegClass};
 use nonblocking_loads::sched::compile::compile;
 use nonblocking_loads::trace::ir::{
     AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg,
 };
 use nonblocking_loads::trace::machine::MachineOp;
-use nonblocking_loads::core::types::{LoadFormat, PhysReg, RegClass};
 use proptest::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -40,7 +40,12 @@ fn eval_ir(block: &Block) -> Vec<Option<u64>> {
     let mut stores = Vec::new();
     for op in &block.ops {
         match *op {
-            IrOp::Load { dst, pattern, addr_src, .. } => {
+            IrOp::Load {
+                dst,
+                pattern,
+                addr_src,
+                ..
+            } => {
                 let addr = addr_src.map(|s| vals[&s]).unwrap_or(0);
                 vals.insert(dst, node("load", &[u64::from(pattern.0), addr]));
             }
@@ -66,7 +71,12 @@ fn eval_machine(ops: &[MachineOp], original_patterns: usize) -> Vec<Option<u64>>
     let is_spill = |p: PatternId| (p.0 as usize) >= original_patterns;
     for op in ops {
         match *op {
-            MachineOp::Load { dst, pattern, addr_src, .. } => {
+            MachineOp::Load {
+                dst,
+                pattern,
+                addr_src,
+                ..
+            } => {
                 let v = if is_spill(pattern) {
                     *spill_mem.get(&pattern).expect("reload before spill store")
                 } else {
@@ -158,12 +168,25 @@ fn program_around(block: Block) -> Program {
     Program {
         name: "prop".into(),
         patterns: vec![
-            AddrPattern::Strided { base: 0x1000, elem_bytes: 8, stride: 1, length: 64 },
-            AddrPattern::Gather { base: 0x8000, elem_bytes: 8, length: 64, seed: 1 },
+            AddrPattern::Strided {
+                base: 0x1000,
+                elem_bytes: 8,
+                stride: 1,
+                length: 64,
+            },
+            AddrPattern::Gather {
+                base: 0x8000,
+                elem_bytes: 8,
+                length: 64,
+                seed: 1,
+            },
             AddrPattern::Fixed { addr: 0x20000 },
         ],
         blocks: vec![block],
-        script: vec![ScriptNode::Run { block: BlockId(0), times: 1 }],
+        script: vec![ScriptNode::Run {
+            block: BlockId(0),
+            times: 1,
+        }],
     }
 }
 

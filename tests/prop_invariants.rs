@@ -62,7 +62,9 @@ fn arb_block(max_ops: usize) -> impl Strategy<Value = Block> {
                     defined.push(dst);
                 }
                 _ => {
-                    block.ops.push(IrOp::Branch { srcs: [pick(&defined, a), None] });
+                    block.ops.push(IrOp::Branch {
+                        srcs: [pick(&defined, a), None],
+                    });
                 }
             }
         }

@@ -12,7 +12,9 @@ use nonblocking_loads::sim::sweep::{latency_sweep, penalty_sweep};
 use nonblocking_loads::trace::workloads::{build, Scale, INTEGER};
 
 fn scale() -> Scale {
-    Scale { instr_target: 120_000 }
+    Scale {
+        instr_target: 120_000,
+    }
 }
 
 fn run(bench: &str, cfg: &SimConfig) -> RunResult {
@@ -140,8 +142,14 @@ fn large_cache_scales_but_preserves_ordering() {
     let big_inf = run("doduc", &baseline(HwConfig::NoRestrict).with_geometry(big)).mcpi;
     let big_mc1 = run("doduc", &baseline(HwConfig::Mc(1)).with_geometry(big)).mcpi;
     let big_mc2 = run("doduc", &baseline(HwConfig::Mc(2)).with_geometry(big)).mcpi;
-    assert!(big_inf < small_inf / 2.0, "64KB should cut MCPI: {small_inf} -> {big_inf}");
-    assert!(big_mc1 > big_mc2 && big_mc2 >= big_inf, "ordering preserved at 64KB");
+    assert!(
+        big_inf < small_inf / 2.0,
+        "64KB should cut MCPI: {small_inf} -> {big_inf}"
+    );
+    assert!(
+        big_mc1 > big_mc2 && big_mc2 >= big_inf,
+        "ordering preserved at 64KB"
+    );
     assert!(
         big_mc1 > big_inf * 1.5,
         "aggressive organizations still pay off at 64KB: mc1 {big_mc1} vs inf {big_inf}"
@@ -155,12 +163,21 @@ fn su2cor_needs_multiple_fetches_per_set() {
     let fs1 = run("su2cor", &baseline(HwConfig::Fs(1))).mcpi;
     let fs2 = run("su2cor", &baseline(HwConfig::Fs(2))).mcpi;
     let inf = run("su2cor", &baseline(HwConfig::NoRestrict)).mcpi;
-    assert!(fs1 > fs2 * 2.0, "fs=1 ({fs1}) should be far worse than fs=2 ({fs2})");
-    assert!(fs2 >= inf * 0.999, "fs=2 ({fs2}) at least unrestricted ({inf})");
+    assert!(
+        fs1 > fs2 * 2.0,
+        "fs=1 ({fs1}) should be far worse than fs=2 ({fs2})"
+    );
+    assert!(
+        fs2 >= inf * 0.999,
+        "fs=2 ({fs2}) at least unrestricted ({inf})"
+    );
     // In-cache MSHR storage behaves like fs=1 (one fetch per line), plus
     // the extra misses of claiming the victim line at miss time.
     let incache = run("su2cor", &baseline(HwConfig::InCache)).mcpi;
-    assert!(incache > fs2, "in-cache storage ({incache}) suffers like fs=1 ({fs1})");
+    assert!(
+        incache > fs2,
+        "in-cache storage ({incache}) suffers like fs=1 ({fs1})"
+    );
 }
 
 /// Claim 8: blocking MCPI is linear in the miss penalty; non-blocking
@@ -192,15 +209,17 @@ fn penalty_scaling_linear_for_blocking_superlinear_for_nonblocking() {
 fn scheduling_for_misses_unlocks_the_hardware() {
     let p = build("tomcatv", scale()).unwrap();
     let base = SimConfig::baseline(HwConfig::NoRestrict);
-    let sweep =
-        latency_sweep(&p, &base, &[HwConfig::NoRestrict], &[1, 2, 3, 6, 10, 20]).unwrap();
+    let sweep = latency_sweep(&p, &base, &[HwConfig::NoRestrict], &[1, 2, 3, 6, 10, 20]).unwrap();
     let curve = sweep.curve(0);
     assert!(
         curve[5] < curve[0] / 3.0,
         "latency-20 schedules should hide most of what latency-1 exposes: {curve:?}"
     );
     for w in curve.windows(2) {
-        assert!(w[1] <= w[0] * 1.10, "tomcatv's curve decreases near-monotonically: {curve:?}");
+        assert!(
+            w[1] <= w[0] * 1.10,
+            "tomcatv's curve decreases near-monotonically: {curve:?}"
+        );
     }
 }
 
@@ -216,7 +235,13 @@ fn target_layout_gradient() {
     let four = m(TargetPolicy::explicit(Limit::Finite(4)));
     let implicit4 = m(TargetPolicy::implicit_sub_blocks(4));
     let inf = run("doduc", &baseline(HwConfig::NoRestrict)).mcpi;
-    assert!(one > four, "a single target field must cost something: {one} vs {four}");
+    assert!(
+        one > four,
+        "a single target field must cost something: {one} vs {four}"
+    );
     assert!(four <= inf * 1.05, "four explicit fields ≈ unrestricted");
-    assert!(implicit4 <= inf * 1.05, "word-granular implicit fields ≈ unrestricted");
+    assert!(
+        implicit4 <= inf * 1.05,
+        "word-granular implicit fields ≈ unrestricted"
+    );
 }
