@@ -10,9 +10,27 @@ use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
 use nbl_sim::sweep::LatencySweep;
 use std::io::Write;
+use std::sync::Mutex;
 
 fn baseline() -> SimConfig {
     SimConfig::baseline(HwConfig::NoRestrict)
+}
+
+/// The doduc baseline sweep behind Figs. 5, 7 and 8, computed once per
+/// scale and shared — the compile cache would make a rerun cheap to
+/// build, but not to simulate (42 cells).
+static DODUC_SWEEP: Mutex<Option<(RunScale, LatencySweep)>> = Mutex::new(None);
+
+fn doduc_sweep(scale: RunScale) -> LatencySweep {
+    let mut slot = DODUC_SWEEP.lock().expect("doduc sweep lock");
+    if let Some((cached_scale, sweep)) = slot.as_ref() {
+        if *cached_scale == scale {
+            return sweep.clone();
+        }
+    }
+    let sweep = baseline_sweep("doduc", scale, &baseline());
+    *slot = Some((scale, sweep.clone()));
+    sweep
 }
 
 fn emit_sweep(out: &mut dyn Write, fig: &str, title: &str, sweep: &LatencySweep) {
@@ -23,25 +41,25 @@ fn emit_sweep(out: &mut dyn Write, fig: &str, title: &str, sweep: &LatencySweep)
     write_json(fig, &report::latency_sweep_json(sweep));
 }
 
-/// Fig. 5: baseline miss CPI for doduc. Returns the sweep so `all` can
-/// reuse it for Figs. 6–8.
-pub fn fig5(out: &mut dyn Write, scale: RunScale) -> LatencySweep {
-    let sweep = baseline_sweep("doduc", scale, &baseline());
+/// Fig. 5: baseline miss CPI for doduc (sweep shared with Figs. 7–8).
+pub fn fig5(out: &mut dyn Write, scale: RunScale) {
+    let sweep = doduc_sweep(scale);
     emit_sweep(out, "fig5", "Figure 5: baseline miss CPI for doduc", &sweep);
-    sweep
 }
 
 /// Fig. 7: stall-cycle breakdown for doduc (share of MCPI from structural
 /// hazards).
-pub fn fig7(out: &mut dyn Write, sweep: &LatencySweep) {
+pub fn fig7(out: &mut dyn Write, scale: RunScale) {
+    let sweep = doduc_sweep(scale);
     let _ = writeln!(out, "== Figure 7: stall cycle breakdown for doduc ==");
-    let _ = writeln!(out, "{}", report::structural_share_table(sweep));
+    let _ = writeln!(out, "{}", report::structural_share_table(&sweep));
 }
 
 /// Fig. 8: baseline miss rate for doduc (primary+secondary / secondary).
-pub fn fig8(out: &mut dyn Write, sweep: &LatencySweep) {
+pub fn fig8(out: &mut dyn Write, scale: RunScale) {
+    let sweep = doduc_sweep(scale);
     let _ = writeln!(out, "== Figure 8: baseline miss rate for doduc ==");
-    let _ = writeln!(out, "{}", report::miss_rate_table(sweep));
+    let _ = writeln!(out, "{}", report::miss_rate_table(&sweep));
 }
 
 /// Fig. 9: baseline miss CPI for xlisp.

@@ -16,13 +16,136 @@ pub mod fig6;
 pub mod figs_baseline;
 pub mod misslife;
 pub mod paper;
+pub mod replsens;
 
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::sweep::{LatencySweep, SweepEngine};
 use nbl_trace::ir::Program;
 use nbl_trace::workloads::{build, Scale};
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::OnceLock;
+
+/// One registered exhibit: CLI name, one-line description, entry point.
+pub struct Exhibit {
+    /// CLI name (`figures <name>`).
+    pub name: &'static str,
+    /// One-line description shown by `figures list`.
+    pub about: &'static str,
+    /// Entry point: prints tables to the writer at the given scale.
+    pub run: fn(&mut dyn Write, RunScale),
+}
+
+/// Every exhibit the harness can regenerate, in presentation order.
+/// Adding an exhibit is one entry here — `figures list`, `help`, `all`,
+/// and argument validation all derive from this table.
+pub const EXHIBITS: &[Exhibit] = &[
+    Exhibit {
+        name: "compare",
+        about: "paper-vs-measured MCPI comparison for the headline cells",
+        run: compare::run,
+    },
+    Exhibit {
+        name: "fig4",
+        about: "scheduled load latency vs achieved overlap",
+        run: fig4::run,
+    },
+    Exhibit {
+        name: "fig5",
+        about: "baseline miss CPI vs latency for doduc",
+        run: figs_baseline::fig5,
+    },
+    Exhibit {
+        name: "fig6",
+        about: "miss decomposition for doduc",
+        run: fig6::run,
+    },
+    Exhibit {
+        name: "fig7",
+        about: "stall-cycle breakdown for doduc",
+        run: figs_baseline::fig7,
+    },
+    Exhibit {
+        name: "fig8",
+        about: "baseline miss rate for doduc",
+        run: figs_baseline::fig8,
+    },
+    Exhibit {
+        name: "fig9",
+        about: "baseline miss CPI vs latency for xlisp",
+        run: figs_baseline::fig9,
+    },
+    Exhibit {
+        name: "fig10",
+        about: "xlisp on a fully associative 8KB cache",
+        run: figs_baseline::fig10,
+    },
+    Exhibit {
+        name: "fig11",
+        about: "baseline miss CPI vs latency for eqntott",
+        run: figs_baseline::fig11,
+    },
+    Exhibit {
+        name: "fig12",
+        about: "baseline miss CPI vs latency for tomcatv",
+        run: figs_baseline::fig12,
+    },
+    Exhibit {
+        name: "fig13",
+        about: "MSHR organizations compared at equal cost",
+        run: fig13::run,
+    },
+    Exhibit {
+        name: "fig14",
+        about: "in-cache MSHR variants",
+        run: fig14::run,
+    },
+    Exhibit {
+        name: "fig15",
+        about: "victim buffering and write-miss policy",
+        run: fig15::run,
+    },
+    Exhibit {
+        name: "fig16",
+        about: "doduc with a 64KB data cache",
+        run: figs_baseline::fig16,
+    },
+    Exhibit {
+        name: "fig17",
+        about: "doduc with 16-byte lines",
+        run: figs_baseline::fig17,
+    },
+    Exhibit {
+        name: "fig18",
+        about: "miss CPI vs miss penalty",
+        run: fig18::run,
+    },
+    Exhibit {
+        name: "fig19",
+        about: "bandwidth-limited memory sensitivity",
+        run: fig19::run,
+    },
+    Exhibit {
+        name: "ablations",
+        about: "mechanism ablation grid across benchmarks",
+        run: ablations::run,
+    },
+    Exhibit {
+        name: "extensions",
+        about: "beyond-the-paper extension sweeps",
+        run: extensions::run,
+    },
+    Exhibit {
+        name: "misslife",
+        about: "traced miss-lifecycle transaction summaries",
+        run: misslife::run,
+    },
+    Exhibit {
+        name: "replsens",
+        about: "replacement policy x MSHR config x latency sensitivity",
+        run: replsens::run,
+    },
+];
 
 /// The process-wide parallel sweep engine every exhibit runs on: its pool
 /// fans `(benchmark, latency, configuration)` cells across threads

@@ -4,24 +4,28 @@
 //! ```text
 //! cargo run -p nbl-bench --release -- all            # everything
 //! cargo run -p nbl-bench --release -- fig5 fig13     # selected exhibits
+//! cargo run -p nbl-bench --release -- list           # registered exhibits
 //! cargo run -p nbl-bench --release -- all --quick    # smoke-scale
 //! cargo run -p nbl-bench --release -- all --out results.txt
 //! NBL_THREADS=4 cargo run -p nbl-bench --release -- all   # fixed pool
 //! ```
 //!
-//! Simulation cells run on the parallel sweep engine (worker count from
-//! `NBL_THREADS` or the machine); every exhibit is timed, and a throughput
-//! summary (wall clock, simulated instructions per second, compile-cache
-//! counters) prints at the end of the run.
+//! Exhibits live in the registry table [`experiments::EXHIBITS`];
+//! `list`, `help`, `all`, and argument validation all derive from it, so
+//! adding an exhibit is one table entry. Simulation cells run on the
+//! parallel sweep engine (worker count from `NBL_THREADS` or the
+//! machine); every exhibit is timed, and a throughput summary (wall
+//! clock, simulated instructions per second, compile-cache counters)
+//! prints at the end of the run.
 
 mod experiments;
 
-use experiments::RunScale;
+use experiments::{RunScale, EXHIBITS};
 use nbl_sim::telemetry::{Telemetry, TelemetrySnapshot};
 use std::io::Write;
 use std::time::Instant;
 
-const USAGE: &str = "usage: figures <all | fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 compare ablations extensions misslife ...> [--quick] [--out FILE] [--csv DIR] [--json DIR]";
+const USAGE: &str = "usage: figures <exhibit ... | all | list> [--quick] [--out FILE] [--csv DIR] [--json DIR]\n       run `figures list` for the registered exhibits";
 
 /// One timed exhibit: name, wall-clock seconds, simulated work done.
 struct Timing {
@@ -73,6 +77,7 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
             cycles: total.cycles + t.work.cycles,
             runs: total.runs + t.work.runs,
             events: total.events + t.work.events,
+            policy_runs: total.policy_runs + t.work.policy_runs,
         };
     }
     let _ = writeln!(
@@ -93,6 +98,25 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
     if total.events > 0 {
         let _ = writeln!(out, "miss-lifecycle events recorded: {}", total.events);
     }
+    if total.policy_runs > 0 {
+        let _ = writeln!(
+            out,
+            "non-LRU replacement-policy runs: {}",
+            total.policy_runs
+        );
+    }
+}
+
+/// Prints the exhibit registry, one line per entry.
+fn print_exhibits() {
+    println!("exhibits:");
+    for e in EXHIBITS {
+        println!("  {:<12} {}", e.name, e.about);
+    }
+    println!("  {:<12} every exhibit above, in order", "all");
+    println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs),");
+    println!("          --json DIR (machine-readable results, e.g. results/)");
+    println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
 }
 
 fn main() {
@@ -120,17 +144,23 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.iter().any(|w| w == "list") {
-        println!("exhibits: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19");
-        println!("extras:   compare (paper vs measured), ablations, extensions, misslife, all");
-        println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs),");
-        println!("          --json DIR (machine-readable results, e.g. results/)");
-        println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
+    if wanted
+        .iter()
+        .any(|w| w == "list" || w == "--list" || w == "help")
+    {
+        print_exhibits();
         return;
     }
     if wanted.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+    for w in &wanted {
+        if w != "all" && !EXHIBITS.iter().any(|e| e.name == *w) {
+            eprintln!("unknown exhibit: {w}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
@@ -143,95 +173,10 @@ fn main() {
     }
     let mut out = Tee(sinks);
     let mut timings: Vec<Timing> = Vec::new();
-    let t = &mut timings;
-
-    if want("compare") {
-        timed(t, "compare", || experiments::compare::run(&mut out, scale));
-    }
-    if want("fig4") {
-        timed(t, "fig4", || experiments::fig4::run(&mut out, scale));
-    }
-    // Figures 5–8 share the doduc baseline sweep.
-    let needs_doduc_sweep = ["fig5", "fig7", "fig8"].iter().any(|f| want(f));
-    let doduc_sweep = needs_doduc_sweep.then(|| {
-        timed(t, "fig5", || {
-            experiments::figs_baseline::fig5(&mut out, scale)
-        })
-    });
-    if want("fig6") {
-        timed(t, "fig6", || experiments::fig6::run(&mut out, scale));
-    }
-    if let Some(sweep) = &doduc_sweep {
-        if want("fig7") {
-            timed(t, "fig7", || {
-                experiments::figs_baseline::fig7(&mut out, sweep)
-            });
+    for e in EXHIBITS {
+        if want(e.name) {
+            timed(&mut timings, e.name, || (e.run)(&mut out, scale));
         }
-        if want("fig8") {
-            timed(t, "fig8", || {
-                experiments::figs_baseline::fig8(&mut out, sweep)
-            });
-        }
-    }
-    if want("fig9") {
-        timed(t, "fig9", || {
-            experiments::figs_baseline::fig9(&mut out, scale)
-        });
-    }
-    if want("fig10") {
-        timed(t, "fig10", || {
-            experiments::figs_baseline::fig10(&mut out, scale)
-        });
-    }
-    if want("fig11") {
-        timed(t, "fig11", || {
-            experiments::figs_baseline::fig11(&mut out, scale)
-        });
-    }
-    if want("fig12") {
-        timed(t, "fig12", || {
-            experiments::figs_baseline::fig12(&mut out, scale)
-        });
-    }
-    if want("fig13") {
-        timed(t, "fig13", || experiments::fig13::run(&mut out, scale));
-    }
-    if want("fig14") {
-        timed(t, "fig14", || experiments::fig14::run(&mut out, scale));
-    }
-    if want("fig15") {
-        timed(t, "fig15", || experiments::fig15::run(&mut out, scale));
-    }
-    if want("fig16") {
-        timed(t, "fig16", || {
-            experiments::figs_baseline::fig16(&mut out, scale)
-        });
-    }
-    if want("fig17") {
-        timed(t, "fig17", || {
-            experiments::figs_baseline::fig17(&mut out, scale)
-        });
-    }
-    if want("fig18") {
-        timed(t, "fig18", || experiments::fig18::run(&mut out, scale));
-    }
-    if want("fig19") {
-        timed(t, "fig19", || experiments::fig19::run(&mut out, scale));
-    }
-    if want("ablations") {
-        timed(t, "ablations", || {
-            experiments::ablations::run(&mut out, scale)
-        });
-    }
-    if want("extensions") {
-        timed(t, "extensions", || {
-            experiments::extensions::run(&mut out, scale)
-        });
-    }
-    if want("misslife") {
-        timed(t, "misslife", || {
-            experiments::misslife::run(&mut out, scale)
-        });
     }
     print_summary(&mut out, &timings);
 }

@@ -15,8 +15,8 @@ use crate::geometry::CacheGeometry;
 use crate::mshr::{
     MissKind, MissRequest, MshrBank, MshrConfig, MshrResponse, Rejection, TargetRecord,
 };
+use crate::tag_array::{ReplacementKind, TagArray};
 use crate::types::{Addr, BlockAddr, Dest, LoadFormat};
-use std::collections::HashMap;
 use std::fmt;
 
 /// What happens on a store miss.
@@ -54,16 +54,21 @@ pub struct CacheConfig {
     /// the buffer swaps the line back in one cycle instead of fetching.
     /// 0 (the paper's configuration) disables it — an extension.
     pub victim_entries: usize,
+    /// Replacement policy of the tag array. The paper's (and default)
+    /// policy is true LRU.
+    pub replacement: ReplacementKind,
 }
 
 impl CacheConfig {
-    /// Baseline geometry with write-around stores and the given MSHRs.
+    /// Baseline geometry with write-around stores, LRU replacement and the
+    /// given MSHRs.
     pub fn baseline(mshr: MshrConfig) -> CacheConfig {
         CacheConfig {
             geometry: CacheGeometry::baseline(),
             write_miss: WriteMissPolicy::WriteAround,
             mshr,
             victim_entries: 0,
+            replacement: ReplacementKind::default(),
         }
     }
 }
@@ -158,15 +163,6 @@ impl CacheCounters {
     }
 }
 
-/// One cache line's bookkeeping state (tags only; data values are not
-/// simulated, exactly like the paper's trace-driven memory model).
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    last_use: u64,
-}
-
 /// A lockup-free data cache with a configurable MSHR organization.
 ///
 /// # Examples
@@ -196,51 +192,27 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct LockupFreeCache {
     config: CacheConfig,
-    /// Tag store, flattened: the lines of set `s` occupy
-    /// `lines[s * ways .. (s + 1) * ways]`.
-    lines: Vec<Line>,
-    ways: usize,
-    /// Resident-block index (block → flat line slot), maintained only when
-    /// the associativity is high enough that the tag probe's linear scan
-    /// costs more than a hash lookup (e.g. the fully associative geometry
-    /// of Fig. 10, where a probe would otherwise compare 256 tags).
-    index: Option<HashMap<BlockAddr, u32>>,
+    /// The shared tag-array layer: valid/tag bits, resident-block index
+    /// and replacement policy (see [`crate::tag_array`]).
+    tags: TagArray,
     mshrs: MshrBank,
     counters: CacheCounters,
-    use_clock: u64,
     wb_slot: u8,
     /// Victim buffer: most recently evicted blocks, newest last.
     victims: Vec<BlockAddr>,
 }
 
-/// Associativity above which probes go through the block index instead of
-/// scanning the set's tags. At 8 ways and below the scan is a handful of
-/// contiguous compares and beats the hash.
-const INDEXED_LOOKUP_MIN_WAYS: usize = 16;
-
 impl LockupFreeCache {
     /// Builds an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> LockupFreeCache {
         let geometry = config.geometry;
-        let ways = geometry.ways() as usize;
-        let lines = vec![
-            Line {
-                valid: false,
-                tag: 0,
-                last_use: 0
-            };
-            geometry.num_sets() as usize * ways
-        ];
-        let index = (ways >= INDEXED_LOOKUP_MIN_WAYS).then(HashMap::new);
+        let tags = TagArray::new(geometry, config.replacement);
         let mshrs = MshrBank::new(&config.mshr, &geometry);
         LockupFreeCache {
             config,
-            lines,
-            ways,
-            index,
+            tags,
             mshrs,
             counters: CacheCounters::default(),
-            use_clock: 0,
             wb_slot: 0,
             victims: Vec::new(),
         }
@@ -273,62 +245,6 @@ impl LockupFreeCache {
         &self.mshrs
     }
 
-    /// The flat `lines` range holding `set`.
-    #[inline]
-    fn set_slots(&self, set: u32) -> std::ops::Range<usize> {
-        let start = set as usize * self.ways;
-        start..start + self.ways
-    }
-
-    /// Reconstructs the block address resident in `slot`.
-    #[inline]
-    fn block_at(&self, slot: usize) -> BlockAddr {
-        let set = (slot / self.ways) as u64;
-        let set_bits = self.config.geometry.num_sets().trailing_zeros();
-        BlockAddr((self.lines[slot].tag << set_bits) | set)
-    }
-
-    /// Flat slot of `block` if it is resident: an O(1) index lookup for
-    /// high-associativity geometries, a short tag scan otherwise.
-    #[inline]
-    fn find_resident(&self, block: BlockAddr) -> Option<usize> {
-        if let Some(index) = &self.index {
-            return index.get(&block).map(|&s| s as usize);
-        }
-        let set = self.config.geometry.set_of_block(block);
-        let tag = self.config.geometry.tag_of_block(block);
-        let range = self.set_slots(set);
-        self.lines[range.clone()]
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
-            .map(|i| range.start + i)
-    }
-
-    /// The least-recently-used slot of `range` (first on ties, matching
-    /// iteration order over the set).
-    #[inline]
-    fn lru_slot(&self, range: std::ops::Range<usize>) -> usize {
-        let mut best = range.start;
-        for s in range {
-            if self.lines[s].last_use < self.lines[best].last_use {
-                best = s;
-            }
-        }
-        best
-    }
-
-    fn probe(&mut self, block: BlockAddr) -> bool {
-        self.use_clock += 1;
-        let clock = self.use_clock;
-        match self.find_resident(block) {
-            Some(slot) => {
-                self.lines[slot].last_use = clock;
-                true
-            }
-            None => false,
-        }
-    }
-
     /// Records an evicted block in the victim buffer (if configured).
     fn remember_victim(&mut self, block: BlockAddr) {
         if self.config.victim_entries == 0 {
@@ -349,33 +265,12 @@ impl LockupFreeCache {
             return false;
         };
         self.victims.remove(pos);
-        let set = self.config.geometry.set_of_block(block);
-        let tag = self.config.geometry.tag_of_block(block);
-        self.use_clock += 1;
-        let clock = self.use_clock;
-        let range = self.set_slots(set);
-        let slot = if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
-            range.start + i
-        } else {
-            let slot = self.lru_slot(range);
-            let occupant = self.block_at(slot);
+        if let Some(occupant) = self.tags.install(block) {
             // The classic victim-cache swap: displaced line enters the buffer.
             self.victims.push(occupant);
             if self.victims.len() > self.config.victim_entries {
                 self.victims.remove(0);
             }
-            if let Some(index) = &mut self.index {
-                index.remove(&occupant);
-            }
-            slot
-        };
-        self.lines[slot] = Line {
-            valid: true,
-            tag,
-            last_use: clock,
-        };
-        if let Some(index) = &mut self.index {
-            index.insert(block, slot as u32);
         }
         true
     }
@@ -387,7 +282,7 @@ impl LockupFreeCache {
     /// [`LockupFreeCache::fill`].
     pub fn access_load(&mut self, addr: Addr, dest: Dest, format: LoadFormat) -> LoadAccess {
         let block = self.block_of(addr);
-        if !self.mshrs.is_in_transit(block) && self.probe(block) {
+        if !self.mshrs.is_in_transit(block) && self.tags.touch(block) {
             self.counters.load_hits += 1;
             return LoadAccess::Hit;
         }
@@ -429,7 +324,7 @@ impl LockupFreeCache {
         // A store to a line in transit does not hit; under write-around it
         // goes around (the fetched line will be superseded in memory by the
         // write-through, which our tag-only model need not track).
-        if !self.mshrs.is_in_transit(block) && self.probe(block) {
+        if !self.mshrs.is_in_transit(block) && self.tags.touch(block) {
             self.counters.store_hits += 1;
             return StoreAccess::Hit;
         }
@@ -468,58 +363,22 @@ impl LockupFreeCache {
     }
 
     /// In-cache MSHR storage claims the victim line at miss time: invalidate
-    /// the replacement candidate so the set's storage is the MSHR.
+    /// the replacement candidate so the set's storage is the MSHR. The
+    /// claimed line's data becomes MSHR state, so it deliberately does NOT
+    /// enter the victim buffer.
     fn claim_victim_for_transit(&mut self, block: BlockAddr) {
-        let set = self.config.geometry.set_of_block(block);
-        let range = self.set_slots(set);
-        if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
-            // A free line will hold the fetch; nothing to evict.
-            self.lines[range.start + i].last_use = 0;
-            return;
-        }
-        let slot = self.lru_slot(range);
-        let victim = self.block_at(slot);
-        self.lines[slot].valid = false;
-        if let Some(index) = &mut self.index {
-            index.remove(&victim);
-        }
+        self.tags.claim_for_transit(block);
     }
 
-    /// Installs the line for `block` (evicting the LRU victim if the set is
-    /// full) and drains the MSHR targets waiting on it.
+    /// Installs the line for `block` (evicting the policy victim if the set
+    /// is full, into the victim buffer when one is configured) and drains
+    /// the MSHR targets waiting on it.
     ///
     /// Works for blocking-cache fills too, in which case the returned
     /// vector is empty.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
-        let set = self.config.geometry.set_of_block(block);
-        let tag = self.config.geometry.tag_of_block(block);
-        self.use_clock += 1;
-        let clock = self.use_clock;
-        let range = self.set_slots(set);
-        let slot = if let Some(s) = self.find_resident(block) {
-            s // refetch of a line already present (possible after races)
-        } else if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
-            range.start + i
-        } else {
-            self.lru_slot(range)
-        };
-        let evicted = {
-            let line = &self.lines[slot];
-            (line.valid && line.tag != tag).then(|| self.block_at(slot))
-        };
-        self.lines[slot] = Line {
-            valid: true,
-            tag,
-            last_use: clock,
-        };
-        if let Some(v) = evicted {
-            if let Some(index) = &mut self.index {
-                index.remove(&v);
-            }
-            self.remember_victim(v);
-        }
-        if let Some(index) = &mut self.index {
-            index.insert(block, slot as u32);
+        if let Some(victim) = self.tags.install(block) {
+            self.remember_victim(victim);
         }
         self.counters.fills += 1;
         self.mshrs.fill(block)
@@ -527,7 +386,7 @@ impl LockupFreeCache {
 
     /// `true` if `block` currently resides in the cache (ignoring transit).
     pub fn contains_block(&self, block: BlockAddr) -> bool {
-        self.find_resident(block).is_some()
+        self.tags.contains(block)
     }
 }
 

@@ -21,9 +21,12 @@
 //!   introduces (§2.4), which realizes the "no restriction" configuration;
 //! * [`mshr::cost`] — the storage cost model that reproduces the paper's
 //!   bit counts (92/140/112/106 bits);
-//! * [`cache`] — the lockup-free cache proper: tag array, LRU replacement,
-//!   write-through + write-around (or write-allocate) stores, and fills
-//!   that wake every waiting load simultaneously.
+//! * [`tag_array`] — the policy-parameterized tag array ([`TagArray`] +
+//!   the [`tag_array::ReplacementPolicy`] trait: LRU, FIFO, seeded-random
+//!   and tree-PLRU) shared by every cache level in the workspace;
+//! * [`cache`] — the lockup-free cache proper: a [`TagArray`] combined
+//!   with MSHRs, write-through + write-around (or write-allocate) stores,
+//!   and fills that wake every waiting load simultaneously.
 //!
 //! Timing lives elsewhere: the `nbl-cpu` crate drives this cache with an
 //! in-order processor model, and `nbl-mem` provides the fully pipelined
@@ -51,10 +54,12 @@ pub mod inst;
 pub mod limit;
 pub mod mshr;
 pub mod rng;
+pub mod tag_array;
 pub mod types;
 
 pub use cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
 pub use geometry::CacheGeometry;
 pub use limit::Limit;
 pub use mshr::{MissKind, MshrBank, MshrConfig, Rejection, TargetRecord};
+pub use tag_array::{ReplacementKind, TagArray};
 pub use types::{Addr, BlockAddr, Cycle, Dest, LoadFormat, PhysReg, RegClass};

@@ -576,6 +576,7 @@ mod tests {
         let l2 = L2Params {
             geometry: CacheGeometry::direct_mapped(256 * 1024, 32).unwrap(),
             hit_penalty: 6,
+            replacement: nbl_core::tag_array::ReplacementKind::Lru,
         };
 
         // Flat hierarchy: every blocking miss costs 30.
@@ -617,6 +618,7 @@ mod tests {
         cfg.l2 = Some(L2Params {
             geometry: CacheGeometry::direct_mapped(256 * 1024, 32).unwrap(),
             hit_penalty: 6,
+            replacement: nbl_core::tag_array::ReplacementKind::Lru,
         });
         let mut core = Core::new(cfg);
         let a = Addr(0x10000);

@@ -24,9 +24,10 @@
 use crate::event::{AccessKind, MemEvent, MemEventSink, MemTrace, ServiceLevel};
 use crate::memory::{MemoryError, PipelinedMemory};
 use crate::write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};
-use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
+use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess};
 use nbl_core::geometry::CacheGeometry;
-use nbl_core::mshr::{MissKind, MshrConfig, Rejection, TargetRecord};
+use nbl_core::mshr::{MissKind, Rejection, TargetRecord};
+use nbl_core::tag_array::{ReplacementKind, TagArray};
 use nbl_core::types::{Addr, BlockAddr, Cycle, Dest, LoadFormat};
 
 /// A second-level cache between the L1 and main memory — an extension
@@ -39,6 +40,8 @@ pub struct L2Params {
     /// Cycles for an L1 miss that hits in the L2 (instead of the full
     /// miss penalty).
     pub hit_penalty: u32,
+    /// Replacement policy of the L2 tag array.
+    pub replacement: ReplacementKind,
 }
 
 /// Configuration of the memory system.
@@ -138,8 +141,9 @@ pub struct FillEvent {
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     l1: LockupFreeCache,
-    /// Tag-only second-level cache (extension). Probed once per L1 fetch.
-    l2: Option<(LockupFreeCache, u32)>,
+    /// Tag-only second-level cache (extension): a bare [`TagArray`] and
+    /// its hit penalty. Probed once per L1 fetch.
+    l2: Option<(TagArray, u32)>,
     memory: PipelinedMemory,
     write_buffer: WriteBuffer,
     /// Lifecycle observer; `None` (the default) records nothing and costs
@@ -165,12 +169,7 @@ impl MemorySystem {
                 config.cache.geometry.line_bytes(),
                 "L1 and L2 must share a line size"
             );
-            let tags = LockupFreeCache::new(CacheConfig {
-                geometry: p.geometry,
-                write_miss: WriteMissPolicy::WriteAround,
-                mshr: MshrConfig::Blocking,
-                victim_entries: 0,
-            });
+            let tags = TagArray::new(p.geometry, p.replacement);
             (tags, p.hit_penalty + config.cache.mshr.fill_extra_cycles())
         });
         MemorySystem {
@@ -239,19 +238,17 @@ impl MemorySystem {
 
     /// Latency of fetching `block`: the L2 hit penalty when an L2 is
     /// configured and holds the line, otherwise the full miss penalty.
-    /// Probing also updates the (inclusive) L2 tags: a missing line is
-    /// installed, modeling the fill on its way to the L1.
+    /// Probing also updates the (inclusive) L2 tags: a hit touches the
+    /// line for the replacement policy, and a missing line is installed,
+    /// modeling the fill on its way to the L1.
     fn fetch_latency(&mut self, block: BlockAddr) -> (u32, ServiceLevel) {
         let Some((l2, hit_penalty)) = self.l2.as_mut() else {
             return (self.memory.miss_penalty(), ServiceLevel::Memory);
         };
-        if l2.contains_block(block) {
-            // Touch for LRU.
-            let addr = block.first_byte(l2.config().geometry.block_bits());
-            let _ = l2.access_load(addr, Dest::Pc, LoadFormat::DOUBLE);
+        if l2.touch(block) {
             (*hit_penalty, ServiceLevel::L2Hit)
         } else {
-            l2.fill(block);
+            l2.install(block); // tag-only and write-through: evictions drop
             (self.memory.miss_penalty(), ServiceLevel::Memory)
         }
     }
@@ -492,8 +489,9 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nbl_core::cache::WriteMissPolicy;
     use nbl_core::limit::Limit;
-    use nbl_core::mshr::{RegisterFileConfig, TargetPolicy};
+    use nbl_core::mshr::{MshrConfig, RegisterFileConfig, TargetPolicy};
     use nbl_core::types::PhysReg;
 
     fn mc(n: u32) -> MshrConfig {

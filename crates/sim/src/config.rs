@@ -5,6 +5,7 @@ use nbl_core::geometry::CacheGeometry;
 use nbl_core::limit::Limit;
 use nbl_core::mshr::inverted::InvertedConfig;
 use nbl_core::mshr::{MshrConfig, RegisterFileConfig, TargetPolicy};
+use nbl_core::tag_array::ReplacementKind;
 use std::fmt;
 
 /// A named point in the paper's hardware design space — the legend entries
@@ -133,13 +134,15 @@ impl HwConfig {
         }
     }
 
-    /// Assembles the cache configuration over `geometry`.
+    /// Assembles the cache configuration over `geometry` (LRU replacement;
+    /// [`SimConfig`] overrides the policy when sweeping it).
     pub fn cache_config(&self, geometry: CacheGeometry) -> CacheConfig {
         CacheConfig {
             geometry,
             write_miss: self.write_miss_policy(),
             mshr: self.mshr_config(),
             victim_entries: 0,
+            replacement: ReplacementKind::default(),
         }
     }
 }
@@ -183,6 +186,9 @@ pub struct SimConfig {
     /// Entries in a fully associative victim buffer next to the L1
     /// (Jouppi 1990); 0 reproduces the paper (extension).
     pub victim_entries: usize,
+    /// Replacement policy of the L1 (and any L2) tag array. LRU — the
+    /// paper's policy — is the default; `figures replsens` sweeps it.
+    pub replacement: ReplacementKind,
 }
 
 impl SimConfig {
@@ -199,6 +205,7 @@ impl SimConfig {
             memory_gap: 0,
             l2: None,
             victim_entries: 0,
+            replacement: ReplacementKind::default(),
         }
     }
 
@@ -243,6 +250,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_victim_buffer(mut self, entries: usize) -> SimConfig {
         self.victim_entries = entries;
+        self
+    }
+
+    /// Same configuration under a different replacement policy (applies
+    /// to the L1 and any configured L2).
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: ReplacementKind) -> SimConfig {
+        self.replacement = replacement;
         self
     }
 }

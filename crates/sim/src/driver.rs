@@ -72,6 +72,8 @@ pub struct RunResult {
     pub benchmark: String,
     /// Hardware configuration label.
     pub config: String,
+    /// Replacement-policy label (`"lru"` unless the run swept it).
+    pub replacement: String,
     /// Scheduled load latency the code was compiled for.
     pub load_latency: u32,
     /// Miss penalty.
@@ -156,6 +158,7 @@ fn l2_params(cfg: &SimConfig) -> Option<L2Params> {
         geometry: CacheGeometry::direct_mapped(size, cfg.geometry.line_bytes())
             .expect("valid L2 geometry"),
         hit_penalty,
+        replacement: cfg.replacement,
     })
 }
 
@@ -176,6 +179,7 @@ fn summarize(
     RunResult {
         benchmark: benchmark.to_string(),
         config: cfg.hw.label(),
+        replacement: cfg.replacement.label(),
         load_latency: cfg.load_latency,
         miss_penalty: cfg.miss_penalty,
         instructions: stats.instructions,
@@ -204,6 +208,7 @@ fn summarize(
 fn single_engine_config(cfg: &SimConfig) -> EngineConfig {
     let mut cache = cfg.hw.cache_config(cfg.geometry);
     cache.victim_entries = cfg.victim_entries;
+    cache.replacement = cfg.replacement;
     EngineConfig {
         cache,
         miss_penalty: cfg.miss_penalty,
@@ -236,6 +241,9 @@ fn run_single(
     let trace = cpu.take_mem_trace();
     let result = summarize(benchmark, cfg, compiled, &cpu);
     Telemetry::global().record_run(result.instructions, result.cycles);
+    if cfg.replacement != nbl_core::tag_array::ReplacementKind::default() {
+        Telemetry::global().record_policy_run();
+    }
     if let Some(t) = &trace {
         Telemetry::global().record_events(t.stats.total_events());
     }
@@ -373,6 +381,7 @@ pub fn run_dual_compiled(
     let mk_engine = |perfect: bool| {
         let mut cache = cfg.hw.cache_config(cfg.geometry);
         cache.victim_entries = cfg.victim_entries;
+        cache.replacement = cfg.replacement;
         EngineConfig {
             cache,
             miss_penalty: cfg.miss_penalty,

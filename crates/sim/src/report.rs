@@ -2,7 +2,7 @@
 //! figures and tables.
 
 use crate::driver::RunResult;
-use crate::sweep::{LatencySweep, PenaltySweep};
+use crate::sweep::{LatencySweep, PenaltySweep, ReplacementSweep};
 use nbl_mem::event::{MissLifecycleStats, DEPTH_BUCKETS, FLIGHT_BUCKETS};
 use std::fmt::Write as _;
 
@@ -246,6 +246,58 @@ pub fn penalty_sweep_csv(sweep: &PenaltySweep) -> String {
     out
 }
 
+/// Renders a replacement sweep as one fixed-width table per MSHR
+/// configuration: rows are load latencies, columns are policies — the
+/// layout that makes the policy spread at each operating point visible
+/// at a glance.
+pub fn replacement_mcpi_table(sweep: &ReplacementSweep) -> String {
+    let mut out = String::new();
+    for (j, config) in sweep.configs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "miss CPI by replacement policy — {} [{config}]",
+            sweep.benchmark
+        );
+        let _ = write!(out, "{:>8}", "lat");
+        for p in &sweep.policies {
+            let _ = write!(out, "{p:>12}");
+        }
+        out.push('\n');
+        for (i, &lat) in sweep.latencies.iter().enumerate() {
+            let _ = write!(out, "{lat:>8}");
+            for plane in &sweep.rows {
+                let _ = write!(out, "{:>12.4}", plane[i][j].mcpi);
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a replacement sweep as long-format CSV —
+/// `policy,config,load_latency,mcpi,cycles` — one row per cell, the
+/// format external plotting (and the verify-script golden diff) wants.
+pub fn replacement_sweep_csv(sweep: &ReplacementSweep) -> String {
+    let mut out = String::from("policy,config,load_latency,mcpi,cycles\n");
+    for (p, policy) in sweep.policies.iter().enumerate() {
+        for (i, &lat) in sweep.latencies.iter().enumerate() {
+            for (j, config) in sweep.configs.iter().enumerate() {
+                let r = &sweep.rows[p][i][j];
+                let _ = writeln!(
+                    out,
+                    "{},{},{lat},{:.6},{}",
+                    csv_field(policy),
+                    csv_field(config),
+                    r.mcpi,
+                    r.cycles
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Renders the miss-lifecycle summary of a traced run: transaction
 /// counts, merge-depth and fill-fan-out histograms, and the
 /// time-in-flight distribution (the delayed-hits instrument the lifecycle
@@ -337,7 +389,8 @@ pub fn run_result_json(r: &RunResult) -> String {
     };
     format!(
         concat!(
-            "{{\"benchmark\":{},\"config\":{},\"load_latency\":{},\"miss_penalty\":{},",
+            "{{\"benchmark\":{},\"config\":{},\"replacement\":{},",
+            "\"load_latency\":{},\"miss_penalty\":{},",
             "\"instructions\":{},\"loads\":{},\"stores\":{},\"cycles\":{},\"mcpi\":{},",
             "\"data_dep_stalls\":{},\"structural_stalls\":{},\"blocking_stalls\":{},",
             "\"structural_fraction\":{},\"structural_stall_misses\":{},",
@@ -347,6 +400,7 @@ pub fn run_result_json(r: &RunResult) -> String {
         ),
         json_str(&r.benchmark),
         json_str(&r.config),
+        json_str(&r.replacement),
         r.load_latency,
         r.miss_penalty,
         r.instructions,
@@ -434,6 +488,39 @@ pub fn penalty_sweep_json(sweep: &PenaltySweep) -> String {
         &sweep.configs,
         &sweep.rows,
     )
+}
+
+/// Serializes a replacement sweep as one JSON document: the three axes
+/// (policies, configs, latencies) plus every [`RunResult`], flattened in
+/// policy-major, then latency, then configuration order.
+pub fn replacement_sweep_json(sweep: &ReplacementSweep) -> String {
+    let labels = |xs: &[String]| {
+        let body: Vec<String> = xs.iter().map(|x| json_str(x)).collect();
+        format!("[{}]", body.join(","))
+    };
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"kind\":\"replacement_sweep\",\"benchmark\":{},\"policies\":{},\"configs\":{},\"load_latencies\":{},\"runs\":[",
+        json_str(&sweep.benchmark),
+        labels(&sweep.policies),
+        labels(&sweep.configs),
+        json_u64_array(&sweep.latencies.iter().map(|&v| u64::from(v)).collect::<Vec<_>>()),
+    );
+    let mut first = true;
+    for plane in &sweep.rows {
+        for row in plane {
+            for r in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&run_result_json(r));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Serializes a miss-lifecycle summary as a JSON object.
@@ -588,6 +675,45 @@ mod tests {
 
         assert_eq!(json_str("say \"hi\"\n"), "\"say \\\"hi\\\"\\n\"");
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn replacement_renderers_cover_every_cell() {
+        use crate::sweep::SweepEngine;
+        use nbl_core::geometry::CacheGeometry;
+        use nbl_core::tag_array::ReplacementKind;
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0)
+            .with_geometry(CacheGeometry::new(8 * 1024, 32, 4).unwrap());
+        let s = SweepEngine::new(2)
+            .replacement_sweep(
+                &p,
+                &base,
+                &[ReplacementKind::Lru, ReplacementKind::Fifo],
+                &[HwConfig::Mc(1), HwConfig::NoRestrict],
+                &[1, 10],
+            )
+            .unwrap();
+        let table = replacement_mcpi_table(&s);
+        assert!(table.contains("[mc=1]") && table.contains("[no restrict]"));
+        assert!(table.contains("lru") && table.contains("fifo"));
+
+        let csv = replacement_sweep_csv(&s);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "policy,config,load_latency,mcpi,cycles"
+        );
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 2, "one row per cell");
+        assert!(csv.contains("lru,mc=1,1,"));
+        assert!(csv.contains("fifo,no restrict,10,"));
+
+        let doc = replacement_sweep_json(&s);
+        assert!(doc.starts_with("{\"kind\":\"replacement_sweep\""));
+        assert!(doc.contains("\"policies\":[\"lru\",\"fifo\"]"));
+        assert!(doc.contains("\"replacement\":\"fifo\""));
+        assert_eq!(doc.matches("\"mcpi\":").count(), 8);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

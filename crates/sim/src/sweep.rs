@@ -11,6 +11,7 @@ use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, SimConfig};
 use crate::driver::{run_compiled, RunResult, SimError};
 use crate::pool::JobPool;
+use nbl_core::tag_array::ReplacementKind;
 use nbl_sched::compile::compile;
 use nbl_trace::ir::Program;
 use std::sync::OnceLock;
@@ -130,6 +131,33 @@ pub fn penalty_sweep(
         penalties: penalties.to_vec(),
         rows,
     })
+}
+
+/// Replacement-policy sensitivity grid for one benchmark: policy × MSHR
+/// configuration × load latency (the `figures replsens` exhibit).
+#[derive(Debug, Clone)]
+pub struct ReplacementSweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy labels, in input order.
+    pub policies: Vec<String>,
+    /// Configuration labels.
+    pub configs: Vec<String>,
+    /// Latencies swept.
+    pub latencies: Vec<u32>,
+    /// `rows[p][i][j]` = result under `policies[p]` at `latencies[i]`
+    /// under `configs[j]`.
+    pub rows: Vec<Vec<Vec<RunResult>>>,
+}
+
+impl ReplacementSweep {
+    /// Result lookup by policy label, configuration label and latency.
+    pub fn at(&self, policy: &str, config: &str, latency: u32) -> Option<&RunResult> {
+        let p = self.policies.iter().position(|x| x == policy)?;
+        let j = self.configs.iter().position(|c| c == config)?;
+        let i = self.latencies.iter().position(|&l| l == latency)?;
+        Some(&self.rows[p][i][j])
+    }
 }
 
 /// The parallel sweep engine: a [`JobPool`] plus a [`CompileCache`].
@@ -279,6 +307,57 @@ impl SweepEngine {
         })
     }
 
+    /// Policy × configuration × latency grid for one benchmark, as one
+    /// flat pool invocation. The compiled program depends only on the
+    /// latency, so every policy and configuration replays the same
+    /// binaries; results are input-ordered and fully deterministic
+    /// (the random policy reseeds per run from its fixed seed).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] from the compiler model or the engine.
+    pub fn replacement_sweep(
+        &self,
+        program: &Program,
+        base: &SimConfig,
+        policies: &[ReplacementKind],
+        configs: &[HwConfig],
+        latencies: &[u32],
+    ) -> Result<ReplacementSweep, SimError> {
+        let (nl, nc) = (latencies.len(), configs.len());
+        let cells = self.pool.run(
+            policies.len() * nl * nc,
+            |idx| -> Result<RunResult, SimError> {
+                let policy = policies[idx / (nl * nc)];
+                let lat = latencies[(idx / nc) % nl];
+                let compiled = self.cache.get_or_compile(program, lat)?;
+                let cfg = SimConfig {
+                    hw: configs[idx % nc].clone(),
+                    ..base.clone()
+                }
+                .at_latency(lat)
+                .with_replacement(policy);
+                Ok(run_compiled(&program.name, &compiled, &cfg)?)
+            },
+        );
+        let mut iter = cells.into_iter();
+        let mut rows = Vec::with_capacity(policies.len());
+        for _ in policies {
+            let mut per_latency = Vec::with_capacity(nl);
+            for _ in 0..nl {
+                per_latency.push(iter.by_ref().take(nc).collect::<Result<Vec<_>, _>>()?);
+            }
+            rows.push(per_latency);
+        }
+        Ok(ReplacementSweep {
+            benchmark: program.name.clone(),
+            policies: policies.iter().map(ReplacementKind::label).collect(),
+            configs: configs.iter().map(HwConfig::label).collect(),
+            latencies: latencies.to_vec(),
+            rows,
+        })
+    }
+
     /// Runs many independent `(program, config)` jobs on the pool, results
     /// in input order, compilation cached. The workhorse for experiment
     /// tables that aren't latency sweeps (per-benchmark rows, ablations).
@@ -405,6 +484,39 @@ mod tests {
         for (job, got) in jobs.iter().zip(&out) {
             assert_eq!(*got, run_program(job.0, &job.1).unwrap());
         }
+    }
+
+    #[test]
+    fn replacement_sweep_is_deterministic_and_lru_matches_default() {
+        use nbl_core::geometry::CacheGeometry;
+        let p = build("eqntott", Scale::quick()).unwrap();
+        // Policies only differ on an associative geometry.
+        let base = SimConfig::baseline(HwConfig::Mc0)
+            .with_geometry(CacheGeometry::new(8 * 1024, 32, 4).unwrap());
+        let policies = [
+            ReplacementKind::Lru,
+            ReplacementKind::random(),
+            ReplacementKind::TreePlru,
+        ];
+        let configs = [HwConfig::Mc(1), HwConfig::NoRestrict];
+        let latencies = [1, 10];
+        let engine = SweepEngine::new(4);
+        let a = engine
+            .replacement_sweep(&p, &base, &policies, &configs, &latencies)
+            .unwrap();
+        let b = engine
+            .replacement_sweep(&p, &base, &policies, &configs, &latencies)
+            .unwrap();
+        assert_eq!(a.rows, b.rows, "replay must be bit-identical (seeded)");
+        assert_eq!(a.policies, vec!["lru", "random", "plru"]);
+        // The LRU plane equals a plain (default-policy) run.
+        let lru = a.at("lru", "mc=1", 10).unwrap();
+        let plain = latency_sweep(&p, &base, &configs, &latencies).unwrap();
+        let reference = plain.at("mc=1", 10).unwrap();
+        assert_eq!(lru.cycles, reference.cycles);
+        assert_eq!(lru.replacement, "lru");
+        assert_eq!(a.at("plru", "mc=1", 10).unwrap().replacement, "plru");
+        assert!(a.at("fifo", "mc=1", 10).is_none());
     }
 
     #[test]

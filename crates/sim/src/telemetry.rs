@@ -15,6 +15,7 @@ pub struct Telemetry {
     cycles: AtomicU64,
     runs: AtomicU64,
     events: AtomicU64,
+    policy_runs: AtomicU64,
 }
 
 /// Point-in-time copy of the counters; subtract two to get the work done
@@ -30,6 +31,9 @@ pub struct TelemetrySnapshot {
     /// Miss-lifecycle events recorded by traced runs (0 unless tracing
     /// was enabled).
     pub events: u64,
+    /// Runs simulated under a non-LRU replacement policy (0 unless a
+    /// policy sweep ran).
+    pub policy_runs: u64,
 }
 
 impl TelemetrySnapshot {
@@ -41,6 +45,7 @@ impl TelemetrySnapshot {
             cycles: self.cycles.saturating_sub(earlier.cycles),
             runs: self.runs.saturating_sub(earlier.runs),
             events: self.events.saturating_sub(earlier.events),
+            policy_runs: self.policy_runs.saturating_sub(earlier.policy_runs),
         }
     }
 
@@ -62,6 +67,7 @@ impl Telemetry {
             cycles: AtomicU64::new(0),
             runs: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            policy_runs: AtomicU64::new(0),
         };
         &GLOBAL
     }
@@ -78,6 +84,11 @@ impl Telemetry {
         self.events.fetch_add(events, Ordering::Relaxed);
     }
 
+    /// Records one run simulated under a non-default replacement policy.
+    pub fn record_policy_run(&self) {
+        self.policy_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -85,6 +96,7 @@ impl Telemetry {
             cycles: self.cycles.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
+            policy_runs: self.policy_runs.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,6 +112,7 @@ mod tests {
         t.record_run(40_000, 55_000);
         t.record_run(40_000, 90_000);
         t.record_events(12);
+        t.record_policy_run();
         let d = t.snapshot().since(before);
         assert_eq!(
             d,
@@ -107,7 +120,8 @@ mod tests {
                 instructions: 80_000,
                 cycles: 145_000,
                 runs: 2,
-                events: 12
+                events: 12,
+                policy_runs: 1
             }
         );
         assert!((d.inst_per_sec(2.0) - 40_000.0).abs() < 1e-9);

@@ -28,4 +28,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== smoke: parallel figures run =="
 cargo run --release -p nbl-bench -- fig5 --quick --out /dev/null >/dev/null
 
+echo "== smoke: replacement-policy sweep vs pinned LRU golden =="
+replsens_dir="$(mktemp -d)"
+trap 'rm -rf "$replsens_dir"' EXIT
+cargo run --release -p nbl-bench -- replsens --quick \
+  --csv "$replsens_dir" --json "$replsens_dir" --out /dev/null >/dev/null
+# The LRU rows must be bit-identical to the pinned golden: the
+# policy-parameterized tag array may not perturb the default policy.
+grep '^lru,' "$replsens_dir/replsens.csv" \
+  | diff -u scripts/golden/replsens_lru_quick.csv -
+python3 - "$replsens_dir/replsens.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["kind"] == "replacement_sweep", d["kind"]
+assert len(d["policies"]) >= 3, d["policies"]
+assert len(d["configs"]) >= 3, d["configs"]
+assert d["load_latencies"] == [1, 2, 3, 6, 10, 20], d["load_latencies"]
+assert len(d["runs"]) == len(d["policies"]) * len(d["configs"]) * 6
+print("replsens.json: shape OK")
+EOF
+
 echo "verify: OK"

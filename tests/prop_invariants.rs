@@ -9,6 +9,7 @@ use nonblocking_loads::core::limit::Limit;
 use nonblocking_loads::core::mshr::{
     MissRequest, MshrConfig, MshrResponse, RegisterFileConfig, RegisterMshrFile, TargetPolicy,
 };
+use nonblocking_loads::core::tag_array::{ReplacementKind, TagArray};
 use nonblocking_loads::core::types::{Addr, BlockAddr, Dest, LoadFormat, PhysReg, RegClass};
 use nonblocking_loads::sched::list_schedule::{respects_dependences, schedule};
 use nonblocking_loads::trace::ir::{AddrPattern, Block, IrOp, PatternId, VirtReg};
@@ -125,6 +126,7 @@ proptest! {
             write_miss: nonblocking_loads::core::cache::WriteMissPolicy::WriteAround,
             mshr: MshrConfig::Blocking,
             victim_entries: 0,
+            replacement: ReplacementKind::default(),
         });
         let mut reference: HashMap<u32, u64> = HashMap::new();
         for raw in addrs {
@@ -237,5 +239,108 @@ proptest! {
         Executor::new(&program).run(&mut s1);
         Executor::new(&program).run(&mut s2);
         prop_assert_eq!(s1, s2);
+    }
+
+    /// Under every replacement policy, an eviction always removes a block
+    /// that was resident in the installed block's own set — the tag array
+    /// never invents a victim, and while any invalid way remains in a set
+    /// it is preferred over evicting.
+    #[test]
+    fn victim_is_always_a_resident_way(
+        policy_idx in 0usize..4,
+        blocks in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let geom = CacheGeometry::new(1024, 32, 4).unwrap();
+        let replacement = ReplacementKind::all()[policy_idx];
+        let mut tags = TagArray::new(geom, replacement);
+        let mut resident: HashSet<BlockAddr> = HashSet::new();
+        for raw in blocks {
+            let block = BlockAddr(raw);
+            let set = geom.set_of_block(block);
+            let had_invalid_way = (0..tags.ways()).any(|w| !tags.is_valid(set, w));
+            match tags.install(block) {
+                Some(victim) => {
+                    prop_assert!(
+                        resident.remove(&victim),
+                        "[{}] evicted {victim:?}, which was never resident", replacement
+                    );
+                    prop_assert_eq!(geom.set_of_block(victim), set, "victim from another set");
+                    prop_assert!(
+                        !had_invalid_way || resident.contains(&block),
+                        "[{}] evicted despite a free way", replacement
+                    );
+                }
+                None => prop_assert!(
+                    had_invalid_way || resident.contains(&block),
+                    "[{}] full set filled without an eviction", replacement
+                ),
+            }
+            resident.insert(block);
+            prop_assert!(tags.contains(block), "installed block not resident");
+        }
+        for &block in &resident {
+            prop_assert!(tags.contains(block), "resident block lost");
+        }
+    }
+
+    /// Under LRU and tree-PLRU, a line that just hit is never the next
+    /// victim of its set (with more than one way) — the touch must
+    /// protect it.
+    #[test]
+    fn hit_never_makes_the_line_the_next_victim(
+        use_plru in any::<bool>(),
+        blocks in proptest::collection::vec(0u64..64, 1..200),
+        pick in 0usize..1000,
+    ) {
+        let geom = CacheGeometry::new(1024, 32, 4).unwrap();
+        let replacement = if use_plru { ReplacementKind::TreePlru } else { ReplacementKind::Lru };
+        let mut tags = TagArray::new(geom, replacement);
+        let mut resident: Vec<BlockAddr> = Vec::new();
+        for raw in blocks {
+            let block = BlockAddr(raw);
+            if let Some(victim) = tags.install(block) {
+                resident.retain(|b| *b != victim);
+            }
+            if !resident.contains(&block) {
+                resident.push(block);
+            }
+        }
+        let block = resident[pick % resident.len()];
+        prop_assert!(tags.touch(block), "picked block is resident");
+        let set = geom.set_of_block(block);
+        let slot = tags.find(block).expect("picked block is resident");
+        let way = slot - set as usize * tags.ways();
+        let victim = tags.victim_way(set);
+        prop_assert!(victim < tags.ways());
+        prop_assert_ne!(
+            victim, way,
+            "[{}] the just-hit line is the next victim", replacement
+        );
+    }
+
+    /// The random replacement policy is a pure function of its seed: the
+    /// same seed replays an identical eviction sequence, on any
+    /// install/touch stream.
+    #[test]
+    fn random_policy_replays_identically(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300),
+    ) {
+        let geom = CacheGeometry::new(1024, 32, 4).unwrap();
+        let replay = |seed: u64| -> Vec<Option<BlockAddr>> {
+            let mut tags = TagArray::new(geom, ReplacementKind::Random { seed });
+            ops.iter()
+                .map(|&(raw, is_touch)| {
+                    let block = BlockAddr(raw);
+                    if is_touch {
+                        tags.touch(block);
+                        None
+                    } else {
+                        tags.install(block)
+                    }
+                })
+                .collect()
+        };
+        prop_assert_eq!(replay(seed), replay(seed), "same seed diverged");
     }
 }
