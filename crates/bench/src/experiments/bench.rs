@@ -1,0 +1,194 @@
+//! `bench` exhibit: wall-clock timing of the record-once/replay-many
+//! pipeline on a pinned grid sweep.
+//!
+//! Three timed phases over the same 18 benchmarks × 8 configurations × 6
+//! latencies grid (the full Fig. 13 roster), all on one fresh
+//! [`SweepEngine`] so this exhibit's counters are not mixed with other
+//! exhibits':
+//!
+//! 1. **cold** — empty caches: every `(benchmark, latency)` pair is
+//!    compiled and recorded to a tape, then all 864 cells replay;
+//! 2. **warm** — the same sweep again with both caches hot: pure replay;
+//! 3. **interpreted** — the same cells through
+//!    [`run_compiled_interpreted`] (warm compile cache, no tapes): the
+//!    pre-tape pipeline this PR's replay path is measured against.
+//!
+//! The exhibit asserts nothing but verifies and reports that all three
+//! passes produce bit-identical [`RunResult`]s, and writes the
+//! measurements to `BENCH_sweep.json` (path override: `NBL_BENCH_JSON`)
+//! so speedups are tracked commit over commit.
+
+use super::{programs_for, RunScale, LATENCIES};
+use nbl_sim::config::{HwConfig, SimConfig};
+use nbl_sim::driver::{run_compiled_interpreted, RunResult};
+use nbl_sim::pool::available_threads;
+use nbl_sim::report;
+use nbl_sim::sweep::SweepEngine;
+use nbl_trace::ir::Program;
+use nbl_trace::workloads::ALL;
+use std::io::Write;
+use std::time::Instant;
+
+/// The Fig. 13-style grid: the seven baseline configurations plus the
+/// in-cache MSHR organization.
+fn grid_configs() -> Vec<HwConfig> {
+    let mut configs = HwConfig::baseline_seven();
+    configs.push(HwConfig::InCache);
+    configs
+}
+
+/// Runs the full grid once through the engine's (cached, tape-replaying)
+/// sweep path; returns wall seconds and the flat cell results.
+fn sweep_pass(engine: &SweepEngine, programs: &[Program]) -> (f64, Vec<RunResult>) {
+    let refs: Vec<&Program> = programs.iter().collect();
+    let base = SimConfig::baseline(HwConfig::NoRestrict);
+    let t0 = Instant::now();
+    let sweeps = engine
+        .grid_sweep(&refs, &base, &grid_configs(), &LATENCIES)
+        .expect("workloads compile");
+    let wall = t0.elapsed().as_secs_f64();
+    let flat = sweeps
+        .into_iter()
+        .flat_map(|s| s.rows.into_iter().flatten())
+        .collect();
+    (wall, flat)
+}
+
+/// Runs the same cells, in the same order, through the interpreter path
+/// (compilations served from the engine's warm cache, no tapes).
+fn interpreted_pass(engine: &SweepEngine, programs: &[Program]) -> (f64, Vec<RunResult>) {
+    let configs = grid_configs();
+    let (nl, nc) = (LATENCIES.len(), configs.len());
+    let base = SimConfig::baseline(HwConfig::NoRestrict);
+    let t0 = Instant::now();
+    let results = engine
+        .pool()
+        .try_run(programs.len() * nl * nc, |idx| {
+            let program = &programs[idx / (nl * nc)];
+            let cfg = SimConfig {
+                hw: configs[idx % nc].clone(),
+                ..base.clone()
+            }
+            .at_latency(LATENCIES[(idx / nc) % nl]);
+            let compiled = engine
+                .cache()
+                .get_or_compile(program, cfg.load_latency)
+                .expect("workloads compile");
+            run_compiled_interpreted(&program.name, &compiled, &cfg).expect("cells run")
+        })
+        .expect("no cell panics");
+    (t0.elapsed().as_secs_f64(), results)
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let body: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Prints the timing table and writes `BENCH_sweep.json`.
+///
+/// Pinned to quick scale regardless of `--quick`: this exhibit measures
+/// the harness rather than the workloads, and the JSON it emits is
+/// compared commit over commit, so the grid must not change shape with
+/// command-line flags.
+pub fn run(out: &mut dyn Write, _scale: RunScale) {
+    let programs = programs_for(&ALL, RunScale::Quick);
+    let engine = SweepEngine::new(available_threads());
+    let configs = grid_configs();
+    let runs = ALL.len() * configs.len() * LATENCIES.len();
+    let threads = engine.pool().threads();
+
+    // Cold can only be timed once (the caches are warm afterwards); the
+    // repeatable phases take the best of two passes to damp scheduler
+    // noise, after checking every pass agrees bit-for-bit.
+    let (cold_wall, cold) = sweep_pass(&engine, &programs);
+    let (warm_wall_a, warm) = sweep_pass(&engine, &programs);
+    let (warm_wall_b, warm_again) = sweep_pass(&engine, &programs);
+    let warm_wall = warm_wall_a.min(warm_wall_b);
+    let (interp_wall_a, interp) = interpreted_pass(&engine, &programs);
+    let (interp_wall_b, interp_again) = interpreted_pass(&engine, &programs);
+    let interp_wall = interp_wall_a.min(interp_wall_b);
+    let bit_identical =
+        cold == warm && warm == warm_again && warm == interp && interp == interp_again;
+    let speedup_vs_interpreted = interp_wall / warm_wall;
+    let speedup_vs_cold = cold_wall / warm_wall;
+    let compile = engine.cache().stats();
+    let tapes = engine.tapes().stats();
+
+    let _ = writeln!(
+        out,
+        "== bench: record-once/replay-many pipeline timing (pinned quick scale) =="
+    );
+    let _ = writeln!(
+        out,
+        "{} cells: {} benchmarks x {} configs x {} latencies, {} worker thread{}",
+        runs,
+        ALL.len(),
+        configs.len(),
+        LATENCIES.len(),
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out, "{:>24} {:>9} {:>9}", "phase", "wall (s)", "runs/s");
+    for (name, wall) in [
+        ("cold (compile+record)", cold_wall),
+        ("warm (tape replay)", warm_wall),
+        ("interpreted (no tape)", interp_wall),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:>24} {:>9.3} {:>9.1}",
+            name,
+            wall,
+            runs as f64 / wall
+        );
+    }
+    let _ = writeln!(
+        out,
+        "speedup: warm replay vs interpreted {speedup_vs_interpreted:.2}x, vs cold {speedup_vs_cold:.2}x"
+    );
+    let _ = writeln!(
+        out,
+        "caches: {} compiles + {} hits, {} tape records + {} replays ({:.2} MiB resident)",
+        compile.compiles,
+        compile.hits,
+        tapes.records,
+        tapes.hits,
+        tapes.resident_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let _ = writeln!(
+        out,
+        "results bit-identical across all three passes: {}",
+        if bit_identical { "yes" } else { "NO" }
+    );
+
+    let latencies_json = format!("[{}]", LATENCIES.map(|l| l.to_string()).join(","));
+    let json = format!(
+        concat!(
+            "{{\"kind\":\"bench_sweep\",\"scale\":\"quick\",",
+            "\"benchmarks\":{},\"configs\":{},\"load_latencies\":{},",
+            "\"runs\":{},\"threads\":{},",
+            "\"cold_wall_s\":{:.6},\"warm_wall_s\":{:.6},\"interpreted_wall_s\":{:.6},",
+            "\"warm_runs_per_sec\":{:.2},",
+            "\"speedup_warm_vs_interpreted\":{:.3},\"speedup_warm_vs_cold\":{:.3},",
+            "\"bit_identical\":{},\"caches\":{}}}\n"
+        ),
+        json_str_list(&ALL.map(String::from)),
+        json_str_list(&configs.iter().map(HwConfig::label).collect::<Vec<_>>()),
+        latencies_json,
+        runs,
+        threads,
+        cold_wall,
+        warm_wall,
+        interp_wall,
+        runs as f64 / warm_wall,
+        speedup_vs_interpreted,
+        speedup_vs_cold,
+        bit_identical,
+        report::caches_json(&compile, &tapes),
+    );
+    let path = std::env::var("NBL_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    let _ = writeln!(out, "wrote {path}");
+    let _ = writeln!(out);
+}

@@ -4,6 +4,7 @@
 //! numbers in EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod bench;
 pub mod compare;
 pub mod extensions;
 pub mod fig13;
@@ -144,6 +145,11 @@ pub const EXHIBITS: &[Exhibit] = &[
         name: "replsens",
         about: "replacement policy x MSHR config x latency sensitivity",
         run: replsens::run,
+    },
+    Exhibit {
+        name: "bench",
+        about: "record/replay pipeline timing on a pinned grid (BENCH_sweep.json)",
+        run: bench::run,
     },
 ];
 

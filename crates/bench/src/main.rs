@@ -95,6 +95,15 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
         "compile cache: {} compilations, {} reuses (each (benchmark, latency) pair compiled once)",
         cache.compiles, cache.hits
     );
+    let tapes = experiments::engine().tapes().stats();
+    let _ = writeln!(
+        out,
+        "tape cache: {} recordings, {} replays, {} evictions ({:.2} MiB resident)",
+        tapes.records,
+        tapes.hits,
+        tapes.evictions,
+        tapes.resident_bytes as f64 / (1024.0 * 1024.0)
+    );
     if total.events > 0 {
         let _ = writeln!(out, "miss-lifecycle events recorded: {}", total.events);
     }

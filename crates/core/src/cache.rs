@@ -189,6 +189,47 @@ impl CacheCounters {
 /// assert_eq!(wakeups.len(), 1);
 /// assert!(cache.access_load(Addr(0x1000), Dest::Reg(PhysReg::int(2)), LoadFormat::WORD).is_hit());
 /// ```
+/// Counting filter over the low bits of in-transit block addresses. Every
+/// load and store probes the MSHRs for transit state before the tag array
+/// may report a hit; a zero count here proves "not in transit" from one
+/// array load, so the common un-aliased access never touches the MSHR
+/// maps. Counts (not bits) make removal exact on fill.
+#[derive(Debug, Clone)]
+struct TransitFilter {
+    counts: [u16; 64],
+}
+
+impl TransitFilter {
+    fn new() -> TransitFilter {
+        TransitFilter { counts: [0; 64] }
+    }
+
+    #[inline]
+    fn slot(block: BlockAddr) -> usize {
+        (block.0 as usize) & 63
+    }
+
+    /// `false` proves no fetch for `block` is outstanding.
+    #[inline]
+    fn maybe(&self, block: BlockAddr) -> bool {
+        self.counts[Self::slot(block)] != 0
+    }
+
+    #[inline]
+    fn inc(&mut self, block: BlockAddr) {
+        self.counts[Self::slot(block)] += 1;
+    }
+
+    #[inline]
+    fn dec(&mut self, block: BlockAddr) {
+        debug_assert!(
+            self.counts[Self::slot(block)] > 0,
+            "transit filter underflow"
+        );
+        self.counts[Self::slot(block)] -= 1;
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct LockupFreeCache {
     config: CacheConfig,
@@ -196,6 +237,8 @@ pub struct LockupFreeCache {
     /// and replacement policy (see [`crate::tag_array`]).
     tags: TagArray,
     mshrs: MshrBank,
+    /// Fast-path summary of the MSHRs' outstanding fetches.
+    transit: TransitFilter,
     counters: CacheCounters,
     wb_slot: u8,
     /// Victim buffer: most recently evicted blocks, newest last.
@@ -212,6 +255,7 @@ impl LockupFreeCache {
             config,
             tags,
             mshrs,
+            transit: TransitFilter::new(),
             counters: CacheCounters::default(),
             wb_slot: 0,
             victims: Vec::new(),
@@ -243,6 +287,14 @@ impl LockupFreeCache {
     /// Direct access to the MSHR bank (for occupancy statistics).
     pub fn mshrs(&self) -> &MshrBank {
         &self.mshrs
+    }
+
+    /// `true` if a fetch for `block` is outstanding, resolved through the
+    /// [`TransitFilter`] first so the common un-aliased case never probes
+    /// the MSHR maps.
+    #[inline]
+    fn in_transit(&self, block: BlockAddr) -> bool {
+        self.transit.maybe(block) && self.mshrs.is_in_transit(block)
     }
 
     /// Records an evicted block in the victim buffer (if configured).
@@ -282,11 +334,14 @@ impl LockupFreeCache {
     /// [`LockupFreeCache::fill`].
     pub fn access_load(&mut self, addr: Addr, dest: Dest, format: LoadFormat) -> LoadAccess {
         let block = self.block_of(addr);
-        if !self.mshrs.is_in_transit(block) && self.tags.touch(block) {
+        // A resident line is never in transit (a block misses to get in
+        // transit and only re-enters the tags at fill time), so a tag hit
+        // needs no MSHR probe at all.
+        if self.tags.touch(block) {
             self.counters.load_hits += 1;
             return LoadAccess::Hit;
         }
-        if !self.mshrs.is_in_transit(block) && self.try_victim_swap(block) {
+        if !self.in_transit(block) && self.try_victim_swap(block) {
             self.counters.victim_hits += 1;
             return LoadAccess::VictimHit;
         }
@@ -301,6 +356,7 @@ impl LockupFreeCache {
             MshrResponse::Accepted(kind) => {
                 match kind {
                     MissKind::Primary => {
+                        self.transit.inc(block);
                         self.counters.load_primary_misses += 1;
                         if self.config.mshr.evicts_on_miss() {
                             self.claim_victim_for_transit(block);
@@ -321,10 +377,11 @@ impl LockupFreeCache {
     /// perform a blocking fetch.
     pub fn access_store(&mut self, addr: Addr) -> StoreAccess {
         let block = self.block_of(addr);
-        // A store to a line in transit does not hit; under write-around it
+        // A store to a line in transit does not hit (and cannot tag-hit:
+        // an in-transit block is never resident); under write-around it
         // goes around (the fetched line will be superseded in memory by the
         // write-through, which our tag-only model need not track).
-        if !self.mshrs.is_in_transit(block) && self.tags.touch(block) {
+        if self.tags.touch(block) {
             self.counters.store_hits += 1;
             return StoreAccess::Hit;
         }
@@ -341,8 +398,11 @@ impl LockupFreeCache {
                 };
                 match self.mshrs.try_load_miss(&req) {
                     MshrResponse::Accepted(kind) => {
-                        if kind == MissKind::Primary && self.config.mshr.evicts_on_miss() {
-                            self.claim_victim_for_transit(block);
+                        if kind == MissKind::Primary {
+                            self.transit.inc(block);
+                            if self.config.mshr.evicts_on_miss() {
+                                self.claim_victim_for_transit(block);
+                            }
                         }
                         StoreAccess::MissAllocateTracked(kind)
                     }
@@ -381,7 +441,14 @@ impl LockupFreeCache {
             self.remember_victim(victim);
         }
         self.counters.fills += 1;
-        self.mshrs.fill(block)
+        let records = self.mshrs.fill(block);
+        if !records.is_empty() {
+            // Every tracked primary carries at least one target, so a
+            // non-empty drain is exactly "a fetch was outstanding"; a
+            // blocking-cache fill drains nothing and decrements nothing.
+            self.transit.dec(block);
+        }
+        records
     }
 
     /// `true` if `block` currently resides in the cache (ignoring transit).

@@ -50,6 +50,7 @@
 
 pub mod cache;
 pub mod geometry;
+pub mod hash;
 pub mod inst;
 pub mod limit;
 pub mod mshr;

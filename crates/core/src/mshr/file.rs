@@ -14,9 +14,9 @@
 use super::targets::{TargetPolicy, TargetStorage};
 use super::{MissKind, MissRequest, MshrResponse, Rejection, TargetRecord};
 use crate::geometry::CacheGeometry;
+use crate::hash::FastMap;
 use crate::limit::Limit;
 use crate::types::BlockAddr;
-use std::collections::HashMap;
 
 /// Configuration of a [`RegisterMshrFile`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,9 +59,9 @@ pub struct RegisterMshrFile {
     geometry: CacheGeometry,
     /// In-flight entries keyed by block address (the associative search of
     /// the comparators in Figs. 1 and 2).
-    entries: HashMap<BlockAddr, Entry>,
+    entries: FastMap<BlockAddr, Entry>,
     /// In-flight fetch count per set, maintained incrementally.
-    per_set: HashMap<u32, u32>,
+    per_set: FastMap<u32, u32>,
     /// Total waiting target records across all entries.
     total_misses: usize,
 }
@@ -72,8 +72,8 @@ impl RegisterMshrFile {
         RegisterMshrFile {
             config,
             geometry: *geometry,
-            entries: HashMap::new(),
-            per_set: HashMap::new(),
+            entries: FastMap::default(),
+            per_set: FastMap::default(),
             total_misses: 0,
         }
     }
@@ -151,10 +151,12 @@ impl RegisterMshrFile {
         records
     }
 
-    /// `true` if a fetch for `block` is outstanding.
+    /// `true` if a fetch for `block` is outstanding. Probed on every
+    /// access (before the tag array can report a hit), so the common
+    /// nothing-in-flight case short-circuits before hashing.
     #[inline]
     pub fn is_in_transit(&self, block: BlockAddr) -> bool {
-        self.entries.contains_key(&block)
+        !self.entries.is_empty() && self.entries.contains_key(&block)
     }
 
     /// Number of in-flight fetches.

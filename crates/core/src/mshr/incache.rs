@@ -17,8 +17,8 @@
 use super::targets::{TargetPolicy, TargetStorage};
 use super::{MissKind, MissRequest, MshrResponse, Rejection, TargetRecord};
 use crate::geometry::CacheGeometry;
+use crate::hash::FastMap;
 use crate::types::BlockAddr;
-use std::collections::HashMap;
 
 /// One line-resident in-flight fetch.
 #[derive(Debug, Clone)]
@@ -33,9 +33,9 @@ pub struct InCacheMshr {
     targets_policy: TargetPolicy,
     geometry: CacheGeometry,
     /// Transit lines per set (at most `ways` per set).
-    per_set: HashMap<u32, Vec<TransitLine>>,
+    per_set: FastMap<u32, Vec<TransitLine>>,
     /// Block → set reverse index for `fill`/`is_in_transit`.
-    by_block: HashMap<BlockAddr, u32>,
+    by_block: FastMap<BlockAddr, u32>,
     total_misses: usize,
 }
 
@@ -45,8 +45,8 @@ impl InCacheMshr {
         InCacheMshr {
             targets_policy,
             geometry: *geometry,
-            per_set: HashMap::new(),
-            by_block: HashMap::new(),
+            per_set: FastMap::default(),
+            by_block: FastMap::default(),
             total_misses: 0,
         }
     }
@@ -102,19 +102,21 @@ impl InCacheMshr {
             .iter()
             .position(|l| l.block == block)
             .expect("by_block tracks per_set");
+        // The emptied per-set vector stays in the map: sets that miss once
+        // miss again, and keeping the allocation avoids a free/alloc cycle
+        // per fetch.
         let mut line = lines.swap_remove(idx);
-        if lines.is_empty() {
-            self.per_set.remove(&set);
-        }
         let records = line.targets.drain();
         self.total_misses -= records.len();
         records
     }
 
-    /// `true` if a fetch for `block` is outstanding.
+    /// `true` if a fetch for `block` is outstanding. Probed on every
+    /// access (before the tag array can report a hit), so the common
+    /// nothing-in-flight case short-circuits before hashing.
     #[inline]
     pub fn is_in_transit(&self, block: BlockAddr) -> bool {
-        self.by_block.contains_key(&block)
+        !self.by_block.is_empty() && self.by_block.contains_key(&block)
     }
 
     /// Number of in-flight fetches.

@@ -14,8 +14,8 @@
 //! guarantees. This is the paper's "no restrict" curve.
 
 use super::{MissKind, MissRequest, MshrResponse, Rejection, TargetRecord};
+use crate::hash::FastMap;
 use crate::types::{BlockAddr, Dest, LoadFormat, REGS_PER_CLASS};
-use std::collections::HashMap;
 
 /// Sizing of an [`InvertedMshr`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,10 +67,10 @@ pub struct InvertedMshr {
     config: InvertedConfig,
     /// Valid entries keyed by destination (the per-destination field rows of
     /// Fig. 3; the valid bit is membership).
-    entries: HashMap<Dest, EntryState>,
+    entries: FastMap<Dest, EntryState>,
     /// Outstanding-fetch index: block → number of waiting destinations.
     /// Models the associative search + match encoder without a full scan.
-    fetches: HashMap<BlockAddr, u32>,
+    fetches: FastMap<BlockAddr, u32>,
 }
 
 impl InvertedMshr {
@@ -78,8 +78,8 @@ impl InvertedMshr {
     pub fn new(config: InvertedConfig) -> InvertedMshr {
         InvertedMshr {
             config,
-            entries: HashMap::new(),
-            fetches: HashMap::new(),
+            entries: FastMap::default(),
+            fetches: FastMap::default(),
         }
     }
 
@@ -137,10 +137,12 @@ impl InvertedMshr {
         records
     }
 
-    /// `true` if a fetch for `block` is outstanding.
+    /// `true` if a fetch for `block` is outstanding. Probed on every
+    /// access (before the tag array can report a hit), so the common
+    /// nothing-in-flight case short-circuits before hashing.
     #[inline]
     pub fn is_in_transit(&self, block: BlockAddr) -> bool {
-        self.fetches.contains_key(&block)
+        !self.fetches.is_empty() && self.fetches.contains_key(&block)
     }
 
     /// Number of distinct blocks being fetched.

@@ -137,6 +137,9 @@ pub struct TargetStorage {
     /// Bytes covered by one sub-block, derived from the line size.
     sub_block_bytes: u32,
     /// Occupancy count per sub-block (length = `policy.sub_blocks`).
+    /// Empty for single-sub-block (explicit) layouts, where the record
+    /// count is the occupancy — explicit MSHRs are allocated on every
+    /// primary miss, so they skip this buffer entirely.
     occupancy: Vec<u32>,
     /// The recorded targets, in arrival order.
     records: Vec<TargetRecord>,
@@ -160,7 +163,11 @@ impl TargetStorage {
         TargetStorage {
             policy,
             sub_block_bytes: line / policy.sub_blocks,
-            occupancy: vec![0; policy.sub_blocks as usize],
+            occupancy: if policy.sub_blocks == 1 {
+                Vec::new()
+            } else {
+                vec![0; policy.sub_blocks as usize]
+            },
             records: Vec::new(),
         }
     }
@@ -179,6 +186,18 @@ impl TargetStorage {
     /// Returns [`Rejection::TargetConflict`] if the responsible sub-block
     /// has no free field — the paper's structural-stall miss.
     pub fn try_add(&mut self, record: TargetRecord) -> Result<(), Rejection> {
+        if self.policy.sub_blocks == 1 {
+            // Explicit layout: every record shares the one sub-block.
+            if !self
+                .policy
+                .fields_per_sub_block
+                .allows_one_more(self.records.len())
+            {
+                return Err(Rejection::TargetConflict);
+            }
+            self.records.push(record);
+            return Ok(());
+        }
         let sb = self.sub_block_of(record.offset);
         debug_assert!(sb < self.occupancy.len(), "offset beyond line size");
         if !self

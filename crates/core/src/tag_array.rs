@@ -20,9 +20,9 @@
 //! golden rows in `tests/refactor_equivalence.rs`.
 
 use crate::geometry::CacheGeometry;
+use crate::hash::FastMap;
 use crate::rng::SplitMix64;
 use crate::types::BlockAddr;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Default seed for [`ReplacementKind::Random`]: an arbitrary fixed
@@ -396,7 +396,7 @@ pub struct TagArray {
     /// Resident-block index (block → flat slot), maintained only when the
     /// linear set scan would cost more than a hash lookup (e.g. the fully
     /// associative geometry of Fig. 10: 256 tag compares per probe).
-    index: Option<HashMap<BlockAddr, u32>>,
+    index: Option<FastMap<BlockAddr, u32>>,
     policy: Policy,
 }
 
@@ -415,7 +415,7 @@ impl TagArray {
                 };
                 sets * ways
             ],
-            index: (ways >= INDEXED_LOOKUP_MIN_WAYS).then(HashMap::new),
+            index: (ways >= INDEXED_LOOKUP_MIN_WAYS).then(FastMap::default),
             policy: Policy::new(replacement, sets, ways),
         }
     }
@@ -479,6 +479,15 @@ impl TagArray {
     /// Probes for `block`; on a hit, notifies the policy (LRU touch).
     /// Returns whether it hit.
     pub fn touch(&mut self, block: BlockAddr) -> bool {
+        if self.ways == 1 {
+            // Direct-mapped: the set's lone way is always the victim, so
+            // no policy bookkeeping can affect any later decision and a
+            // hit reduces to one tag compare. This is the hot path of
+            // every access under the paper's baseline geometry.
+            let set = self.geometry.set_of_block(block) as usize;
+            let line = &self.lines[set];
+            return line.valid && line.tag == self.geometry.tag_of_block(block);
+        }
         match self.find(block) {
             Some(slot) => {
                 let set = (slot / self.ways) as u32;
@@ -521,6 +530,19 @@ impl TagArray {
     pub fn install(&mut self, block: BlockAddr) -> Option<BlockAddr> {
         let set = self.geometry.set_of_block(block);
         let tag = self.geometry.tag_of_block(block);
+        if self.ways == 1 {
+            // Direct-mapped: the set's lone way is the victim, so no
+            // policy consultation (and no policy bookkeeping — see
+            // [`TagArray::touch`]) is needed. The random policy's PRNG
+            // stream is untouched, but `victim() % 1` never depended on
+            // it anyway.
+            let set_bits = self.geometry.num_sets().trailing_zeros();
+            let line = &mut self.lines[set as usize];
+            let evicted = (line.valid && line.tag != tag)
+                .then(|| BlockAddr((line.tag << set_bits) | u64::from(set)));
+            *line = TagLine { valid: true, tag };
+            return evicted;
+        }
         let range = self.set_slots(set);
         let (slot, evicted) = if let Some(s) = self.find(block) {
             (s, None) // refetch of a resident line (possible after races)

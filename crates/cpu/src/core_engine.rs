@@ -28,6 +28,7 @@ use nbl_core::mshr::MissKind;
 use nbl_core::types::{Addr, Cycle, Dest, LoadFormat, PhysReg};
 use nbl_mem::system::{FillEvent, LoadResponse, MemSystemConfig, MemorySystem, StoreResponse};
 use nbl_mem::write_buffer::RetirePolicy;
+use nbl_trace::tape::{barrier_index, barrier_is_mem, TapeKind, TraceTape};
 
 pub use nbl_mem::system::L2Params;
 
@@ -286,6 +287,139 @@ impl Core {
             self.stats.loads += 1;
         } else if inst.is_store() {
             self.stats.stores += 1;
+        }
+        Ok(())
+    }
+
+    /// Tape-indexed twin of [`Core::resolve_hazards`]: resolves entry `i`'s
+    /// register hazards straight from the packed arrays (sources in
+    /// recorded order, then the destination) without materializing a
+    /// [`DynInst`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] as for [`Core::resolve_hazards`].
+    pub fn replay_hazards(&mut self, tape: &TraceTape, i: usize) -> Result<(), EngineError> {
+        if !self.scoreboard.any_pending() {
+            return Ok(());
+        }
+        let [s0, s1] = tape.srcs(i);
+        if let Some(s) = s0 {
+            self.wait_for_reg(s)?;
+        }
+        if let Some(s) = s1 {
+            self.wait_for_reg(s)?;
+        }
+        if let Some(d) = tape.dst(i) {
+            self.wait_for_reg(d)?;
+        }
+        Ok(())
+    }
+
+    /// Tape-indexed twin of [`Core::hazards_clear`].
+    pub fn replay_hazards_clear(&self, tape: &TraceTape, i: usize) -> bool {
+        let [s0, s1] = tape.srcs(i);
+        s0.is_none_or(|s| !self.scoreboard.is_pending(s))
+            && s1.is_none_or(|s| !self.scoreboard.is_pending(s))
+            && tape.dst(i).is_none_or(|d| !self.scoreboard.is_pending(d))
+    }
+
+    /// Tape-indexed twin of [`Core::execute`]: performs entry `i`'s
+    /// operation and stats accounting directly from the packed arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] as for [`Core::execute`].
+    pub fn replay_execute(&mut self, tape: &TraceTape, i: usize) -> Result<(), EngineError> {
+        match tape.kind(i) {
+            TapeKind::Alu | TapeKind::Branch => {}
+            TapeKind::Load => {
+                let dst = tape.dst(i).expect("load entries record a destination");
+                self.execute_load(tape.addr(i), dst, tape.format(i))?;
+                self.stats.loads += 1;
+            }
+            TapeKind::Store => {
+                self.execute_store(tape.addr(i));
+                self.stats.stores += 1;
+            }
+        }
+        self.stats.instructions += 1;
+        Ok(())
+    }
+
+    /// Issues `count` consecutive hazard-free non-memory instructions in
+    /// bulk — the replay fast path for the gaps between a tape's barrier
+    /// entries (see [`TraceTape::barriers`]). Each such entry is Alu or
+    /// Branch and touches no register whose most recent writer is a load,
+    /// so it cannot stall and its issue iteration reduces to one
+    /// instruction counted and one cycle elapsed. Fills may still be in
+    /// flight: they carry their own completion timestamps, so deferring
+    /// the drain to the next barrier (which drains before doing anything
+    /// else) leaves every observable — stall accounting, sampler
+    /// timeline, cache state — bit-identical to `count` ordinary issue
+    /// iterations.
+    #[inline]
+    pub fn issue_free_run(&mut self, count: usize) {
+        self.stats.instructions += count as u64;
+        self.now = self.now.plus(count as u64);
+    }
+
+    /// Replays a recorded tape through the barrier loop: bulk-issues the
+    /// hazard-free gaps between barriers ([`TraceTape::barriers`]) and
+    /// runs the drain → hazards → execute → tick sequence only at the
+    /// barriers themselves.
+    ///
+    /// A further fast path applies when the engine is *quiescent* (no
+    /// fetch outstanding — which also means no register is pending, since
+    /// a pending register always awaits a fill): a non-memory barrier
+    /// then cannot stall and cannot observe any state change, so it
+    /// issues in bulk exactly like a gap entry.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any entry hits.
+    pub fn replay(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        let barriers = tape.barriers();
+        let n = tape.len();
+        let mut i = 0; // next instruction index to account for
+        let mut j = 0; // next barrier to process
+        while j < barriers.len() {
+            if self.mem.next_event().is_none() {
+                // Quiescent: skip ahead to the next *memory* barrier —
+                // every non-memory barrier until then is hazard-free and
+                // the whole span bulk-issues like a gap. The mem flag is
+                // packed into bit 31 of each barrier entry, so the scan
+                // never touches the tape's kind array.
+                while j < barriers.len() && !barrier_is_mem(barriers[j]) {
+                    j += 1;
+                }
+                let next = barriers.get(j).map_or(n, |&b| barrier_index(b));
+                if next > i {
+                    self.issue_free_run(next - i);
+                    i = next;
+                }
+                let Some(&b) = barriers.get(j) else { break };
+                // The memory barrier itself: nothing outstanding, so no
+                // drain and no register hazard is possible.
+                self.replay_execute(tape, barrier_index(b))?;
+                self.tick();
+                i = barrier_index(b) + 1;
+                j += 1;
+            } else {
+                let b = barrier_index(barriers[j]);
+                if b > i {
+                    self.issue_free_run(b - i);
+                }
+                self.drain_fills();
+                self.replay_hazards(tape, b)?;
+                self.replay_execute(tape, b)?;
+                self.tick();
+                i = b + 1;
+                j += 1;
+            }
+        }
+        if i < n {
+            self.issue_free_run(n - i);
         }
         Ok(())
     }

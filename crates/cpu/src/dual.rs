@@ -24,6 +24,7 @@ use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
 use nbl_core::types::Cycle;
 use nbl_mem::system::MemorySystem;
+use nbl_trace::tape::TraceTape;
 
 /// The dual-issue processor. Feed instructions with
 /// [`DualIssueProcessor::push`] and call [`DualIssueProcessor::finish`]
@@ -81,6 +82,55 @@ impl DualIssueProcessor {
     {
         for inst in stream {
             self.push(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Replays a recorded tape with the exact pairing semantics of the
+    /// [`DualIssueProcessor::push`] sequence, but indexing the tape's
+    /// packed arrays directly: leader/follower conflict and port checks use
+    /// the byte-compare forms ([`TraceTape::conflicts`],
+    /// [`TraceTape::is_mem`]) and only a trailing unpaired entry is ever
+    /// reconstructed as a [`DynInst`] (it lands in the pairing buffer for
+    /// [`DualIssueProcessor::finish`], exactly as a pushed stream would).
+    /// Produces bit-identical timing and stats to
+    /// [`DualIssueProcessor::run`] on the equivalent stream.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any entry hits.
+    pub fn run_tape(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        if self.slot.is_some() {
+            // A partial stream was already pushed; splicing indices would
+            // desynchronize the pairing, so fall back to the push path.
+            return self.run(tape.iter());
+        }
+        let n = tape.len();
+        let mut i = 0;
+        while i < n {
+            if i + 1 == n {
+                // Unpaired tail: buffered, flushed by `finish`.
+                self.slot = Some(tape.get(i));
+                break;
+            }
+            self.core.drain_fills();
+            self.core.replay_hazards(tape, i)?;
+            self.core.replay_execute(tape, i)?;
+            let coissue = !(tape.conflicts(i, i + 1) || tape.is_mem(i) && tape.is_mem(i + 1)) && {
+                // Fills that completed during the leader's stalls may
+                // have freed the follower's registers this very cycle.
+                self.core.drain_fills();
+                self.core.replay_hazards_clear(tape, i + 1)
+            };
+            if coissue {
+                self.core.replay_execute(tape, i + 1)?;
+                self.pairs_issued += 1;
+                self.core.tick();
+                i += 2;
+            } else {
+                self.core.tick();
+                i += 1;
+            }
         }
         Ok(())
     }
@@ -317,6 +367,47 @@ mod tests {
         b.finish().unwrap();
         assert_eq!(a.now(), b.now());
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn tape_replay_matches_push_sequence() {
+        // Mixed stream exercising every pairing outcome: co-issued
+        // load+ALU, mem/mem port conflicts, RAW conflicts, and (for the
+        // odd lengths) an unpaired tail flushed by `finish`.
+        let stream: Vec<DynInst> = (0..30u64)
+            .flat_map(|i| {
+                [
+                    DynInst::load(
+                        Addr(i * 4096),
+                        PhysReg::int((i % 8) as u8),
+                        LoadFormat::WORD,
+                    ),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 4) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                    DynInst::store(Addr(i * 4096 + 8), Some(PhysReg::int(10 + (i % 4) as u8))),
+                ]
+            })
+            .collect();
+        for len in [0, 1, 2, stream.len() - 1, stream.len()] {
+            let mut tape = TraceTape::with_capacity("t", 1, 0, len);
+            for inst in &stream[..len] {
+                tape.push(*inst);
+            }
+            for perfect in [true, false] {
+                let mut pushed = DualIssueProcessor::new(config(perfect));
+                pushed.run(stream[..len].iter().copied()).unwrap();
+                pushed.finish().unwrap();
+                let mut replayed = DualIssueProcessor::new(config(perfect));
+                replayed.run_tape(&tape).unwrap();
+                replayed.finish().unwrap();
+                assert_eq!(replayed.now(), pushed.now(), "len {len} perfect {perfect}");
+                assert_eq!(replayed.stats(), pushed.stats());
+                assert_eq!(replayed.pairs_issued(), pushed.pairs_issued());
+                assert_eq!(replayed.cache().counters(), pushed.cache().counters());
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
 use nbl_core::types::Cycle;
 use nbl_mem::system::MemorySystem;
+use nbl_trace::tape::TraceTape;
 
 /// The single-issue processor.
 ///
@@ -74,6 +75,30 @@ impl Processor {
             self.step(&inst)?;
         }
         Ok(())
+    }
+
+    /// Replays a recorded tape: the same drain → hazards → execute → tick
+    /// sequence as [`Processor::step`] per entry, but driven straight off
+    /// the tape's packed arrays — no [`DynInst`] is reconstructed, no
+    /// script is re-interpreted. Produces bit-identical timing and stats to
+    /// running the equivalent stream through [`Processor::run`].
+    ///
+    /// The loop is driven by the tape's barrier index
+    /// ([`TraceTape::barriers`]): only a memory operation, or an entry
+    /// touching a register whose most recent writer is a load, can stall
+    /// or interact with the memory system. Everything between barriers is
+    /// issued in bulk — one instruction and one cycle per entry — with
+    /// the per-entry drain/hazard/execute machinery run only at the
+    /// barriers themselves (each barrier drains pending fills first, so
+    /// fills land exactly as they would have under per-entry draining:
+    /// they carry their own timestamps). This is where the tape's
+    /// wall-clock win over re-interpretation comes from.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any entry hits.
+    pub fn run_tape(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        self.core.replay(tape)
     }
 
     /// Finalizes the run (drains outstanding fills, closes the sampler).
@@ -203,6 +228,45 @@ mod tests {
         hum.run(two_loads_two_uses()).unwrap();
         hum.finish();
         assert_eq!(hum.sampler().max_misses(), 1);
+    }
+
+    #[test]
+    fn tape_replay_matches_interpreted_run() {
+        let stream: Vec<DynInst> = (0..40u64)
+            .flat_map(|i| {
+                [
+                    DynInst::load(
+                        Addr(i * 520), // distinct lines, recurring sets
+                        PhysReg::int((i % 8) as u8),
+                        LoadFormat::WORD,
+                    ),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 8) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                    DynInst::store(Addr(i * 520 + 4), Some(PhysReg::int(10 + (i % 8) as u8))),
+                ]
+            })
+            .collect();
+        let mut tape = TraceTape::with_capacity("t", 1, 0, stream.len());
+        for inst in &stream {
+            tape.push(*inst);
+        }
+        for mshr in [unrestricted(), mc1(), MshrConfig::Blocking] {
+            let mut interpreted = cpu(mshr.clone());
+            interpreted.run(stream.iter().copied()).unwrap();
+            interpreted.finish();
+            let mut replayed = cpu(mshr);
+            replayed.run_tape(&tape).unwrap();
+            replayed.finish();
+            assert_eq!(replayed.now(), interpreted.now());
+            assert_eq!(replayed.stats(), interpreted.stats());
+            assert_eq!(
+                replayed.cache().counters(),
+                interpreted.cache().counters(),
+                "replay must drive the memory system identically"
+            );
+        }
     }
 
     #[test]

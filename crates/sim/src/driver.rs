@@ -4,6 +4,7 @@
 
 use crate::compile_cache::CompileCache;
 use crate::config::SimConfig;
+use crate::tape_cache::TapeCache;
 use crate::telemetry::Telemetry;
 use nbl_core::geometry::CacheGeometry;
 use nbl_core::inst::DynInst;
@@ -15,16 +16,26 @@ use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::exec::Executor;
 use nbl_trace::ir::Program;
 use nbl_trace::machine::{CompiledProgram, InstSink};
+use nbl_trace::tape::TraceTape;
 use std::fmt;
 
 /// Any failure a simulation run can report: the compiler model rejected
-/// the program, or the engine hit a model invariant violation.
+/// the program, the engine hit a model invariant violation, or a pool
+/// worker's grid cell panicked.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The scheduling compiler failed.
     Compile(CompileError),
     /// The execution engine failed mid-run.
     Engine(EngineError),
+    /// A sweep cell panicked on a pool worker; the panic was caught so the
+    /// sweep fails instead of the process.
+    WorkerPanic {
+        /// Input index of the grid cell that panicked.
+        job: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +43,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::Compile(e) => write!(f, "compile error: {e}"),
             SimError::Engine(e) => write!(f, "engine error: {e}"),
+            SimError::WorkerPanic { job, message } => {
+                write!(f, "sweep cell {job} panicked: {message}")
+            }
         }
     }
 }
@@ -47,6 +61,15 @@ impl From<CompileError> for SimError {
 impl From<EngineError> for SimError {
     fn from(e: EngineError) -> SimError {
         SimError::Engine(e)
+    }
+}
+
+impl From<crate::pool::JobPanic> for SimError {
+    fn from(p: crate::pool::JobPanic) -> SimError {
+        SimError::WorkerPanic {
+            job: p.job,
+            message: p.message,
+        }
     }
 }
 
@@ -165,7 +188,7 @@ fn l2_params(cfg: &SimConfig) -> Option<L2Params> {
 fn summarize(
     benchmark: &str,
     cfg: &SimConfig,
-    compiled: &CompiledProgram,
+    static_spill_ops: usize,
     cpu: &Processor,
 ) -> RunResult {
     let stats = *cpu.stats();
@@ -201,7 +224,7 @@ fn summarize(
             max_misses: sampler.max_misses(),
             max_fetches: sampler.max_fetches(),
         },
-        static_spill_ops: compiled.blocks.iter().map(|b| b.spill_ops).sum(),
+        static_spill_ops,
     }
 }
 
@@ -216,6 +239,33 @@ fn single_engine_config(cfg: &SimConfig) -> EngineConfig {
         memory_gap: cfg.memory_gap,
         l2: l2_params(cfg),
     }
+}
+
+/// Telemetry common to every single-issue run, tape-replayed or
+/// interpreted.
+fn record_single_run(cfg: &SimConfig, result: &RunResult, trace: Option<&MemTrace>) {
+    Telemetry::global().record_run(result.instructions, result.cycles);
+    if cfg.replacement != nbl_core::tag_array::ReplacementKind::default() {
+        Telemetry::global().record_policy_run();
+    }
+    if let Some(t) = trace {
+        Telemetry::global().record_events(t.stats.total_events());
+    }
+}
+
+/// Drives the run (finish + summarize + telemetry) once the stream has
+/// been fed, shared by the tape and interpreter paths.
+fn finish_single(
+    benchmark: &str,
+    cfg: &SimConfig,
+    static_spill_ops: usize,
+    mut cpu: Processor,
+) -> (RunResult, Option<MemTrace>) {
+    cpu.finish();
+    let trace = cpu.take_mem_trace();
+    let result = summarize(benchmark, cfg, static_spill_ops, &cpu);
+    record_single_run(cfg, &result, trace.as_ref());
+    (result, trace)
 }
 
 fn run_single(
@@ -237,26 +287,69 @@ fn run_single(
     if let Some(e) = sink.error {
         return Err(e);
     }
-    cpu.finish();
-    let trace = cpu.take_mem_trace();
-    let result = summarize(benchmark, cfg, compiled, &cpu);
-    Telemetry::global().record_run(result.instructions, result.cycles);
-    if cfg.replacement != nbl_core::tag_array::ReplacementKind::default() {
-        Telemetry::global().record_policy_run();
+    let spills = compiled.blocks.iter().map(|b| b.spill_ops).sum();
+    Ok(finish_single(benchmark, cfg, spills, cpu))
+}
+
+fn replay_single(
+    benchmark: &str,
+    tape: &TraceTape,
+    cfg: &SimConfig,
+    trace_ring: Option<usize>,
+) -> Result<(RunResult, Option<MemTrace>), EngineError> {
+    debug_assert_eq!(tape.load_latency(), cfg.load_latency);
+    let mut cpu = Processor::new(single_engine_config(cfg));
+    if let Some(ring) = trace_ring {
+        cpu.enable_mem_tracing(ring);
     }
-    if let Some(t) = &trace {
-        Telemetry::global().record_events(t.stats.total_events());
-    }
-    Ok((result, trace))
+    cpu.run_tape(tape)?;
+    Ok(finish_single(benchmark, cfg, tape.static_spill_ops(), cpu))
+}
+
+/// Replays a recorded tape through the single-issue processor under `cfg`
+/// (the tape must have been recorded at `cfg.load_latency`). Produces a
+/// [`RunResult`] bit-identical to interpreting the same compiled program.
+///
+/// # Errors
+///
+/// [`EngineError`] if the engine hit a model invariant violation mid-run.
+pub fn run_tape(
+    benchmark: &str,
+    tape: &TraceTape,
+    cfg: &SimConfig,
+) -> Result<RunResult, EngineError> {
+    replay_single(benchmark, tape, cfg, None).map(|(r, _)| r)
 }
 
 /// Runs one compiled program through the single-issue processor under
 /// `cfg` (the program must already be compiled for `cfg.load_latency`).
 ///
+/// The dynamic stream is served from the process-wide [`TapeCache`]:
+/// recorded by one `Executor` walk on the first run of this
+/// `(benchmark, latency)` pair, replayed from the flat tape on every
+/// later run. Use [`run_compiled_interpreted`] to force the interpreter.
+///
 /// # Errors
 ///
 /// [`EngineError`] if the engine hit a model invariant violation mid-run.
 pub fn run_compiled(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+) -> Result<RunResult, EngineError> {
+    let tape = TapeCache::global().get_or_record(compiled);
+    run_tape(benchmark, &tape, cfg)
+}
+
+/// [`run_compiled`] without the tape fast path: re-interprets the
+/// compiled program's script through the [`Executor`]. Kept public as the
+/// reference implementation the equivalence tests and the `figures bench`
+/// exhibit compare the replay path against.
+///
+/// # Errors
+///
+/// [`EngineError`] if the engine hit a model invariant violation mid-run.
+pub fn run_compiled_interpreted(
     benchmark: &str,
     compiled: &CompiledProgram,
     cfg: &SimConfig,
@@ -277,7 +370,8 @@ pub fn run_compiled_traced(
     cfg: &SimConfig,
     ring_capacity: usize,
 ) -> Result<(RunResult, MemTrace), EngineError> {
-    run_single(benchmark, compiled, cfg, Some(ring_capacity))
+    let tape = TapeCache::global().get_or_record(compiled);
+    replay_single(benchmark, &tape, cfg, Some(ring_capacity))
         .map(|(r, t)| (r, t.expect("tracing was enabled")))
 }
 
@@ -366,8 +460,70 @@ pub fn run_dual_cached(program: &Program, cfg: &SimConfig) -> Result<DualRunResu
     Ok(run_dual_compiled(&program.name, &compiled, cfg)?)
 }
 
+fn dual_engine_config(cfg: &SimConfig, perfect: bool) -> EngineConfig {
+    let mut cache = cfg.hw.cache_config(cfg.geometry);
+    cache.victim_entries = cfg.victim_entries;
+    cache.replacement = cfg.replacement;
+    EngineConfig {
+        cache,
+        miss_penalty: cfg.miss_penalty,
+        perfect_cache: perfect,
+        memory_gap: cfg.memory_gap,
+        l2: l2_params(cfg),
+    }
+}
+
+/// Builds the [`DualRunResult`] from the two finished passes and records
+/// both as simulated work.
+fn summarize_dual(
+    benchmark: &str,
+    cfg: &SimConfig,
+    perfect: &DualIssueProcessor,
+    real: &DualIssueProcessor,
+) -> DualRunResult {
+    let instructions = real.stats().instructions;
+    Telemetry::global().record_run(instructions, perfect.now().0);
+    Telemetry::global().record_run(instructions, real.now().0);
+    DualRunResult {
+        benchmark: benchmark.to_string(),
+        config: cfg.hw.label(),
+        instructions,
+        cycles: real.now().0,
+        perfect_cycles: perfect.now().0,
+        ipc: instructions as f64 / perfect.now().0.max(1) as f64,
+        mcpi: real.mcpi_against(perfect.now()),
+    }
+}
+
+/// The dual-issue run on a recorded tape (which must match
+/// `cfg.load_latency`): both passes — perfect-cache and real — replay the
+/// same tape, so the stream is materialized once for the pair.
+///
+/// # Errors
+///
+/// [`EngineError`] if either pass hit a model invariant violation.
+pub fn run_dual_tape(
+    benchmark: &str,
+    tape: &TraceTape,
+    cfg: &SimConfig,
+) -> Result<DualRunResult, EngineError> {
+    debug_assert_eq!(tape.load_latency(), cfg.load_latency);
+    let run_pass = |perfect: bool| -> Result<DualIssueProcessor, EngineError> {
+        let mut cpu = DualIssueProcessor::new(dual_engine_config(cfg, perfect));
+        cpu.run_tape(tape)?;
+        cpu.finish()?;
+        Ok(cpu)
+    };
+    let perfect = run_pass(true)?;
+    let real = run_pass(false)?;
+    Ok(summarize_dual(benchmark, cfg, &perfect, &real))
+}
+
 /// The dual-issue run on an already-compiled program (which must match
-/// `cfg.load_latency`).
+/// `cfg.load_latency`). The stream is served from the process-wide
+/// [`TapeCache`], shared by the perfect-cache and real passes (and by
+/// every other configuration of the pair); use
+/// [`run_dual_compiled_interpreted`] to force the interpreter.
 ///
 /// # Errors
 ///
@@ -377,21 +533,25 @@ pub fn run_dual_compiled(
     compiled: &CompiledProgram,
     cfg: &SimConfig,
 ) -> Result<DualRunResult, EngineError> {
+    let tape = TapeCache::global().get_or_record(compiled);
+    run_dual_tape(benchmark, &tape, cfg)
+}
+
+/// [`run_dual_compiled`] without the tape fast path: both passes
+/// re-interpret the compiled program's script. The reference
+/// implementation the equivalence tests compare the replay path against.
+///
+/// # Errors
+///
+/// [`EngineError`] if either pass hit a model invariant violation.
+pub fn run_dual_compiled_interpreted(
+    benchmark: &str,
+    compiled: &CompiledProgram,
+    cfg: &SimConfig,
+) -> Result<DualRunResult, EngineError> {
     debug_assert_eq!(compiled.load_latency, cfg.load_latency);
-    let mk_engine = |perfect: bool| {
-        let mut cache = cfg.hw.cache_config(cfg.geometry);
-        cache.victim_entries = cfg.victim_entries;
-        cache.replacement = cfg.replacement;
-        EngineConfig {
-            cache,
-            miss_penalty: cfg.miss_penalty,
-            perfect_cache: perfect,
-            memory_gap: cfg.memory_gap,
-            l2: l2_params(cfg),
-        }
-    };
     let run_pass = |perfect: bool| -> Result<DualIssueProcessor, EngineError> {
-        let mut cpu = DualIssueProcessor::new(mk_engine(perfect));
+        let mut cpu = DualIssueProcessor::new(dual_engine_config(cfg, perfect));
         let mut sink = DualSink {
             cpu: &mut cpu,
             error: None,
@@ -405,19 +565,7 @@ pub fn run_dual_compiled(
     };
     let perfect = run_pass(true)?;
     let real = run_pass(false)?;
-    let instructions = real.stats().instructions;
-    // Both passes (perfect + real) are simulated work.
-    Telemetry::global().record_run(instructions, perfect.now().0);
-    Telemetry::global().record_run(instructions, real.now().0);
-    Ok(DualRunResult {
-        benchmark: benchmark.to_string(),
-        config: cfg.hw.label(),
-        instructions,
-        cycles: real.now().0,
-        perfect_cycles: perfect.now().0,
-        ipc: instructions as f64 / perfect.now().0.max(1) as f64,
-        mcpi: real.mcpi_against(perfect.now()),
-    })
+    Ok(summarize_dual(benchmark, cfg, &perfect, &real))
 }
 
 impl RunResult {

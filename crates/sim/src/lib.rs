@@ -15,6 +15,10 @@
 //!   (`NBL_THREADS` overrides the worker count);
 //! * [`compile_cache`] — exactly-once compilation per `(benchmark,
 //!   latency)` pair, shared by reference across configurations and sweeps;
+//! * [`tape_cache`] — exactly-once recording of each compiled pair's
+//!   dynamic instruction stream into a flat [`nbl_trace::tape::TraceTape`],
+//!   replayed (instead of re-interpreted) at every grid point, with a byte
+//!   budget and idle-tape eviction;
 //! * [`telemetry`] — process-wide counters of simulated work, for
 //!   throughput reporting;
 //! * [`report`] — fixed-width text rendering in the shape of the paper's
@@ -26,14 +30,17 @@ pub mod driver;
 pub mod pool;
 pub mod report;
 pub mod sweep;
+pub mod tape_cache;
 pub mod telemetry;
 
 pub use compile_cache::{CacheStats, CompileCache};
 pub use config::{HwConfig, IssueWidth, SimConfig};
 pub use driver::{
-    run_compiled, run_compiled_traced, run_dual, run_dual_cached, run_dual_compiled, run_program,
-    run_program_cached, run_program_traced, DualRunResult, RunResult, SimError,
+    run_compiled, run_compiled_interpreted, run_compiled_traced, run_dual, run_dual_cached,
+    run_dual_compiled, run_dual_compiled_interpreted, run_dual_tape, run_program,
+    run_program_cached, run_program_traced, run_tape, DualRunResult, RunResult, SimError,
 };
-pub use pool::{available_threads, JobPool};
+pub use pool::{available_threads, JobPanic, JobPool};
 pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep, SweepEngine};
+pub use tape_cache::{TapeCache, TapeStats};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -10,7 +10,9 @@
 //! Thread count comes from the `NBL_THREADS` environment variable when set
 //! (any value ≥ 1), else from [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Jobs claimed per queue transaction, per worker. Small enough to keep
 /// workers load-balanced when cell costs vary by benchmark, large enough
@@ -34,6 +36,39 @@ pub fn available_threads() -> usize {
                 .ok()
         })
         .unwrap_or(1)
+}
+
+/// A panic captured from one pool job, identifying which job blew up.
+/// Returned by [`JobPool::try_run`] so a sweep can fail as an error
+/// instead of tearing down the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Input index of the panicking job (the smallest observed index when
+    /// several jobs panic).
+    pub job: usize,
+    /// The panic payload, if it was a string (the common `panic!` /
+    /// `assert!` case).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a caught panic payload (`&str` and `String` are the payloads
+/// `panic!` and the assert macros produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A fixed-width pool of scoped workers. Creating one is free — threads
@@ -72,30 +107,71 @@ impl JobPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any job after all workers have drained.
+    /// Re-raises the first (lowest-index) job panic after all workers have
+    /// drained. Use [`JobPool::try_run`] to receive it as an error instead.
     pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        match self.try_run(jobs, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`JobPool::run`], except that a panicking job is caught and
+    /// reported as a [`JobPanic`] instead of unwinding through the pool:
+    /// the sweep that submitted the jobs fails, not the process. When
+    /// several jobs panic, the smallest observed input index is reported;
+    /// remaining workers stop claiming new chunks once a panic is
+    /// observed.
+    ///
+    /// # Errors
+    ///
+    /// [`JobPanic`] if any job panicked.
+    pub fn try_run<T, F>(&self, jobs: usize, f: F) -> Result<Vec<T>, JobPanic>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let guarded = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| JobPanic {
+                job: i,
+                message: panic_message(payload.as_ref()),
+            })
+        };
         if self.threads <= 1 || jobs <= 1 {
-            return (0..jobs).map(f).collect();
+            return (0..jobs).map(guarded).collect();
         }
         let chunk = (jobs / (self.threads * 4)).clamp(1, MAX_CHUNK);
         let next = AtomicUsize::new(0);
+        let bailed = AtomicBool::new(false);
+        let first_panic: Mutex<Option<JobPanic>> = Mutex::new(None);
         let workers = self.threads.min(jobs);
         let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
                         let mut local = Vec::new();
-                        loop {
+                        while !bailed.load(Ordering::Relaxed) {
                             let start = next.fetch_add(chunk, Ordering::Relaxed);
                             if start >= jobs {
                                 break;
                             }
                             for i in start..(start + chunk).min(jobs) {
-                                local.push((i, f(i)));
+                                match guarded(i) {
+                                    Ok(t) => local.push((i, t)),
+                                    Err(p) => {
+                                        bailed.store(true, Ordering::Relaxed);
+                                        let mut slot =
+                                            first_panic.lock().expect("panic slot poisoned");
+                                        if slot.as_ref().is_none_or(|prev| p.job < prev.job) {
+                                            *slot = Some(p);
+                                        }
+                                        return local;
+                                    }
+                                }
                             }
                         }
                         local
@@ -104,9 +180,12 @@ impl JobPool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
+                .map(|h| h.join().expect("pool worker itself never panics"))
                 .collect()
         });
+        if let Some(p) = first_panic.into_inner().expect("panic slot poisoned") {
+            return Err(p);
+        }
         // Merge worker-local results back into input order.
         let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
         for part in parts {
@@ -115,10 +194,10 @@ impl JobPool {
                 slots[i] = Some(t);
             }
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every job produces exactly one result"))
-            .collect()
+            .collect())
     }
 }
 
@@ -163,6 +242,46 @@ mod tests {
         assert_eq!(JobPool::new(1).run(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
         // threads=0 is clamped up to a serial pool rather than deadlocking.
         assert_eq!(JobPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn try_run_reports_a_job_panic_as_an_error() {
+        for threads in [1, 4] {
+            let pool = JobPool::new(threads);
+            let err = pool
+                .try_run(40, |i| {
+                    assert!(i != 17, "job 17 is bad");
+                    i
+                })
+                .unwrap_err();
+            assert_eq!(err.job, 17, "{threads} threads");
+            assert!(err.message.contains("job 17 is bad"), "{}", err.message);
+            assert!(err.to_string().contains("pool job 17 panicked"));
+        }
+    }
+
+    #[test]
+    fn try_run_without_panics_matches_run() {
+        let pool = JobPool::new(4);
+        assert_eq!(
+            pool.try_run(257, |i| i * 3).unwrap(),
+            pool.run(257, |i| i * 3)
+        );
+        assert!(pool.try_run(0, |i| i).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_still_panics_on_a_job_panic() {
+        let pool = JobPool::new(2);
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(8, |i| {
+                assert!(i != 3, "boom");
+                i
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("pool job 3 panicked"), "{msg}");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Plain-text rendering of sweep results in the shape of the paper's
 //! figures and tables.
 
+use crate::compile_cache::CacheStats;
 use crate::driver::RunResult;
 use crate::sweep::{LatencySweep, PenaltySweep, ReplacementSweep};
+use crate::tape_cache::TapeStats;
 use nbl_mem::event::{MissLifecycleStats, DEPTH_BUCKETS, FLIGHT_BUCKETS};
 use std::fmt::Write as _;
 
@@ -421,6 +423,25 @@ pub fn run_result_json(r: &RunResult) -> String {
         dist(&r.inflight.fetch_dist),
         r.inflight.max_misses,
         r.inflight.max_fetches,
+    )
+}
+
+/// Serializes compile- and tape-cache counters as one JSON object, so any
+/// emitter can place cache telemetry next to its runs (`BENCH_sweep.json`
+/// embeds this under its `caches` key).
+pub fn caches_json(compile: &CacheStats, tape: &TapeStats) -> String {
+    format!(
+        concat!(
+            "{{\"compile_cache\":{{\"compiles\":{},\"hits\":{}}},",
+            "\"tape_cache\":{{\"records\":{},\"hits\":{},\"evictions\":{},",
+            "\"resident_bytes\":{}}}}}"
+        ),
+        compile.compiles,
+        compile.hits,
+        tape.records,
+        tape.hits,
+        tape.evictions,
+        tape.resident_bytes,
     )
 }
 

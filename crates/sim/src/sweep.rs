@@ -9,8 +9,9 @@
 
 use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, SimConfig};
-use crate::driver::{run_compiled, RunResult, SimError};
+use crate::driver::{run_compiled, run_tape, RunResult, SimError};
 use crate::pool::JobPool;
+use crate::tape_cache::TapeCache;
 use nbl_core::tag_array::ReplacementKind;
 use nbl_sched::compile::compile;
 use nbl_trace::ir::Program;
@@ -160,37 +161,43 @@ impl ReplacementSweep {
     }
 }
 
-/// The parallel sweep engine: a [`JobPool`] plus a [`CompileCache`].
+/// The parallel sweep engine: a [`JobPool`] plus a [`CompileCache`] plus a
+/// [`TapeCache`].
 ///
 /// Sweeps flatten their `(benchmark, latency, configuration)` grids into a
 /// single pool invocation; each cell fetches its compiled program from the
-/// cache (compiled exactly once per `(benchmark, latency)` pair, however
-/// many configurations or sweeps replay it) and simulates independently.
-/// The pool places results in input order, so the parallel sweeps return
-/// [`RunResult`]s **identical** to the serial ones.
+/// compile cache (compiled exactly once per `(benchmark, latency)` pair)
+/// and the recorded tape from the tape cache (the dynamic stream is
+/// likewise materialized exactly once per pair), then replays the tape
+/// under its own hardware configuration — record once, replay at every
+/// grid point. The pool places results in input order, so the parallel
+/// sweeps return [`RunResult`]s **identical** to the serial ones.
 #[derive(Debug, Default)]
 pub struct SweepEngine {
     pool: JobPool,
     cache: CompileCache,
+    tapes: TapeCache,
 }
 
 impl SweepEngine {
-    /// An engine with `threads` workers and a fresh cache.
+    /// An engine with `threads` workers and fresh caches.
     pub fn new(threads: usize) -> Self {
         Self {
             pool: JobPool::new(threads),
             cache: CompileCache::new(),
+            tapes: TapeCache::new(),
         }
     }
 
     /// The process-wide engine: default thread count (`NBL_THREADS` or the
-    /// machine's parallelism) and a cache shared across every sweep, so a
-    /// whole bench invocation compiles each pair at most once.
+    /// machine's parallelism) and caches shared across every sweep, so a
+    /// whole bench invocation compiles and records each pair at most once.
     pub fn global() -> &'static SweepEngine {
         static GLOBAL: OnceLock<SweepEngine> = OnceLock::new();
         GLOBAL.get_or_init(|| Self {
             pool: JobPool::with_default_threads(),
             cache: CompileCache::new(),
+            tapes: TapeCache::new(),
         })
     }
 
@@ -202,6 +209,18 @@ impl SweepEngine {
     /// The engine's compile cache (e.g. for counter reporting).
     pub fn cache(&self) -> &CompileCache {
         &self.cache
+    }
+
+    /// The engine's tape cache (e.g. for counter reporting).
+    pub fn tapes(&self) -> &TapeCache {
+        &self.tapes
+    }
+
+    /// One grid cell: compile (cached), record (cached), replay.
+    fn run_cell(&self, program: &Program, cfg: &SimConfig) -> Result<RunResult, SimError> {
+        let compiled = self.cache.get_or_compile(program, cfg.load_latency)?;
+        let tape = self.tapes.get_or_record(&compiled);
+        Ok(run_tape(&program.name, &tape, cfg)?)
     }
 
     /// Parallel [`latency_sweep`]: identical results, cells run on the
@@ -239,20 +258,19 @@ impl SweepEngine {
         latencies: &[u32],
     ) -> Result<Vec<LatencySweep>, SimError> {
         let (nl, nc) = (latencies.len(), configs.len());
-        let cells = self.pool.run(
+        let cells = self.pool.try_run(
             programs.len() * nl * nc,
             |idx| -> Result<RunResult, SimError> {
                 let program = programs[idx / (nl * nc)];
                 let lat = latencies[(idx / nc) % nl];
-                let compiled = self.cache.get_or_compile(program, lat)?;
                 let cfg = SimConfig {
                     hw: configs[idx % nc].clone(),
                     ..base.clone()
                 }
                 .at_latency(lat);
-                Ok(run_compiled(&program.name, &compiled, &cfg)?)
+                self.run_cell(program, &cfg)
             },
-        );
+        )?;
         let mut iter = cells.into_iter();
         programs
             .iter()
@@ -285,15 +303,16 @@ impl SweepEngine {
         penalties: &[u32],
     ) -> Result<PenaltySweep, SimError> {
         let compiled = self.cache.get_or_compile(program, base.load_latency)?;
+        let tape = self.tapes.get_or_record(&compiled);
         let nc = configs.len();
-        let cells = self.pool.run(penalties.len() * nc, |idx| {
+        let cells = self.pool.try_run(penalties.len() * nc, |idx| {
             let cfg = SimConfig {
                 hw: configs[idx % nc].clone(),
                 ..base.clone()
             }
             .with_penalty(penalties[idx / nc]);
-            run_compiled(&program.name, &compiled, &cfg)
-        });
+            run_tape(&program.name, &tape, &cfg)
+        })?;
         let mut iter = cells.into_iter();
         let mut rows = Vec::with_capacity(penalties.len());
         for _ in penalties {
@@ -325,21 +344,20 @@ impl SweepEngine {
         latencies: &[u32],
     ) -> Result<ReplacementSweep, SimError> {
         let (nl, nc) = (latencies.len(), configs.len());
-        let cells = self.pool.run(
+        let cells = self.pool.try_run(
             policies.len() * nl * nc,
             |idx| -> Result<RunResult, SimError> {
                 let policy = policies[idx / (nl * nc)];
                 let lat = latencies[(idx / nc) % nl];
-                let compiled = self.cache.get_or_compile(program, lat)?;
                 let cfg = SimConfig {
                     hw: configs[idx % nc].clone(),
                     ..base.clone()
                 }
                 .at_latency(lat)
                 .with_replacement(policy);
-                Ok(run_compiled(&program.name, &compiled, &cfg)?)
+                self.run_cell(program, &cfg)
             },
-        );
+        )?;
         let mut iter = cells.into_iter();
         let mut rows = Vec::with_capacity(policies.len());
         for _ in policies {
@@ -367,11 +385,10 @@ impl SweepEngine {
     /// [`SimError`] from the compiler model or the engine.
     pub fn run_many(&self, jobs: &[(&Program, SimConfig)]) -> Result<Vec<RunResult>, SimError> {
         self.pool
-            .run(jobs.len(), |i| -> Result<RunResult, SimError> {
+            .try_run(jobs.len(), |i| -> Result<RunResult, SimError> {
                 let (program, cfg) = &jobs[i];
-                let compiled = self.cache.get_or_compile(program, cfg.load_latency)?;
-                Ok(run_compiled(&program.name, &compiled, cfg)?)
-            })
+                self.run_cell(program, cfg)
+            })?
             .into_iter()
             .collect()
     }
@@ -460,6 +477,15 @@ mod tests {
             "each (benchmark, latency) pair compiles exactly once"
         );
         assert_eq!(stats.hits, 2 * 2 * 3 - 4);
+        // The tape cache shares recordings the same way: one tape per
+        // (benchmark, latency) pair, replayed by every configuration.
+        let tapes = engine.tapes().stats();
+        assert_eq!(
+            tapes.records, 4,
+            "each (benchmark, latency) pair records exactly once"
+        );
+        assert_eq!(tapes.hits, 2 * 2 * 3 - 4);
+        assert_eq!(tapes.evictions, 0);
         engine
             .grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies)
             .unwrap();
@@ -467,6 +493,11 @@ mod tests {
             engine.cache().stats().compiles,
             4,
             "re-sweep recompiles nothing"
+        );
+        assert_eq!(
+            engine.tapes().stats().records,
+            4,
+            "re-sweep re-records nothing"
         );
     }
 

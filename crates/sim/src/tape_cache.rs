@@ -1,0 +1,304 @@
+//! A shared tape cache: each compiled `(benchmark, latency)` pair is
+//! recorded into a [`TraceTape`] exactly once per process and the tape
+//! shared by reference across every hardware configuration that replays
+//! it — the record-once/replay-many half of the pipeline whose
+//! compile-once half is [`crate::compile_cache::CompileCache`].
+//!
+//! The exactly-once mechanics mirror the compile cache (one [`OnceLock`]
+//! slot per key, so concurrent first requests block on the single
+//! in-flight recording), with one addition: tapes are bulk data (13 bytes
+//! per dynamic instruction — megabytes per full-scale program), so the
+//! cache enforces a byte budget. When an insertion pushes the resident
+//! total over the cap, the oldest idle tapes (no `Arc` held outside the
+//! cache) are dropped FIFO until the total fits; tapes still in use by a
+//! replay are never evicted, and an evicted pair is simply re-recorded on
+//! its next request.
+
+use nbl_trace::machine::CompiledProgram;
+use nbl_trace::tape::TraceTape;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default byte budget when `NBL_TAPE_CACHE_MB` is not set: comfortably
+/// holds every (benchmark, latency) tape of a full `figures all` run
+/// (~108 pairs × ~5 MiB) while bounding degenerate workloads.
+const DEFAULT_CAP_BYTES: usize = 2048 * 1024 * 1024;
+
+/// Structural fingerprint of a compiled program. Stable within a build,
+/// which is all the cache needs (keys never cross process boundaries);
+/// it keeps quick- and full-scale compilations of one benchmark at the
+/// same latency from aliasing.
+fn fingerprint(compiled: &CompiledProgram) -> u64 {
+    let mut h = DefaultHasher::new();
+    compiled.hash(&mut h);
+    h.finish()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    name: String,
+    latency: u32,
+    fingerprint: u64,
+}
+
+/// One slot per key: the `OnceLock` gives exactly-once recording even
+/// under concurrent first access (recording is infallible, so the slot
+/// holds the tape directly).
+type Slot = Arc<OnceLock<Arc<TraceTape>>>;
+
+#[derive(Debug, Default)]
+struct State {
+    map: HashMap<Key, Slot>,
+    /// Insertion order, for FIFO eviction when over the byte budget.
+    order: VecDeque<Key>,
+    /// Bytes held by fully recorded resident tapes.
+    bytes: usize,
+}
+
+/// Counter snapshot from a [`TapeCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TapeStats {
+    /// Requests served from an already-recorded tape.
+    pub hits: u64,
+    /// Requests that ran the executor to record a tape.
+    pub records: u64,
+    /// Tapes dropped to stay inside the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held by resident tapes.
+    pub resident_bytes: usize,
+}
+
+/// The cache itself. Use [`TapeCache::global`] to share recordings across
+/// every sweep in the process, or a local instance for isolated tests.
+#[derive(Debug)]
+pub struct TapeCache {
+    state: Mutex<State>,
+    cap_bytes: usize,
+    hits: AtomicU64,
+    records: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for TapeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TapeCache {
+    /// An empty cache with the byte budget from `NBL_TAPE_CACHE_MB`
+    /// (default 2048).
+    pub fn new() -> Self {
+        let cap = std::env::var("NBL_TAPE_CACHE_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(DEFAULT_CAP_BYTES, |mb| mb.saturating_mul(1024 * 1024));
+        Self::with_capacity_bytes(cap)
+    }
+
+    /// An empty cache with an explicit byte budget (tests).
+    pub fn with_capacity_bytes(cap_bytes: usize) -> Self {
+        TapeCache {
+            state: Mutex::new(State::default()),
+            cap_bytes,
+            hits: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache shared by the sweep engine and the cached
+    /// driver entry points.
+    pub fn global() -> &'static TapeCache {
+        static GLOBAL: OnceLock<TapeCache> = OnceLock::new();
+        GLOBAL.get_or_init(TapeCache::new)
+    }
+
+    /// Returns the recorded tape of `compiled`, running the executor on
+    /// first request and sharing the result (by `Arc`) thereafter.
+    pub fn get_or_record(&self, compiled: &CompiledProgram) -> Arc<TraceTape> {
+        let key = Key {
+            name: compiled.name.clone(),
+            latency: compiled.load_latency,
+            fingerprint: fingerprint(compiled),
+        };
+        let slot = {
+            let mut st = self.state.lock().expect("tape cache lock poisoned");
+            Arc::clone(st.map.entry(key.clone()).or_default())
+        };
+        let mut recorded_here = false;
+        let tape = Arc::clone(slot.get_or_init(|| {
+            recorded_here = true;
+            self.records.fetch_add(1, Ordering::Relaxed);
+            Arc::new(TraceTape::record(compiled))
+        }));
+        if recorded_here {
+            let mut st = self.state.lock().expect("tape cache lock poisoned");
+            st.bytes += tape.bytes();
+            st.order.push_back(key);
+            self.evict_to_cap(&mut st);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        tape
+    }
+
+    /// Drops the oldest idle tapes until the resident total fits the
+    /// budget. A tape is idle when the cache holds the only `Arc` to it;
+    /// in-flight slots (not yet recorded) and tapes still referenced by a
+    /// replay are skipped. One bounded pass: if everything old is busy,
+    /// the cache stays temporarily over budget rather than blocking.
+    fn evict_to_cap(&self, st: &mut State) {
+        let mut scan = st.order.len();
+        while st.bytes > self.cap_bytes && scan > 0 {
+            scan -= 1;
+            let Some(key) = st.order.pop_front() else {
+                break;
+            };
+            let idle = st
+                .map
+                .get(&key)
+                .is_some_and(|slot| slot.get().is_some_and(|tape| Arc::strong_count(tape) == 1));
+            if idle {
+                if let Some(slot) = st.map.remove(&key) {
+                    if let Some(tape) = slot.get() {
+                        st.bytes = st.bytes.saturating_sub(tape.bytes());
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            } else {
+                st.order.push_back(key);
+            }
+        }
+    }
+
+    /// Current hit/record/eviction counters and resident footprint.
+    pub fn stats(&self) -> TapeStats {
+        TapeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.state.lock().expect("tape cache lock poisoned").bytes,
+        }
+    }
+
+    /// Number of distinct `(name, latency, fingerprint)` keys resident.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("tape cache lock poisoned")
+            .map
+            .len()
+    }
+
+    /// `true` if no tape has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_cache::CompileCache;
+    use crate::pool::JobPool;
+    use nbl_trace::workloads::{build, Scale};
+
+    fn compiled(name: &str, latency: u32, scale: Scale) -> Arc<CompiledProgram> {
+        let p = build(name, scale).unwrap();
+        CompileCache::global().get_or_compile(&p, latency).unwrap()
+    }
+
+    #[test]
+    fn records_each_pair_exactly_once() {
+        let cache = TapeCache::new();
+        let c = compiled("doduc", 10, Scale::quick());
+        let a = cache.get_or_record(&c);
+        let b = cache.get_or_record(&c);
+        let c6 = compiled("doduc", 6, Scale::quick());
+        let d = cache.get_or_record(&c6);
+        assert!(Arc::ptr_eq(&a, &b), "same pair must share one recording");
+        assert!(
+            !Arc::ptr_eq(&a, &d),
+            "different latency is a different pair"
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.records, s.evictions), (1, 2, 0));
+        assert_eq!(s.resident_bytes, a.bytes() + d.bytes());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn scale_variants_of_one_benchmark_do_not_alias() {
+        let cache = TapeCache::new();
+        let quick = compiled("eqntott", 10, Scale::quick());
+        let full = compiled("eqntott", 10, Scale::full());
+        let a = cache.get_or_record(&quick);
+        let b = cache.get_or_record(&full);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.len(), b.len());
+        assert_eq!(cache.stats().records, 2);
+    }
+
+    #[test]
+    fn concurrent_first_access_still_records_once() {
+        // 16 workers race for 4 distinct (benchmark, latency) pairs; the
+        // OnceLock slots must serialize each pair to a single recording.
+        let cache = TapeCache::new();
+        let programs = [
+            compiled("doduc", 6, Scale::quick()),
+            compiled("doduc", 10, Scale::quick()),
+            compiled("eqntott", 6, Scale::quick()),
+            compiled("eqntott", 10, Scale::quick()),
+        ];
+        let pool = JobPool::new(8);
+        let lens = pool.run(16, |i| cache.get_or_record(&programs[i % 4]).len());
+        assert_eq!(lens.len(), 16);
+        let s = cache.stats();
+        assert_eq!(s.records, 4, "one recording per distinct pair");
+        assert_eq!(s.hits + s.records, 16);
+    }
+
+    #[test]
+    fn over_budget_idle_tapes_are_evicted_fifo() {
+        let c1 = compiled("eqntott", 10, Scale::quick());
+        let c2 = compiled("eqntott", 6, Scale::quick());
+        let t1 = TraceTape::record(&c1);
+        let (t1_bytes, t1_len) = (t1.bytes(), t1.len());
+        // Budget fits exactly one tape: inserting the second must evict
+        // the (idle) first.
+        let cache = TapeCache::with_capacity_bytes(t1_bytes);
+        drop(cache.get_or_record(&c1));
+        let t2 = cache.get_or_record(&c2);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_bytes, t2.bytes());
+        assert_eq!(cache.len(), 1);
+        // The evicted pair re-records on its next request.
+        let again = cache.get_or_record(&c1);
+        assert_eq!(cache.stats().records, 3);
+        assert_eq!(again.len(), t1_len);
+    }
+
+    #[test]
+    fn in_use_tapes_survive_eviction_pressure() {
+        let c1 = compiled("tomcatv", 10, Scale::quick());
+        let c2 = compiled("tomcatv", 6, Scale::quick());
+        let cache = TapeCache::with_capacity_bytes(1); // everything is over budget
+        let held = cache.get_or_record(&c1); // kept alive by this Arc
+        let _second = cache.get_or_record(&c2);
+        assert!(
+            cache.stats().resident_bytes >= held.bytes(),
+            "a tape with a live replay reference must not be dropped"
+        );
+        assert!(!cache.is_empty());
+        // Once released, the next insertion can reclaim it.
+        drop(held);
+        drop(_second);
+        let _third = cache.get_or_record(&compiled("tomcatv", 3, Scale::quick()));
+        assert!(cache.stats().evictions >= 1);
+    }
+}

@@ -13,13 +13,17 @@
 //! * [`exec`] — the deterministic executor that turns a compiled program
 //!   into a dynamic instruction stream for the processor models;
 //! * [`dump`] — binary trace capture and replay (the long-address-trace
-//!   tooling of the paper's infrastructure lineage).
+//!   tooling of the paper's infrastructure lineage);
+//! * [`tape`] — a flat struct-of-arrays recording of the fully-resolved
+//!   dynamic stream, materialized once per (benchmark, latency) pair and
+//!   replayed across every hardware configuration of a sweep.
 
 pub mod builder;
 pub mod dump;
 pub mod exec;
 pub mod ir;
 pub mod machine;
+pub mod tape;
 pub mod workloads;
 
 pub use builder::ProgramBuilder;
@@ -27,3 +31,4 @@ pub use dump::{TraceReader, TraceWriter};
 pub use exec::Executor;
 pub use ir::{AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg};
 pub use machine::{CompiledProgram, CountingSink, InstSink, MachineBlock, MachineOp};
+pub use tape::{TapeKind, TraceTape};

@@ -10,7 +10,7 @@ use nbl_core::inst::DynInst;
 use nbl_core::types::{LoadFormat, PhysReg};
 
 /// One machine operation over physical registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineOp {
     /// Load the next address of `pattern` into `dst`.
     Load {
@@ -67,7 +67,7 @@ impl MachineOp {
 }
 
 /// A scheduled, register-allocated basic block.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Hash)]
 pub struct MachineBlock {
     /// Operations in final schedule order.
     pub ops: Vec<MachineOp>,
@@ -87,7 +87,7 @@ impl MachineBlock {
 
 /// A fully compiled program: machine blocks + (possibly extended) pattern
 /// table + the unchanged script.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CompiledProgram {
     /// Benchmark name.
     pub name: String,

@@ -48,4 +48,25 @@ assert len(d["runs"]) == len(d["policies"]) * len(d["configs"]) * 6
 print("replsens.json: shape OK")
 EOF
 
+echo "== smoke: bench rail (tape replay vs interpreter) =="
+bench_json="$replsens_dir/bench.json"
+NBL_BENCH_JSON="$bench_json" \
+  cargo run --release -p nbl-bench -- bench --out /dev/null >/dev/null
+# Shape only — wall-clock ratios are machine noise in CI; the speedup
+# target is tracked in BENCH_sweep.json at the repo root instead.
+python3 - "$bench_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["kind"] == "bench_sweep", d["kind"]
+assert d["runs"] == len(d["benchmarks"]) * len(d["configs"]) * len(d["load_latencies"])
+assert d["bit_identical"] is True, "tape replay diverged from the interpreter"
+for key in ("cold_wall_s", "warm_wall_s", "interpreted_wall_s",
+            "speedup_warm_vs_interpreted", "speedup_warm_vs_cold"):
+    assert d[key] > 0, key
+caches = d["caches"]
+assert caches["tape_cache"]["records"] == len(d["benchmarks"]) * len(d["load_latencies"])
+assert caches["tape_cache"]["hits"] > 0
+print("bench.json: shape OK")
+EOF
+
 echo "verify: OK"
