@@ -1,0 +1,234 @@
+//! The burn-down allowlist (`scripts/analyze-allow.toml`): pre-existing
+//! findings carried as explicit debt. The file is hand-parsed (line
+//! oriented, `[[allow]]` tables with `key = "value"` pairs — no external
+//! TOML dependency) and can only shrink: any entry that no longer matches
+//! a live finding is itself reported as a stale-entry finding, so the
+//! file cannot accumulate dead weight, and new findings are never
+//! silently absorbed (they must be fixed or get a reasoned inline
+//! `nbl-allow`).
+
+use crate::lints::known_lint;
+use crate::report::Finding;
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint ID the entry suppresses.
+    pub lint: String,
+    /// Repo-relative file the finding lives in.
+    pub file: String,
+    /// The finding's `item` key (e.g. the undocumented pub item name).
+    pub item: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub src_line: u32,
+}
+
+/// Parse result: entries plus any syntax/validity findings.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Parsed entries in file order.
+    pub entries: Vec<AllowEntry>,
+    /// Malformed-entry findings (unknown lint, missing keys, bad syntax).
+    pub findings: Vec<Finding>,
+}
+
+/// Loads and parses the allowlist at `path` (repo-relative `rel` used in
+/// diagnostics). A missing file is an empty allowlist.
+pub fn load(path: &Path, rel: &str) -> Allowlist {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Allowlist::default();
+    };
+    parse(&text, rel)
+}
+
+/// Parses allowlist text.
+pub fn parse(text: &str, rel: &str) -> Allowlist {
+    let mut out = Allowlist::default();
+    let mut current: Option<(AllowEntry, u32)> = None;
+    let flush = |current: &mut Option<(AllowEntry, u32)>, out: &mut Allowlist| {
+        if let Some((entry, line)) = current.take() {
+            if entry.lint.is_empty() || entry.file.is_empty() || entry.item.is_empty() {
+                out.findings.push(Finding {
+                    lint: "allowlist",
+                    file: rel.to_string(),
+                    line,
+                    col: 1,
+                    item: entry.item.clone(),
+                    message: "allowlist entry needs `lint`, `file` and `item` keys".to_string(),
+                });
+            } else if !known_lint(&entry.lint) {
+                out.findings.push(Finding {
+                    lint: "allowlist",
+                    file: rel.to_string(),
+                    line,
+                    col: 1,
+                    item: entry.lint.clone(),
+                    message: format!("allowlist entry names unknown lint `{}`", entry.lint),
+                });
+            } else {
+                out.entries.push(entry);
+            }
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, &mut out);
+            current = Some((
+                AllowEntry {
+                    lint: String::new(),
+                    file: String::new(),
+                    item: String::new(),
+                    src_line: lineno,
+                },
+                lineno,
+            ));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.findings.push(Finding {
+                lint: "allowlist",
+                file: rel.to_string(),
+                line: lineno,
+                col: 1,
+                item: line.to_string(),
+                message: "unrecognized allowlist line (expected `[[allow]]` or `key = \"value\"`)"
+                    .to_string(),
+            });
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').to_string();
+        match (&mut current, key) {
+            (Some((e, _)), "lint") => e.lint = value,
+            (Some((e, _)), "file") => e.file = value,
+            (Some((e, _)), "item") => e.item = value,
+            _ => {
+                out.findings.push(Finding {
+                    lint: "allowlist",
+                    file: rel.to_string(),
+                    line: lineno,
+                    col: 1,
+                    item: key.to_string(),
+                    message: format!("unexpected allowlist key `{key}`"),
+                });
+            }
+        }
+    }
+    flush(&mut current, &mut out);
+    out
+}
+
+/// Applies the allowlist: findings matched by an entry are suppressed;
+/// entries that matched nothing become stale-entry findings (the
+/// burn-down contract — the file may only shrink). Returns the surviving
+/// findings plus the count of entries actually used.
+pub fn apply(allow: &Allowlist, findings: Vec<Finding>, rel: &str) -> (Vec<Finding>, usize) {
+    let mut used = vec![false; allow.entries.len()];
+    let mut kept = Vec::with_capacity(findings.len());
+    for f in findings {
+        let hit = allow
+            .entries
+            .iter()
+            .position(|e| e.lint == f.lint && e.file == f.file && e.item == f.item);
+        match hit {
+            Some(i) => used[i] = true,
+            None => kept.push(f),
+        }
+    }
+    let used_count = used.iter().filter(|u| **u).count();
+    for (i, e) in allow.entries.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding {
+                lint: "allowlist",
+                file: rel.to_string(),
+                line: e.src_line,
+                col: 1,
+                item: e.item.clone(),
+                message: format!(
+                    "stale allowlist entry ({} / {} / {}) matches no current finding — \
+                     delete it; the allowlist only burns down",
+                    e.lint, e.file, e.item
+                ),
+            });
+        }
+    }
+    (kept, used_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Carried doc-coverage debt.
+[[allow]]
+lint = "doc-coverage"
+file = "crates/core/src/x.rs"
+item = "thing"
+
+[[allow]]
+lint = "doc-coverage"
+file = "crates/mem/src/y.rs"
+item = "other"
+"#;
+
+    fn finding(file: &str, item: &str) -> Finding {
+        Finding {
+            lint: "doc-coverage",
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            item: item.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries() {
+        let a = parse(SAMPLE, "scripts/analyze-allow.toml");
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].item, "thing");
+    }
+
+    #[test]
+    fn unknown_lint_is_reported() {
+        let a = parse(
+            "[[allow]]\nlint = \"nope\"\nfile = \"f\"\nitem = \"i\"\n",
+            "allow.toml",
+        );
+        assert_eq!(a.entries.len(), 0);
+        assert_eq!(a.findings.len(), 1);
+        assert!(a.findings[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn matched_entries_suppress_stale_entries_surface() {
+        let a = parse(SAMPLE, "allow.toml");
+        let (kept, used) = apply(
+            &a,
+            vec![finding("crates/core/src/x.rs", "thing")],
+            "allow.toml",
+        );
+        assert_eq!(used, 1);
+        // The matched finding is gone; the unmatched entry is now stale.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].lint, "allowlist");
+        assert!(kept[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unmatched_findings_survive() {
+        let a = parse("", "allow.toml");
+        let (kept, used) = apply(&a, vec![finding("f.rs", "i")], "allow.toml");
+        assert_eq!(used, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].lint, "doc-coverage");
+    }
+}

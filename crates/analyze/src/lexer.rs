@@ -1,0 +1,407 @@
+//! A small hand-rolled Rust lexer: comment- and string-aware, with byte
+//! spans, built for lint scanning rather than compilation.
+//!
+//! The lexer understands exactly what the lints need to never misfire
+//! inside non-code text: line and (nested) block comments, plain and raw
+//! string literals (any `#` count, with `b`/`c` prefixes), char literals
+//! vs. lifetimes, and numeric literals. Everything else is an identifier
+//! or a single punctuation character. It does not attempt to parse — the
+//! syntactic questions the lints ask (attribute spans, call nesting,
+//! enum bodies) are answered over the token stream in [`crate::scan`].
+
+/// The token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#ident` forms, span covers the
+    /// whole raw identifier).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — split out so the char-literal rule
+    /// cannot swallow the following code.
+    Lifetime,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`, etc.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A comment; `doc` is `true` for `///`, `//!`, `/**` and `/*!`.
+    Comment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Any other single character (`{`, `(`, `.`, `!`, …).
+    Punct,
+}
+
+/// One token with its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub off: usize,
+    /// Byte length.
+    pub len: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.off..self.off + self.len]
+    }
+
+    /// `true` if this token is the identifier `word` in `src`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text(src).starts_with(c)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens (whitespace dropped, comments kept).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::with_capacity(n / 4);
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            let start = i;
+            if b[i + 1] == b'/' {
+                // `///` or `//!` are docs, but `////…` is an ordinary
+                // comment (rustdoc's rule).
+                let doc = (src[i..].starts_with("///") && !src[i..].starts_with("////"))
+                    || src[i..].starts_with("//!");
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Comment { doc },
+                    off: start,
+                    len: i - start,
+                });
+            } else {
+                let doc = (src[i..].starts_with("/**") && !src[i..].starts_with("/***"))
+                    || src[i..].starts_with("/*!");
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Comment { doc },
+                    off: start,
+                    len: i - start,
+                });
+            }
+            continue;
+        }
+        // Raw / prefixed string literals: r"…", r#"…"#, b"…", br#"…"#,
+        // c"…", and the raw-identifier escape r#ident.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word = &src[i..j];
+            let prefix_ok = matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr");
+            if prefix_ok && j < n && (b[j] == b'"' || b[j] == b'#') {
+                let raw = word.contains('r');
+                if b[j] == b'#' && !raw {
+                    // `b#` is not a literal prefix; fall through to ident.
+                } else if b[j] == b'#' {
+                    // r#"…"# raw string, or r#ident.
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && b[k] == b'#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && b[k] == b'"' {
+                        i = scan_raw_string(src, k, hashes);
+                        out.push(Token {
+                            kind: TokKind::Str,
+                            off: start,
+                            len: i - start,
+                        });
+                        continue;
+                    }
+                    if word == "r" && hashes == 1 && k < n && is_ident_start(b[k]) {
+                        let mut m = k;
+                        while m < n && is_ident_continue(b[m]) {
+                            m += 1;
+                        }
+                        out.push(Token {
+                            kind: TokKind::Ident,
+                            off: start,
+                            len: m - start,
+                        });
+                        i = m;
+                        continue;
+                    }
+                    // `r#` followed by something else: emit ident, retry.
+                } else if raw {
+                    // r"…" with zero hashes.
+                    i = scan_raw_string(src, j, 0);
+                    out.push(Token {
+                        kind: TokKind::Str,
+                        off: start,
+                        len: i - start,
+                    });
+                    continue;
+                } else {
+                    // b"…" / c"…": escaped like a plain string.
+                    i = scan_string(src, j);
+                    out.push(Token {
+                        kind: TokKind::Str,
+                        off: start,
+                        len: i - start,
+                    });
+                    continue;
+                }
+            }
+            if prefix_ok && j < n && b[j] == b'\'' && word.contains('b') {
+                // b'x' byte literal.
+                i = scan_char(src, j);
+                out.push(Token {
+                    kind: TokKind::Char,
+                    off: start,
+                    len: i - start,
+                });
+                continue;
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                off: start,
+                len: j - start,
+            });
+            i = j;
+            continue;
+        }
+        // Plain strings.
+        if c == b'"' {
+            let start = i;
+            i = scan_string(src, i);
+            out.push(Token {
+                kind: TokKind::Str,
+                off: start,
+                len: i - start,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let start = i;
+            if i + 1 < n && b[i + 1] == b'\\' {
+                i = scan_char(src, i);
+                out.push(Token {
+                    kind: TokKind::Char,
+                    off: start,
+                    len: i - start,
+                });
+            } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                out.push(Token {
+                    kind: TokKind::Char,
+                    off: start,
+                    len: 3,
+                });
+                i += 3;
+            } else {
+                // Lifetime: consume the ident part.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Lifetime,
+                    off: start,
+                    len: j - start,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Numbers (ranges like `0..9` must not swallow the dots).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n
+                && (is_ident_continue(b[j])
+                    || (b[j] == b'.'
+                        && j + 1 < n
+                        && b[j + 1].is_ascii_digit()
+                        && !src[start..j].contains('.')))
+            {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Num,
+                off: start,
+                len: j - start,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character.
+        out.push(Token {
+            kind: TokKind::Punct,
+            off: i,
+            len: 1,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a plain (escape-aware) string starting at the opening quote;
+/// returns the offset just past the closing quote.
+fn scan_string(src: &str, open: usize) -> usize {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scans a raw string whose opening quote is at `open` with `hashes`
+/// leading `#`s; returns the offset just past the closing delimiter.
+fn scan_raw_string(src: &str, open: usize, hashes: usize) -> usize {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Scans a char/byte literal starting at the opening quote; returns the
+/// offset just past the closing quote.
+fn scan_char(src: &str, open: usize) -> usize {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let ks = kinds("let x = 42 + y_2;");
+        assert_eq!(ks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(ks[2], (TokKind::Punct, "=".into()));
+        assert_eq!(ks[3], (TokKind::Num, "42".into()));
+        assert_eq!(ks[5], (TokKind::Ident, "y_2".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `panic!` inside the string must not surface as an ident.
+        let ks = kinds(r#"let s = "panic!(\"no\")";"#);
+        assert!(ks.iter().all(|(k, t)| *k != TokKind::Ident || t != "panic"));
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r###"let s = r#"unwrap() " inside"#; x"###;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert_eq!(ks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn comments_nest_and_doc_flag() {
+        let ks = kinds("/// doc\n// plain\n/* a /* b */ c */ x //! inner");
+        assert_eq!(ks[0].0, TokKind::Comment { doc: true });
+        assert_eq!(ks[1].0, TokKind::Comment { doc: false });
+        assert_eq!(ks[2].0, TokKind::Comment { doc: false });
+        assert_eq!(ks[3], (TokKind::Ident, "x".into()));
+        assert_eq!(ks[4].0, TokKind::Comment { doc: true });
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ks = kinds("let r#type = 1;");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ks = kinds("for i in 0..10 {}");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+        assert!(!ks.iter().any(|(k, t)| *k == TokKind::Num && t == "3.5"));
+    }
+}

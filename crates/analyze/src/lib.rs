@@ -1,0 +1,169 @@
+//! `nbl-analyze`: in-tree static analysis enforcing simulator invariants
+//! the type system cannot see.
+//!
+//! The analyzer lexes the workspace's Rust sources with a hand-rolled
+//! comment/string-aware lexer (std-only, offline-buildable) and runs a
+//! registry of repo-specific lints — see [`lints::LINT_IDS`] and
+//! DESIGN.md §13:
+//!
+//! | ID | invariant |
+//! |----|-----------|
+//! | `no-panic` | hot-path crates return `SimError`/`EngineError`, never panic |
+//! | `determinism` | no wall clocks / un-seeded hashing on result paths |
+//! | `exhaustiveness` | ledgered enum variants wired through every consumer surface |
+//! | `event-guard` | `MemEvent` emission only via the zero-cost-when-disabled guard |
+//! | `doc-coverage` | pub API documented, debt burns down via `scripts/analyze-allow.toml` |
+//!
+//! Findings can be suppressed inline with `// nbl-allow(<id>): reason`
+//! (the reason is mandatory — `bad-allow` flags empty or unknown ones),
+//! or carried in the allowlist file, which refuses to grow.
+
+pub mod allowlist;
+pub mod ledger;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod source;
+
+use report::Finding;
+use scan::Scan;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative location of the burn-down allowlist.
+pub const ALLOWLIST_PATH: &str = "scripts/analyze-allow.toml";
+
+/// The outcome of a full-tree analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Surviving findings, sorted by (file, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Inline `nbl-allow` directives that suppressed a finding.
+    pub allows_used: usize,
+    /// Entries in the allowlist file.
+    pub allowlist_entries: usize,
+}
+
+/// Runs the full analysis rooted at `root` (the repo checkout).
+pub fn run_analysis(root: &Path) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            // The analyzer does not scan itself: its sources and fixture
+            // corpus quote directive syntax and deliberately-bad code.
+            if dir.file_name().is_some_and(|n| n == "analyze") {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut allows_used = 0usize;
+    for path in &files {
+        let file = SourceFile::load(root, path)?;
+        let mut active: Vec<&'static str> = Vec::new();
+        if lints::in_scope(&file.rel_path, lints::scope::NO_PANIC) {
+            active.push("no-panic");
+        }
+        if lints::in_scope(&file.rel_path, lints::scope::DETERMINISM) {
+            active.push("determinism");
+        }
+        if lints::in_scope(&file.rel_path, lints::scope::EVENT_GUARD)
+            && !lints::in_scope(&file.rel_path, lints::scope::EVENT_GUARD_EXEMPT)
+        {
+            active.push("event-guard");
+        }
+        if lints::in_scope(&file.rel_path, lints::scope::DOC_COVERAGE) {
+            active.push("doc-coverage");
+        }
+        // Every file is still scanned for directive hygiene (bad-allow),
+        // even when no token lint applies to it.
+        let scan = Scan::new(&file);
+        findings.extend(lints::check_file(&scan, &active));
+        let (bad, used) = audit_allows(&scan);
+        findings.extend(bad);
+        allows_used += used;
+    }
+
+    findings.extend(ledger::check_ledger(root));
+
+    let mut allow = allowlist::load(&root.join(ALLOWLIST_PATH), ALLOWLIST_PATH);
+    let allowlist_entries = allow.entries.len();
+    let mut all = std::mem::take(&mut allow.findings);
+    all.extend(findings);
+    let (mut kept, _used_entries) = allowlist::apply(&allow, all, ALLOWLIST_PATH);
+
+    kept.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.lint).cmp(&(b.file.as_str(), b.line, b.col, b.lint))
+    });
+    Ok(Analysis {
+        findings: kept,
+        files_scanned: files.len(),
+        allows_used,
+        allowlist_entries,
+    })
+}
+
+/// Directive hygiene for one scan: reports `bad-allow` for directives
+/// with an empty reason or an unknown lint ID. Returns the hygiene
+/// findings plus the count of well-formed (reasoned, known-ID)
+/// directives, which the report surfaces as `allows_used`.
+pub fn audit_allows(scan: &Scan<'_>) -> (Vec<Finding>, usize) {
+    let mut out = Vec::new();
+    let mut used = 0usize;
+    for a in &scan.allows {
+        let pos = scan.file.pos(a.off);
+        if !lints::known_lint(&a.id) {
+            out.push(Finding {
+                lint: "bad-allow",
+                file: scan.file.rel_path.clone(),
+                line: pos.line,
+                col: pos.col,
+                item: a.id.clone(),
+                message: format!(
+                    "`nbl-allow({})` names an unknown lint (known: {})",
+                    a.id,
+                    lints::LINT_IDS.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Finding {
+                lint: "bad-allow",
+                file: scan.file.rel_path.clone(),
+                line: pos.line,
+                col: pos.col,
+                item: a.id.clone(),
+                message: format!(
+                    "`nbl-allow({})` needs a non-empty reason: `// nbl-allow({}): why`",
+                    a.id, a.id
+                ),
+            });
+        } else {
+            used += 1;
+        }
+    }
+    (out, used)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The burn-down contract for `scripts/analyze-allow.toml`: matched
+//! entries suppress, stale entries surface, and the real repo's list is
+//! pinned at zero entries — it can never grow.
+
+use nbl_analyze::{allowlist, run_analysis, ALLOWLIST_PATH};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Snapshot: the initial debt (undocumented pub modules, hot-path panic
+/// sites) was paid down in the PR that introduced the analyzer, so the
+/// committed allowlist is empty. Adding an entry fails this test; new
+/// findings must be fixed or suppressed inline with a reasoned
+/// `// nbl-allow(<id>): why`.
+#[test]
+fn real_allowlist_is_pinned_at_zero_entries() {
+    let text = std::fs::read_to_string(repo_root().join(ALLOWLIST_PATH))
+        .expect("scripts/analyze-allow.toml exists");
+    let parsed = allowlist::parse(&text, ALLOWLIST_PATH);
+    assert!(parsed.findings.is_empty(), "{:#?}", parsed.findings);
+    assert_eq!(
+        parsed.entries.len(),
+        0,
+        "the allowlist only burns down — suppress new findings inline, with a reason"
+    );
+}
+
+#[test]
+fn matched_entries_suppress_and_stale_entries_surface() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/allow_tree");
+    let a = run_analysis(&root).expect("fixture tree readable");
+    assert_eq!(a.allowlist_entries, 2);
+    // The carried doc-coverage finding is suppressed; the only surviving
+    // finding is the stale entry itself, pointing at its own line.
+    assert_eq!(a.findings.len(), 1, "{:#?}", a.findings);
+    let stale = &a.findings[0];
+    assert_eq!(stale.lint, "allowlist");
+    assert_eq!(stale.file, ALLOWLIST_PATH);
+    assert_eq!(stale.item, "long_gone");
+    assert!(stale.message.contains("stale"), "{}", stale.message);
+}
+
+/// The real tree must be clean: `cargo test` enforces the same zero-
+/// findings bar as `nbl-analyze --deny` in scripts/verify.sh.
+#[test]
+fn real_tree_has_no_findings() {
+    let a = run_analysis(&repo_root()).expect("repo tree readable");
+    let rendered: Vec<String> = a.findings.iter().map(|f| f.render()).collect();
+    assert!(a.findings.is_empty(), "{}", rendered.join("\n"));
+}

@@ -1,0 +1,3 @@
+//! Fixture: one carried doc-coverage finding and nothing else.
+
+pub fn carried() {}

@@ -1,0 +1,44 @@
+//! Fixture: a hot-path crate breaking several invariants at once —
+//! the bad half of the analyzer's fixture corpus.
+
+/// Documented, but panics on the hot path.
+pub fn boom(x: Option<u32>) -> u32 {
+    if x.is_none() {
+        panic!("fixture");
+    }
+    x.unwrap()
+}
+
+pub fn undocumented() {}
+
+/// Wall-clock read on a result path.
+pub fn timestamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+/// An empty reason does not suppress.
+pub fn empty_reason(x: Option<u32>) -> u32 {
+    // nbl-allow(no-panic):
+    x.unwrap()
+}
+
+/// An unknown lint ID is itself a finding.
+pub fn unknown_id(x: Option<u32>) -> u32 {
+    // nbl-allow(not-a-lint): misspelled on purpose
+    x.unwrap()
+}
+
+/// A reasoned suppression works.
+pub fn reasoned(x: Option<u32>) -> u32 {
+    // nbl-allow(no-panic): fixture demonstrates a valid suppression
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        Some(1u32).unwrap();
+    }
+}

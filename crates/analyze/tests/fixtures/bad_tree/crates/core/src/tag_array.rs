@@ -1,0 +1,15 @@
+//! Fixture ledger declaration: `Clock` is deliberately unwired.
+
+/// Replacement-policy selector (fixture copy).
+pub enum ReplacementKind {
+    /// Least recently used.
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Seeded random.
+    Random,
+    /// Tree pseudo-LRU.
+    TreePlru,
+    /// Added but not wired through any consumer surface.
+    Clock,
+}

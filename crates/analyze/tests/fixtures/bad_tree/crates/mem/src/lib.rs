@@ -1,0 +1,21 @@
+//! Fixture: event emission outside the guard.
+
+/// Memory event (fixture stub).
+pub enum MemEvent {
+    /// A miss was issued.
+    Issued {
+        /// Cycle stamp.
+        at: u64,
+    },
+}
+
+/// Construct outside `emit` and record directly: both bypass the guard.
+pub fn leak(sink: &mut Sink) {
+    let e = MemEvent::Issued { at: 0 };
+    sink.record(&e);
+}
+
+/// The guard itself routes through `emit`, which is fine.
+pub fn guarded(sys: &mut System) {
+    sys.emit(MemEvent::Issued { at: 1 });
+}

@@ -1,0 +1,2 @@
+//! Fixture surface: exercises Lru, Fifo, Random and TreePlru — but not
+//! the newly added variant.

@@ -1,0 +1,12 @@
+//! Fixture: a clean hot-path crate — the good half of the corpus.
+
+/// Adds one, propagating overflow as an error.
+pub fn add_one(x: u32) -> Result<u32, String> {
+    x.checked_add(1).ok_or_else(|| "overflow".to_string())
+}
+
+/// Reads the head slot; the fixture's one justified panic site.
+pub fn head(xs: &[u32]) -> u32 {
+    // nbl-allow(no-panic): fixture demonstrates a reasoned suppression
+    xs.first().copied().unwrap()
+}

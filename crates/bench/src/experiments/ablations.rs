@@ -19,14 +19,14 @@
 //! Each section is a small benchmark × variant grid; the grids run on the
 //! shared parallel engine and print from the input-ordered results.
 
-use super::{mcpi_grid, programs_for, RunScale};
+use super::{mcpi_grid, programs_for, ExhibitError, RunScale};
 use nbl_core::limit::Limit;
 use nbl_core::mshr::TargetPolicy;
 use nbl_sim::config::{HwConfig, SimConfig};
 use std::io::Write;
 
 /// Prints all the ablations.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(out, "== Ablations ==");
 
     // 1. In-cache storage vs discrete MSHRs at the same per-set limit.
@@ -41,12 +41,12 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     );
     let benches = ["su2cor", "doduc", "tomcatv"];
     let grid = mcpi_grid(
-        &programs_for(&benches, scale),
+        &programs_for(&benches, scale)?,
         &[
             SimConfig::baseline(HwConfig::Fs(1)),
             SimConfig::baseline(HwConfig::InCache),
         ],
-    );
+    )?;
     for (bench, row) in benches.iter().zip(&grid) {
         let (fs1, inc) = (row[0], row[1]);
         let _ = writeln!(
@@ -70,7 +70,7 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
             .into_iter()
             .map(|k| SimConfig::baseline(HwConfig::InCacheNarrowPort(k)))
             .collect();
-        let grid = mcpi_grid(&programs_for(&["su2cor"], scale), &cfgs);
+        let grid = mcpi_grid(&programs_for(&["su2cor"], scale)?, &cfgs)?;
         let _ = write!(out, "{:>10}", "MCPI");
         for m in &grid[0] {
             let _ = write!(out, " {m:>8.3}");
@@ -90,12 +90,12 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     );
     let benches = ["xlisp", "tomcatv", "compress"];
     let grid = mcpi_grid(
-        &programs_for(&benches, scale),
+        &programs_for(&benches, scale)?,
         &[
             SimConfig::baseline(HwConfig::Mc0),
             SimConfig::baseline(HwConfig::Mc0Wma),
         ],
-    );
+    )?;
     for (bench, row) in benches.iter().zip(&grid) {
         let (around, alloc) = (row[0], row[1]);
         let _ = writeln!(
@@ -120,12 +120,12 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
     );
     let benches = ["doduc", "mdljdp2", "tomcatv"];
     let grid = mcpi_grid(
-        &programs_for(&benches, scale),
+        &programs_for(&benches, scale)?,
         &[
             SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Finite(1)))),
             SimConfig::baseline(HwConfig::Targets(TargetPolicy::explicit(Limit::Unlimited))),
         ],
-    );
+    )?;
     for (bench, row) in benches.iter().zip(&grid) {
         let (one, unl) = (row[0], row[1]);
         let _ = writeln!(
@@ -153,7 +153,7 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         .into_iter()
         .map(|gap| SimConfig::baseline(HwConfig::NoRestrict).with_memory_gap(gap))
         .collect();
-    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    let grid = mcpi_grid(&programs_for(&benches, scale)?, &cfgs)?;
     for (bench, row) in benches.iter().zip(&grid) {
         let _ = write!(out, "{bench:>10}");
         for m in row {
@@ -166,4 +166,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "(a 16-cycle completion gap serializes fetches entirely: the paper's\n\
          fully-pipelined assumption is what makes overlap possible at all)\n"
     );
+    Ok(())
 }

@@ -18,7 +18,7 @@
 //! measurements to `BENCH_sweep.json` (path override: `NBL_BENCH_JSON`)
 //! so speedups are tracked commit over commit.
 
-use super::{programs_for, RunScale, LATENCIES};
+use super::{programs_for, ExhibitError, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::driver::{run_compiled_interpreted, RunResult};
 use nbl_sim::pool::available_threads;
@@ -39,45 +39,58 @@ fn grid_configs() -> Vec<HwConfig> {
 
 /// Runs the full grid once through the engine's (cached, tape-replaying)
 /// sweep path; returns wall seconds and the flat cell results.
-fn sweep_pass(engine: &SweepEngine, programs: &[Program]) -> (f64, Vec<RunResult>) {
+fn sweep_pass(
+    engine: &SweepEngine,
+    programs: &[Program],
+) -> Result<(f64, Vec<RunResult>), ExhibitError> {
     let refs: Vec<&Program> = programs.iter().collect();
     let base = SimConfig::baseline(HwConfig::NoRestrict);
     let t0 = Instant::now();
     let sweeps = engine
         .grid_sweep(&refs, &base, &grid_configs(), &LATENCIES)
-        .expect("workloads compile");
+        .map_err(|e| ExhibitError::new("bench grid sweep", e))?;
     let wall = t0.elapsed().as_secs_f64();
     let flat = sweeps
         .into_iter()
         .flat_map(|s| s.rows.into_iter().flatten())
         .collect();
-    (wall, flat)
+    Ok((wall, flat))
 }
 
 /// Runs the same cells, in the same order, through the interpreter path
 /// (compilations served from the engine's warm cache, no tapes).
-fn interpreted_pass(engine: &SweepEngine, programs: &[Program]) -> (f64, Vec<RunResult>) {
+fn interpreted_pass(
+    engine: &SweepEngine,
+    programs: &[Program],
+) -> Result<(f64, Vec<RunResult>), ExhibitError> {
     let configs = grid_configs();
     let (nl, nc) = (LATENCIES.len(), configs.len());
     let base = SimConfig::baseline(HwConfig::NoRestrict);
     let t0 = Instant::now();
     let results = engine
         .pool()
-        .try_run(programs.len() * nl * nc, |idx| {
-            let program = &programs[idx / (nl * nc)];
-            let cfg = SimConfig {
-                hw: configs[idx % nc].clone(),
-                ..base.clone()
-            }
-            .at_latency(LATENCIES[(idx / nc) % nl]);
-            let compiled = engine
-                .cache()
-                .get_or_compile(program, cfg.load_latency)
-                .expect("workloads compile");
-            run_compiled_interpreted(&program.name, &compiled, &cfg).expect("cells run")
-        })
-        .expect("no cell panics");
-    (t0.elapsed().as_secs_f64(), results)
+        .try_run(
+            programs.len() * nl * nc,
+            |idx| -> Result<RunResult, String> {
+                let program = &programs[idx / (nl * nc)];
+                let cfg = SimConfig {
+                    hw: configs[idx % nc].clone(),
+                    ..base.clone()
+                }
+                .at_latency(LATENCIES[(idx / nc) % nl]);
+                let compiled = engine
+                    .cache()
+                    .get_or_compile(program, cfg.load_latency)
+                    .map_err(|e| format!("{}: {e}", program.name))?;
+                run_compiled_interpreted(&program.name, &compiled, &cfg)
+                    .map_err(|e| format!("{}: {e}", program.name))
+            },
+        )
+        .map_err(|e| ExhibitError::new("bench interpreted pass", e))?
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| ExhibitError::new("bench interpreted pass", e))?;
+    Ok((t0.elapsed().as_secs_f64(), results))
 }
 
 fn json_str_list(items: &[String]) -> String {
@@ -91,8 +104,8 @@ fn json_str_list(items: &[String]) -> String {
 /// the harness rather than the workloads, and the JSON it emits is
 /// compared commit over commit, so the grid must not change shape with
 /// command-line flags.
-pub fn run(out: &mut dyn Write, _scale: RunScale) {
-    let programs = programs_for(&ALL, RunScale::Quick);
+pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
+    let programs = programs_for(&ALL, RunScale::Quick)?;
     let engine = SweepEngine::new(available_threads());
     let configs = grid_configs();
     let runs = ALL.len() * configs.len() * LATENCIES.len();
@@ -101,12 +114,12 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) {
     // Cold can only be timed once (the caches are warm afterwards); the
     // repeatable phases take the best of two passes to damp scheduler
     // noise, after checking every pass agrees bit-for-bit.
-    let (cold_wall, cold) = sweep_pass(&engine, &programs);
-    let (warm_wall_a, warm) = sweep_pass(&engine, &programs);
-    let (warm_wall_b, warm_again) = sweep_pass(&engine, &programs);
+    let (cold_wall, cold) = sweep_pass(&engine, &programs)?;
+    let (warm_wall_a, warm) = sweep_pass(&engine, &programs)?;
+    let (warm_wall_b, warm_again) = sweep_pass(&engine, &programs)?;
     let warm_wall = warm_wall_a.min(warm_wall_b);
-    let (interp_wall_a, interp) = interpreted_pass(&engine, &programs);
-    let (interp_wall_b, interp_again) = interpreted_pass(&engine, &programs);
+    let (interp_wall_a, interp) = interpreted_pass(&engine, &programs)?;
+    let (interp_wall_b, interp_again) = interpreted_pass(&engine, &programs)?;
     let interp_wall = interp_wall_a.min(interp_wall_b);
     let bit_identical =
         cold == warm && warm == warm_again && warm == interp && interp == interp_again;
@@ -188,7 +201,8 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) {
         report::caches_json(&compile, &tapes),
     );
     let path = std::env::var("NBL_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(&path, json).map_err(|e| ExhibitError::new(format!("writing {path}"), e))?;
     let _ = writeln!(out, "wrote {path}");
     let _ = writeln!(out);
+    Ok(())
 }

@@ -2,11 +2,11 @@
 //! workload calibration and for EXPERIMENTS.md.
 
 use super::paper::fig13_row;
-use super::{fig13, RunScale};
+use super::{fig13, ExhibitError, RunScale};
 use std::io::Write;
 
 /// Prints measured-vs-paper MCPI and ratios for all 18 benchmarks.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Paper vs measured: Fig. 13 (MCPI at latency 10; ratio = config/unrestricted) =="
@@ -16,8 +16,13 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "{:>10} | {:>11} {:>11} | {:>17} {:>17}",
         "bench", "mc0 (p/m)", "inf (p/m)", "ratios paper", "ratios measured"
     );
-    for (name, measured) in fig13::grid(scale) {
-        let paper = fig13_row(name).expect("all benchmarks transcribed");
+    for (name, measured) in fig13::grid(scale)? {
+        let paper = fig13_row(name).ok_or_else(|| {
+            ExhibitError::new(
+                format!("paper row for {name}"),
+                "benchmark missing from the transcribed Fig. 13 table",
+            )
+        })?;
         let p_inf = paper.mcpi[5];
         let m_inf = measured[5].mcpi.max(1e-9);
         let p_ratios: Vec<String> = paper.mcpi[..5]
@@ -41,4 +46,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         );
     }
     let _ = writeln!(out);
+    Ok(())
 }

@@ -20,13 +20,16 @@
 //! Each study is a benchmark × variant grid run on the shared parallel
 //! engine; the tables print from the input-ordered results.
 
-use super::{mcpi_grid, programs_for, RunScale};
+use super::{mcpi_grid, programs_for, ExhibitError, RunScale};
 use nbl_core::geometry::CacheGeometry;
 use nbl_sim::config::{HwConfig, SimConfig};
 use std::io::Write;
 
 /// E-NBW: non-blocking write allocation on the store-heavy benchmarks.
-pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
+pub fn nonblocking_write_allocate(
+    out: &mut dyn Write,
+    scale: RunScale,
+) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Extension E-NBW: non-blocking write-miss allocation =="
@@ -38,17 +41,20 @@ pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
     );
     let benches = ["xlisp", "tomcatv", "compress", "su2cor"];
     let grid = mcpi_grid(
-        &programs_for(&benches, scale),
+        &programs_for(&benches, scale)?,
         &[
             SimConfig::baseline(HwConfig::Mc0Wma),
             SimConfig::baseline(HwConfig::Mc0),
             SimConfig::baseline(HwConfig::Fc(2)),
             SimConfig::baseline(HwConfig::FcWma(2)),
         ],
-    );
+    )?;
     for (bench, row) in benches.iter().zip(&grid) {
         let [wma_blocking, around_blocking, fc2, fc2_nbw] = row[..] else {
-            unreachable!()
+            return Err(ExhibitError::new(
+                format!("E-NBW row for {bench}"),
+                "grid row is not 4 columns wide",
+            ));
         };
         // How much of the (blocking) write-allocate overhead does the
         // non-blocking version eliminate, relative to write-around fc=2?
@@ -66,11 +72,15 @@ pub fn nonblocking_write_allocate(out: &mut dyn Write, scale: RunScale) {
         );
     }
     let _ = writeln!(out);
+    Ok(())
 }
 
 /// E-ASSOC: associativity removes the conflicts that per-set fetch limits
 /// choke on.
-pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
+pub fn associativity_vs_fetch_limits(
+    out: &mut dyn Write,
+    scale: RunScale,
+) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Extension E-ASSOC: associativity vs per-set fetch limits (su2cor) =="
@@ -81,17 +91,14 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
         "ways", "fs=1", "no restrict", "fs=1 cost"
     );
     const WAYS: [u32; 4] = [1, 2, 4, 256];
-    let cfgs: Vec<SimConfig> = WAYS
-        .into_iter()
-        .flat_map(|ways| {
-            let geom = CacheGeometry::new(8 * 1024, 32, ways).expect("valid geometry");
-            [
-                SimConfig::baseline(HwConfig::Fs(1)).with_geometry(geom),
-                SimConfig::baseline(HwConfig::NoRestrict).with_geometry(geom),
-            ]
-        })
-        .collect();
-    let grid = mcpi_grid(&programs_for(&["su2cor"], scale), &cfgs);
+    let mut cfgs: Vec<SimConfig> = Vec::new();
+    for ways in WAYS {
+        let geom = CacheGeometry::new(8 * 1024, 32, ways)
+            .map_err(|e| ExhibitError::new(format!("E-ASSOC geometry, {ways} ways"), e))?;
+        cfgs.push(SimConfig::baseline(HwConfig::Fs(1)).with_geometry(geom));
+        cfgs.push(SimConfig::baseline(HwConfig::NoRestrict).with_geometry(geom));
+    }
+    let grid = mcpi_grid(&programs_for(&["su2cor"], scale)?, &cfgs)?;
     for (i, ways) in WAYS.into_iter().enumerate() {
         let (fs1, inf) = (grid[0][2 * i], grid[0][2 * i + 1]);
         let label = if ways == 256 {
@@ -117,6 +124,7 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
          limit keeps hurting; under full associativity a per-set limit\n\
          degenerates into one fetch for the whole cache)\n"
     );
+    Ok(())
 }
 
 /// E-L2: a two-level hierarchy. The paper stops at the first-level cache
@@ -124,7 +132,7 @@ pub fn associativity_vs_fetch_limits(out: &mut dyn Write, scale: RunScale) {
 /// are feasible for on-chip implementation"); this measures whether its
 /// central ranking survives when a 256 KB L2 turns most L1 misses into
 /// 6-cycle hits and stretches true memory trips to 40 cycles.
-pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
+pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Extension E-L2: 256KB L2 (6-cycle hit, 40-cycle miss) =="
@@ -155,7 +163,7 @@ pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
             })
         })
         .collect();
-    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    let grid = mcpi_grid(&programs_for(&benches, scale)?, &cfgs)?;
     for (bench, row) in benches.iter().zip(&grid) {
         for (h, label) in ["flat 16cy", "L2 6/40cy"].into_iter().enumerate() {
             let _ = writeln!(
@@ -178,13 +186,14 @@ pub fn two_level_hierarchy(out: &mut dyn Write, scale: RunScale) {
          the Fig. 18 lesson that a longer effective penalty erodes the\n\
          non-blocking win, restated in hierarchy form)\n"
     );
+    Ok(())
 }
 
 /// E-VICTIM: a small fully associative victim buffer (Jouppi 1990 — the
 /// same author's conflict-miss fix) next to the direct-mapped L1, against
 /// the conflict-dominated benchmarks. How close does a 4-entry buffer get
 /// to the fully associative cache of Fig. 10?
-pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
+pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Extension E-VICTIM: victim buffer vs associativity (mc=1) =="
@@ -195,14 +204,15 @@ pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
         "bench", "DM", "DM+4v", "DM+16v", "fully assoc"
     );
     let benches = ["xlisp", "su2cor", "doduc"];
-    let fa = CacheGeometry::fully_associative(8 * 1024, 32).expect("valid geometry");
+    let fa = CacheGeometry::fully_associative(8 * 1024, 32)
+        .map_err(|e| ExhibitError::new("E-VICTIM geometry", e))?;
     let cfgs = [
         SimConfig::baseline(HwConfig::Mc(1)),
         SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(4),
         SimConfig::baseline(HwConfig::Mc(1)).with_victim_buffer(16),
         SimConfig::baseline(HwConfig::Mc(1)).with_geometry(fa),
     ];
-    let grid = mcpi_grid(&programs_for(&benches, scale), &cfgs);
+    let grid = mcpi_grid(&programs_for(&benches, scale)?, &cfgs)?;
     for (bench, row) in benches.iter().zip(&grid) {
         let _ = writeln!(
             out,
@@ -218,12 +228,13 @@ pub fn victim_buffer(out: &mut dyn Write, scale: RunScale) {
          conflicts are scattered across the whole heap, and only real\n\
          associativity removes them)\n"
     );
+    Ok(())
 }
 
 /// Runs all extensions.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
-    nonblocking_write_allocate(out, scale);
-    associativity_vs_fetch_limits(out, scale);
-    two_level_hierarchy(out, scale);
-    victim_buffer(out, scale);
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
+    nonblocking_write_allocate(out, scale)?;
+    associativity_vs_fetch_limits(out, scale)?;
+    two_level_hierarchy(out, scale)?;
+    victim_buffer(out, scale)
 }

@@ -2,7 +2,7 @@
 //! scheduled load latency 10, under mc=0 / mc=1 / mc=2 / fc=1 / fc=2 and
 //! the unrestricted cache, with ratios to the unrestricted MCPI.
 
-use super::{engine, program, RunScale};
+use super::{engine, programs_for, ExhibitError, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::driver::RunResult;
 use nbl_sim::report;
@@ -12,8 +12,8 @@ use std::io::Write;
 
 /// All 18 rows — the full 18 × 6 grid as one flat pool invocation, each
 /// benchmark compiled once (at latency 10) for all six configurations.
-pub fn grid(scale: RunScale) -> Vec<(&'static str, Vec<RunResult>)> {
-    let programs: Vec<Program> = ALL.iter().map(|name| program(name, scale)).collect();
+pub fn grid(scale: RunScale) -> Result<Vec<(&'static str, Vec<RunResult>)>, ExhibitError> {
+    let programs = programs_for(&ALL, scale)?;
     let configs = HwConfig::table13_six();
     let nc = configs.len();
     let jobs: Vec<(&Program, SimConfig)> = programs
@@ -24,15 +24,18 @@ pub fn grid(scale: RunScale) -> Vec<(&'static str, Vec<RunResult>)> {
                 .map(move |hw| (p, SimConfig::baseline(hw.clone())))
         })
         .collect();
-    let results = engine().run_many(&jobs).expect("workloads compile");
+    let results = engine()
+        .run_many(&jobs)
+        .map_err(|e| ExhibitError::new("Fig. 13 grid over all 18 benchmarks", e))?;
     let mut iter = results.into_iter();
-    ALL.iter()
+    Ok(ALL
+        .iter()
         .map(|name| (*name, iter.by_ref().take(nc).collect()))
-        .collect()
+        .collect())
 }
 
 /// Prints the Fig. 13 table.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Figure 13: baseline MCPI for 18 benchmarks (latency 10) =="
@@ -42,8 +45,9 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "{:>10} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5} {:>7}",
         "bench", "mc=0", "r", "mc=1", "r", "mc=2", "r", "fc=1", "r", "fc=2", "r", "inf"
     );
-    for (name, results) in grid(scale) {
+    for (name, results) in grid(scale)? {
         let _ = writeln!(out, "{}", report::fig13_row(name, &results));
     }
     let _ = writeln!(out);
+    Ok(())
 }

@@ -6,7 +6,7 @@
 //! rows/columns vary only the per-MSHR target-field structure:
 //! rows = sub-blocks per line, columns = misses per sub-block.
 
-use super::{engine, program, RunScale};
+use super::{engine, program, ExhibitError, RunScale};
 use nbl_core::geometry::CacheGeometry;
 use nbl_core::mshr::cost::MshrCostModel;
 use nbl_core::mshr::TargetPolicy;
@@ -33,8 +33,8 @@ fn policy_for(sub: u32, misses: u32) -> TargetPolicy {
 }
 
 /// Prints the Fig. 14 table.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let p = program("doduc", scale);
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
+    let p = program("doduc", scale)?;
     let geom = CacheGeometry::baseline();
     let costs = MshrCostModel::default();
 
@@ -52,7 +52,9 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
             .iter()
             .map(|(_, _, pol)| (&p, SimConfig::baseline(HwConfig::Targets(*pol)))),
     );
-    let results = engine().run_many(&jobs).expect("doduc compiles");
+    let results = engine()
+        .run_many(&jobs)
+        .map_err(|e| ExhibitError::new("doduc @ Fig. 14 target layouts", e))?;
     let unrestricted = results[0].mcpi;
 
     let _ = writeln!(
@@ -85,4 +87,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         "-", "inf", unrestricted, 1.0, "-"
     );
     let _ = writeln!(out);
+    Ok(())
 }

@@ -5,7 +5,7 @@
 //! because overlap capacity exhausts.
 
 use super::paper::{FIG18, FIG18_PENALTIES};
-use super::{engine, program, write_csv, write_json, RunScale};
+use super::{engine, program, write_csv, write_json, ExhibitError, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
 use std::io::Write;
@@ -14,19 +14,19 @@ use std::io::Write;
 pub const PENALTIES: [u32; 6] = [4, 8, 16, 32, 64, 128];
 
 /// Prints the Fig. 18 table.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let p = program("tomcatv", scale);
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
+    let p = program("tomcatv", scale)?;
     let base = SimConfig::baseline(HwConfig::NoRestrict);
     let sweep = engine()
         .penalty_sweep(&p, &base, &HwConfig::baseline_seven(), &PENALTIES)
-        .expect("tomcatv compiles");
+        .map_err(|e| ExhibitError::new("tomcatv @ Fig. 18 penalties", e))?;
     let _ = writeln!(
         out,
         "== Figure 18: MCPI vs miss penalty for tomcatv (latency 10) =="
     );
     let _ = writeln!(out, "{}", report::mcpi_vs_penalty_table(&sweep));
-    write_csv("fig18", &report::penalty_sweep_csv(&sweep));
-    write_json("fig18", &report::penalty_sweep_json(&sweep));
+    write_csv("fig18", &report::penalty_sweep_csv(&sweep))?;
+    write_json("fig18", &report::penalty_sweep_json(&sweep))?;
     // The paper's numbers, for side-by-side comparison.
     let _ = writeln!(out, "paper's Fig. 18 (same layout):");
     let _ = write!(out, "{:>14}", "config");
@@ -42,4 +42,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         let _ = writeln!(out);
     }
     let _ = writeln!(out);
+    Ok(())
 }

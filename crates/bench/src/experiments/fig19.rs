@@ -10,10 +10,9 @@
 //! like the paper ("it was not convenient to compile the code for all
 //! values of the load latency").
 
-use super::{engine, program, RunScale, LATENCIES};
+use super::{engine, programs_for, ExhibitError, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::driver::{run_dual_cached, run_program_cached};
-use nbl_trace::ir::Program;
 use std::io::Write;
 
 /// The four configurations the paper compares.
@@ -43,35 +42,48 @@ pub fn snap_latency(scaled: f64) -> u32 {
 }
 
 /// Prints the Fig. 19 comparison.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
-    let programs: Vec<Program> = BENCHMARKS.iter().map(|name| program(name, scale)).collect();
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
+    let programs = programs_for(&BENCHMARKS, scale)?;
     let pool = engine().pool();
 
     // Stage 1: each benchmark's IPC probe (perfect-cache dual run), in
     // parallel across benchmarks.
-    let probes = pool.run(programs.len(), |b| {
-        run_dual_cached(&programs[b], &SimConfig::baseline(HwConfig::NoRestrict))
-            .expect("workloads compile")
-    });
+    let probes = pool
+        .run(programs.len(), |b| {
+            run_dual_cached(&programs[b], &SimConfig::baseline(HwConfig::NoRestrict))
+                .map_err(|e| e.to_string())
+        })
+        .into_iter()
+        .zip(BENCHMARKS)
+        .map(|(r, name)| r.map_err(|e| ExhibitError::new(format!("{name} @ Fig. 19 IPC probe"), e)))
+        .collect::<Result<Vec<_>, _>>()?;
 
     // Stage 2: every (benchmark, configuration) cell — a dual-issue run
     // and the IPC-scaled single-issue prediction — as one flat grid.
     let hws = configs();
     let nc = hws.len();
-    let cells = pool.run(programs.len() * nc, |idx| {
-        let (b, c) = (idx / nc, idx % nc);
-        let p = &programs[b];
-        let ipc = probes[b].ipc;
-        let hw = hws[c].clone();
-        let dual = run_dual_cached(p, &SimConfig::baseline(hw.clone())).expect("workloads compile");
-        let single_cfg = SimConfig::baseline(hw)
-            .at_latency(snap_latency(10.0 * ipc))
-            .with_penalty((16.0 * ipc).round().max(1.0) as u32);
-        let single = run_program_cached(p, &single_cfg).expect("workloads compile");
-        // The scaled single-issue MCPI is per *scaled* cycle; mapping
-        // back to dual-issue cycles divides by the IPC.
-        (dual.mcpi, single.mcpi / ipc)
-    });
+    let cells = pool
+        .run(programs.len() * nc, |idx| -> Result<(f64, f64), String> {
+            let (b, c) = (idx / nc, idx % nc);
+            let p = &programs[b];
+            let ipc = probes[b].ipc;
+            let hw = hws[c].clone();
+            let dual =
+                run_dual_cached(p, &SimConfig::baseline(hw.clone())).map_err(|e| e.to_string())?;
+            let single_cfg = SimConfig::baseline(hw)
+                .at_latency(snap_latency(10.0 * ipc))
+                .with_penalty((16.0 * ipc).round().max(1.0) as u32);
+            let single = run_program_cached(p, &single_cfg).map_err(|e| e.to_string())?;
+            // The scaled single-issue MCPI is per *scaled* cycle; mapping
+            // back to dual-issue cycles divides by the IPC.
+            Ok((dual.mcpi, single.mcpi / ipc))
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(idx, r)| {
+            r.map_err(|e| ExhibitError::new(format!("{} @ Fig. 19 grid", BENCHMARKS[idx / nc]), e))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
 
     let _ = writeln!(out, "== Figure 19: dual vs IPC-scaled single-issue MCPI ==");
     let _ = writeln!(
@@ -98,4 +110,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         let _ = writeln!(out);
     }
     let _ = writeln!(out);
+    Ok(())
 }

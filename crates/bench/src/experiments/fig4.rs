@@ -6,8 +6,7 @@
 //! after scheduling and spill code differs per schedule; our compiler
 //! model reproduces the mechanism (see `nbl-sched`).
 
-use super::{engine, program, RunScale, LATENCIES};
-use nbl_trace::ir::Program;
+use super::{engine, programs_for, ExhibitError, RunScale, LATENCIES};
 use nbl_trace::workloads::DETAILED_FIVE;
 use std::io::Write;
 
@@ -40,7 +39,7 @@ fn extremes(values: &[(u32, u64)]) -> Extremes {
 }
 
 /// Prints the Fig. 4 table for the five detailed benchmarks.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let _ = writeln!(
         out,
         "== Figure 4: benchmark characteristics (counts in thousands) =="
@@ -70,23 +69,25 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         .copied()
         .chain(std::iter::once("fpppp"))
         .collect();
-    let programs: Vec<Program> = names.iter().map(|name| program(name, scale)).collect();
+    let programs = programs_for(&names, scale)?;
     // All (benchmark, latency) compilations in parallel, through the
     // shared cache — the sweeps that follow in an `all` run reuse them.
     let nl = LATENCIES.len();
     let mixes = engine().pool().run(programs.len() * nl, |idx| {
-        let c = engine()
+        engine()
             .cache()
             .get_or_compile(&programs[idx / nl], LATENCIES[idx % nl])
-            .expect("workloads compile");
-        c.dynamic_mix()
+            .map(|c| c.dynamic_mix())
+            .map_err(|e| e.to_string())
     });
     for (b, name) in names.iter().enumerate() {
         let mut insts = Vec::new();
         let mut loads = Vec::new();
         let mut stores = Vec::new();
         for (i, lat) in LATENCIES.into_iter().enumerate() {
-            let (l, s, o) = mixes[b * nl + i];
+            let (l, s, o) = mixes[b * nl + i]
+                .clone()
+                .map_err(|e| ExhibitError::new(format!("{name} @ latency {lat}"), e))?;
             insts.push((lat, l + s + o));
             loads.push((lat, l));
             stores.push((lat, s));
@@ -114,4 +115,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         );
     }
     let _ = writeln!(out);
+    Ok(())
 }

@@ -5,7 +5,7 @@
 //! `Issued → Merged/Rejected → FetchLaunched → Filled → TargetsWoken`
 //! event stream exists to expose; no paper figure plots it directly.
 
-use super::{program, write_json, RunScale};
+use super::{program, write_json, ExhibitError, RunScale};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::report;
 use nbl_sim::run_program_traced;
@@ -29,15 +29,16 @@ fn cells() -> (Vec<&'static str>, Vec<HwConfig>) {
 }
 
 /// Prints the miss-lifecycle tables and writes `misslife.json`.
-pub fn run(out: &mut dyn Write, scale: RunScale) {
+pub fn run(out: &mut dyn Write, scale: RunScale) -> Result<(), ExhibitError> {
     let (benchmarks, configs) = cells();
     let _ = writeln!(out, "== Miss lifecycle: traced transaction summaries ==");
     let mut json = String::from("[");
     for name in &benchmarks {
-        let p = program(name, scale);
+        let p = program(name, scale)?;
         for hw in &configs {
             let cfg = SimConfig::baseline(hw.clone()).at_latency(LATENCY);
-            let (_result, trace) = run_program_traced(&p, &cfg, RING).expect("traced run succeeds");
+            let (_result, trace) = run_program_traced(&p, &cfg, RING)
+                .map_err(|e| ExhibitError::new(format!("{name} @ {} traced", hw.label()), e))?;
             let label = hw.label();
             let _ = writeln!(
                 out,
@@ -51,5 +52,5 @@ pub fn run(out: &mut dyn Write, scale: RunScale) {
         }
     }
     json.push(']');
-    write_json("misslife", &json);
+    write_json("misslife", &json)
 }

@@ -34,8 +34,40 @@ pub struct Exhibit {
     /// One-line description shown by `figures list`.
     pub about: &'static str,
     /// Entry point: prints tables to the writer at the given scale.
-    pub run: fn(&mut dyn Write, RunScale),
+    /// On failure the error names the grid cell or phase that broke, so
+    /// the harness can report it without aborting the other exhibits.
+    pub run: fn(&mut dyn Write, RunScale) -> Result<(), ExhibitError>,
 }
+
+/// A failed exhibit: the grid cell or phase that broke, and why. The
+/// harness prefixes the exhibit name when reporting, so one bad cell
+/// prints `exhibit fig13 failed at compress @ latency 20: ...` instead
+/// of panicking the whole `figures all` run.
+#[derive(Debug)]
+pub struct ExhibitError {
+    /// Where it failed: benchmark / grid cell / phase.
+    pub context: String,
+    /// The underlying failure, rendered.
+    pub cause: String,
+}
+
+impl ExhibitError {
+    /// Builds an error for the given grid-cell/phase context.
+    pub fn new(context: impl Into<String>, cause: impl std::fmt::Display) -> ExhibitError {
+        ExhibitError {
+            context: context.into(),
+            cause: cause.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExhibitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at {}: {}", self.context, self.cause)
+    }
+}
+
+impl std::error::Error for ExhibitError {}
 
 /// Every exhibit the harness can regenerate, in presentation order.
 /// Adding an exhibit is one entry here — `figures list`, `help`, `all`,
@@ -167,35 +199,39 @@ static JSON_DIR: OnceLock<PathBuf> = OnceLock::new();
 
 /// Enables CSV side-output: each sweep-producing exhibit also writes
 /// `<dir>/<figN>.csv`. Call once, before running exhibits.
-pub fn enable_csv(dir: PathBuf) {
-    std::fs::create_dir_all(&dir).expect("create csv directory");
+pub fn enable_csv(dir: PathBuf) -> std::io::Result<()> {
+    std::fs::create_dir_all(&dir)?;
     let _ = CSV_DIR.set(dir);
+    Ok(())
 }
 
 /// Writes `contents` to `<csv dir>/<name>.csv` if CSV output is enabled.
-pub fn write_csv(name: &str, contents: &str) {
+pub fn write_csv(name: &str, contents: &str) -> Result<(), ExhibitError> {
     if let Some(dir) = CSV_DIR.get() {
         let path = dir.join(format!("{name}.csv"));
         std::fs::write(&path, contents)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            .map_err(|e| ExhibitError::new(format!("writing {}", path.display()), e))?;
     }
+    Ok(())
 }
 
 /// Enables JSON side-output: each sweep-producing exhibit also writes
 /// `<dir>/<figN>.json` (machine-readable results, typically `results/`).
 /// Call once, before running exhibits.
-pub fn enable_json(dir: PathBuf) {
-    std::fs::create_dir_all(&dir).expect("create json directory");
+pub fn enable_json(dir: PathBuf) -> std::io::Result<()> {
+    std::fs::create_dir_all(&dir)?;
     let _ = JSON_DIR.set(dir);
+    Ok(())
 }
 
 /// Writes `contents` to `<json dir>/<name>.json` if JSON output is enabled.
-pub fn write_json(name: &str, contents: &str) {
+pub fn write_json(name: &str, contents: &str) -> Result<(), ExhibitError> {
     if let Some(dir) = JSON_DIR.get() {
         let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, contents)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            .map_err(|e| ExhibitError::new(format!("writing {}", path.display()), e))?;
     }
+    Ok(())
 }
 
 /// The load latencies the paper sweeps.
@@ -220,39 +256,48 @@ impl RunScale {
     }
 }
 
-/// Builds a benchmark program or panics with a clear message (the harness
-/// only ever names known benchmarks).
-pub fn program(name: &str, scale: RunScale) -> Program {
-    build(name, scale.workload_scale()).unwrap_or_else(|| panic!("unknown benchmark {name}"))
+/// Builds a benchmark program; an unknown name is an [`ExhibitError`]
+/// (the registry only names known benchmarks, so this marks a typo in
+/// the exhibit itself, reported with its grid context).
+pub fn program(name: &str, scale: RunScale) -> Result<Program, ExhibitError> {
+    build(name, scale.workload_scale())
+        .ok_or_else(|| ExhibitError::new(format!("benchmark {name}"), "unknown benchmark"))
 }
 
 /// Builds several benchmark programs.
-pub fn programs_for(names: &[&str], scale: RunScale) -> Vec<Program> {
+pub fn programs_for(names: &[&str], scale: RunScale) -> Result<Vec<Program>, ExhibitError> {
     names.iter().map(|name| program(name, scale)).collect()
 }
 
 /// Runs a `benchmarks × configs` grid on the shared engine and returns
 /// `mcpi[bench][config]`, rows in benchmark order — the workhorse behind
 /// the ablation and extension tables.
-pub fn mcpi_grid(programs: &[Program], cfgs: &[SimConfig]) -> Vec<Vec<f64>> {
+pub fn mcpi_grid(programs: &[Program], cfgs: &[SimConfig]) -> Result<Vec<Vec<f64>>, ExhibitError> {
     let jobs: Vec<(&Program, SimConfig)> = programs
         .iter()
         .flat_map(|p| cfgs.iter().map(move |c| (p, c.clone())))
         .collect();
-    let results = engine().run_many(&jobs).expect("workloads compile");
-    results
+    let names: Vec<&str> = programs.iter().map(|p| p.name.as_str()).collect();
+    let results = engine()
+        .run_many(&jobs)
+        .map_err(|e| ExhibitError::new(format!("grid over {}", names.join(", ")), e))?;
+    Ok(results
         .chunks(cfgs.len())
         .map(|row| row.iter().map(|r| r.mcpi).collect())
-        .collect()
+        .collect())
 }
 
 /// The full baseline latency sweep (7 configurations × 6 latencies) for
 /// one benchmark — the data behind Figs. 5–12 and 15–17. Runs on the
 /// shared [`engine`], so the 42 cells execute in parallel and the six
 /// compilations are shared with every other exhibit.
-pub fn baseline_sweep(name: &str, scale: RunScale, base: &SimConfig) -> LatencySweep {
-    let p = program(name, scale);
+pub fn baseline_sweep(
+    name: &str,
+    scale: RunScale,
+    base: &SimConfig,
+) -> Result<LatencySweep, ExhibitError> {
+    let p = program(name, scale)?;
     engine()
         .latency_sweep(&p, base, &HwConfig::baseline_seven(), &LATENCIES)
-        .expect("workloads compile at all latencies")
+        .map_err(|e| ExhibitError::new(format!("{name} baseline latency sweep"), e))
 }

@@ -139,12 +139,24 @@ fn main() {
             "--quick" => scale = RunScale::Quick,
             "--out" => out_path = it.next(),
             "--csv" => {
-                let dir = it.next().expect("--csv needs a directory");
-                experiments::enable_csv(dir.into());
+                let Some(dir) = it.next() else {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                };
+                if let Err(e) = experiments::enable_csv(dir.clone().into()) {
+                    eprintln!("cannot create csv directory {dir}: {e}");
+                    std::process::exit(2);
+                }
             }
             "--json" => {
-                let dir = it.next().expect("--json needs a directory");
-                experiments::enable_json(dir.into());
+                let Some(dir) = it.next() else {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                };
+                if let Err(e) = experiments::enable_json(dir.clone().into()) {
+                    eprintln!("cannot create json directory {dir}: {e}");
+                    std::process::exit(2);
+                }
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -176,18 +188,33 @@ fn main() {
 
     let mut sinks: Vec<Box<dyn Write>> = vec![Box::new(std::io::stdout())];
     if let Some(path) = &out_path {
-        sinks.push(Box::new(
-            std::fs::File::create(path).expect("create output file"),
-        ));
+        match std::fs::File::create(path) {
+            Ok(f) => sinks.push(Box::new(f)),
+            Err(e) => {
+                eprintln!("cannot create output file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let mut out = Tee(sinks);
     let mut timings: Vec<Timing> = Vec::new();
+    let mut failures: Vec<(&'static str, experiments::ExhibitError)> = Vec::new();
     for e in EXHIBITS {
         if want(e.name) {
-            timed(&mut timings, e.name, || (e.run)(&mut out, scale));
+            if let Err(err) = timed(&mut timings, e.name, || (e.run)(&mut out, scale)) {
+                eprintln!("exhibit {} failed {err}", e.name);
+                failures.push((e.name, err));
+            }
         }
     }
     print_summary(&mut out, &timings);
+    if !failures.is_empty() {
+        eprintln!("{} exhibit(s) failed:", failures.len());
+        for (name, err) in &failures {
+            eprintln!("  {name}: {err}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Writes to every sink (stdout + optional file).

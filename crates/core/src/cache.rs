@@ -230,6 +230,9 @@ impl TransitFilter {
     }
 }
 
+/// The paper's lockup-free data cache: a [`TagArray`] fronted by one of
+/// the four MSHR organizations, servicing loads/stores while up to
+/// `MshrConfig`-many fetches are outstanding.
 #[derive(Debug, Clone)]
 pub struct LockupFreeCache {
     config: CacheConfig,

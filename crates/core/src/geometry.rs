@@ -124,6 +124,7 @@ impl CacheGeometry {
 
     /// The paper's baseline: 8 KB, direct mapped, 32-byte lines.
     pub fn baseline() -> CacheGeometry {
+        // nbl-allow(no-panic): constant geometry, validated by the unit tests below
         CacheGeometry::direct_mapped(8 * 1024, 32).expect("baseline geometry is valid")
     }
 

@@ -16,6 +16,7 @@
 //! function of the access sequence, so replays and golden tests can never
 //! diverge on hasher seeding.
 
+// nbl-allow(determinism): this module builds the fixed-seed wrapper everyone else uses
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -53,6 +54,7 @@ impl Hasher for FastHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
+            // nbl-allow(no-panic): chunks_exact(8) yields exactly 8-byte slices
             self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();
@@ -95,6 +97,7 @@ pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 /// A `HashMap` using [`FastHasher`] — drop-in for the hot-path maps.
 /// `FastMap::default()` replaces `HashMap::new()` (the std constructor is
 /// only defined for the SipHash build hasher).
+// nbl-allow(determinism): std HashMap is deterministic under FastBuildHasher's zero seed
 pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
 
 #[cfg(test)]

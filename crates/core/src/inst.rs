@@ -4,7 +4,8 @@
 //! The paper's processor model (§3.1) is a single-issue machine with
 //! 3-operand instructions and single-cycle latencies, where the only
 //! events that matter for timing are (a) register def/use relations and
-//! (b) memory accesses. A [`DynInst`] captures exactly that: up to two
+//! (b) memory accesses. A [`DynInst`](crate::inst::DynInst) captures
+//! exactly that: up to two
 //! source registers, and a kind that is either an ALU/branch operation
 //! (with an optional destination) or a memory access carrying its
 //! already-resolved effective address.

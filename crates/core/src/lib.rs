@@ -48,14 +48,23 @@
 //! assert!(matches!(r, LoadAccess::Miss(_)));
 //! ```
 
+/// The lockup-free L1 cache: tag array + MSHR bank behind one port.
 pub mod cache;
+/// Cache geometry (size, line size, associativity) and its validation.
 pub mod geometry;
+/// Fixed-seed hashing: [`hash::FastMap`] keeps map iteration deterministic.
 pub mod hash;
+/// The dynamic instruction model shared by interpreter and tape replay.
 pub mod inst;
+/// Resource-limit counters (ports, outstanding fetches) and their errors.
 pub mod limit;
+/// The four MSHR organizations from the paper and their shared target store.
 pub mod mshr;
+/// In-tree SplitMix64 RNG — the workspace's only randomness source.
 pub mod rng;
+/// The policy-parameterized tag array shared by the L1 and L2 layers.
 pub mod tag_array;
+/// Core newtypes: addresses, blocks, cycles, registers, load formats.
 pub mod types;
 
 pub use cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};

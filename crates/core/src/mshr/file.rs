@@ -140,13 +140,15 @@ impl RegisterMshrFile {
         };
         let records = entry.targets.drain();
         self.total_misses -= records.len();
-        let count = self
-            .per_set
-            .get_mut(&entry.set)
-            .expect("per-set count tracks entries");
-        *count -= 1;
-        if *count == 0 {
-            self.per_set.remove(&entry.set);
+        debug_assert!(
+            self.per_set.contains_key(&entry.set),
+            "per-set count tracks entries"
+        );
+        if let Some(count) = self.per_set.get_mut(&entry.set) {
+            *count -= 1;
+            if *count == 0 {
+                self.per_set.remove(&entry.set);
+            }
         }
         records
     }

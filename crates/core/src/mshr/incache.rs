@@ -97,11 +97,14 @@ impl InCacheMshr {
         let Some(set) = self.by_block.remove(&block) else {
             return Vec::new();
         };
-        let lines = self.per_set.get_mut(&set).expect("by_block tracks per_set");
-        let idx = lines
-            .iter()
-            .position(|l| l.block == block)
-            .expect("by_block tracks per_set");
+        debug_assert!(self.per_set.contains_key(&set), "by_block tracks per_set");
+        let Some(lines) = self.per_set.get_mut(&set) else {
+            return Vec::new();
+        };
+        let Some(idx) = lines.iter().position(|l| l.block == block) else {
+            debug_assert!(false, "by_block tracks per_set");
+            return Vec::new();
+        };
         // The emptied per-set vector stays in the map: sets that miss once
         // miss again, and keeping the allocation avoids a free/alloc cycle
         // per fetch.

@@ -2,22 +2,23 @@
 //!
 //! This module implements the full hardware design space of the paper's §2:
 //!
-//! * [`targets`] — the target-field layouts of a single MSHR: implicitly
+//! * [`targets`](crate::mshr::targets) — the target-field layouts of a single MSHR: implicitly
 //!   addressed (Fig. 1), explicitly addressed (Fig. 2), and the hybrid
 //!   organization of Fig. 14.
 //! * `file` — a Kroft-style file of discrete register MSHRs with
 //!   configurable entry count, total-miss cap and per-set fetch cap
 //!   (the paper's `mc=`, `fc=` and `fs=` configurations).
-//! * [`incache`] — in-cache MSHR storage (§2.3): a transit bit per cache
+//! * [`incache`](crate::mshr::incache) — in-cache MSHR storage (§2.3): a transit bit per cache
 //!   line, MSHR state stored in the line being fetched.
-//! * [`inverted`] — the inverted MSHR (§2.4): one entry per possible
+//! * [`inverted`](crate::mshr::inverted) — the inverted MSHR (§2.4): one entry per possible
 //!   destination of fetch data.
-//! * [`cost`] — the storage cost model reproducing the paper's bit counts
+//! * [`cost`](crate::mshr::cost) — the storage cost model reproducing the paper's bit counts
 //!   (92-bit basic MSHR, 140-bit implicit/4-byte, 112-bit explicit/4-field,
 //!   106-bit hybrid 2×2).
 //!
 //! All organizations speak one protocol: the cache presents a load miss as a
-//! [`MissRequest`]; the organization answers with a [`MshrResponse`] that
+//! [`MissRequest`](crate::mshr::MissRequest); the organization answers
+//! with a [`MshrResponse`](crate::mshr::MshrResponse) that
 //! classifies the miss as **primary** (a new fetch must be launched),
 //! **secondary** (merged into an outstanding fetch), or rejected — in which
 //! case the processor takes a **structural-stall** (the paper's
@@ -25,10 +26,15 @@
 //! surfaces every waiting [`TargetRecord`] so the register file can be
 //! written — all at once, per the paper's multi-write-port assumption.
 
+/// Hardware-cost model (comparators, storage bits) per MSHR organization.
 pub mod cost;
+/// The classic explicit MSHR file (Kroft): N entries, fully associative.
 pub mod file;
+/// In-cache MSHR storage: the missing line's own frame holds the bookkeeping.
 pub mod incache;
+/// The inverted MSHR organization: one entry per destination register.
 pub mod inverted;
+/// Per-miss target records and the bounded target-list storage.
 pub mod targets;
 
 use crate::geometry::CacheGeometry;

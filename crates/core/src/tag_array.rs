@@ -9,7 +9,7 @@
 //! of `nbl_mem::system` instantiate this one type, so there is a single
 //! set-scan and a single eviction path in the workspace.
 //!
-//! Replacement is a plug-in: the [`ReplacementPolicy`] trait exposes the
+//! Replacement is a plug-in: the [`ReplacementPolicy`](crate::tag_array::ReplacementPolicy) trait exposes the
 //! on-hit / on-fill / on-evict hooks plus victim selection, and
 //! [`ReplacementKind`] names the four shipped implementations — true LRU
 //! (the paper's policy and the default), FIFO, seeded-random
@@ -566,11 +566,14 @@ impl TagArray {
     #[inline]
     fn policy_slot_of(&self, _victim: BlockAddr, set: u32) -> usize {
         let range = self.set_slots(set);
+        debug_assert!(
+            self.lines[range.clone()].iter().any(|l| !l.valid),
+            "evict() invalidated a way"
+        );
         self.lines[range.clone()]
             .iter()
             .position(|l| !l.valid)
-            .map(|i| range.start + i)
-            .expect("evict() invalidated a way")
+            .map_or(range.start, |i| range.start + i)
     }
 
     /// In-cache MSHR storage claims the victim line at miss time: if the

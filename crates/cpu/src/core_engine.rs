@@ -40,6 +40,14 @@ pub enum EngineError {
     /// the scoreboard and the memory system disagree — a model invariant
     /// violation the caller can surface instead of a panic.
     NoOutstandingFetch,
+    /// A trace-tape entry was structurally invalid — e.g. a load without
+    /// a recorded destination register. The recorder upholds this by
+    /// construction, so hitting it means the tape bytes were corrupted;
+    /// replay surfaces the entry index instead of panicking mid-sweep.
+    MalformedTape {
+        /// Index of the offending tape entry.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,6 +55,12 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::NoOutstandingFetch => {
                 write!(f, "engine waited for a fill but no fetch is outstanding")
+            }
+            EngineError::MalformedTape { index } => {
+                write!(
+                    f,
+                    "malformed trace tape: load entry {index} has no destination"
+                )
             }
         }
     }
@@ -329,12 +343,14 @@ impl Core {
     ///
     /// # Errors
     ///
-    /// [`EngineError::NoOutstandingFetch`] as for [`Core::execute`].
+    /// [`EngineError::NoOutstandingFetch`] as for [`Core::execute`], and
+    /// [`EngineError::MalformedTape`] if entry `i` is a load with no
+    /// recorded destination.
     pub fn replay_execute(&mut self, tape: &TraceTape, i: usize) -> Result<(), EngineError> {
         match tape.kind(i) {
             TapeKind::Alu | TapeKind::Branch => {}
             TapeKind::Load => {
-                let dst = tape.dst(i).expect("load entries record a destination");
+                let dst = tape.dst(i).ok_or(EngineError::MalformedTape { index: i })?;
                 self.execute_load(tape.addr(i), dst, tape.format(i))?;
                 self.stats.loads += 1;
             }

@@ -23,7 +23,7 @@
 
 use nbl_core::mshr::Rejection;
 use nbl_core::types::{BlockAddr, Cycle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which port the traced access came in on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,7 +232,7 @@ pub struct MissLifecycleStats {
     pub max_flight: u64,
     /// Fetches in flight at the moment of observation (launch time and
     /// merges absorbed so far).
-    in_flight: HashMap<BlockAddr, (Cycle, u32)>,
+    in_flight: BTreeMap<BlockAddr, (Cycle, u32)>,
 }
 
 impl Default for MissLifecycleStats {
@@ -250,7 +250,7 @@ impl Default for MissLifecycleStats {
             time_in_flight: [0; FLIGHT_BUCKETS],
             flight_cycles: 0,
             max_flight: 0,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
         }
     }
 }

@@ -15,9 +15,13 @@
 //!   Rejected | FetchLaunched → Filled → TargetsWoken`) with its
 //!   zero-cost-when-disabled observers.
 
+/// Miss-lifecycle events, sinks and the zero-cost-when-disabled recorders.
 pub mod event;
+/// The pipelined main-memory model with its fixed service latency.
 pub mod memory;
+/// The port every processor drives: L1 + MSHRs -> optional L2 -> memory.
 pub mod system;
+/// The store write buffer with its retire policies.
 pub mod write_buffer;
 
 pub use event::{MemEvent, MemEventSink, MemTrace, MissLifecycleStats, RingRecorder};

@@ -201,6 +201,7 @@ impl MemorySystem {
     #[inline]
     fn emit(&mut self, event: MemEvent) {
         if let Some(t) = self.trace.as_deref_mut() {
+            // nbl-allow(event-guard): this wrapper IS the guard every other emit site routes through
             t.record(&event);
         }
     }
@@ -441,9 +442,12 @@ impl MemorySystem {
     /// `on_fill` (the processor wakes registers and samples from it).
     pub fn advance_to(&mut self, now: Cycle, mut on_fill: impl FnMut(&FillEvent)) {
         while self.memory.next_completion().is_ok_and(|at| at <= now) {
-            let fill = self
-                .apply_next_fill()
-                .expect("next_completion said nonempty");
+            // next_completion just said nonempty, so this never breaks;
+            // structured as a break (not a panic) to keep sweeps alive.
+            let Some(fill) = self.apply_next_fill() else {
+                debug_assert!(false, "next_completion said nonempty");
+                break;
+            };
             on_fill(&fill);
         }
     }

@@ -9,10 +9,10 @@
 
 use crate::list_schedule::schedule;
 use crate::regalloc::{allocate, AllocContext, AllocError};
+use nbl_core::hash::FastMap;
 use nbl_core::types::{PhysReg, RegClass, REGS_PER_CLASS};
 use nbl_trace::ir::{Program, VirtReg};
 use nbl_trace::machine::{CompiledProgram, MachineBlock};
-use std::collections::HashMap;
 
 /// The scheduled load latencies the paper sweeps (§3.3 / Fig. 4).
 pub const LOAD_LATENCIES: [u32; 6] = [1, 2, 3, 6, 10, 20];
@@ -58,7 +58,7 @@ impl std::error::Error for CompileError {}
 
 /// Per-block carried-register maps plus the leftover int and fp scratch
 /// pools.
-type CarriedAssignment = (Vec<HashMap<VirtReg, PhysReg>>, Vec<PhysReg>, Vec<PhysReg>);
+type CarriedAssignment = (Vec<FastMap<VirtReg, PhysReg>>, Vec<PhysReg>, Vec<PhysReg>);
 
 /// Globally assigns loop-carried virtual registers: each (block, vreg)
 /// pair gets its own architectural register so that interleaved block
@@ -69,7 +69,7 @@ fn assign_carried(program: &Program) -> Result<CarriedAssignment, CompileError> 
     let mut next_fp: u8 = 0;
     let mut maps = Vec::with_capacity(program.blocks.len());
     for block in &program.blocks {
-        let mut map = HashMap::new();
+        let mut map = FastMap::default();
         for &v in &block.carried {
             let reg = match block.class_of(v) {
                 RegClass::Int => {

@@ -16,10 +16,10 @@
 //! whose cache-level consequences (more overlap, but also more conflict
 //! misses from clustered loads, Fig. 8) the paper measures.
 
+use nbl_core::hash::FastMap;
 use nbl_trace::ir::{Block, IrOp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Builds the dependence edges of `ops` with the given scheduled load
 /// latency. Returns `(successors, indegrees)`; each successor edge carries
@@ -40,8 +40,8 @@ fn build_dag(ops: &[IrOp], load_latency: u32) -> (Vec<Vec<(usize, u32)>>, Vec<us
     };
 
     // Register dependences: last def / all uses since that def.
-    let mut last_def: HashMap<u32, usize> = HashMap::new();
-    let mut uses_since_def: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut last_def: FastMap<u32, usize> = FastMap::default();
+    let mut uses_since_def: FastMap<u32, Vec<usize>> = FastMap::default();
     // Memory: keep stores ordered relative to each other.
     let mut last_store: Option<usize> = None;
 

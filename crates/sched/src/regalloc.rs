@@ -17,15 +17,15 @@
 //! a fresh short-lived register) before each use. The scan then repeats on
 //! the rewritten code until it fits.
 
+use nbl_core::hash::FastMap;
 use nbl_core::types::{LoadFormat, PhysReg, RegClass};
 use nbl_trace::ir::{AddrPattern, IrOp, PatternId, VirtReg};
 use nbl_trace::machine::{MachineBlock, MachineOp};
-use std::collections::HashMap;
 
 /// Inputs that don't change across spill iterations.
 pub struct AllocContext<'a> {
     /// Pre-assigned loop-carried registers (never spilled).
-    pub carried: &'a HashMap<VirtReg, PhysReg>,
+    pub carried: &'a FastMap<VirtReg, PhysReg>,
     /// Scratch pool for integer virtual registers.
     pub int_pool: &'a [PhysReg],
     /// Scratch pool for floating-point virtual registers.
@@ -78,9 +78,9 @@ struct Interval {
     end: usize,
 }
 
-fn intervals(ops: &[IrOp], carried: &HashMap<VirtReg, PhysReg>) -> Vec<Interval> {
-    let mut first: HashMap<VirtReg, usize> = HashMap::new();
-    let mut last: HashMap<VirtReg, usize> = HashMap::new();
+fn intervals(ops: &[IrOp], carried: &FastMap<VirtReg, PhysReg>) -> Vec<Interval> {
+    let mut first: FastMap<VirtReg, usize> = FastMap::default();
+    let mut last: FastMap<VirtReg, usize> = FastMap::default();
     for (i, op) in ops.iter().enumerate() {
         for v in op.srcs().into_iter().chain(op.dst()) {
             if carried.contains_key(&v) {
@@ -106,13 +106,13 @@ fn intervals(ops: &[IrOp], carried: &HashMap<VirtReg, PhysReg>) -> Vec<Interval>
 fn scan(
     ops: &[IrOp],
     classes: &[RegClass],
-    carried: &HashMap<VirtReg, PhysReg>,
+    carried: &FastMap<VirtReg, PhysReg>,
     int_pool: &[PhysReg],
     fp_pool: &[PhysReg],
-) -> Result<HashMap<VirtReg, PhysReg>, Result<VirtReg, AllocError>> {
+) -> Result<FastMap<VirtReg, PhysReg>, Result<VirtReg, AllocError>> {
     let ivs = intervals(ops, carried);
-    let mut assignment: HashMap<VirtReg, PhysReg> = HashMap::new();
-    let mut free: HashMap<RegClass, Vec<PhysReg>> = HashMap::new();
+    let mut assignment: FastMap<VirtReg, PhysReg> = FastMap::default();
+    let mut free: FastMap<RegClass, Vec<PhysReg>> = FastMap::default();
     free.insert(RegClass::Int, int_pool.to_vec());
     free.insert(RegClass::Fp, fp_pool.to_vec());
     // Active intervals per class, with their ends.
@@ -370,7 +370,7 @@ mod tests {
         let (ops, classes) = hoisted_pairs(6);
         let (ip, fp) = pools(8);
         let mut patterns = vec![AddrPattern::Fixed { addr: 0 }];
-        let carried = HashMap::new();
+        let carried = FastMap::default();
         let mut ctx = AllocContext {
             carried: &carried,
             int_pool: &ip,
@@ -389,7 +389,7 @@ mod tests {
         let (ops, classes) = hoisted_pairs(10);
         let (ip, fp) = pools(6);
         let mut patterns = vec![AddrPattern::Fixed { addr: 0 }];
-        let carried = HashMap::new();
+        let carried = FastMap::default();
         let mut ctx = AllocContext {
             carried: &carried,
             int_pool: &ip,
@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn carried_registers_pass_through_and_never_spill() {
-        let mut carried = HashMap::new();
+        let mut carried = FastMap::default();
         carried.insert(VirtReg(0), PhysReg::int(31));
         let ops = vec![
             IrOp::Alu {
@@ -479,7 +479,7 @@ mod tests {
         let classes = vec![RegClass::Fp; 3];
         let ip = vec![PhysReg::int(0)];
         let fp = vec![PhysReg::fp(0)];
-        let carried = HashMap::new();
+        let carried = FastMap::default();
         let mut patterns = vec![AddrPattern::Fixed { addr: 0 }];
         let mut ctx = AllocContext {
             carried: &carried,

@@ -1,19 +1,21 @@
 //! A shared compile cache: each `(benchmark, latency)` pair is compiled
-//! exactly once per process and the [`CompiledProgram`] shared by
+//! exactly once per process and the
+//! [`CompiledProgram`](nbl_trace::machine::CompiledProgram) shared by
 //! reference, mirroring how the paper compiles one binary per latency and
 //! replays it under every hardware configuration.
 //!
 //! The cache is safe to hit from many pool workers at once: each key maps
-//! to a [`OnceLock`] slot, so concurrent requests for the same pair block
+//! to a [`OnceLock`](std::sync::OnceLock) slot, so concurrent requests
+//! for the same pair block
 //! on the single in-flight compile instead of duplicating it. Keys include
 //! a structural fingerprint of the IR, so two programs that share a name
 //! (e.g. quick- and full-scale builds of one benchmark) never alias.
 
+use nbl_core::hash::FastMap;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::ir::Program;
 use nbl_trace::machine::CompiledProgram;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -51,7 +53,7 @@ pub struct CacheStats {
 /// every sweep in the process, or a local instance for isolated tests.
 #[derive(Debug, Default)]
 pub struct CompileCache {
-    slots: Mutex<HashMap<Key, Slot>>,
+    slots: Mutex<FastMap<Key, Slot>>,
     hits: AtomicU64,
     compiles: AtomicU64,
 }

@@ -24,13 +24,21 @@
 //! * [`report`] — fixed-width text rendering in the shape of the paper's
 //!   figures and tables.
 
+/// Exactly-once compilation cache shared across sweep grid points.
 pub mod compile_cache;
+/// The experiment configuration space (Fig. 13 machine configs et al.).
 pub mod config;
+/// Single-run driver: build the machine, run a benchmark, collect results.
 pub mod driver;
+/// Scoped-thread job pool with input-ordered placement for sweeps.
 pub mod pool;
+/// Fixed-width tables and hand-rolled JSON emitters for every exhibit.
 pub mod report;
+/// The parallel sweep engine (latency / penalty / grid / replacement).
 pub mod sweep;
+/// Record-once/replay-many trace-tape cache beside the compile cache.
 pub mod tape_cache;
+/// Process-wide atomic counters surfaced in the throughput table.
 pub mod telemetry;
 
 pub use compile_cache::{CacheStats, CompileCache};

@@ -1,10 +1,12 @@
 //! A shared tape cache: each compiled `(benchmark, latency)` pair is
-//! recorded into a [`TraceTape`] exactly once per process and the tape
+//! recorded into a [`TraceTape`](nbl_trace::tape::TraceTape) exactly once
+//! per process and the tape
 //! shared by reference across every hardware configuration that replays
 //! it — the record-once/replay-many half of the pipeline whose
 //! compile-once half is [`crate::compile_cache::CompileCache`].
 //!
-//! The exactly-once mechanics mirror the compile cache (one [`OnceLock`]
+//! The exactly-once mechanics mirror the compile cache (one
+//! [`OnceLock`](std::sync::OnceLock)
 //! slot per key, so concurrent first requests block on the single
 //! in-flight recording), with one addition: tapes are bulk data (13 bytes
 //! per dynamic instruction — megabytes per full-scale program), so the
@@ -14,10 +16,11 @@
 //! replay are never evicted, and an evicted pair is simply re-recorded on
 //! its next request.
 
+use nbl_core::hash::FastMap;
 use nbl_trace::machine::CompiledProgram;
 use nbl_trace::tape::TraceTape;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -51,7 +54,7 @@ type Slot = Arc<OnceLock<Arc<TraceTape>>>;
 
 #[derive(Debug, Default)]
 struct State {
-    map: HashMap<Key, Slot>,
+    map: FastMap<Key, Slot>,
     /// Insertion order, for FIFO eviction when over the byte budget.
     order: VecDeque<Key>,
     /// Bytes held by fully recorded resident tapes.

@@ -83,6 +83,7 @@ impl PatternState {
                 Addr(addr)
             }
             (AddrPattern::Fixed { addr }, PatternState::Fixed) => Addr(*addr),
+            // nbl-allow(no-panic): PatternState is derived 1:1 from AddrPattern at build time
             _ => unreachable!("pattern state built from the same table"),
         }
     }

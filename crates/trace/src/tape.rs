@@ -360,6 +360,7 @@ impl TraceTape {
             TapeKind::Branch => DynKind::Alu { dst: None },
             TapeKind::Load => DynKind::Load {
                 addr: self.addr(i),
+                // nbl-allow(no-panic): InstSink::record stores a dst for every load
                 dst: self.dst(i).expect("loads always record a destination"),
                 format: self.format(i),
             },

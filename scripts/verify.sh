@@ -19,6 +19,21 @@ cargo test --workspace -q
 echo "== clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== nbl-analyze (repo-specific lints, findings denied) =="
+cargo run --release -p nbl-analyze -- --deny --json results/json/analyze.json
+python3 - results/json/analyze.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["kind"] == "analyze", d["kind"]
+assert d["findings_total"] == len(d["findings"]) == 0, d["findings"]
+assert d["files_scanned"] > 0, d["files_scanned"]
+known = {"no-panic", "determinism", "exhaustiveness", "event-guard",
+         "doc-coverage", "bad-allow", "allowlist"}
+assert set(d["per_lint"]) <= known, d["per_lint"]
+assert d["allowlist_entries"] == 0, "the allowlist only burns down"
+print("analyze.json: shape OK")
+EOF
+
 echo "== rustfmt check =="
 cargo fmt --all -- --check
 
