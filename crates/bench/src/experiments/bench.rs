@@ -1,24 +1,33 @@
 //! `bench` exhibit: wall-clock timing of the record-once/replay-many
 //! pipeline on a pinned grid sweep.
 //!
-//! Three timed phases over the same 18 benchmarks × 8 configurations × 6
+//! Four timed phases over the same 18 benchmarks × 8 configurations × 6
 //! latencies grid (the full Fig. 13 roster), all on one fresh
 //! [`SweepEngine`] so this exhibit's counters are not mixed with other
 //! exhibits':
 //!
 //! 1. **cold** — empty caches: every `(benchmark, latency)` pair is
 //!    compiled and recorded to a tape, then all 864 cells replay;
-//! 2. **warm** — the same sweep again with both caches hot: pure replay;
-//! 3. **interpreted** — the same cells through
+//! 2. **warm** — the same sweep again with both caches hot: pure fused
+//!    replay (one tape walk advances all configurations of a
+//!    `(benchmark, latency)` group in lockstep), best of `--bench-reps`
+//!    passes;
+//! 3. **warm unfused** — the same cells through
+//!    [`SweepEngine::grid_sweep_unfused`], one independent replay per
+//!    cell: the reference the fusion speedup and bit-identity are
+//!    measured against;
+//! 4. **interpreted** — the same cells through
 //!    [`run_compiled_interpreted`] (warm compile cache, no tapes): the
-//!    pre-tape pipeline this PR's replay path is measured against.
+//!    pre-tape pipeline, best of `--bench-reps` passes.
 //!
-//! The exhibit asserts nothing but verifies and reports that all three
-//! passes produce bit-identical [`RunResult`]s, and writes the
-//! measurements to `BENCH_sweep.json` (path override: `NBL_BENCH_JSON`)
-//! so speedups are tracked commit over commit.
+//! The exhibit asserts nothing but verifies and reports that all passes
+//! produce bit-identical [`RunResult`]s, and writes the measurements to
+//! `BENCH_sweep.json` (path override: `NBL_BENCH_JSON`). The file is a
+//! history, not a snapshot: each run appends one entry (threads, git
+//! describe, caller-supplied ISO date, timings) to its `trajectory`
+//! array, so speedups are tracked commit over commit.
 
-use super::{programs_for, ExhibitError, RunScale, LATENCIES};
+use super::{bench_opts, programs_for, ExhibitError, RunScale, LATENCIES};
 use nbl_sim::config::{HwConfig, SimConfig};
 use nbl_sim::driver::{run_compiled_interpreted, RunResult};
 use nbl_sim::pool::available_threads;
@@ -37,8 +46,9 @@ fn grid_configs() -> Vec<HwConfig> {
     configs
 }
 
-/// Runs the full grid once through the engine's (cached, tape-replaying)
-/// sweep path; returns wall seconds and the flat cell results.
+/// Runs the full grid once through the engine's fused sweep path (one
+/// tape walk per `(benchmark, latency)` group); returns wall seconds and
+/// the flat cell results.
 fn sweep_pass(
     engine: &SweepEngine,
     programs: &[Program],
@@ -49,6 +59,26 @@ fn sweep_pass(
     let sweeps = engine
         .grid_sweep(&refs, &base, &grid_configs(), &LATENCIES)
         .map_err(|e| ExhibitError::new("bench grid sweep", e))?;
+    let wall = t0.elapsed().as_secs_f64();
+    let flat = sweeps
+        .into_iter()
+        .flat_map(|s| s.rows.into_iter().flatten())
+        .collect();
+    Ok((wall, flat))
+}
+
+/// Runs the same grid with fusion disabled: every cell replays the tape
+/// independently as its own pool job.
+fn unfused_pass(
+    engine: &SweepEngine,
+    programs: &[Program],
+) -> Result<(f64, Vec<RunResult>), ExhibitError> {
+    let refs: Vec<&Program> = programs.iter().collect();
+    let base = SimConfig::baseline(HwConfig::NoRestrict);
+    let t0 = Instant::now();
+    let sweeps = engine
+        .grid_sweep_unfused(&refs, &base, &grid_configs(), &LATENCIES)
+        .map_err(|e| ExhibitError::new("bench unfused grid sweep", e))?;
     let wall = t0.elapsed().as_secs_f64();
     let flat = sweeps
         .into_iter()
@@ -93,9 +123,65 @@ fn interpreted_pass(
     Ok((t0.elapsed().as_secs_f64(), results))
 }
 
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn json_str_list(items: &[String]) -> String {
-    let body: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    let body: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
     format!("[{}]", body.join(","))
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or the repository) is unavailable. Identification only —
+/// never on a result path.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extracts the contents of the `"trajectory":[...]` array from a prior
+/// `BENCH_sweep.json`, bracket-matching with string awareness so quoted
+/// values cannot derail the scan. Returns the inner text (no brackets),
+/// or `None` if the file has no trajectory yet.
+fn prior_trajectory(json: &str) -> Option<&str> {
+    let start = json.find("\"trajectory\":[")? + "\"trajectory\":[".len();
+    let rest = &json[start..];
+    let (mut depth, mut in_string, mut escaped) = (1usize, false, false);
+    for (i, c) in rest.char_indices() {
+        match (in_string, escaped, c) {
+            (true, true, _) => escaped = false,
+            (true, false, '\\') => escaped = true,
+            (true, false, '"') => in_string = false,
+            (false, _, '"') => in_string = true,
+            (false, _, '[') => depth += 1,
+            (false, _, ']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Prints the timing table and writes `BENCH_sweep.json`.
@@ -105,6 +191,8 @@ fn json_str_list(items: &[String]) -> String {
 /// compared commit over commit, so the grid must not change shape with
 /// command-line flags.
 pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
+    let opts = bench_opts();
+    let reps = opts.reps.max(1);
     let programs = programs_for(&ALL, RunScale::Quick)?;
     let engine = SweepEngine::new(available_threads());
     let configs = grid_configs();
@@ -112,21 +200,30 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
     let threads = engine.pool().threads();
 
     // Cold can only be timed once (the caches are warm afterwards); the
-    // repeatable phases take the best of two passes to damp scheduler
-    // noise, after checking every pass agrees bit-for-bit.
+    // repeatable phases take the best of `reps` passes to damp scheduler
+    // noise, after checking every pass agrees bit-for-bit with cold.
     let (cold_wall, cold) = sweep_pass(&engine, &programs)?;
-    let (warm_wall_a, warm) = sweep_pass(&engine, &programs)?;
-    let (warm_wall_b, warm_again) = sweep_pass(&engine, &programs)?;
-    let warm_wall = warm_wall_a.min(warm_wall_b);
-    let (interp_wall_a, interp) = interpreted_pass(&engine, &programs)?;
-    let (interp_wall_b, interp_again) = interpreted_pass(&engine, &programs)?;
-    let interp_wall = interp_wall_a.min(interp_wall_b);
-    let bit_identical =
-        cold == warm && warm == warm_again && warm == interp && interp == interp_again;
+    let mut identical = true;
+    let mut warm_wall = f64::INFINITY;
+    for _ in 0..reps {
+        let (wall, pass) = sweep_pass(&engine, &programs)?;
+        warm_wall = warm_wall.min(wall);
+        identical &= pass == cold;
+    }
+    let (unfused_wall, unfused) = unfused_pass(&engine, &programs)?;
+    identical &= unfused == cold;
+    let mut interp_wall = f64::INFINITY;
+    for _ in 0..reps {
+        let (wall, pass) = interpreted_pass(&engine, &programs)?;
+        interp_wall = interp_wall.min(wall);
+        identical &= pass == cold;
+    }
     let speedup_vs_interpreted = interp_wall / warm_wall;
     let speedup_vs_cold = cold_wall / warm_wall;
+    let speedup_fused_vs_unfused = unfused_wall / warm_wall;
     let compile = engine.cache().stats();
     let tapes = engine.tapes().stats();
+    let git = git_describe();
 
     let _ = writeln!(
         out,
@@ -134,18 +231,21 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
     );
     let _ = writeln!(
         out,
-        "{} cells: {} benchmarks x {} configs x {} latencies, {} worker thread{}",
+        "{} cells: {} benchmarks x {} configs x {} latencies, {} worker thread{}, best of {} pass{}",
         runs,
         ALL.len(),
         configs.len(),
         LATENCIES.len(),
         threads,
-        if threads == 1 { "" } else { "s" }
+        if threads == 1 { "" } else { "s" },
+        reps,
+        if reps == 1 { "" } else { "es" }
     );
     let _ = writeln!(out, "{:>24} {:>9} {:>9}", "phase", "wall (s)", "runs/s");
     for (name, wall) in [
         ("cold (compile+record)", cold_wall),
-        ("warm (tape replay)", warm_wall),
+        ("warm (fused replay)", warm_wall),
+        ("warm (unfused replay)", unfused_wall),
         ("interpreted (no tape)", interp_wall),
     ] {
         let _ = writeln!(
@@ -158,7 +258,7 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
     }
     let _ = writeln!(
         out,
-        "speedup: warm replay vs interpreted {speedup_vs_interpreted:.2}x, vs cold {speedup_vs_cold:.2}x"
+        "speedup: warm fused vs interpreted {speedup_vs_interpreted:.2}x, vs unfused {speedup_fused_vs_unfused:.2}x, vs cold {speedup_vs_cold:.2}x"
     );
     let _ = writeln!(
         out,
@@ -171,38 +271,100 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
     );
     let _ = writeln!(
         out,
-        "results bit-identical across all three passes: {}",
-        if bit_identical { "yes" } else { "NO" }
+        "results bit-identical across all passes (fused/unfused/interpreted): {}",
+        if identical { "yes" } else { "NO" }
     );
+
+    // One trajectory entry per invocation; the file accumulates them so
+    // BENCH_sweep.json reads as a perf history across commits.
+    let entry = format!(
+        concat!(
+            "{{\"date\":\"{}\",\"git\":\"{}\",\"threads\":{},\"reps\":{},",
+            "\"cold_wall_s\":{:.6},\"warm_wall_s\":{:.6},\"unfused_wall_s\":{:.6},",
+            "\"interpreted_wall_s\":{:.6},\"warm_runs_per_sec\":{:.2},",
+            "\"speedup_warm_vs_interpreted\":{:.3},\"speedup_fused_vs_unfused\":{:.3},",
+            "\"bit_identical\":{}}}"
+        ),
+        json_escape(&opts.date),
+        json_escape(&git),
+        threads,
+        reps,
+        cold_wall,
+        warm_wall,
+        unfused_wall,
+        interp_wall,
+        runs as f64 / warm_wall,
+        speedup_vs_interpreted,
+        speedup_fused_vs_unfused,
+        identical,
+    );
+    let path = std::env::var("NBL_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let trajectory = match std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .and_then(prior_trajectory)
+    {
+        Some(prior) if !prior.trim().is_empty() => format!("{prior},{entry}"),
+        _ => entry,
+    };
 
     let latencies_json = format!("[{}]", LATENCIES.map(|l| l.to_string()).join(","));
     let json = format!(
         concat!(
             "{{\"kind\":\"bench_sweep\",\"scale\":\"quick\",",
             "\"benchmarks\":{},\"configs\":{},\"load_latencies\":{},",
-            "\"runs\":{},\"threads\":{},",
-            "\"cold_wall_s\":{:.6},\"warm_wall_s\":{:.6},\"interpreted_wall_s\":{:.6},",
+            "\"runs\":{},\"threads\":{},\"reps\":{},\"git\":\"{}\",\"date\":\"{}\",",
+            "\"cold_wall_s\":{:.6},\"warm_wall_s\":{:.6},\"unfused_wall_s\":{:.6},",
+            "\"interpreted_wall_s\":{:.6},",
             "\"warm_runs_per_sec\":{:.2},",
-            "\"speedup_warm_vs_interpreted\":{:.3},\"speedup_warm_vs_cold\":{:.3},",
-            "\"bit_identical\":{},\"caches\":{}}}\n"
+            "\"speedup_warm_vs_interpreted\":{:.3},\"speedup_fused_vs_unfused\":{:.3},",
+            "\"speedup_warm_vs_cold\":{:.3},",
+            "\"bit_identical\":{},\"caches\":{},",
+            "\"trajectory\":[{}]}}\n"
         ),
         json_str_list(&ALL.map(String::from)),
         json_str_list(&configs.iter().map(HwConfig::label).collect::<Vec<_>>()),
         latencies_json,
         runs,
         threads,
+        reps,
+        json_escape(&git),
+        json_escape(&opts.date),
         cold_wall,
         warm_wall,
+        unfused_wall,
         interp_wall,
         runs as f64 / warm_wall,
         speedup_vs_interpreted,
+        speedup_fused_vs_unfused,
         speedup_vs_cold,
-        bit_identical,
+        identical,
         report::caches_json(&compile, &tapes),
+        trajectory,
     );
-    let path = std::env::var("NBL_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     std::fs::write(&path, json).map_err(|e| ExhibitError::new(format!("writing {path}"), e))?;
-    let _ = writeln!(out, "wrote {path}");
+    let n_entries = trajectory.matches("\"date\"").count();
+    let _ = writeln!(out, "wrote {path} ({n_entries}-entry trajectory)");
     let _ = writeln!(out);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prior_trajectory;
+
+    #[test]
+    fn trajectory_extraction_handles_missing_empty_and_tricky_strings() {
+        assert_eq!(prior_trajectory("{\"kind\":\"bench_sweep\"}"), None);
+        assert_eq!(prior_trajectory("{\"trajectory\":[]}"), Some(""));
+        let one = "{\"trajectory\":[{\"date\":\"2026-08-08\",\"x\":[1,2]}]}";
+        assert_eq!(
+            prior_trajectory(one),
+            Some("{\"date\":\"2026-08-08\",\"x\":[1,2]}")
+        );
+        // Brackets and escaped quotes inside string values must not
+        // derail the bracket matcher.
+        let tricky = "{\"trajectory\":[{\"git\":\"v1-g0a]\\\"[\"}],\"z\":1}";
+        assert_eq!(prior_trajectory(tricky), Some("{\"git\":\"v1-g0a]\\\"[\"}"));
+    }
 }

@@ -25,7 +25,7 @@ use nbl_sim::telemetry::{Telemetry, TelemetrySnapshot};
 use std::io::Write;
 use std::time::Instant;
 
-const USAGE: &str = "usage: figures <exhibit ... | all | list> [--quick] [--out FILE] [--csv DIR] [--json DIR]\n       run `figures list` for the registered exhibits";
+const USAGE: &str = "usage: figures <exhibit ... | all | list> [--quick] [--out FILE] [--csv DIR] [--json DIR]\n                                                  [--bench-reps N] [--bench-date ISO]\n       run `figures list` for the registered exhibits";
 
 /// One timed exhibit: name, wall-clock seconds, simulated work done.
 struct Timing {
@@ -78,6 +78,8 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
             runs: total.runs + t.work.runs,
             events: total.events + t.work.events,
             policy_runs: total.policy_runs + t.work.policy_runs,
+            arena_builds: total.arena_builds + t.work.arena_builds,
+            arena_reuses: total.arena_reuses + t.work.arena_reuses,
         };
     }
     let _ = writeln!(
@@ -104,6 +106,13 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
         tapes.evictions,
         tapes.resident_bytes as f64 / (1024.0 * 1024.0)
     );
+    if total.arena_builds + total.arena_reuses > 0 {
+        let _ = writeln!(
+            out,
+            "worker arena: {} processor builds, {} warm reuses",
+            total.arena_builds, total.arena_reuses
+        );
+    }
     if total.events > 0 {
         let _ = writeln!(out, "miss-lifecycle events recorded: {}", total.events);
     }
@@ -124,7 +133,10 @@ fn print_exhibits() {
     }
     println!("  {:<12} every exhibit above, in order", "all");
     println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs),");
-    println!("          --json DIR (machine-readable results, e.g. results/)");
+    println!("          --json DIR (machine-readable results, e.g. results/),");
+    println!(
+        "          --bench-reps N (best-of-N bench phases), --bench-date ISO (trajectory stamp)"
+    );
     println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
 }
 
@@ -133,11 +145,28 @@ fn main() {
     let mut scale = RunScale::Full;
     let mut out_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut bench_reps: Option<usize> = None;
+    let mut bench_date: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = RunScale::Quick,
             "--out" => out_path = it.next(),
+            "--bench-reps" => {
+                let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|n| *n >= 1) else {
+                    eprintln!("--bench-reps needs a positive integer");
+                    std::process::exit(2);
+                };
+                bench_reps = Some(n);
+            }
+            "--bench-date" => {
+                let Some(d) = it.next() else {
+                    eprintln!("--bench-date needs a date string (e.g. 2026-08-08)");
+                    std::process::exit(2);
+                };
+                bench_date = Some(d);
+            }
             "--csv" => {
                 let Some(dir) = it.next() else {
                     eprintln!("--csv needs a directory");
@@ -185,6 +214,13 @@ fn main() {
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    if bench_reps.is_some() || bench_date.is_some() {
+        let defaults = experiments::bench_opts();
+        experiments::set_bench_opts(experiments::BenchOpts {
+            reps: bench_reps.unwrap_or(defaults.reps),
+            date: bench_date.unwrap_or(defaults.date),
+        });
+    }
 
     let mut sinks: Vec<Box<dyn Write>> = vec![Box::new(std::io::stdout())];
     if let Some(path) = &out_path {

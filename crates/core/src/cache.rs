@@ -270,6 +270,18 @@ impl LockupFreeCache {
         &self.config
     }
 
+    /// Returns the cache to its freshly-built (all-invalid, zero-counter)
+    /// state while keeping every internal allocation — tag array, MSHR
+    /// storages, victim buffer — for reuse by the next run on this worker.
+    pub fn reset(&mut self) {
+        self.tags.reset();
+        self.mshrs.reset();
+        self.transit = TransitFilter::new();
+        self.counters = CacheCounters::default();
+        self.wb_slot = 0;
+        self.victims.clear();
+    }
+
     /// Accumulated event counters.
     pub fn counters(&self) -> &CacheCounters {
         &self.counters
@@ -440,18 +452,26 @@ impl LockupFreeCache {
     /// Works for blocking-cache fills too, in which case the returned
     /// vector is empty.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
+        let mut records = Vec::new();
+        self.fill_into(block, &mut records);
+        records
+    }
+
+    /// [`LockupFreeCache::fill`], but appending the drained targets to a
+    /// caller-provided (typically recycled) vector instead of allocating.
+    pub fn fill_into(&mut self, block: BlockAddr, out: &mut Vec<TargetRecord>) {
         if let Some(victim) = self.tags.install(block) {
             self.remember_victim(victim);
         }
         self.counters.fills += 1;
-        let records = self.mshrs.fill(block);
-        if !records.is_empty() {
+        let before = out.len();
+        self.mshrs.fill_into(block, out);
+        if out.len() > before {
             // Every tracked primary carries at least one target, so a
             // non-empty drain is exactly "a fetch was outstanding"; a
             // blocking-cache fill drains nothing and decrements nothing.
             self.transit.dec(block);
         }
-        records
     }
 
     /// `true` if `block` currently resides in the cache (ignoring transit).

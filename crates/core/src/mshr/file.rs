@@ -64,6 +64,10 @@ pub struct RegisterMshrFile {
     per_set: FastMap<u32, u32>,
     /// Total waiting target records across all entries.
     total_misses: usize,
+    /// Recycled target storages: every fill returns its entry's storage
+    /// here and every primary miss takes one back, so a warm replay
+    /// allocates a storage only while growing past its high-water mark.
+    spare: Vec<TargetStorage>,
 }
 
 impl RegisterMshrFile {
@@ -75,12 +79,24 @@ impl RegisterMshrFile {
             entries: FastMap::default(),
             per_set: FastMap::default(),
             total_misses: 0,
+            spare: Vec::new(),
         }
     }
 
     /// The configuration this file was built with.
     pub fn config(&self) -> &RegisterFileConfig {
         &self.config
+    }
+
+    /// Empties the file back to its as-built state, keeping the entry
+    /// maps' buckets and the recycled target storages for reuse.
+    pub fn reset(&mut self) {
+        for (_, mut entry) in self.entries.drain() {
+            entry.targets.clear();
+            self.spare.push(entry.targets);
+        }
+        self.per_set.clear();
+        self.total_misses = 0;
     }
 
     /// Presents a load miss.
@@ -116,10 +132,16 @@ impl RegisterMshrFile {
         if !self.config.max_fetches_per_set.allows_one_more(in_set) {
             return MshrResponse::Rejected(Rejection::PerSetFetchLimit);
         }
-        let mut targets = TargetStorage::new(self.config.targets, &self.geometry);
+        let mut targets = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| TargetStorage::new(self.config.targets, &self.geometry));
         match targets.try_add(record) {
             Ok(()) => {}
-            Err(reason) => return MshrResponse::Rejected(reason),
+            Err(reason) => {
+                self.spare.push(targets);
+                return MshrResponse::Rejected(reason);
+            }
         }
         self.entries.insert(
             req.block,
@@ -135,11 +157,23 @@ impl RegisterMshrFile {
 
     /// Completes the fetch of `block`, returning all waiting targets.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
+        let mut records = Vec::new();
+        self.fill_into(block, &mut records);
+        records
+    }
+
+    /// Completes the fetch of `block`, appending all waiting targets to
+    /// `out` — the allocation-free twin of [`RegisterMshrFile::fill`]:
+    /// the entry's target storage is recycled for the next primary miss
+    /// instead of dropped.
+    pub fn fill_into(&mut self, block: BlockAddr, out: &mut Vec<TargetRecord>) {
         let Some(mut entry) = self.entries.remove(&block) else {
-            return Vec::new();
+            return;
         };
-        let records = entry.targets.drain();
-        self.total_misses -= records.len();
+        let before = out.len();
+        entry.targets.drain_into(out);
+        self.total_misses -= out.len() - before;
+        self.spare.push(entry.targets);
         debug_assert!(
             self.per_set.contains_key(&entry.set),
             "per-set count tracks entries"
@@ -150,7 +184,6 @@ impl RegisterMshrFile {
                 self.per_set.remove(&entry.set);
             }
         }
-        records
     }
 
     /// `true` if a fetch for `block` is outstanding. Probed on every

@@ -37,6 +37,10 @@ pub struct InCacheMshr {
     /// Block → set reverse index for `fill`/`is_in_transit`.
     by_block: FastMap<BlockAddr, u32>,
     total_misses: usize,
+    /// Recycled target storages: every fill returns its line's storage here
+    /// and every new primary miss takes one back, so a warmed-up MSHR
+    /// allocates nothing on the miss/fill path.
+    spare: Vec<TargetStorage>,
 }
 
 impl InCacheMshr {
@@ -48,7 +52,22 @@ impl InCacheMshr {
             per_set: FastMap::default(),
             by_block: FastMap::default(),
             total_misses: 0,
+            spare: Vec::new(),
         }
+    }
+
+    /// Clears all dynamic state while keeping every allocation (per-set
+    /// vectors, hash-map capacity, recycled target storages) for reuse by
+    /// the next run on the same worker.
+    pub fn reset(&mut self) {
+        for lines in self.per_set.values_mut() {
+            for mut line in lines.drain(..) {
+                line.targets.clear();
+                self.spare.push(line.targets);
+            }
+        }
+        self.by_block.clear();
+        self.total_misses = 0;
     }
 
     /// The target-field layout stored in each transit line.
@@ -78,10 +97,16 @@ impl InCacheMshr {
         if lines.len() >= self.geometry.ways() as usize {
             return MshrResponse::Rejected(Rejection::PerSetFetchLimit);
         }
-        let mut targets = TargetStorage::new(self.targets_policy, &self.geometry);
+        let mut targets = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| TargetStorage::new(self.targets_policy, &self.geometry));
         match targets.try_add(record) {
             Ok(()) => {}
-            Err(reason) => return MshrResponse::Rejected(reason),
+            Err(reason) => {
+                self.spare.push(targets);
+                return MshrResponse::Rejected(reason);
+            }
         }
         lines.push(TransitLine {
             block: req.block,
@@ -94,24 +119,34 @@ impl InCacheMshr {
 
     /// Completes the fetch of `block`.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
+        let mut records = Vec::new();
+        self.fill_into(block, &mut records);
+        records
+    }
+
+    /// Completes the fetch of `block`, appending the waiting targets to
+    /// `out` — the allocation-free twin of [`InCacheMshr::fill`]: the
+    /// line's target storage is recycled for the next primary miss.
+    pub fn fill_into(&mut self, block: BlockAddr, out: &mut Vec<TargetRecord>) {
         let Some(set) = self.by_block.remove(&block) else {
-            return Vec::new();
+            return;
         };
         debug_assert!(self.per_set.contains_key(&set), "by_block tracks per_set");
         let Some(lines) = self.per_set.get_mut(&set) else {
-            return Vec::new();
+            return;
         };
         let Some(idx) = lines.iter().position(|l| l.block == block) else {
             debug_assert!(false, "by_block tracks per_set");
-            return Vec::new();
+            return;
         };
         // The emptied per-set vector stays in the map: sets that miss once
         // miss again, and keeping the allocation avoids a free/alloc cycle
         // per fetch.
         let mut line = lines.swap_remove(idx);
-        let records = line.targets.drain();
-        self.total_misses -= records.len();
-        records
+        let before = out.len();
+        line.targets.drain_into(out);
+        self.total_misses -= out.len() - before;
+        self.spare.push(line.targets);
     }
 
     /// `true` if a fetch for `block` is outstanding. Probed on every

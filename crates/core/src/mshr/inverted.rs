@@ -88,6 +88,13 @@ impl InvertedMshr {
         self.config
     }
 
+    /// Clears all dynamic state while keeping the hash-map capacity for
+    /// reuse by the next run on the same worker.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.fetches.clear();
+    }
+
     /// Presents a load miss.
     ///
     /// A primary miss (no outstanding fetch for the block) launches a fetch;
@@ -118,13 +125,20 @@ impl InvertedMshr {
     /// Completes the fetch of `block`: probes all entries (the match
     /// encoder) and drains every destination waiting on this block.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
-        if self.fetches.remove(&block).is_none() {
-            return Vec::new();
-        }
         let mut records = Vec::new();
+        self.fill_into(block, &mut records);
+        records
+    }
+
+    /// Completes the fetch of `block`, appending the waiting targets to
+    /// `out` — the allocation-free twin of [`InvertedMshr::fill`].
+    pub fn fill_into(&mut self, block: BlockAddr, out: &mut Vec<TargetRecord>) {
+        if self.fetches.remove(&block).is_none() {
+            return;
+        }
         self.entries.retain(|dest, state| {
             if state.block == block {
-                records.push(TargetRecord {
+                out.push(TargetRecord {
                     dest: *dest,
                     offset: state.offset,
                     format: state.format,
@@ -134,7 +148,6 @@ impl InvertedMshr {
                 true
             }
         });
-        records
     }
 
     /// `true` if a fetch for `block` is outstanding. Probed on every

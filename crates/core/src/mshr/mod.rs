@@ -264,11 +264,31 @@ impl MshrBank {
     /// Returns an empty vector if no fetch for `block` was outstanding
     /// (e.g. a blocking-cache fill).
     pub fn fill(&mut self, block: BlockAddr) -> Vec<TargetRecord> {
+        let mut records = Vec::new();
+        self.fill_into(block, &mut records);
+        records
+    }
+
+    /// Completes the fetch of `block`, appending every waiting target to
+    /// `out` — the allocation-free twin of [`MshrBank::fill`] used by the
+    /// cache's recycled-fill path.
+    pub fn fill_into(&mut self, block: BlockAddr, out: &mut Vec<TargetRecord>) {
         match self {
-            MshrBank::Blocking => Vec::new(),
-            MshrBank::Register(f) => f.fill(block),
-            MshrBank::InCache(m) => m.fill(block),
-            MshrBank::Inverted(m) => m.fill(block),
+            MshrBank::Blocking => {}
+            MshrBank::Register(f) => f.fill_into(block, out),
+            MshrBank::InCache(m) => m.fill_into(block, out),
+            MshrBank::Inverted(m) => m.fill_into(block, out),
+        }
+    }
+
+    /// Clears all dynamic state while keeping internal allocations for reuse
+    /// by the next run on the same worker.
+    pub fn reset(&mut self) {
+        match self {
+            MshrBank::Blocking => {}
+            MshrBank::Register(f) => f.reset(),
+            MshrBank::InCache(m) => m.reset(),
+            MshrBank::Inverted(m) => m.reset(),
         }
     }
 

@@ -232,6 +232,27 @@ impl TargetStorage {
         std::mem::take(&mut self.records)
     }
 
+    /// Discards all recorded targets, keeping the buffers' capacity (the
+    /// recycling twin of [`TargetStorage::drain_into`] for resets where
+    /// nobody wants the records).
+    pub fn clear(&mut self) {
+        for o in &mut self.occupancy {
+            *o = 0;
+        }
+        self.records.clear();
+    }
+
+    /// Appends all recorded targets to `out` and resets the storage for
+    /// reuse — unlike [`TargetStorage::drain`] the internal record buffer
+    /// keeps its capacity, so a recycled storage records its next fetch's
+    /// targets without allocating (the warm-replay fill path).
+    pub fn drain_into(&mut self, out: &mut Vec<TargetRecord>) {
+        for o in &mut self.occupancy {
+            *o = 0;
+        }
+        out.append(&mut self.records);
+    }
+
     /// The policy this storage was built with.
     #[inline]
     pub fn policy(&self) -> TargetPolicy {

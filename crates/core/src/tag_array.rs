@@ -204,6 +204,9 @@ impl ReplacementPolicy for FifoPolicy {
 #[derive(Debug, Clone)]
 struct RandomPolicy {
     ways: usize,
+    /// The seed the stream started from, kept so [`TagArray::reset`] can
+    /// rewind the policy to its as-built state.
+    seed: u64,
     rng: SplitMix64,
 }
 
@@ -311,6 +314,7 @@ impl Policy {
             ReplacementKind::Fifo => Policy::Fifo(FifoPolicy::new(sets, ways)),
             ReplacementKind::Random { seed } => Policy::Random(RandomPolicy {
                 ways,
+                seed,
                 rng: SplitMix64::new(seed),
             }),
             ReplacementKind::TreePlru => Policy::TreePlru(TreePlruPolicy::new(sets, ways)),
@@ -352,6 +356,25 @@ impl ReplacementPolicy for Policy {
             Policy::Fifo(p) => p.victim(set),
             Policy::Random(p) => p.victim(set),
             Policy::TreePlru(p) => p.victim(set),
+        }
+    }
+}
+
+impl Policy {
+    /// Rewinds the policy to its as-built state without releasing any
+    /// backing storage (the metadata vectors are zeroed in place).
+    fn reset(&mut self) {
+        match self {
+            Policy::Lru(p) => {
+                p.stamps.fill(0);
+                p.clock = 0;
+            }
+            Policy::Fifo(p) => {
+                p.stamps.fill(0);
+                p.clock = 0;
+            }
+            Policy::Random(p) => p.rng = SplitMix64::new(p.seed),
+            Policy::TreePlru(p) => p.bits.fill(false),
         }
     }
 }
@@ -418,6 +441,22 @@ impl TagArray {
             index: (ways >= INDEXED_LOOKUP_MIN_WAYS).then(FastMap::default),
             policy: Policy::new(replacement, sets, ways),
         }
+    }
+
+    /// Rewinds the array to the all-invalid state [`TagArray::new`]
+    /// produces — valid bits cleared, block index emptied, replacement
+    /// metadata rewound — while keeping every heap allocation (line
+    /// vector, index buckets, policy stamps) for reuse. The arena layer
+    /// in `nbl-sim` leans on this to recycle whole processor instances
+    /// across warm sweep runs without fresh allocations.
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+        if let Some(index) = &mut self.index {
+            index.clear();
+        }
+        self.policy.reset();
     }
 
     /// The geometry this array was built over.
@@ -702,6 +741,29 @@ mod tests {
             let evicted = t.install(BlockAddr(ways * geom.num_sets())).unwrap();
             assert_eq!(evicted, BlockAddr(0), "LRU victim via either lookup path");
             assert!(!t.contains(BlockAddr(0)));
+        }
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_array_for_every_policy() {
+        for kind in ReplacementKind::all() {
+            let geom = four_way();
+            let drive = |t: &mut TagArray| -> Vec<Option<BlockAddr>> {
+                (0..12u64)
+                    .map(|b| {
+                        if b % 3 == 0 {
+                            t.touch(BlockAddr(b / 2));
+                        }
+                        t.install(BlockAddr(b))
+                    })
+                    .collect()
+            };
+            let mut fresh = TagArray::new(geom, kind);
+            let expected = drive(&mut fresh);
+            let mut reused = TagArray::new(geom, kind);
+            let _ = drive(&mut reused); // dirty it with a full pass
+            reused.reset();
+            assert_eq!(drive(&mut reused), expected, "{kind}: reset diverged");
         }
     }
 

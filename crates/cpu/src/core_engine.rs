@@ -68,8 +68,10 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Configuration of the shared engine.
-#[derive(Debug, Clone)]
+/// Configuration of the shared engine. Equality is structural — the
+/// worker arena uses it to decide whether a pooled processor can be
+/// reused for an incoming run.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Data cache (geometry, write policy, MSHR organization).
     pub cache: CacheConfig,
@@ -133,6 +135,19 @@ impl Core {
             sampler: InFlightSampler::new(),
             perfect: config.perfect_cache,
         }
+    }
+
+    /// Returns the core to its freshly-built state — cold cache, empty
+    /// scoreboard, cycle zero, zero counters — while keeping the memory
+    /// system's internal allocations for reuse. A reset core produces
+    /// bit-identical results to a newly constructed one; only the
+    /// allocator traffic differs.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        self.scoreboard = Scoreboard::new();
+        self.now = Cycle::ZERO;
+        self.stats = CpuStats::default();
+        self.sampler = InFlightSampler::new();
     }
 
     /// Current simulation time.
@@ -240,6 +255,7 @@ impl Core {
             .map_err(|_| EngineError::NoOutstandingFetch)?;
         self.stall_until(fill.at, cause);
         self.apply_fill(&fill);
+        self.mem.recycle_fill(fill);
         Ok(())
     }
 
@@ -403,12 +419,10 @@ impl Core {
             if self.mem.next_event().is_none() {
                 // Quiescent: skip ahead to the next *memory* barrier —
                 // every non-memory barrier until then is hazard-free and
-                // the whole span bulk-issues like a gap. The mem flag is
-                // packed into bit 31 of each barrier entry, so the scan
-                // never touches the tape's kind array.
-                while j < barriers.len() && !barrier_is_mem(barriers[j]) {
-                    j += 1;
-                }
+                // the whole span bulk-issues like a gap. The tape's packed
+                // flag plane lets the scan stride over non-memory spans a
+                // u64 word (64 barriers) at a time.
+                j = tape.next_mem_barrier(j);
                 let next = barriers.get(j).map_or(n, |&b| barrier_index(b));
                 if next > i {
                     self.issue_free_run(next - i);
@@ -436,6 +450,87 @@ impl Core {
         }
         if i < n {
             self.issue_free_run(n - i);
+        }
+        Ok(())
+    }
+
+    /// Replays one recorded tape through several engines in lockstep,
+    /// walking the barrier index (and decoding each entry's packed bytes)
+    /// once for the whole group instead of once per engine — the fused
+    /// fast path for sweep rows that differ only in hardware
+    /// configuration over a shared tape.
+    ///
+    /// Each engine keeps its own instruction cursor and processes exactly
+    /// the barriers the scalar [`Core::replay`] would: a *memory* barrier
+    /// is stepped by every engine; a non-memory barrier only by engines
+    /// with a fetch outstanding. For a quiescent engine a non-memory
+    /// barrier cannot stall or observe any state change, so deferring it
+    /// into the next bulk issue is exactly the scalar loop's quiescent
+    /// fast path — the fused walk is bit-identical to `cores.len()`
+    /// independent replays by construction (pinned by tests and the
+    /// sweep-level refactor-equivalence goldens). When every engine is
+    /// quiescent at once the walk additionally strides to the next memory
+    /// barrier through the tape's packed flag plane, sharing one chunked
+    /// scan across the group.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any engine hits; engines earlier in the
+    /// slice will have advanced past later ones when this happens, so the
+    /// group's results must be discarded as a unit.
+    pub fn replay_fused(tape: &TraceTape, cores: &mut [&mut Core]) -> Result<(), EngineError> {
+        let barriers = tape.barriers();
+        let n = tape.len();
+        // Per-engine cursor: the next instruction index to account for.
+        let mut cursors = vec![0usize; cores.len()];
+        let mut j = 0;
+        while j < barriers.len() {
+            if cores.iter().all(|c| c.mem.next_event().is_none()) {
+                // Whole group quiescent: one shared chunked scan to the
+                // next memory barrier; the skipped span bulk-issues per
+                // engine at that barrier's free-run below.
+                j = tape.next_mem_barrier(j);
+                let Some(&entry) = barriers.get(j) else { break };
+                let b = barrier_index(entry);
+                for (core, i) in cores.iter_mut().zip(&mut cursors) {
+                    if b > *i {
+                        core.issue_free_run(b - *i);
+                    }
+                    // Nothing outstanding: no drain, no hazard possible.
+                    core.replay_execute(tape, b)?;
+                    core.tick();
+                    *i = b + 1;
+                }
+            } else {
+                let entry = barriers[j];
+                let b = barrier_index(entry);
+                let is_mem = barrier_is_mem(entry);
+                for (core, i) in cores.iter_mut().zip(&mut cursors) {
+                    let quiescent = core.mem.next_event().is_none();
+                    if quiescent && !is_mem {
+                        // The scalar quiescent fast path: this barrier
+                        // bulk-issues with the gap at the engine's next
+                        // memory barrier.
+                        continue;
+                    }
+                    if b > *i {
+                        core.issue_free_run(b - *i);
+                    }
+                    if !quiescent {
+                        core.drain_fills();
+                        core.replay_hazards(tape, b)?;
+                    }
+                    core.replay_execute(tape, b)?;
+                    core.tick();
+                    *i = b + 1;
+                }
+            }
+            j += 1;
+        }
+        for (core, i) in cores.iter_mut().zip(&cursors) {
+            if *i < n {
+                core.issue_free_run(n - *i);
+            }
         }
         Ok(())
     }
@@ -525,6 +620,7 @@ impl Core {
                 self.now = fill.at;
             }
             self.apply_fill(&fill);
+            self.mem.recycle_fill(fill);
         }
         self.sampler.advance(self.now);
     }

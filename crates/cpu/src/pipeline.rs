@@ -106,6 +106,20 @@ impl Processor {
         self.core.finish();
     }
 
+    /// Returns the processor to its freshly-built state (cold cache, cycle
+    /// zero, zero counters) while keeping internal allocations, so a
+    /// pooled worker can be reused run-to-run without touching the heap.
+    /// Results after a reset are bit-identical to a new processor's.
+    pub fn reset(&mut self) {
+        self.core.reset();
+    }
+
+    /// Mutable access to the underlying engine, for the fused multi-config
+    /// replay entry point ([`Core::replay_fused`]).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.core.now()
@@ -266,6 +280,81 @@ mod tests {
                 interpreted.cache().counters(),
                 "replay must drive the memory system identically"
             );
+        }
+    }
+
+    fn mixed_tape() -> TraceTape {
+        let stream: Vec<DynInst> = (0..60u64)
+            .flat_map(|i| {
+                [
+                    DynInst::load(Addr(i * 520), PhysReg::int((i % 8) as u8), LoadFormat::WORD),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 8) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                    DynInst::alu(PhysReg::int(20), [None, None]),
+                    DynInst::store(Addr(i * 520 + 4), Some(PhysReg::int(10 + (i % 8) as u8))),
+                ]
+            })
+            .collect();
+        let mut tape = TraceTape::with_capacity("t", 1, 0, stream.len());
+        for inst in &stream {
+            tape.push(*inst);
+        }
+        tape
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_processor_bit_for_bit() {
+        let tape = mixed_tape();
+        for mshr in [unrestricted(), mc1(), MshrConfig::Blocking] {
+            let mut fresh = cpu(mshr.clone());
+            fresh.run_tape(&tape).unwrap();
+            fresh.finish();
+
+            let mut reused = cpu(mshr);
+            reused.run_tape(&tape).unwrap();
+            reused.finish();
+            reused.reset();
+            reused.run_tape(&tape).unwrap();
+            reused.finish();
+
+            assert_eq!(reused.now(), fresh.now());
+            assert_eq!(reused.stats(), fresh.stats());
+            assert_eq!(reused.cache().counters(), fresh.cache().counters());
+            assert_eq!(
+                reused.sampler().max_misses(),
+                fresh.sampler().max_misses(),
+                "reset must clear sampler history"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_replay_matches_independent_replays_across_mixed_configs() {
+        let tape = mixed_tape();
+        let configs = [unrestricted(), mc1(), MshrConfig::Blocking];
+
+        let mut solo: Vec<Processor> = configs.iter().map(|mshr| cpu(mshr.clone())).collect();
+        for p in &mut solo {
+            p.run_tape(&tape).unwrap();
+            p.finish();
+        }
+
+        let mut fused: Vec<Processor> = configs.iter().map(|mshr| cpu(mshr.clone())).collect();
+        {
+            let mut cores: Vec<&mut Core> = fused.iter_mut().map(Processor::core_mut).collect();
+            Core::replay_fused(&tape, &mut cores).unwrap();
+        }
+        for p in &mut fused {
+            p.finish();
+        }
+
+        for (f, s) in fused.iter().zip(&solo) {
+            assert_eq!(f.now(), s.now());
+            assert_eq!(f.stats(), s.stats());
+            assert_eq!(f.cache().counters(), s.cache().counters());
+            assert_eq!(f.sampler().max_misses(), s.sampler().max_misses());
         }
     }
 

@@ -115,6 +115,14 @@ impl PipelinedMemory {
         self.miss_penalty
     }
 
+    /// Clears all in-flight state while keeping the heap's allocation for
+    /// reuse by the next run on this worker.
+    pub fn reset(&mut self) {
+        self.in_flight.clear();
+        self.last_ready = Cycle::ZERO;
+        self.next_seq = 0;
+    }
+
     /// Launches a fetch of `block` at time `now`; its data arrives at
     /// `now + miss_penalty`.
     ///

@@ -150,6 +150,10 @@ pub struct MemorySystem {
     /// one pointer null-check per access.
     trace: Option<Box<MemTrace>>,
     next_txn: u64,
+    /// Recycled target vectors for [`FillEvent`]s: the processor hands each
+    /// consumed event back via [`MemorySystem::recycle_fill`], so a
+    /// warmed-up system builds fills without touching the allocator.
+    spare_targets: Vec<Vec<TargetRecord>>,
 }
 
 impl MemorySystem {
@@ -179,7 +183,30 @@ impl MemorySystem {
             write_buffer: WriteBuffer::new(config.retire),
             trace: None,
             next_txn: 0,
+            spare_targets: Vec::new(),
         }
+    }
+
+    /// Returns the hierarchy to its freshly-built state — caches invalid,
+    /// nothing in flight, counters zero, tracing off — while keeping every
+    /// internal allocation for reuse by the next run on this worker.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        if let Some((l2, _)) = self.l2.as_mut() {
+            l2.reset();
+        }
+        self.memory.reset();
+        self.write_buffer.reset();
+        self.trace = None;
+        self.next_txn = 0;
+    }
+
+    /// Hands a consumed [`FillEvent`]'s target vector back for reuse by a
+    /// later fill. Dropping the event instead is always correct — this is
+    /// purely an allocation-avoidance fast path.
+    pub fn recycle_fill(&mut self, mut fill: FillEvent) {
+        fill.targets.clear();
+        self.spare_targets.push(fill.targets);
     }
 
     /// Starts recording lifecycle events into a fresh [`MemTrace`] whose
@@ -444,11 +471,13 @@ impl MemorySystem {
         while self.memory.next_completion().is_ok_and(|at| at <= now) {
             // next_completion just said nonempty, so this never breaks;
             // structured as a break (not a panic) to keep sweeps alive.
-            let Some(fill) = self.apply_next_fill() else {
+            let Some(mut fill) = self.apply_next_fill() else {
                 debug_assert!(false, "next_completion said nonempty");
                 break;
             };
             on_fill(&fill);
+            fill.targets.clear();
+            self.spare_targets.push(fill.targets);
         }
     }
 
@@ -472,7 +501,8 @@ impl MemorySystem {
 
     fn apply_next_fill(&mut self) -> Option<FillEvent> {
         let f = self.memory.pop_next().ok()?;
-        let targets = self.l1.fill(f.block);
+        let mut targets = self.spare_targets.pop().unwrap_or_default();
+        self.l1.fill_into(f.block, &mut targets);
         self.emit(MemEvent::Filled {
             block: f.block,
             at: f.at,

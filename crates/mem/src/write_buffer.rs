@@ -81,6 +81,14 @@ impl WriteBuffer {
         WriteBuffer::new(RetirePolicy::Free)
     }
 
+    /// Clears all buffered writes and statistics while keeping the queue's
+    /// allocation for reuse by the next run on this worker.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.last_retire = Cycle::ZERO;
+        self.stats = WriteBufferStats::default();
+    }
+
     /// Accepts a store at time `now`. Never stalls.
     pub fn push(&mut self, addr: Addr, now: Cycle) {
         self.stats.writes += 1;

@@ -8,7 +8,7 @@ use crate::tape_cache::TapeCache;
 use crate::telemetry::Telemetry;
 use nbl_core::geometry::CacheGeometry;
 use nbl_core::inst::DynInst;
-use nbl_cpu::core_engine::{EngineConfig, EngineError, L2Params};
+use nbl_cpu::core_engine::{Core, EngineConfig, EngineError, L2Params};
 use nbl_cpu::dual::DualIssueProcessor;
 use nbl_cpu::pipeline::Processor;
 use nbl_mem::event::MemTrace;
@@ -17,6 +17,7 @@ use nbl_trace::exec::Executor;
 use nbl_trace::ir::Program;
 use nbl_trace::machine::{CompiledProgram, InstSink};
 use nbl_trace::tape::TraceTape;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Any failure a simulation run can report: the compiler model rejected
@@ -228,6 +229,55 @@ fn summarize(
     }
 }
 
+/// Pooled processors a sweep worker keeps beyond one run. The bench grid
+/// cycles through a handful of hardware configurations per thread, so a
+/// small cap covers them all without hoarding memory on wide sweeps.
+const ARENA_CAP: usize = 16;
+
+thread_local! {
+    /// Per-worker bump arena of processors, keyed by the configuration
+    /// they were built for. A run takes a matching processor out (resetting
+    /// it — bit-identical to a fresh build, see [`Processor::reset`]) and
+    /// hands it back afterwards, so a warm worker serves every run of a
+    /// sweep without constructing simulator state on the heap.
+    static WORKER_ARENA: RefCell<Vec<(EngineConfig, Processor)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a processor for `config` from this worker's arena (reset, so its
+/// behavior is bit-identical to a fresh one), or builds one on a miss.
+fn acquire_processor(config: &EngineConfig) -> Processor {
+    let pooled = WORKER_ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        arena
+            .iter()
+            .position(|(c, _)| c == config)
+            .map(|pos| arena.swap_remove(pos).1)
+    });
+    match pooled {
+        Some(mut cpu) => {
+            cpu.reset();
+            Telemetry::global().record_arena_reuse();
+            cpu
+        }
+        None => {
+            Telemetry::global().record_arena_build();
+            Processor::new(config.clone())
+        }
+    }
+}
+
+/// Returns a processor to this worker's arena for reuse (dropped if the
+/// arena is full). The processor may be dirty — acquisition resets it.
+fn release_processor(config: EngineConfig, cpu: Processor) {
+    WORKER_ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        if arena.len() < ARENA_CAP {
+            arena.push((config, cpu));
+        }
+    });
+}
+
 fn single_engine_config(cfg: &SimConfig) -> EngineConfig {
     let mut cache = cfg.hw.cache_config(cfg.geometry);
     cache.victim_entries = cfg.victim_entries;
@@ -259,11 +309,11 @@ fn finish_single(
     benchmark: &str,
     cfg: &SimConfig,
     static_spill_ops: usize,
-    mut cpu: Processor,
+    cpu: &mut Processor,
 ) -> (RunResult, Option<MemTrace>) {
     cpu.finish();
     let trace = cpu.take_mem_trace();
-    let result = summarize(benchmark, cfg, static_spill_ops, &cpu);
+    let result = summarize(benchmark, cfg, static_spill_ops, cpu);
     record_single_run(cfg, &result, trace.as_ref());
     (result, trace)
 }
@@ -275,7 +325,8 @@ fn run_single(
     trace_ring: Option<usize>,
 ) -> Result<(RunResult, Option<MemTrace>), EngineError> {
     debug_assert_eq!(compiled.load_latency, cfg.load_latency);
-    let mut cpu = Processor::new(single_engine_config(cfg));
+    let engine_config = single_engine_config(cfg);
+    let mut cpu = acquire_processor(&engine_config);
     if let Some(ring) = trace_ring {
         cpu.enable_mem_tracing(ring);
     }
@@ -288,7 +339,9 @@ fn run_single(
         return Err(e);
     }
     let spills = compiled.blocks.iter().map(|b| b.spill_ops).sum();
-    Ok(finish_single(benchmark, cfg, spills, cpu))
+    let out = finish_single(benchmark, cfg, spills, &mut cpu);
+    release_processor(engine_config, cpu);
+    Ok(out)
 }
 
 fn replay_single(
@@ -298,12 +351,15 @@ fn replay_single(
     trace_ring: Option<usize>,
 ) -> Result<(RunResult, Option<MemTrace>), EngineError> {
     debug_assert_eq!(tape.load_latency(), cfg.load_latency);
-    let mut cpu = Processor::new(single_engine_config(cfg));
+    let engine_config = single_engine_config(cfg);
+    let mut cpu = acquire_processor(&engine_config);
     if let Some(ring) = trace_ring {
         cpu.enable_mem_tracing(ring);
     }
     cpu.run_tape(tape)?;
-    Ok(finish_single(benchmark, cfg, tape.static_spill_ops(), cpu))
+    let out = finish_single(benchmark, cfg, tape.static_spill_ops(), &mut cpu);
+    release_processor(engine_config, cpu);
+    Ok(out)
 }
 
 /// Replays a recorded tape through the single-issue processor under `cfg`
@@ -319,6 +375,43 @@ pub fn run_tape(
     cfg: &SimConfig,
 ) -> Result<RunResult, EngineError> {
     replay_single(benchmark, tape, cfg, None).map(|(r, _)| r)
+}
+
+/// Replays one tape through several hardware configurations in a single
+/// lockstep walk ([`Core::replay_fused`]): the tape's barrier stream is
+/// decoded once and each entry is applied to every configuration before
+/// moving on, instead of one full traversal per configuration. Every
+/// configuration must share the tape's load latency; results are
+/// bit-identical to calling [`run_tape`] per configuration, in order.
+///
+/// # Errors
+///
+/// [`EngineError`] if any configuration hit a model invariant violation —
+/// the whole group is discarded as a unit (no partial results).
+pub fn run_tape_fused(
+    benchmark: &str,
+    tape: &TraceTape,
+    cfgs: &[SimConfig],
+) -> Result<Vec<RunResult>, EngineError> {
+    if cfgs.len() == 1 {
+        return Ok(vec![run_tape(benchmark, tape, &cfgs[0])?]);
+    }
+    debug_assert!(cfgs.iter().all(|c| c.load_latency == tape.load_latency()));
+    let engine_configs: Vec<EngineConfig> = cfgs.iter().map(single_engine_config).collect();
+    let mut cpus: Vec<Processor> = engine_configs.iter().map(acquire_processor).collect();
+    {
+        let mut cores: Vec<&mut Core> = cpus.iter_mut().map(Processor::core_mut).collect();
+        Core::replay_fused(tape, &mut cores)?;
+    }
+    let mut results = Vec::with_capacity(cfgs.len());
+    for (cpu, cfg) in cpus.iter_mut().zip(cfgs) {
+        let (result, _) = finish_single(benchmark, cfg, tape.static_spill_ops(), cpu);
+        results.push(result);
+    }
+    for (config, cpu) in engine_configs.into_iter().zip(cpus) {
+        release_processor(config, cpu);
+    }
+    Ok(results)
 }
 
 /// Runs one compiled program through the single-issue processor under

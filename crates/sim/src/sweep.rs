@@ -9,7 +9,7 @@
 
 use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, SimConfig};
-use crate::driver::{run_compiled, run_tape, RunResult, SimError};
+use crate::driver::{run_compiled, run_tape, run_tape_fused, RunResult, SimError};
 use crate::pool::JobPool;
 use crate::tape_cache::TapeCache;
 use nbl_core::tag_array::ReplacementKind;
@@ -243,14 +243,72 @@ impl SweepEngine {
             .expect("one program in, one sweep out"))
     }
 
-    /// Cross-benchmark sweep: every `(program, latency, config)` cell of
-    /// the full grid runs as one flat pool invocation, one [`LatencySweep`]
-    /// per program returned in input order.
+    /// Cross-benchmark sweep, fused: every `(program, latency)` pair of
+    /// the grid is one pool job that walks the shared tape **once**,
+    /// advancing a simulator instance per hardware configuration in
+    /// lockstep ([`run_tape_fused`]) — the row's configurations differ
+    /// only in hardware, so they replay one recorded schedule. Results
+    /// are bit-identical to the per-cell path ([`Self::grid_sweep_unfused`]),
+    /// one [`LatencySweep`] per program in input order.
     ///
     /// # Errors
     ///
     /// [`SimError`] from the compiler model or the engine.
     pub fn grid_sweep(
+        &self,
+        programs: &[&Program],
+        base: &SimConfig,
+        configs: &[HwConfig],
+        latencies: &[u32],
+    ) -> Result<Vec<LatencySweep>, SimError> {
+        let nl = latencies.len();
+        let rows = self.pool.try_run(
+            programs.len() * nl,
+            |idx| -> Result<Vec<RunResult>, SimError> {
+                let program = programs[idx / nl];
+                let lat = latencies[idx % nl];
+                let compiled = self.cache.get_or_compile(program, lat)?;
+                let tape = self.tapes.get_or_record(&compiled);
+                let cfgs: Vec<SimConfig> = configs
+                    .iter()
+                    .map(|hw| {
+                        SimConfig {
+                            hw: hw.clone(),
+                            ..base.clone()
+                        }
+                        .at_latency(lat)
+                    })
+                    .collect();
+                Ok(run_tape_fused(&program.name, &tape, &cfgs)?)
+            },
+        )?;
+        let mut iter = rows.into_iter();
+        programs
+            .iter()
+            .map(|program| {
+                let mut rows = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    rows.push(iter.next().expect("one row per (program, latency)")?);
+                }
+                Ok(LatencySweep {
+                    benchmark: program.name.clone(),
+                    configs: configs.iter().map(HwConfig::label).collect(),
+                    latencies: latencies.to_vec(),
+                    rows,
+                })
+            })
+            .collect()
+    }
+
+    /// [`Self::grid_sweep`] without tape fusion: every
+    /// `(program, latency, config)` cell replays the tape independently as
+    /// its own pool job. The reference path the bench exhibit's
+    /// fused-vs-unfused bit-identity check compares against.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] from the compiler model or the engine.
+    pub fn grid_sweep_unfused(
         &self,
         programs: &[&Program],
         base: &SimConfig,
@@ -304,20 +362,25 @@ impl SweepEngine {
     ) -> Result<PenaltySweep, SimError> {
         let compiled = self.cache.get_or_compile(program, base.load_latency)?;
         let tape = self.tapes.get_or_record(&compiled);
-        let nc = configs.len();
-        let cells = self.pool.try_run(penalties.len() * nc, |idx| {
-            let cfg = SimConfig {
-                hw: configs[idx % nc].clone(),
-                ..base.clone()
-            }
-            .with_penalty(penalties[idx / nc]);
-            run_tape(&program.name, &tape, &cfg)
-        })?;
-        let mut iter = cells.into_iter();
-        let mut rows = Vec::with_capacity(penalties.len());
-        for _ in penalties {
-            rows.push(iter.by_ref().take(nc).collect::<Result<Vec<_>, _>>()?);
-        }
+        // One fused job per penalty: the row's configurations share the
+        // tape (compiled for the base latency), so each row is a single
+        // lockstep walk.
+        let rows =
+            self.pool
+                .try_run(penalties.len(), |idx| -> Result<Vec<RunResult>, SimError> {
+                    let cfgs: Vec<SimConfig> = configs
+                        .iter()
+                        .map(|hw| {
+                            SimConfig {
+                                hw: hw.clone(),
+                                ..base.clone()
+                            }
+                            .with_penalty(penalties[idx])
+                        })
+                        .collect();
+                    Ok(run_tape_fused(&program.name, &tape, &cfgs)?)
+                })?;
+        let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(PenaltySweep {
             benchmark: program.name.clone(),
             configs: configs.iter().map(HwConfig::label).collect(),
@@ -469,22 +532,21 @@ mod tests {
                 }
             }
         }
-        // 2 benchmarks × 2 latencies compiled; the 3 configs (and any
-        // repeat sweep) share those compilations.
+        // 2 benchmarks × 2 latencies compiled; the fused sweep fetches
+        // each compilation and tape exactly once per (benchmark, latency)
+        // row — the 3 configurations inside a row share one walk.
         let stats = engine.cache().stats();
         assert_eq!(
             stats.compiles, 4,
             "each (benchmark, latency) pair compiles exactly once"
         );
-        assert_eq!(stats.hits, 2 * 2 * 3 - 4);
-        // The tape cache shares recordings the same way: one tape per
-        // (benchmark, latency) pair, replayed by every configuration.
+        assert_eq!(stats.hits, 0, "fused rows fetch each compilation once");
         let tapes = engine.tapes().stats();
         assert_eq!(
             tapes.records, 4,
             "each (benchmark, latency) pair records exactly once"
         );
-        assert_eq!(tapes.hits, 2 * 2 * 3 - 4);
+        assert_eq!(tapes.hits, 0, "fused rows fetch each tape once");
         assert_eq!(tapes.evictions, 0);
         engine
             .grid_sweep(&[&doduc, &eqntott], &base, &configs, &latencies)
@@ -494,11 +556,41 @@ mod tests {
             4,
             "re-sweep recompiles nothing"
         );
+        assert_eq!(engine.cache().stats().hits, 4);
         assert_eq!(
             engine.tapes().stats().records,
             4,
             "re-sweep re-records nothing"
         );
+        assert_eq!(engine.tapes().stats().hits, 4);
+    }
+
+    #[test]
+    fn fused_grid_matches_unfused_bit_for_bit() {
+        let engine = SweepEngine::new(3);
+        let doduc = build("doduc", Scale::quick()).unwrap();
+        let swm = build("swm256", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let configs = [
+            HwConfig::Mc0,
+            HwConfig::Mc(1),
+            HwConfig::Fc(4),
+            HwConfig::NoRestrict,
+        ];
+        let latencies = [1, 3];
+        let fused = engine
+            .grid_sweep(&[&doduc, &swm], &base, &configs, &latencies)
+            .unwrap();
+        let unfused = engine
+            .grid_sweep_unfused(&[&doduc, &swm], &base, &configs, &latencies)
+            .unwrap();
+        for (f, u) in fused.iter().zip(&unfused) {
+            assert_eq!(
+                f.rows, u.rows,
+                "{}: fusion must not change results",
+                f.benchmark
+            );
+        }
     }
 
     #[test]

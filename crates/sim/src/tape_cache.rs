@@ -287,6 +287,55 @@ mod tests {
     }
 
     #[test]
+    fn tape_shared_by_concurrent_fused_replays_survives_budget_pressure() {
+        use crate::config::{HwConfig, SimConfig};
+        use crate::driver::{run_tape, run_tape_fused};
+
+        // One tape walked by several fused replays at once, while another
+        // worker churns the cache with insertions that each trigger an
+        // eviction pass on a budget of one byte. The walked tape must be
+        // served pointer-identical to every replay (never evicted and
+        // re-recorded mid-walk), and the results must be unperturbed.
+        let shared = compiled("swm256", 6, Scale::quick());
+        let cache = TapeCache::with_capacity_bytes(1);
+        let tape = cache.get_or_record(&shared);
+        let cfgs: Vec<SimConfig> = [HwConfig::Mc0, HwConfig::Mc(1), HwConfig::NoRestrict]
+            .into_iter()
+            .map(|hw| SimConfig::baseline(hw).at_latency(6))
+            .collect();
+        let reference: Vec<_> = cfgs
+            .iter()
+            .map(|cfg| run_tape("swm256", &tape, cfg).unwrap())
+            .collect();
+
+        let pool = JobPool::new(4);
+        let out = pool.run(4, |i| {
+            if i == 0 {
+                // Pressure: every insertion runs an eviction pass.
+                for name in ["doduc", "eqntott", "tomcatv"] {
+                    drop(cache.get_or_record(&compiled(name, 6, Scale::quick())));
+                }
+                None
+            } else {
+                let t = cache.get_or_record(&shared);
+                let identical = Arc::ptr_eq(&t, &tape);
+                Some((identical, run_tape_fused("swm256", &t, &cfgs).unwrap()))
+            }
+        });
+        for slot in out.into_iter().flatten() {
+            let (identical, results) = slot;
+            assert!(identical, "a busy tape must never be evicted mid-walk");
+            assert_eq!(results, reference, "pressure must not perturb results");
+        }
+        assert_eq!(
+            cache.stats().records,
+            4,
+            "the shared tape records once; only the 3 pressure tapes add"
+        );
+        assert!(cache.stats().resident_bytes >= tape.bytes());
+    }
+
+    #[test]
     fn in_use_tapes_survive_eviction_pressure() {
         let c1 = compiled("tomcatv", 10, Scale::quick());
         let c2 = compiled("tomcatv", 6, Scale::quick());

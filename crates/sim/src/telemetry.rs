@@ -16,6 +16,8 @@ pub struct Telemetry {
     runs: AtomicU64,
     events: AtomicU64,
     policy_runs: AtomicU64,
+    arena_builds: AtomicU64,
+    arena_reuses: AtomicU64,
 }
 
 /// Point-in-time copy of the counters; subtract two to get the work done
@@ -34,6 +36,13 @@ pub struct TelemetrySnapshot {
     /// Runs simulated under a non-LRU replacement policy (0 unless a
     /// policy sweep ran).
     pub policy_runs: u64,
+    /// Processors constructed from scratch because no pooled worker
+    /// matched the run's configuration. On a warm worker arena this stays
+    /// flat run-to-run — the allocation counter the zero-alloc tests pin.
+    pub arena_builds: u64,
+    /// Runs served by resetting a pooled processor instead of building
+    /// one.
+    pub arena_reuses: u64,
 }
 
 impl TelemetrySnapshot {
@@ -46,6 +55,8 @@ impl TelemetrySnapshot {
             runs: self.runs.saturating_sub(earlier.runs),
             events: self.events.saturating_sub(earlier.events),
             policy_runs: self.policy_runs.saturating_sub(earlier.policy_runs),
+            arena_builds: self.arena_builds.saturating_sub(earlier.arena_builds),
+            arena_reuses: self.arena_reuses.saturating_sub(earlier.arena_reuses),
         }
     }
 
@@ -68,6 +79,8 @@ impl Telemetry {
             runs: AtomicU64::new(0),
             events: AtomicU64::new(0),
             policy_runs: AtomicU64::new(0),
+            arena_builds: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
         };
         &GLOBAL
     }
@@ -89,6 +102,16 @@ impl Telemetry {
         self.policy_runs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one processor built from scratch for the worker arena.
+    pub fn record_arena_build(&self) {
+        self.arena_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one run served by resetting a pooled processor.
+    pub fn record_arena_reuse(&self) {
+        self.arena_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -97,6 +120,8 @@ impl Telemetry {
             runs: self.runs.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             policy_runs: self.policy_runs.load(Ordering::Relaxed),
+            arena_builds: self.arena_builds.load(Ordering::Relaxed),
+            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +138,9 @@ mod tests {
         t.record_run(40_000, 90_000);
         t.record_events(12);
         t.record_policy_run();
+        t.record_arena_build();
+        t.record_arena_reuse();
+        t.record_arena_reuse();
         let d = t.snapshot().since(before);
         assert_eq!(
             d,
@@ -121,7 +149,9 @@ mod tests {
                 cycles: 145_000,
                 runs: 2,
                 events: 12,
-                policy_runs: 1
+                policy_runs: 1,
+                arena_builds: 1,
+                arena_reuses: 2,
             }
         );
         assert!((d.inst_per_sec(2.0) - 40_000.0).abs() < 1e-9);

@@ -29,11 +29,17 @@
 //! never wait ([`TraceTape::barriers`]). Replay exploits this by issuing
 //! everything between barriers in bulk.
 //!
+//! A packed flag plane (one `u64` word per 64 barriers, bit set = memory
+//! operation) shadows the barrier index so the replay loop's quiescent
+//! scan ([`TraceTape::next_mem_barrier`]) strides over non-memory spans
+//! 64 barriers at a time instead of probing bit 31 entry by entry.
+//!
 //! 13 bytes per dynamic instruction plus 4 per barrier (~40 % of entries
-//! on the paper's workload mixes), laid out so a replay touches each
-//! array linearly: ~0.6 MiB for a quick-scale (~40 k instruction) run and
-//! ~6 MiB for a full-scale (~400 k) one — see [`TraceTape::bytes`] and
-//! DESIGN.md §12 for the footprint bounds.
+//! on the paper's workload mixes) plus 8 per 64-barrier flag word, laid
+//! out so a replay touches each array linearly: ~0.6 MiB for a
+//! quick-scale (~40 k instruction) run and ~6 MiB for a full-scale
+//! (~400 k) one — see [`TraceTape::bytes`] and DESIGN.md §12 for the
+//! footprint bounds.
 //!
 //! The tape is itself an [`InstSink`], so recording is just running the
 //! executor once into it ([`TraceTape::record`]); `nbl-sim` caches the
@@ -144,6 +150,12 @@ pub struct TraceTape {
     addrs: Vec<u64>,
     formats: Vec<u8>,
     barriers: Vec<u32>,
+    /// Packed flag plane over barrier *positions*: bit `k` of word `w` is
+    /// set when `barriers[w * 64 + k]` is a memory operation. Redundant
+    /// with bit 31 of each barrier entry, but laid out so the replay
+    /// loop's quiescent scan ([`TraceTape::next_mem_barrier`]) advances
+    /// in 64-barrier strides instead of probing entries one at a time.
+    mem_flags: Vec<u64>,
     /// Bitmap of registers whose most recent writer (so far) is a load —
     /// recording state for the barrier computation in [`TraceTape::push`].
     load_written: u64,
@@ -169,6 +181,7 @@ impl TraceTape {
             addrs: Vec::with_capacity(capacity),
             formats: Vec::with_capacity(capacity),
             barriers: Vec::new(),
+            mem_flags: Vec::new(),
             load_written: 0,
             loads: 0,
             stores: 0,
@@ -189,6 +202,7 @@ impl TraceTape {
         Executor::new(compiled).run(&mut tape);
         debug_assert_eq!(tape.len() as u64, compiled.dynamic_instructions());
         tape.barriers.shrink_to_fit();
+        tape.mem_flags.shrink_to_fit();
         tape
     }
 
@@ -218,6 +232,13 @@ impl TraceTape {
         let [s0, s1] = [pack_reg(inst.srcs[0]), pack_reg(inst.srcs[1])];
         let is_mem = matches!(kind, TapeKind::Load | TapeKind::Store);
         if is_mem || (reg_bit(d) | reg_bit(s0) | reg_bit(s1)) & self.load_written != 0 {
+            let slot = self.barriers.len();
+            if slot.is_multiple_of(64) {
+                self.mem_flags.push(0);
+            }
+            if is_mem {
+                self.mem_flags[slot / 64] |= 1u64 << (slot % 64);
+            }
             let flag = if is_mem { BARRIER_MEM } else { 0 };
             self.barriers.push(self.kinds.len() as u32 | flag);
         }
@@ -271,9 +292,10 @@ impl TraceTape {
     }
 
     /// Heap footprint of the instruction arrays, in bytes (13 per entry
-    /// plus 4 per barrier; the instruction `Vec`s reserve exact capacity
-    /// at record time via [`CompiledProgram::dynamic_instructions`], and
-    /// [`TraceTape::record`] shrinks the barrier index when done).
+    /// plus 4 per barrier plus 8 per 64-barrier flag word; the instruction
+    /// `Vec`s reserve exact capacity at record time via
+    /// [`CompiledProgram::dynamic_instructions`], and [`TraceTape::record`]
+    /// shrinks the barrier index and flag plane when done).
     pub fn bytes(&self) -> usize {
         self.kinds.capacity()
             + self.dsts.capacity()
@@ -281,6 +303,7 @@ impl TraceTape {
             + self.addrs.capacity() * 8
             + self.formats.capacity()
             + self.barriers.capacity() * 4
+            + self.mem_flags.capacity() * 8
     }
 
     /// Kind of entry `i`.
@@ -339,6 +362,38 @@ impl TraceTape {
         &self.barriers
     }
 
+    /// Index (into [`TraceTape::barriers`]) of the first barrier at or
+    /// after `from` that is a memory operation, or `barriers().len()` when
+    /// none remains.
+    ///
+    /// This is the vectorized form of the scalar scan
+    /// `while from < n && !barrier_is_mem(barriers[from]) { from += 1 }`:
+    /// it reads the packed flag plane in `u64` words, so a span of
+    /// non-memory barriers is skipped 64 entries per iteration instead of
+    /// one. The replay loop leans on this whenever the engine is
+    /// quiescent — every barrier until the next memory operation then
+    /// bulk-issues, and the scan is the only per-entry work left.
+    #[inline]
+    #[must_use]
+    pub fn next_mem_barrier(&self, from: usize) -> usize {
+        let n = self.barriers.len();
+        if from >= n {
+            return n;
+        }
+        let mut word = from / 64;
+        let mut bits = self.mem_flags[word] & (u64::MAX << (from % 64));
+        while bits == 0 {
+            word += 1;
+            if word >= self.mem_flags.len() {
+                return n;
+            }
+            bits = self.mem_flags[word];
+        }
+        // A set bit only ever marks a real barrier slot, so the result is
+        // in bounds by construction.
+        word * 64 + bits.trailing_zeros() as usize
+    }
+
     /// `true` if entry `j` reads or rewrites the register entry `i` writes
     /// — [`DynInst::conflicts_with`] evaluated on the packed encoding (a
     /// byte compare against the `0xff` sentinel, no decode).
@@ -381,6 +436,100 @@ impl InstSink for TraceTape {
     #[inline]
     fn exec(&mut self, inst: DynInst) {
         self.push(inst);
+    }
+}
+
+/// Property suite for the chunked mem-barrier scan, gated behind the
+/// off-by-default `scan-prop` feature (run with
+/// `cargo test -p nbl-trace --features scan-prop`). Uses the in-tree
+/// [`SplitMix64`](nbl_core::rng::SplitMix64) so the cases are
+/// deterministic and the workspace stays dependency-free.
+#[cfg(all(test, feature = "scan-prop"))]
+mod scan_prop {
+    use super::*;
+    use nbl_core::rng::SplitMix64;
+
+    fn scalar_next_mem_barrier(tape: &TraceTape, mut from: usize) -> usize {
+        let barriers = tape.barriers();
+        while from < barriers.len() && !barrier_is_mem(barriers[from]) {
+            from += 1;
+        }
+        from
+    }
+
+    fn check_all_starts(tape: &TraceTape, label: &str) {
+        for from in 0..=tape.barriers().len() + 65 {
+            assert_eq!(
+                tape.next_mem_barrier(from),
+                scalar_next_mem_barrier(tape, from.min(tape.barriers().len())),
+                "{label}: scan diverged at start {from}"
+            );
+        }
+    }
+
+    /// One random instruction; `mem_bias`/1000 is the memory-op rate, so
+    /// seeds can steer tapes toward all-mem, no-mem or mixed layouts.
+    fn random_inst(rng: &mut SplitMix64, mem_bias: u64) -> DynInst {
+        let reg = |rng: &mut SplitMix64| PhysReg::from_dense(rng.next_below(64) as usize);
+        let maybe_reg = |rng: &mut SplitMix64| {
+            if rng.next_below(2) == 0 {
+                None
+            } else {
+                Some(reg(rng))
+            }
+        };
+        if rng.next_below(1000) < mem_bias {
+            if rng.next_below(2) == 0 {
+                DynInst::load(Addr(rng.next_below(1 << 20)), reg(rng), LoadFormat::WORD)
+            } else {
+                DynInst::store(Addr(rng.next_below(1 << 20)), maybe_reg(rng))
+            }
+        } else if rng.next_below(4) == 0 {
+            DynInst::branch([maybe_reg(rng), maybe_reg(rng)])
+        } else {
+            DynInst::alu(reg(rng), [maybe_reg(rng), maybe_reg(rng)])
+        }
+    }
+
+    #[test]
+    fn chunked_scan_agrees_with_scalar_on_random_layouts() {
+        let mut rng = SplitMix64::new(0x5ca9);
+        // Mixed rates, including all-mem (1000) and no-mem (0) spans, and
+        // lengths chosen to land both short of and straddling word
+        // boundaries (tail-word coverage).
+        for &mem_bias in &[0, 15, 120, 500, 930, 1000] {
+            for case in 0..24 {
+                let len = 1 + rng.next_below(400) as usize;
+                let mut tape = TraceTape::with_capacity("prop", 1, 0, len);
+                for _ in 0..len {
+                    let inst = random_inst(&mut rng, mem_bias);
+                    tape.push(inst);
+                }
+                check_all_starts(&tape, &format!("bias {mem_bias} case {case}"));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scan_handles_exact_word_multiples() {
+        let mut rng = SplitMix64::new(0xb0b);
+        // Exactly 64 and 128 barriers: the tail word is full, exercising
+        // the word-boundary exit paths.
+        for &barriers_wanted in &[64usize, 128] {
+            let mut tape = TraceTape::with_capacity("prop", 1, 0, barriers_wanted);
+            while tape.barriers().len() < barriers_wanted {
+                let inst = random_inst(&mut rng, 700);
+                tape.push(inst);
+            }
+            check_all_starts(&tape, &format!("{barriers_wanted} barriers"));
+        }
+    }
+
+    #[test]
+    fn empty_tape_scan_is_a_no_op() {
+        let tape = TraceTape::with_capacity("prop", 1, 0, 0);
+        assert_eq!(tape.next_mem_barrier(0), 0);
+        assert_eq!(tape.next_mem_barrier(10), 0);
     }
 }
 
@@ -487,8 +636,35 @@ mod tests {
     #[test]
     fn footprint_is_thirteen_bytes_per_instruction_plus_barriers() {
         let tape = TraceTape::record(&exercise_program());
-        assert_eq!(tape.bytes(), tape.len() * 13 + tape.barriers().len() * 4);
+        let flag_words = tape.barriers().len().div_ceil(64);
+        assert_eq!(
+            tape.bytes(),
+            tape.len() * 13 + tape.barriers().len() * 4 + flag_words * 8
+        );
         assert!(!tape.is_empty());
+    }
+
+    /// Scalar reference for [`TraceTape::next_mem_barrier`]: the per-entry
+    /// bit-31 probe the chunked scan replaced.
+    fn scalar_next_mem_barrier(tape: &TraceTape, mut from: usize) -> usize {
+        let barriers = tape.barriers();
+        while from < barriers.len() && !barrier_is_mem(barriers[from]) {
+            from += 1;
+        }
+        from
+    }
+
+    #[test]
+    fn chunked_mem_scan_matches_scalar_probe_on_a_recorded_tape() {
+        let tape = TraceTape::record(&exercise_program());
+        assert!(tape.barriers().len() > 64, "needs a multi-word flag plane");
+        for from in 0..=tape.barriers().len() + 2 {
+            assert_eq!(
+                tape.next_mem_barrier(from),
+                scalar_next_mem_barrier(&tape, from.min(tape.barriers().len())),
+                "scan diverged at {from}"
+            );
+        }
     }
 
     #[test]

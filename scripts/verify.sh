@@ -16,6 +16,12 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== scan-prop: chunked flag-plane scan vs scalar reference =="
+cargo test -q -p nbl-trace --features scan-prop
+
+echo "== warm arena: zero processor builds on warm replay (pinned counters) =="
+cargo test -q -p nbl-sim --test warm_arena
+
 echo "== clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -63,25 +69,38 @@ assert len(d["runs"]) == len(d["policies"]) * len(d["configs"]) * 6
 print("replsens.json: shape OK")
 EOF
 
-echo "== smoke: bench rail (tape replay vs interpreter) =="
+echo "== smoke: bench rail (fused replay vs unfused vs interpreter) =="
 bench_json="$replsens_dir/bench.json"
+# Run twice into the same file: the second invocation must read the first
+# entry back and append, so the trajectory grows to two entries.
 NBL_BENCH_JSON="$bench_json" \
-  cargo run --release -p nbl-bench -- bench --out /dev/null >/dev/null
-# Shape only — wall-clock ratios are machine noise in CI; the speedup
-# target is tracked in BENCH_sweep.json at the repo root instead.
+  cargo run --release -p nbl-bench -- bench --bench-date smoke-1 \
+  --out /dev/null >/dev/null
+NBL_BENCH_JSON="$bench_json" \
+  cargo run --release -p nbl-bench -- bench --bench-date smoke-2 \
+  --out /dev/null >/dev/null
 python3 - "$bench_json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 assert d["kind"] == "bench_sweep", d["kind"]
 assert d["runs"] == len(d["benchmarks"]) * len(d["configs"]) * len(d["load_latencies"])
-assert d["bit_identical"] is True, "tape replay diverged from the interpreter"
-for key in ("cold_wall_s", "warm_wall_s", "interpreted_wall_s",
-            "speedup_warm_vs_interpreted", "speedup_warm_vs_cold"):
+assert d["bit_identical"] is True, "a replay path diverged from the interpreter"
+for key in ("cold_wall_s", "warm_wall_s", "unfused_wall_s", "interpreted_wall_s",
+            "speedup_warm_vs_interpreted", "speedup_fused_vs_unfused",
+            "speedup_warm_vs_cold"):
     assert d[key] > 0, key
+# Throughput floor: well below any observed machine (baseline ~2.7k/s
+# before fusion) but high enough to catch a pipeline-wide regression.
+assert d["warm_runs_per_sec"] >= 2000, d["warm_runs_per_sec"]
+traj = d["trajectory"]
+assert [e["date"] for e in traj] == ["smoke-1", "smoke-2"], traj
+for e in traj:
+    for key in ("git", "threads", "reps", "warm_runs_per_sec", "bit_identical"):
+        assert key in e, key
 caches = d["caches"]
 assert caches["tape_cache"]["records"] == len(d["benchmarks"]) * len(d["load_latencies"])
 assert caches["tape_cache"]["hits"] > 0
-print("bench.json: shape OK")
+print("bench.json: shape + floor + 2-entry trajectory OK")
 EOF
 
 echo "verify: OK"
