@@ -42,8 +42,9 @@ pub struct LedgerEntry {
 /// The ledger itself. Surfaces are deliberately the places a reviewer
 /// would check by hand: the policy test suite and design doc for
 /// replacement policies, the emit sites and design doc for events, the
-/// design doc's error table for `SimError`, and the experiments guide
-/// for the exhibit registry.
+/// design doc's error table for `SimError`, the issue-policy mapping and
+/// replay-penalty table for the processor-model and replay-cause enums,
+/// and the experiments guide for the exhibit registry.
 pub const LEDGER: &[LedgerEntry] = &[
     LedgerEntry {
         name: "ReplacementKind",
@@ -62,6 +63,18 @@ pub const LEDGER: &[LedgerEntry] = &[
         decl_file: "crates/sim/src/driver.rs",
         kind: LedgerKind::Enum,
         surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "ProcessorKind",
+        decl_file: "crates/sim/src/config.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["crates/cpu/src/issue.rs", "DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "ReplayCause",
+        decl_file: "crates/mem/src/event.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["crates/cpu/src/core_engine.rs", "DESIGN.md"],
     },
     LedgerEntry {
         name: "EXHIBITS",

@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod figs_baseline;
 pub mod misslife;
 pub mod paper;
+pub mod replaymodel;
 pub mod replsens;
 
 use nbl_sim::config::{HwConfig, SimConfig};
@@ -177,6 +178,11 @@ pub const EXHIBITS: &[Exhibit] = &[
         name: "replsens",
         about: "replacement policy x MSHR config x latency sensitivity",
         run: replsens::run,
+    },
+    Exhibit {
+        name: "replaymodel",
+        about: "stalling vs replay-cause pipeline x MSHR config x latency",
+        run: replaymodel::run,
     },
     Exhibit {
         name: "bench",

@@ -78,6 +78,7 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
             runs: total.runs + t.work.runs,
             events: total.events + t.work.events,
             policy_runs: total.policy_runs + t.work.policy_runs,
+            model_runs: total.model_runs + t.work.model_runs,
             arena_builds: total.arena_builds + t.work.arena_builds,
             arena_reuses: total.arena_reuses + t.work.arena_reuses,
         };

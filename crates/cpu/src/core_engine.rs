@@ -21,14 +21,40 @@
 //! engine.
 
 use crate::scoreboard::Scoreboard;
-use crate::stats::{CpuStats, InFlightSampler, StallCause};
+use crate::stats::{CpuStats, InFlightSampler, ReplayAttribution, StallCause};
 use nbl_core::cache::{CacheConfig, LockupFreeCache};
 use nbl_core::inst::{DynInst, DynKind};
 use nbl_core::mshr::MissKind;
 use nbl_core::types::{Addr, Cycle, Dest, LoadFormat, PhysReg};
-use nbl_mem::system::{FillEvent, LoadResponse, MemSystemConfig, MemorySystem, StoreResponse};
+use nbl_mem::event::ReplayCause;
+use nbl_mem::system::{
+    FillEvent, LoadResponse, MemSystemConfig, MemorySystem, ReplayLoadResponse, StoreResponse,
+};
 use nbl_mem::write_buffer::RetirePolicy;
 use nbl_trace::tape::{barrier_index, barrier_is_mem, TapeKind, TraceTape};
+
+/// Replay-bubble length for the *fast* causes (bank conflict, dcache
+/// NACK): the load re-enters from the replay queue after a short
+/// pipeline loop.
+const REPLAY_FAST_CYCLES: u64 = 2;
+
+/// Replay-bubble length for the *slow* causes (forwarding failure): the
+/// load re-executes only after the blocking condition resolves.
+const REPLAY_SLOW_CYCLES: u64 = 4;
+
+/// Bubble length and [`CpuStats`] stall bucket for a replay cause: a
+/// forwarding failure is a (store-to-load) data dependency, bank
+/// conflicts and NACKs are structural hazards. A real miss never bubbles
+/// here — its cost shows up at the consumer, via the scoreboard.
+fn replay_bubble(cause: ReplayCause) -> (u64, StallCause) {
+    match cause {
+        ReplayCause::ForwardFail => (REPLAY_SLOW_CYCLES, StallCause::DataDependency),
+        ReplayCause::DcacheReplay | ReplayCause::BankConflict => {
+            (REPLAY_FAST_CYCLES, StallCause::Structural)
+        }
+        ReplayCause::DcacheMiss => (0, StallCause::DataDependency),
+    }
+}
 
 pub use nbl_mem::system::L2Params;
 
@@ -586,7 +612,12 @@ impl Core {
         if self.perfect {
             return;
         }
-        match self.mem.access_store(addr, self.now) {
+        let resp = self.mem.access_store(addr, self.now);
+        self.apply_store_response(resp);
+    }
+
+    fn apply_store_response(&mut self, resp: StoreResponse) {
+        match resp {
             StoreResponse::Done => {}
             StoreResponse::Ready { at } => {
                 // `mc=0 + wma`: the port fetched the line synchronously;
@@ -603,6 +634,165 @@ impl Core {
                 self.sampler.on_miss(kind == MissKind::Primary);
             }
         }
+    }
+
+    /// Twin of [`Core::execute`] for the replaying pipeline model: loads go
+    /// through the speculative port and may bounce through replay bubbles,
+    /// stores feed the replay classifier.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoOutstandingFetch`] if a NACK fallback had no fill
+    /// to wait on.
+    pub(crate) fn execute_speculative(
+        &mut self,
+        inst: &DynInst,
+        attr: &mut ReplayAttribution,
+    ) -> Result<(), EngineError> {
+        match inst.kind {
+            DynKind::Alu { .. } => {}
+            DynKind::Load { addr, dst, format } => {
+                self.execute_load_speculative(addr, dst, format, attr)?;
+            }
+            DynKind::Store { addr } => self.execute_store_speculative(addr),
+        }
+        self.stats.instructions += 1;
+        if inst.is_load() {
+            self.stats.loads += 1;
+        } else if inst.is_store() {
+            self.stats.stores += 1;
+        }
+        Ok(())
+    }
+
+    /// Tape-indexed twin of [`Core::execute_speculative`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Core::execute_speculative`], plus
+    /// [`EngineError::MalformedTape`] if entry `i` is a load with no
+    /// recorded destination.
+    pub(crate) fn replay_execute_speculative(
+        &mut self,
+        tape: &TraceTape,
+        i: usize,
+        attr: &mut ReplayAttribution,
+    ) -> Result<(), EngineError> {
+        match tape.kind(i) {
+            TapeKind::Alu | TapeKind::Branch => {}
+            TapeKind::Load => {
+                let dst = tape.dst(i).ok_or(EngineError::MalformedTape { index: i })?;
+                self.execute_load_speculative(tape.addr(i), dst, tape.format(i), attr)?;
+                self.stats.loads += 1;
+            }
+            TapeKind::Store => {
+                self.execute_store_speculative(tape.addr(i));
+                self.stats.stores += 1;
+            }
+        }
+        self.stats.instructions += 1;
+        Ok(())
+    }
+
+    /// One speculatively issued load. A thrown-back access charges its
+    /// cause's replay-bubble penalty (fast for bank conflicts and NACKs,
+    /// slow for forwarding failures) and reissues; a second consecutive
+    /// NACK falls back to the stalling pipeline's wait-for-a-fill, with
+    /// the elapsed cycles still attributed to [`ReplayCause::DcacheReplay`].
+    /// A genuine miss completes out of order through the scoreboard exactly
+    /// as in the stalling model and is counted under
+    /// [`ReplayCause::DcacheMiss`].
+    fn execute_load_speculative(
+        &mut self,
+        addr: Addr,
+        dst: PhysReg,
+        format: LoadFormat,
+        attr: &mut ReplayAttribution,
+    ) -> Result<(), EngineError> {
+        if self.perfect {
+            return Ok(());
+        }
+        let mut reissue = false;
+        let mut nacked = false;
+        let mut stalled_structurally = false;
+        loop {
+            let resp = self.mem.access_load_replay(
+                addr,
+                Dest::Reg(dst),
+                format,
+                self.now,
+                reissue,
+                nacked,
+            );
+            match resp {
+                ReplayLoadResponse::Replay(cause) => {
+                    if cause == ReplayCause::DcacheReplay {
+                        if !stalled_structurally {
+                            stalled_structurally = true;
+                            self.stats.structural_stall_misses += 1;
+                        }
+                        if nacked {
+                            // Second consecutive NACK: the replay queue
+                            // stops spinning and waits for a fill to free
+                            // MSHR resources, like the stalling pipeline.
+                            let before = self.now;
+                            self.wait_for_next_fill(StallCause::Structural)?;
+                            attr.stall_cycles[cause.index()] += self.now.since(before);
+                            continue;
+                        }
+                        nacked = true;
+                    }
+                    attr.counts[cause.index()] += 1;
+                    let (penalty, bucket) = replay_bubble(cause);
+                    let before = self.now;
+                    self.stall_until(self.now.plus(penalty), bucket);
+                    attr.stall_cycles[cause.index()] += self.now.since(before);
+                    // Fills that landed during the bubble wake their
+                    // registers before the reissue probes the cache.
+                    self.drain_fills();
+                    reissue = true;
+                }
+                ReplayLoadResponse::Proceed(resp) => match resp {
+                    LoadResponse::Hit => break,
+                    LoadResponse::VictimHit => {
+                        self.stall_until(self.now.plus(1), StallCause::Blocking);
+                        break;
+                    }
+                    LoadResponse::Pending { kind } => {
+                        attr.counts[ReplayCause::DcacheMiss.index()] += 1;
+                        self.sampler.advance(self.now);
+                        self.sampler.on_miss(kind == MissKind::Primary);
+                        self.scoreboard.set_pending(dst);
+                        break;
+                    }
+                    LoadResponse::Ready { at } => {
+                        self.stats.blocking_load_misses += 1;
+                        self.stall_until(at, StallCause::Blocking);
+                        self.sampler.advance(self.now);
+                        break;
+                    }
+                    LoadResponse::Retry(_) => {
+                        // The speculative port maps every rejection to a
+                        // NACK replay; kept for defensive completeness.
+                        if !stalled_structurally {
+                            stalled_structurally = true;
+                            self.stats.structural_stall_misses += 1;
+                        }
+                        self.wait_for_next_fill(StallCause::Structural)?;
+                        reissue = true;
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_store_speculative(&mut self, addr: Addr) {
+        if self.perfect {
+            return;
+        }
+        let resp = self.mem.access_store_replay(addr, self.now);
+        self.apply_store_response(resp);
     }
 
     /// Advances the issue clock by one cycle (every instruction or

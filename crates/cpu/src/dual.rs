@@ -18,7 +18,8 @@
 //! dual-issue MCPI, and `instructions / perfect_cycles` is the average IPC
 //! used by the paper's scaling rule.
 
-use crate::core_engine::{Core, EngineConfig, EngineError};
+use crate::core_engine::{EngineConfig, EngineError};
+use crate::issue::{IssueEngine, IssuePolicy};
 use crate::stats::{CpuStats, InFlightSampler};
 use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
@@ -31,18 +32,14 @@ use nbl_trace::tape::TraceTape;
 /// when the stream ends (it flushes the one-instruction pairing buffer).
 #[derive(Debug, Clone)]
 pub struct DualIssueProcessor {
-    core: Core,
-    slot: Option<DynInst>,
-    pairs_issued: u64,
+    engine: IssueEngine,
 }
 
 impl DualIssueProcessor {
     /// Creates a processor at cycle zero with a cold cache.
     pub fn new(config: EngineConfig) -> DualIssueProcessor {
         DualIssueProcessor {
-            core: Core::new(config),
-            slot: None,
-            pairs_issued: 0,
+            engine: IssueEngine::new(config, IssuePolicy::DualInOrder),
         }
     }
 
@@ -53,21 +50,7 @@ impl DualIssueProcessor {
     /// [`EngineError`] if issuing the buffered leader hit a model
     /// invariant violation.
     pub fn push(&mut self, inst: DynInst) -> Result<(), EngineError> {
-        let Some(leader) = self.slot.take() else {
-            self.slot = Some(inst);
-            return Ok(());
-        };
-        self.issue_leader(&leader)?;
-        if self.can_coissue(&leader, &inst) {
-            // Same cycle: the follower issues alongside the leader.
-            self.core.execute(&inst)?;
-            self.pairs_issued += 1;
-            self.core.tick();
-        } else {
-            self.core.tick();
-            self.slot = Some(inst);
-        }
-        Ok(())
+        self.engine.push(inst)
     }
 
     /// Runs an entire instruction stream (still call
@@ -80,10 +63,7 @@ impl DualIssueProcessor {
     where
         I: IntoIterator<Item = DynInst>,
     {
-        for inst in stream {
-            self.push(inst)?;
-        }
-        Ok(())
+        self.engine.run(stream)
     }
 
     /// Replays a recorded tape with the exact pairing semantics of the
@@ -100,58 +80,7 @@ impl DualIssueProcessor {
     ///
     /// The first [`EngineError`] any entry hits.
     pub fn run_tape(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
-        if self.slot.is_some() {
-            // A partial stream was already pushed; splicing indices would
-            // desynchronize the pairing, so fall back to the push path.
-            return self.run(tape.iter());
-        }
-        let n = tape.len();
-        let mut i = 0;
-        while i < n {
-            if i + 1 == n {
-                // Unpaired tail: buffered, flushed by `finish`.
-                self.slot = Some(tape.get(i));
-                break;
-            }
-            self.core.drain_fills();
-            self.core.replay_hazards(tape, i)?;
-            self.core.replay_execute(tape, i)?;
-            let coissue = !(tape.conflicts(i, i + 1) || tape.is_mem(i) && tape.is_mem(i + 1)) && {
-                // Fills that completed during the leader's stalls may
-                // have freed the follower's registers this very cycle.
-                self.core.drain_fills();
-                self.core.replay_hazards_clear(tape, i + 1)
-            };
-            if coissue {
-                self.core.replay_execute(tape, i + 1)?;
-                self.pairs_issued += 1;
-                self.core.tick();
-                i += 2;
-            } else {
-                self.core.tick();
-                i += 1;
-            }
-        }
-        Ok(())
-    }
-
-    fn issue_leader(&mut self, leader: &DynInst) -> Result<(), EngineError> {
-        self.core.drain_fills();
-        self.core.resolve_hazards(leader)?;
-        self.core.execute(leader)
-    }
-
-    fn can_coissue(&mut self, leader: &DynInst, follower: &DynInst) -> bool {
-        if leader.conflicts_with(follower) {
-            return false;
-        }
-        if leader.is_mem() && follower.is_mem() {
-            return false;
-        }
-        // Fills that completed during the leader's stalls may have freed the
-        // follower's registers this very cycle.
-        self.core.drain_fills();
-        self.core.hazards_clear(follower)
+        self.engine.run_tape(tape)
     }
 
     /// Flushes the pairing buffer and finalizes the run.
@@ -160,17 +89,12 @@ impl DualIssueProcessor {
     ///
     /// [`EngineError`] if issuing the last buffered instruction failed.
     pub fn finish(&mut self) -> Result<(), EngineError> {
-        if let Some(last) = self.slot.take() {
-            self.issue_leader(&last)?;
-            self.core.tick();
-        }
-        self.core.finish();
-        Ok(())
+        self.engine.finish()
     }
 
     /// Current cycle.
     pub fn now(&self) -> Cycle {
-        self.core.now()
+        self.engine.now()
     }
 
     /// Accumulated statistics.
@@ -180,37 +104,33 @@ impl DualIssueProcessor {
     /// also suppresses co-issue opportunities; use
     /// [`DualIssueProcessor::mcpi_against`] with a perfect-cache run.
     pub fn stats(&self) -> &CpuStats {
-        self.core.stats()
+        self.engine.stats()
     }
 
     /// Number of cycles in which two instructions issued together.
     pub fn pairs_issued(&self) -> u64 {
-        self.pairs_issued
+        self.engine.pairs_issued()
     }
 
     /// Memory CPI relative to a perfect-cache cycle count of the same
     /// instruction stream: `(cycles − perfect_cycles) / instructions`.
     pub fn mcpi_against(&self, perfect_cycles: Cycle) -> f64 {
-        let n = self.core.stats().instructions;
-        if n == 0 {
-            return 0.0;
-        }
-        (self.now().0.saturating_sub(perfect_cycles.0)) as f64 / n as f64
+        self.engine.mcpi_against(perfect_cycles)
     }
 
     /// The in-flight occupancy sampler.
     pub fn sampler(&self) -> &InFlightSampler {
-        self.core.sampler()
+        self.engine.sampler()
     }
 
     /// The data cache.
     pub fn cache(&self) -> &LockupFreeCache {
-        self.core.cache()
+        self.engine.cache()
     }
 
     /// The memory system behind the port.
     pub fn memory(&self) -> &MemorySystem {
-        self.core.memory()
+        self.engine.memory()
     }
 }
 
@@ -350,6 +270,70 @@ mod tests {
         assert!(p.stats().structural_stall_cycles > 0);
         assert_eq!(p.stats().structural_stall_misses, 1);
         assert_eq!(p.stats().instructions, 4);
+    }
+
+    #[test]
+    fn mem_mem_pairs_rejected_in_both_orders() {
+        // The single memory port rejects a mem/mem pair whichever way
+        // round it arrives: load-then-store and store-then-load both
+        // single-issue, one memory op per cycle.
+        for store_first in [false, true] {
+            let mut p = DualIssueProcessor::new(config(true));
+            for i in 0..5u64 {
+                let load = DynInst::load(Addr(i * 8), PhysReg::int(i as u8), LoadFormat::WORD);
+                let store = DynInst::store(Addr(0x4000 + i * 8), None);
+                let (first, second) = if store_first {
+                    (store, load)
+                } else {
+                    (load, store)
+                };
+                p.push(first).unwrap();
+                p.push(second).unwrap();
+            }
+            p.finish().unwrap();
+            assert_eq!(p.pairs_issued(), 0, "store_first={store_first}");
+            assert_eq!(p.now(), Cycle(10), "store_first={store_first}");
+            assert_eq!(p.stats().instructions, 10);
+        }
+    }
+
+    #[test]
+    fn pair_split_across_stream_boundaries_matches_one_stream() {
+        // A leader buffered in the issue slot at the end of one `run`
+        // call must still pair with the follower that arrives at the
+        // start of the next — feeding the stream in arbitrary chunks is
+        // invisible in the timing.
+        let stream = independent_alus(12);
+        let mut whole = DualIssueProcessor::new(config(true));
+        whole.run(stream.clone()).unwrap();
+        whole.finish().unwrap();
+        for split in [1, 3, 5, 11] {
+            let mut chunked = DualIssueProcessor::new(config(true));
+            let (head, tail) = stream.split_at(split);
+            chunked.run(head.to_vec()).unwrap();
+            chunked.run(tail.to_vec()).unwrap();
+            chunked.finish().unwrap();
+            assert_eq!(chunked.now(), whole.now(), "split at {split}");
+            assert_eq!(chunked.stats(), whole.stats());
+            assert_eq!(chunked.pairs_issued(), whole.pairs_issued());
+        }
+    }
+
+    #[test]
+    fn odd_length_tail_single_issues_on_finish() {
+        // Odd stream: the last instruction has no partner and is flushed
+        // by `finish` as a lone leader.
+        let mut even = DualIssueProcessor::new(config(true));
+        even.run(independent_alus(8)).unwrap();
+        even.finish().unwrap();
+        assert_eq!(even.now(), Cycle(4));
+        assert_eq!(even.pairs_issued(), 4);
+        let mut odd = DualIssueProcessor::new(config(true));
+        odd.run(independent_alus(9)).unwrap();
+        odd.finish().unwrap();
+        assert_eq!(odd.now(), Cycle(5), "the tail costs one extra cycle");
+        assert_eq!(odd.pairs_issued(), 4);
+        assert_eq!(odd.stats().instructions, 9);
     }
 
     #[test]

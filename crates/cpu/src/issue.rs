@@ -1,0 +1,612 @@
+//! The policy-parameterized issue engine every processor model shares.
+//!
+//! [`Processor`](crate::pipeline::Processor) and
+//! [`DualIssueProcessor`](crate::dual::DualIssueProcessor) used to carry
+//! their own copies of the fetch/hazard/issue/retire plumbing; both are
+//! now thin wrappers over one [`IssueEngine`], selected by
+//! [`IssuePolicy`] enum dispatch (the same seam shape as the tag arrays'
+//! `ReplacementPolicy`). The third policy, [`IssuePolicy::ReplayCause`],
+//! models a modern speculative load pipeline: loads issue without waiting
+//! for hit/miss resolution and are *replayed* on a prioritized set of
+//! causes (XiangShan's `LoadReplayCauses` design space) instead of
+//! stalling the whole pipeline, with per-cause counts and stall cycles
+//! accumulated into a [`ReplayAttribution`].
+//!
+//! Both the interpreted ([`IssueEngine::push`]) and tape-replay
+//! ([`IssueEngine::run_tape`]) rails dispatch on the same policy, so a
+//! model is defined once and drives every rail identically.
+
+use crate::core_engine::{Core, EngineConfig, EngineError};
+use crate::stats::{CpuStats, InFlightSampler, ReplayAttribution};
+use nbl_core::cache::LockupFreeCache;
+use nbl_core::inst::DynInst;
+use nbl_core::types::Cycle;
+use nbl_mem::event::ReplayCause;
+use nbl_mem::system::MemorySystem;
+use nbl_trace::tape::{barrier_index, TraceTape};
+
+/// Which issue discipline the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IssuePolicy {
+    /// The paper's §3.1 machine: one instruction per cycle, strictly in
+    /// order, stalling on every hazard.
+    #[default]
+    SingleInOrder,
+    /// The §6 machine: up to two instructions per cycle, one memory port,
+    /// leader-never-waits-for-follower pairing.
+    DualInOrder,
+    /// Single-issue width, but loads issue speculatively and are replayed
+    /// on XiangShan-style causes (forward-fail, NACK, bank conflict)
+    /// instead of the access stalling in place; real misses complete out
+    /// of order and their cost is attributed to the consumer.
+    ReplayCause,
+}
+
+/// The shared issue engine: a [`Core`] (scoreboard + clock + stats +
+/// memory port) plus the policy-specific issue state (the dual pairing
+/// buffer, the replay attribution counters).
+#[derive(Debug, Clone)]
+pub struct IssueEngine {
+    core: Core,
+    policy: IssuePolicy,
+    /// Dual-issue pairing buffer: the not-yet-issued leader candidate.
+    slot: Option<DynInst>,
+    /// Cycles in which two instructions issued together (dual only).
+    pairs_issued: u64,
+    /// Per-cause replay accounting (replaying model only).
+    attribution: ReplayAttribution,
+}
+
+impl IssueEngine {
+    /// Creates an engine at cycle zero with a cold cache.
+    pub fn new(config: EngineConfig, policy: IssuePolicy) -> IssueEngine {
+        IssueEngine {
+            core: Core::new(config),
+            policy,
+            slot: None,
+            pairs_issued: 0,
+            attribution: ReplayAttribution::default(),
+        }
+    }
+
+    /// The issue discipline this engine runs.
+    pub fn policy(&self) -> IssuePolicy {
+        self.policy
+    }
+
+    /// Feeds the next instruction of the in-order stream.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if the engine had to wait on a fill that cannot
+    /// arrive (a model invariant violation).
+    pub fn push(&mut self, inst: DynInst) -> Result<(), EngineError> {
+        match self.policy {
+            IssuePolicy::SingleInOrder => {
+                self.core.drain_fills();
+                self.core.resolve_hazards(&inst)?;
+                self.core.execute(&inst)?;
+                self.core.tick();
+                Ok(())
+            }
+            IssuePolicy::DualInOrder => self.push_dual(inst),
+            IssuePolicy::ReplayCause => {
+                self.core.drain_fills();
+                let before = self.core.now();
+                self.core.resolve_hazards(&inst)?;
+                // A hazard wait is time spent waiting for a fill — the
+                // consumer-side cost of a miss completing out of order.
+                self.attribution.stall_cycles[ReplayCause::DcacheMiss.index()] +=
+                    self.core.now().since(before);
+                self.core
+                    .execute_speculative(&inst, &mut self.attribution)?;
+                self.core.tick();
+                Ok(())
+            }
+        }
+    }
+
+    fn push_dual(&mut self, inst: DynInst) -> Result<(), EngineError> {
+        let Some(leader) = self.slot.take() else {
+            self.slot = Some(inst);
+            return Ok(());
+        };
+        self.issue_leader(&leader)?;
+        if self.can_coissue(&leader, &inst) {
+            // Same cycle: the follower issues alongside the leader.
+            self.core.execute(&inst)?;
+            self.pairs_issued += 1;
+            self.core.tick();
+        } else {
+            self.core.tick();
+            self.slot = Some(inst);
+        }
+        Ok(())
+    }
+
+    /// Runs an entire instruction stream (still call
+    /// [`IssueEngine::finish`] afterwards).
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any instruction hits.
+    pub fn run<I>(&mut self, stream: I) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        for inst in stream {
+            self.push(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Replays a recorded tape with timing and stats bit-identical to
+    /// pushing the equivalent stream, driven straight off the tape's
+    /// packed arrays through the policy's own replay loop.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any entry hits.
+    pub fn run_tape(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        match self.policy {
+            IssuePolicy::SingleInOrder => self.core.replay(tape),
+            IssuePolicy::DualInOrder => self.run_tape_dual(tape),
+            IssuePolicy::ReplayCause => self.run_tape_replaying(tape),
+        }
+    }
+
+    /// The dual pairing loop over packed tape entries: leader/follower
+    /// conflict and port checks use the byte-compare forms
+    /// ([`TraceTape::conflicts`], [`TraceTape::is_mem`]) and only a
+    /// trailing unpaired entry is ever reconstructed as a [`DynInst`] (it
+    /// lands in the pairing buffer for [`IssueEngine::finish`], exactly as
+    /// a pushed stream would).
+    fn run_tape_dual(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        if self.slot.is_some() {
+            // A partial stream was already pushed; splicing indices would
+            // desynchronize the pairing, so fall back to the push path.
+            return self.run(tape.iter());
+        }
+        let n = tape.len();
+        let mut i = 0;
+        while i < n {
+            if i + 1 == n {
+                // Unpaired tail: buffered, flushed by `finish`.
+                self.slot = Some(tape.get(i));
+                break;
+            }
+            self.core.drain_fills();
+            self.core.replay_hazards(tape, i)?;
+            self.core.replay_execute(tape, i)?;
+            let coissue = !(tape.conflicts(i, i + 1) || tape.is_mem(i) && tape.is_mem(i + 1)) && {
+                // Fills that completed during the leader's stalls may
+                // have freed the follower's registers this very cycle.
+                self.core.drain_fills();
+                self.core.replay_hazards_clear(tape, i + 1)
+            };
+            if coissue {
+                self.core.replay_execute(tape, i + 1)?;
+                self.pairs_issued += 1;
+                self.core.tick();
+                i += 2;
+            } else {
+                self.core.tick();
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The replaying model's barrier loop: the same gap bulk-issue and
+    /// quiescent fast path as [`Core::replay`] (non-barrier entries never
+    /// touch the memory system or the replay classifier, and a quiescent
+    /// engine has no pending register to attribute a wait to), with the
+    /// speculative execute and hazard-wait attribution at the barriers.
+    fn run_tape_replaying(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
+        let barriers = tape.barriers();
+        let n = tape.len();
+        let mut i = 0; // next instruction index to account for
+        let mut j = 0; // next barrier to process
+        while j < barriers.len() {
+            if self.core.memory().next_event().is_none() {
+                j = tape.next_mem_barrier(j);
+                let next = barriers.get(j).map_or(n, |&b| barrier_index(b));
+                if next > i {
+                    self.core.issue_free_run(next - i);
+                    i = next;
+                }
+                let Some(&b) = barriers.get(j) else { break };
+                self.core.replay_execute_speculative(
+                    tape,
+                    barrier_index(b),
+                    &mut self.attribution,
+                )?;
+                self.core.tick();
+                i = barrier_index(b) + 1;
+                j += 1;
+            } else {
+                let b = barrier_index(barriers[j]);
+                if b > i {
+                    self.core.issue_free_run(b - i);
+                }
+                self.core.drain_fills();
+                let before = self.core.now();
+                self.core.replay_hazards(tape, b)?;
+                self.attribution.stall_cycles[ReplayCause::DcacheMiss.index()] +=
+                    self.core.now().since(before);
+                self.core
+                    .replay_execute_speculative(tape, b, &mut self.attribution)?;
+                self.core.tick();
+                i = b + 1;
+                j += 1;
+            }
+        }
+        if i < n {
+            self.core.issue_free_run(n - i);
+        }
+        Ok(())
+    }
+
+    fn issue_leader(&mut self, leader: &DynInst) -> Result<(), EngineError> {
+        self.core.drain_fills();
+        self.core.resolve_hazards(leader)?;
+        self.core.execute(leader)
+    }
+
+    fn can_coissue(&mut self, leader: &DynInst, follower: &DynInst) -> bool {
+        if leader.conflicts_with(follower) {
+            return false;
+        }
+        if leader.is_mem() && follower.is_mem() {
+            return false;
+        }
+        // Fills that completed during the leader's stalls may have freed the
+        // follower's registers this very cycle.
+        self.core.drain_fills();
+        self.core.hazards_clear(follower)
+    }
+
+    /// Flushes the dual pairing buffer (a no-op for the single-width
+    /// policies, which never buffer) and finalizes the run.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if issuing the last buffered instruction failed.
+    pub fn finish(&mut self) -> Result<(), EngineError> {
+        if let Some(last) = self.slot.take() {
+            self.issue_leader(&last)?;
+            self.core.tick();
+        }
+        self.core.finish();
+        Ok(())
+    }
+
+    /// Returns the engine to its freshly-built state (cold cache, cycle
+    /// zero, zero counters, empty pairing buffer) while keeping internal
+    /// allocations, so a pooled worker can be reused run-to-run without
+    /// touching the heap. Results after a reset are bit-identical to a new
+    /// engine's.
+    pub fn reset(&mut self) {
+        self.core.reset();
+        self.slot = None;
+        self.pairs_issued = 0;
+        self.attribution = ReplayAttribution::default();
+    }
+
+    /// Mutable access to the underlying core, for the fused multi-config
+    /// replay entry point ([`Core::replay_fused`] — valid only for
+    /// [`IssuePolicy::SingleInOrder`] engines).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.core.now()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CpuStats {
+        self.core.stats()
+    }
+
+    /// Per-cause replay accounting (all zero outside
+    /// [`IssuePolicy::ReplayCause`]).
+    pub fn attribution(&self) -> &ReplayAttribution {
+        &self.attribution
+    }
+
+    /// Number of cycles in which two instructions issued together.
+    pub fn pairs_issued(&self) -> u64 {
+        self.pairs_issued
+    }
+
+    /// Memory CPI relative to a perfect-cache cycle count of the same
+    /// instruction stream: `(cycles − perfect_cycles) / instructions`.
+    pub fn mcpi_against(&self, perfect_cycles: Cycle) -> f64 {
+        let n = self.core.stats().instructions;
+        if n == 0 {
+            return 0.0;
+        }
+        (self.now().0.saturating_sub(perfect_cycles.0)) as f64 / n as f64
+    }
+
+    /// The in-flight occupancy sampler.
+    pub fn sampler(&self) -> &InFlightSampler {
+        self.core.sampler()
+    }
+
+    /// The data cache.
+    pub fn cache(&self) -> &LockupFreeCache {
+        self.core.cache()
+    }
+
+    /// The memory system behind the port.
+    pub fn memory(&self) -> &MemorySystem {
+        self.core.memory()
+    }
+
+    /// Starts recording miss-lifecycle events (see [`nbl_mem::event`]).
+    pub fn enable_mem_tracing(&mut self, ring_capacity: usize) {
+        self.core.enable_mem_tracing(ring_capacity);
+    }
+
+    /// Stops tracing and returns the recorded trace, if any.
+    pub fn take_mem_trace(&mut self) -> Option<nbl_mem::event::MemTrace> {
+        self.core.take_mem_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_core::cache::CacheConfig;
+    use nbl_core::limit::Limit;
+    use nbl_core::mshr::inverted::InvertedConfig;
+    use nbl_core::mshr::{MshrConfig, RegisterFileConfig, TargetPolicy};
+    use nbl_core::types::{Addr, LoadFormat, PhysReg};
+
+    fn unrestricted() -> EngineConfig {
+        EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Inverted(
+            InvertedConfig::typical(),
+        )))
+    }
+
+    fn mc1() -> EngineConfig {
+        EngineConfig::with_cache(CacheConfig::baseline(MshrConfig::Register(
+            RegisterFileConfig {
+                entries: Limit::Finite(1),
+                targets: TargetPolicy::explicit(Limit::Finite(1)),
+                max_outstanding_misses: Limit::Finite(1),
+                max_fetches_per_set: Limit::Unlimited,
+            },
+        )))
+    }
+
+    fn engine(config: EngineConfig, policy: IssuePolicy) -> IssueEngine {
+        IssueEngine::new(config, policy)
+    }
+
+    /// ld A; use A — the use's wait is attributed to the miss cause.
+    #[test]
+    fn replaying_model_attributes_consumer_wait_to_dcache_miss() {
+        let mut e = engine(unrestricted(), IssuePolicy::ReplayCause);
+        e.push(DynInst::load(
+            Addr(0x1000),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.push(DynInst::alu(PhysReg::int(2), [Some(PhysReg::int(1)), None]))
+            .unwrap();
+        e.finish().unwrap();
+        let attr = *e.attribution();
+        assert_eq!(attr.count(ReplayCause::DcacheMiss), 1);
+        assert_eq!(attr.count(ReplayCause::BankConflict), 0);
+        assert_eq!(attr.count(ReplayCause::ForwardFail), 0);
+        assert_eq!(attr.count(ReplayCause::DcacheReplay), 0);
+        assert_eq!(
+            attr.stalls(ReplayCause::DcacheMiss),
+            e.stats().data_dep_stall_cycles
+        );
+        assert_eq!(e.stats().data_dep_stall_cycles, 15);
+    }
+
+    /// Back-to-back loads to the same bank: the second replays exactly once.
+    #[test]
+    fn bank_conflict_fires_once_per_triggering_access() {
+        let mut e = engine(unrestricted(), IssuePolicy::ReplayCause);
+        // Same bank (bits [3..6] of the address), different lines and
+        // sets. Warm both lines first so the conflicting pair are pure
+        // hits.
+        let a = Addr(0x0000);
+        let b = Addr(0x0440);
+        e.push(DynInst::load(a, PhysReg::int(1), LoadFormat::WORD))
+            .unwrap();
+        for _ in 0..40 {
+            e.push(DynInst::alu(PhysReg::int(9), [None, None])).unwrap();
+        }
+        e.push(DynInst::load(b, PhysReg::int(2), LoadFormat::WORD))
+            .unwrap();
+        for _ in 0..40 {
+            e.push(DynInst::alu(PhysReg::int(9), [None, None])).unwrap();
+        }
+        let before = *e.attribution();
+        e.push(DynInst::load(a, PhysReg::int(3), LoadFormat::WORD))
+            .unwrap();
+        e.push(DynInst::load(b, PhysReg::int(4), LoadFormat::WORD))
+            .unwrap();
+        e.finish().unwrap();
+        let attr = *e.attribution();
+        assert_eq!(
+            attr.count(ReplayCause::BankConflict) - before.count(ReplayCause::BankConflict),
+            1,
+            "the second back-to-back same-bank load replays exactly once"
+        );
+        assert_eq!(
+            attr.stalls(ReplayCause::BankConflict) - before.stalls(ReplayCause::BankConflict),
+            2,
+            "a bank conflict costs the fast replay bubble"
+        );
+    }
+
+    /// A load overlapping a just-issued store replays once for forward-fail.
+    #[test]
+    fn forward_fail_fires_once_per_triggering_access() {
+        let mut e = engine(unrestricted(), IssuePolicy::ReplayCause);
+        // Warm the line so the load would otherwise be a pure hit.
+        e.push(DynInst::load(
+            Addr(0x100),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        for _ in 0..40 {
+            e.push(DynInst::alu(PhysReg::int(9), [None, None])).unwrap();
+        }
+        e.push(DynInst::store(Addr(0x100), Some(PhysReg::int(9))))
+            .unwrap();
+        e.push(DynInst::load(
+            Addr(0x104),
+            PhysReg::int(2),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.finish().unwrap();
+        let attr = *e.attribution();
+        assert_eq!(attr.count(ReplayCause::ForwardFail), 1);
+        assert_eq!(
+            attr.stalls(ReplayCause::ForwardFail),
+            4,
+            "forwarding failure costs the slow replay bubble"
+        );
+        assert_eq!(
+            attr.count(ReplayCause::BankConflict),
+            0,
+            "the replay wins priority"
+        );
+    }
+
+    /// mc=1: the second concurrent miss is NACKed and replays, and after a
+    /// second NACK the engine waits for the fill (still attributed to the
+    /// NACK cause).
+    #[test]
+    fn dcache_replay_nack_fires_once_then_waits() {
+        let mut e = engine(mc1(), IssuePolicy::ReplayCause);
+        e.push(DynInst::load(
+            Addr(0x1000),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.push(DynInst::load(
+            Addr(0x2000),
+            PhysReg::int(2),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.finish().unwrap();
+        let attr = *e.attribution();
+        assert_eq!(attr.count(ReplayCause::DcacheReplay), 1);
+        assert!(
+            attr.stalls(ReplayCause::DcacheReplay) > REPLAY_FAST_FOR_TEST,
+            "the post-NACK fill wait lands on the NACK cause: {attr:?}"
+        );
+        assert_eq!(e.stats().structural_stall_misses, 1);
+    }
+
+    const REPLAY_FAST_FOR_TEST: u64 = 2;
+
+    /// The attributed stall cycles partition the non-blocking stall total.
+    #[test]
+    fn attribution_partitions_the_stall_total() {
+        let stream: Vec<DynInst> = (0..60u64)
+            .flat_map(|i| {
+                [
+                    DynInst::load(Addr(i * 520), PhysReg::int((i % 8) as u8), LoadFormat::WORD),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 8) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                    DynInst::store(Addr(i * 520 + 4), Some(PhysReg::int(10 + (i % 8) as u8))),
+                ]
+            })
+            .collect();
+        for config in [unrestricted(), mc1()] {
+            let mut e = engine(config, IssuePolicy::ReplayCause);
+            e.run(stream.iter().copied()).unwrap();
+            e.finish().unwrap();
+            let attr = *e.attribution();
+            assert_eq!(
+                attr.total_stall_cycles(),
+                e.stats().data_dep_stall_cycles + e.stats().structural_stall_cycles,
+                "per-cause cycles must partition the non-blocking stalls"
+            );
+            assert!(attr.count(ReplayCause::DcacheMiss) > 0);
+        }
+    }
+
+    /// The replaying model's tape rail is bit-identical to its push rail.
+    #[test]
+    fn replaying_tape_matches_pushed_stream() {
+        let stream: Vec<DynInst> = (0..60u64)
+            .flat_map(|i| {
+                [
+                    DynInst::load(Addr(i * 520), PhysReg::int((i % 8) as u8), LoadFormat::WORD),
+                    DynInst::alu(
+                        PhysReg::int(10 + (i % 8) as u8),
+                        [Some(PhysReg::int((i % 8) as u8)), None],
+                    ),
+                    DynInst::alu(PhysReg::int(20), [None, None]),
+                    DynInst::store(Addr(i * 520 + 4), Some(PhysReg::int(10 + (i % 8) as u8))),
+                ]
+            })
+            .collect();
+        let mut tape = TraceTape::with_capacity("t", 1, 0, stream.len());
+        for inst in &stream {
+            tape.push(*inst);
+        }
+        for config in [unrestricted(), mc1()] {
+            let mut pushed = engine(config.clone(), IssuePolicy::ReplayCause);
+            pushed.run(stream.iter().copied()).unwrap();
+            pushed.finish().unwrap();
+            let mut replayed = engine(config, IssuePolicy::ReplayCause);
+            replayed.run_tape(&tape).unwrap();
+            replayed.finish().unwrap();
+            assert_eq!(replayed.now(), pushed.now());
+            assert_eq!(replayed.stats(), pushed.stats());
+            assert_eq!(replayed.attribution(), pushed.attribution());
+            assert_eq!(replayed.cache().counters(), pushed.cache().counters());
+        }
+    }
+
+    /// The replaying model emits `LoadReplayed` through the lifecycle
+    /// tracer, mirroring the engine-side attribution counts.
+    #[test]
+    fn replay_events_mirror_attribution() {
+        let mut e = engine(mc1(), IssuePolicy::ReplayCause);
+        e.enable_mem_tracing(64);
+        e.push(DynInst::load(
+            Addr(0x1000),
+            PhysReg::int(1),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.push(DynInst::load(
+            Addr(0x2000),
+            PhysReg::int(2),
+            LoadFormat::WORD,
+        ))
+        .unwrap();
+        e.finish().unwrap();
+        let attr = *e.attribution();
+        let trace = e.take_mem_trace().expect("tracing was enabled");
+        for cause in ReplayCause::ALL {
+            assert_eq!(
+                trace.stats.replays[cause.index()],
+                attr.count(cause),
+                "event stream and attribution disagree on {cause:?}"
+            );
+        }
+    }
+}

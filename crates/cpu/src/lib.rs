@@ -10,17 +10,22 @@
 //! * [`core_engine`] — the shared event mechanics (fills, hazards,
 //!   structural-stall retry, blocking fetches), driving all memory traffic
 //!   through the [`nbl_mem::system::MemorySystem`] port;
+//! * [`issue`] — the policy-parameterized issue engine
+//!   ([`issue::IssuePolicy`]: single, dual, or replaying) every processor
+//!   model shares;
 //! * [`pipeline`] — the single-issue processor all baseline figures use;
 //! * [`dual`] — the dual-issue processor of §6 / Fig. 19.
 
 pub mod core_engine;
 pub mod dual;
+pub mod issue;
 pub mod pipeline;
 pub mod scoreboard;
 pub mod stats;
 
 pub use core_engine::{Core, EngineConfig, EngineError};
 pub use dual::DualIssueProcessor;
+pub use issue::{IssueEngine, IssuePolicy};
 pub use pipeline::Processor;
 pub use scoreboard::Scoreboard;
-pub use stats::{CpuStats, InFlightSampler, StallCause};
+pub use stats::{CpuStats, InFlightSampler, ReplayAttribution, StallCause};

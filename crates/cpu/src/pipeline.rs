@@ -6,6 +6,7 @@
 //! stall cycles per instruction are exactly the paper's miss CPI.
 
 use crate::core_engine::{Core, EngineConfig, EngineError};
+use crate::issue::{IssueEngine, IssuePolicy};
 use crate::stats::{CpuStats, InFlightSampler};
 use nbl_core::cache::LockupFreeCache;
 use nbl_core::inst::DynInst;
@@ -37,14 +38,14 @@ use nbl_trace::tape::TraceTape;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Processor {
-    core: Core,
+    engine: IssueEngine,
 }
 
 impl Processor {
     /// Creates a processor at cycle zero with a cold cache.
     pub fn new(config: EngineConfig) -> Processor {
         Processor {
-            core: Core::new(config),
+            engine: IssueEngine::new(config, IssuePolicy::SingleInOrder),
         }
     }
 
@@ -55,11 +56,7 @@ impl Processor {
     /// [`EngineError`] if the engine had to wait on a fill that cannot
     /// arrive (a model invariant violation).
     pub fn step(&mut self, inst: &DynInst) -> Result<(), EngineError> {
-        self.core.drain_fills();
-        self.core.resolve_hazards(inst)?;
-        self.core.execute(inst)?;
-        self.core.tick();
-        Ok(())
+        self.engine.push(*inst)
     }
 
     /// Runs an entire instruction stream.
@@ -71,10 +68,7 @@ impl Processor {
     where
         I: IntoIterator<Item = DynInst>,
     {
-        for inst in stream {
-            self.step(&inst)?;
-        }
-        Ok(())
+        self.engine.run(stream)
     }
 
     /// Replays a recorded tape: the same drain → hazards → execute → tick
@@ -98,12 +92,15 @@ impl Processor {
     ///
     /// The first [`EngineError`] any entry hits.
     pub fn run_tape(&mut self, tape: &TraceTape) -> Result<(), EngineError> {
-        self.core.replay(tape)
+        self.engine.run_tape(tape)
     }
 
     /// Finalizes the run (drains outstanding fills, closes the sampler).
     pub fn finish(&mut self) {
-        self.core.finish();
+        // The single-issue policy never buffers an instruction, so the
+        // engine's finish has no failure path here.
+        let flushed = self.engine.finish();
+        debug_assert!(flushed.is_ok());
     }
 
     /// Returns the processor to its freshly-built state (cold cache, cycle
@@ -111,48 +108,48 @@ impl Processor {
     /// pooled worker can be reused run-to-run without touching the heap.
     /// Results after a reset are bit-identical to a new processor's.
     pub fn reset(&mut self) {
-        self.core.reset();
+        self.engine.reset();
     }
 
     /// Mutable access to the underlying engine, for the fused multi-config
     /// replay entry point ([`Core::replay_fused`]).
     pub fn core_mut(&mut self) -> &mut Core {
-        &mut self.core
+        self.engine.core_mut()
     }
 
     /// Current cycle.
     pub fn now(&self) -> Cycle {
-        self.core.now()
+        self.engine.now()
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> &CpuStats {
-        self.core.stats()
+        self.engine.stats()
     }
 
     /// The in-flight occupancy sampler.
     pub fn sampler(&self) -> &InFlightSampler {
-        self.core.sampler()
+        self.engine.sampler()
     }
 
     /// The data cache.
     pub fn cache(&self) -> &LockupFreeCache {
-        self.core.cache()
+        self.engine.cache()
     }
 
     /// The memory system behind the port.
     pub fn memory(&self) -> &MemorySystem {
-        self.core.memory()
+        self.engine.memory()
     }
 
     /// Starts recording miss-lifecycle events (see [`nbl_mem::event`]).
     pub fn enable_mem_tracing(&mut self, ring_capacity: usize) {
-        self.core.enable_mem_tracing(ring_capacity);
+        self.engine.enable_mem_tracing(ring_capacity);
     }
 
     /// Stops tracing and returns the recorded trace, if any.
     pub fn take_mem_trace(&mut self) -> Option<nbl_mem::event::MemTrace> {
-        self.core.take_mem_trace()
+        self.engine.take_mem_trace()
     }
 }
 

@@ -9,26 +9,30 @@
 
 use nbl_core::types::PhysReg;
 
-/// Pending-register tracking for the 64 architectural registers.
+/// Pending-register tracking for the 64 architectural registers, packed
+/// into one `u64` bitmask word (bit `i` = register with dense index `i`):
+/// `any_pending` is a zero test, `pending_count` a popcount, and the whole
+/// state clones/resets as one machine word.
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
-    pending: [bool; 64],
-    count: usize,
+    pending: u64,
 }
 
 impl Scoreboard {
     /// A scoreboard with every register valid.
     pub fn new() -> Scoreboard {
-        Scoreboard {
-            pending: [false; 64],
-            count: 0,
-        }
+        Scoreboard { pending: 0 }
+    }
+
+    #[inline]
+    fn bit(reg: PhysReg) -> u64 {
+        1u64 << reg.dense_index()
     }
 
     /// `true` if `reg` is waiting for load data.
     #[inline]
     pub fn is_pending(&self, reg: PhysReg) -> bool {
-        self.pending[reg.dense_index()]
+        self.pending & Self::bit(reg) != 0
     }
 
     /// Marks `reg` as waiting for load data.
@@ -40,36 +44,30 @@ impl Scoreboard {
     /// a pending register.
     #[inline]
     pub fn set_pending(&mut self, reg: PhysReg) {
-        let i = reg.dense_index();
         debug_assert!(
-            !self.pending[i],
+            self.pending & Self::bit(reg) == 0,
             "register {reg} already pending (unstalled WAW hazard)"
         );
-        self.pending[i] = true;
-        self.count += 1;
+        self.pending |= Self::bit(reg);
     }
 
     /// Marks `reg` valid (its load data arrived). Idempotent, because a
     /// fill may name destinations (PC, write buffer) that were never marked.
     #[inline]
     pub fn clear(&mut self, reg: PhysReg) {
-        let i = reg.dense_index();
-        if self.pending[i] {
-            self.pending[i] = false;
-            self.count -= 1;
-        }
+        self.pending &= !Self::bit(reg);
     }
 
-    /// Number of registers currently pending.
+    /// Number of registers currently pending (one popcount of the word).
     #[inline]
     pub fn pending_count(&self) -> usize {
-        self.count
+        self.pending.count_ones() as usize
     }
 
-    /// `true` if any register is pending.
+    /// `true` if any register is pending (a zero test, O(1)).
     #[inline]
     pub fn any_pending(&self) -> bool {
-        self.count > 0
+        self.pending != 0
     }
 }
 

@@ -9,6 +9,7 @@
 //! histograms of Fig. 6.
 
 use nbl_core::types::Cycle;
+use nbl_mem::event::ReplayCause;
 use std::fmt;
 
 /// Why the processor spent a cycle stalled.
@@ -103,6 +104,48 @@ impl fmt::Display for CpuStats {
             self.structural_stall_cycles,
             self.blocking_stall_cycles,
         )
+    }
+}
+
+/// Per-cause accounting for the replaying pipeline model: how many times
+/// each [`ReplayCause`] fired and how many stall cycles that cause was
+/// charged (replay bubbles, NACK fill waits, and — for
+/// [`ReplayCause::DcacheMiss`] — consumer hazard waits on pending
+/// registers). For the stalling models everything stays zero. The
+/// attributed cycles partition the non-blocking stall total: their sum
+/// equals `data_dep_stall_cycles + structural_stall_cycles` of the run's
+/// [`CpuStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayAttribution {
+    /// `counts[ReplayCause::index()]` = replays (or, for `DcacheMiss`,
+    /// out-of-order miss completions) attributed to that cause.
+    pub counts: [u64; ReplayCause::COUNT],
+    /// `stall_cycles[ReplayCause::index()]` = stall cycles attributed to
+    /// that cause.
+    pub stall_cycles: [u64; ReplayCause::COUNT],
+}
+
+impl ReplayAttribution {
+    /// Replays attributed to `cause`.
+    #[inline]
+    pub fn count(&self, cause: ReplayCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Stall cycles attributed to `cause`.
+    #[inline]
+    pub fn stalls(&self, cause: ReplayCause) -> u64 {
+        self.stall_cycles[cause.index()]
+    }
+
+    /// Total replays across every cause.
+    pub fn total_replays(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total attributed stall cycles across every cause.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
     }
 }
 

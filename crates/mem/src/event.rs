@@ -43,6 +43,65 @@ pub enum ServiceLevel {
     Memory,
 }
 
+/// Why a speculatively issued load was thrown back into the replay queue
+/// instead of completing — the subset of XiangShan's `LoadReplayCauses`
+/// this model implements, declared in priority order (an access that
+/// qualifies for several causes reports the first): store-to-load
+/// forwarding failure (`C_FF`), a data-cache resource NACK (`C_DR`), a
+/// real data-cache miss (`C_DM`, which waits for the fill rather than
+/// spinning), and a load-pipeline bank conflict (`C_BC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayCause {
+    /// Store-to-load forwarding failed: the load overlaps a store still
+    /// in flight and the data could not be forwarded — a *slow* replay
+    /// (the load re-executes from the replay queue after the store
+    /// resolves).
+    ForwardFail,
+    /// The data cache NACKed the access (no MSHR/resource to track it) —
+    /// a *fast* replay; a second NACK falls back to waiting for a fill.
+    DcacheReplay,
+    /// The access genuinely missed: the load completes out of order when
+    /// the fill arrives, and any consumer stall is attributed here.
+    DcacheMiss,
+    /// Two accesses hit the same data-array bank in the same busy window —
+    /// a *fast* replay through the load pipeline.
+    BankConflict,
+}
+
+impl ReplayCause {
+    /// Number of modeled causes (array dimension for per-cause counters).
+    pub const COUNT: usize = 4;
+
+    /// Every cause, in priority order.
+    pub const ALL: [ReplayCause; ReplayCause::COUNT] = [
+        ReplayCause::ForwardFail,
+        ReplayCause::DcacheReplay,
+        ReplayCause::DcacheMiss,
+        ReplayCause::BankConflict,
+    ];
+
+    /// Dense index of this cause (its position in [`ReplayCause::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ReplayCause::ForwardFail => 0,
+            ReplayCause::DcacheReplay => 1,
+            ReplayCause::DcacheMiss => 2,
+            ReplayCause::BankConflict => 3,
+        }
+    }
+
+    /// Stable short label for CSV/JSON emitters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayCause::ForwardFail => "fwd_fail",
+            ReplayCause::DcacheReplay => "dcache_rep",
+            ReplayCause::DcacheMiss => "dcache_miss",
+            ReplayCause::BankConflict => "bank_conflict",
+        }
+    }
+}
+
 /// One step of a memory transaction's lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemEvent {
@@ -111,6 +170,17 @@ pub enum MemEvent {
         /// How many targets were waiting.
         targets: u32,
     },
+    /// A speculatively issued load was thrown back for replay (or, for
+    /// [`ReplayCause::DcacheMiss`], completed out of order behind a fill) —
+    /// only the replaying pipeline model emits this.
+    LoadReplayed {
+        /// The accessed block.
+        block: BlockAddr,
+        /// Why the load replayed.
+        cause: ReplayCause,
+        /// Replay time.
+        at: Cycle,
+    },
 }
 
 impl MemEvent {
@@ -122,7 +192,8 @@ impl MemEvent {
             | MemEvent::Rejected { at, .. }
             | MemEvent::FetchLaunched { at, .. }
             | MemEvent::Filled { at, .. }
-            | MemEvent::TargetsWoken { at, .. } => at,
+            | MemEvent::TargetsWoken { at, .. }
+            | MemEvent::LoadReplayed { at, .. } => at,
         }
     }
 }
@@ -230,6 +301,9 @@ pub struct MissLifecycleStats {
     pub flight_cycles: u64,
     /// Longest observed launch-to-fill time.
     pub max_flight: u64,
+    /// `replays[ReplayCause::index()]` = loads replayed for that cause
+    /// (all zero outside the replaying pipeline model).
+    pub replays: [u64; ReplayCause::COUNT],
     /// Fetches in flight at the moment of observation (launch time and
     /// merges absorbed so far).
     in_flight: BTreeMap<BlockAddr, (Cycle, u32)>,
@@ -250,6 +324,7 @@ impl Default for MissLifecycleStats {
             time_in_flight: [0; FLIGHT_BUCKETS],
             flight_cycles: 0,
             max_flight: 0,
+            replays: [0; ReplayCause::COUNT],
             in_flight: BTreeMap::new(),
         }
     }
@@ -263,7 +338,17 @@ impl MissLifecycleStats {
 
     /// Total events observed.
     pub fn total_events(&self) -> u64 {
-        self.issued + self.merged + self.rejected + self.fetches + 2 * self.fills
+        self.issued
+            + self.merged
+            + self.rejected
+            + self.fetches
+            + 2 * self.fills
+            + self.total_replays()
+    }
+
+    /// Loads replayed across every cause.
+    pub fn total_replays(&self) -> u64 {
+        self.replays.iter().sum()
     }
 
     /// Mean secondary misses absorbed per fetch.
@@ -327,6 +412,9 @@ impl MemEventSink for MissLifecycleStats {
             MemEvent::TargetsWoken { targets, .. } => {
                 self.targets_woken += u64::from(targets);
                 self.fanout[(targets as usize).min(DEPTH_BUCKETS - 1)] += 1;
+            }
+            MemEvent::LoadReplayed { cause, .. } => {
+                self.replays[cause.index()] += 1;
             }
         }
     }

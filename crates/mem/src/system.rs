@@ -21,7 +21,7 @@
 //! TargetsWoken`, observable via [`MemorySystem::enable_tracing`] — see
 //! [`crate::event`].
 
-use crate::event::{AccessKind, MemEvent, MemEventSink, MemTrace, ServiceLevel};
+use crate::event::{AccessKind, MemEvent, MemEventSink, MemTrace, ReplayCause, ServiceLevel};
 use crate::memory::{MemoryError, PipelinedMemory};
 use crate::write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};
 use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess};
@@ -124,6 +124,55 @@ pub enum StoreResponse {
     },
 }
 
+/// How a *speculative* load access resolved at the port (the replaying
+/// pipeline model's view of [`MemorySystem::access_load_replay`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayLoadResponse {
+    /// The access reached the data array; the inner [`LoadResponse`] says
+    /// how it resolved (a miss still completes out of order via the MSHRs).
+    Proceed(LoadResponse),
+    /// The access was thrown back before (or at) the data array and must
+    /// be replayed; the processor charges the cause's replay penalty and
+    /// reissues.
+    Replay(ReplayCause),
+}
+
+/// Number of data-array banks the replaying model's conflict check uses
+/// (8-byte interleaving, so bits `[3..6]` of the address select the bank).
+const LOAD_BANKS: usize = 8;
+
+/// How long one access occupies its bank.
+const BANK_BUSY_CYCLES: u64 = 2;
+
+/// Window (in cycles) after a store during which an overlapping load
+/// cannot forward cleanly and replays with [`ReplayCause::ForwardFail`].
+const FWD_WINDOW: u64 = 4;
+
+/// Pre-access state the replaying pipeline model classifies against:
+/// per-bank busy times for the bank-conflict check and the most recent
+/// store for the forwarding-failure window. The stalling models never
+/// touch it, so their timing is unaffected.
+#[derive(Debug, Clone, Default)]
+struct ReplayClassifier {
+    /// `bank_free_at[b]` = first cycle bank `b` accepts a new access.
+    bank_free_at: [u64; LOAD_BANKS],
+    /// Block and time of the most recent store, for the forwarding window.
+    last_store: Option<(BlockAddr, Cycle)>,
+}
+
+impl ReplayClassifier {
+    #[inline]
+    fn bank_of(addr: Addr) -> usize {
+        ((addr.0 >> 3) as usize) % LOAD_BANKS
+    }
+
+    #[inline]
+    fn forward_fail(&self, block: BlockAddr, now: Cycle) -> bool {
+        self.last_store
+            .is_some_and(|(b, at)| b == block && now.0 < at.0 + FWD_WINDOW)
+    }
+}
+
 /// One applied fill: the line is installed and all of its waiting targets
 /// woke simultaneously at `at`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +203,9 @@ pub struct MemorySystem {
     /// consumed event back via [`MemorySystem::recycle_fill`], so a
     /// warmed-up system builds fills without touching the allocator.
     spare_targets: Vec<Vec<TargetRecord>>,
+    /// Replay-cause classification state (only the replaying pipeline
+    /// model reads or writes it).
+    replay: ReplayClassifier,
 }
 
 impl MemorySystem {
@@ -184,6 +236,7 @@ impl MemorySystem {
             trace: None,
             next_txn: 0,
             spare_targets: Vec::new(),
+            replay: ReplayClassifier::default(),
         }
     }
 
@@ -199,6 +252,7 @@ impl MemorySystem {
         self.write_buffer.reset();
         self.trace = None;
         self.next_txn = 0;
+        self.replay = ReplayClassifier::default();
     }
 
     /// Hands a consumed [`FillEvent`]'s target vector back for reuse by a
@@ -455,6 +509,85 @@ impl MemorySystem {
                 StoreResponse::Pending { kind }
             }
         }
+    }
+
+    /// Submits a *speculatively issued* load at time `now` for the
+    /// replaying pipeline model. A first issue (`reissue == false`) runs
+    /// the pre-access replay checks in priority order — forwarding failure,
+    /// then bank conflict — and a structurally rejected access maps to a
+    /// [`ReplayCause::DcacheReplay`] NACK instead of [`LoadResponse::Retry`].
+    /// A reissue from the replay queue skips the pre-access checks (the
+    /// queue re-schedules around the original hazard), so every cause fires
+    /// at most once per triggering access; only a repeated NACK can recur,
+    /// and the processor then falls back to waiting for a fill —
+    /// `nacked` marks such an already-NACKed access so the recurrence is
+    /// not recorded as a fresh replay. An access that reaches the data
+    /// array occupies its bank for the busy window; a replayed access
+    /// never reaches the array and leaves the bank state untouched.
+    pub fn access_load_replay(
+        &mut self,
+        addr: Addr,
+        dest: Dest,
+        format: LoadFormat,
+        now: Cycle,
+        reissue: bool,
+        nacked: bool,
+    ) -> ReplayLoadResponse {
+        let block = self.l1.block_of(addr);
+        if !reissue {
+            if self.replay.forward_fail(block, now) {
+                self.emit(MemEvent::LoadReplayed {
+                    block,
+                    cause: ReplayCause::ForwardFail,
+                    at: now,
+                });
+                return ReplayLoadResponse::Replay(ReplayCause::ForwardFail);
+            }
+            if now.0 < self.replay.bank_free_at[ReplayClassifier::bank_of(addr)] {
+                self.emit(MemEvent::LoadReplayed {
+                    block,
+                    cause: ReplayCause::BankConflict,
+                    at: now,
+                });
+                return ReplayLoadResponse::Replay(ReplayCause::BankConflict);
+            }
+        }
+        match self.access_load(addr, dest, format, now) {
+            LoadResponse::Retry(_) => {
+                if !nacked {
+                    self.emit(MemEvent::LoadReplayed {
+                        block,
+                        cause: ReplayCause::DcacheReplay,
+                        at: now,
+                    });
+                }
+                ReplayLoadResponse::Replay(ReplayCause::DcacheReplay)
+            }
+            resp => {
+                self.replay.bank_free_at[ReplayClassifier::bank_of(addr)] =
+                    now.0 + BANK_BUSY_CYCLES;
+                if matches!(resp, LoadResponse::Pending { .. }) {
+                    self.emit(MemEvent::LoadReplayed {
+                        block,
+                        cause: ReplayCause::DcacheMiss,
+                        at: now,
+                    });
+                }
+                ReplayLoadResponse::Proceed(resp)
+            }
+        }
+    }
+
+    /// Submits a store at time `now` for the replaying pipeline model.
+    /// Stores themselves never replay (they commit from the store queue at
+    /// their own pace), but they feed the classifier: the store opens the
+    /// forwarding-failure window on its block and occupies its data-array
+    /// bank for the busy window.
+    pub fn access_store_replay(&mut self, addr: Addr, now: Cycle) -> StoreResponse {
+        let block = self.l1.block_of(addr);
+        self.replay.last_store = Some((block, now));
+        self.replay.bank_free_at[ReplayClassifier::bank_of(addr)] = now.0 + BANK_BUSY_CYCLES;
+        self.access_store(addr, now)
     }
 
     /// Completion time of the earliest outstanding fetch, if any.

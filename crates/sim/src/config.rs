@@ -163,6 +163,54 @@ pub enum IssueWidth {
     Dual,
 }
 
+/// Which processor model runs the workload — the sweep axis of the
+/// `figures replaymodel` exhibit. Maps one-to-one onto
+/// [`nbl_cpu::issue::IssuePolicy`] via [`ProcessorKind::policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessorKind {
+    /// The paper's stalling single-issue pipeline (§3.1).
+    #[default]
+    SingleInOrder,
+    /// The dual-issue pipeline (§6 / Fig. 19).
+    DualInOrder,
+    /// The speculative pipeline that replays loads on XiangShan-style
+    /// causes instead of stalling at issue (extension).
+    ReplayCause,
+}
+
+impl ProcessorKind {
+    /// Every model, in sweep order.
+    pub const ALL: [ProcessorKind; 3] = [
+        ProcessorKind::SingleInOrder,
+        ProcessorKind::DualInOrder,
+        ProcessorKind::ReplayCause,
+    ];
+
+    /// Stable short label for CSV/JSON emitters and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessorKind::SingleInOrder => "single",
+            ProcessorKind::DualInOrder => "dual",
+            ProcessorKind::ReplayCause => "replay",
+        }
+    }
+
+    /// The issue policy driving the shared engine for this model.
+    pub fn policy(self) -> nbl_cpu::IssuePolicy {
+        match self {
+            ProcessorKind::SingleInOrder => nbl_cpu::IssuePolicy::SingleInOrder,
+            ProcessorKind::DualInOrder => nbl_cpu::IssuePolicy::DualInOrder,
+            ProcessorKind::ReplayCause => nbl_cpu::IssuePolicy::ReplayCause,
+        }
+    }
+}
+
+impl fmt::Display for ProcessorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A complete simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -176,6 +224,9 @@ pub struct SimConfig {
     pub load_latency: u32,
     /// Issue width.
     pub issue: IssueWidth,
+    /// Processor model for the single-width driver rails (`figures
+    /// replaymodel` sweeps it; the paper's figures keep the default).
+    pub processor: ProcessorKind,
     /// Minimum cycles between fetch completions (0 = the paper's fully
     /// pipelined memory; nonzero only in the bandwidth ablation).
     pub memory_gap: u32,
@@ -202,6 +253,7 @@ impl SimConfig {
             miss_penalty: 16,
             load_latency: 10,
             issue: IssueWidth::Single,
+            processor: ProcessorKind::default(),
             memory_gap: 0,
             l2: None,
             victim_entries: 0,
@@ -258,6 +310,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_replacement(mut self, replacement: ReplacementKind) -> SimConfig {
         self.replacement = replacement;
+        self
+    }
+
+    /// Same configuration under a different processor model.
+    #[must_use]
+    pub fn with_processor(mut self, processor: ProcessorKind) -> SimConfig {
+        self.processor = processor;
         self
     }
 }

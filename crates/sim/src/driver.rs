@@ -3,14 +3,15 @@
 //! paper's metrics.
 
 use crate::compile_cache::CompileCache;
-use crate::config::SimConfig;
+use crate::config::{ProcessorKind, SimConfig};
 use crate::tape_cache::TapeCache;
 use crate::telemetry::Telemetry;
 use nbl_core::geometry::CacheGeometry;
 use nbl_core::inst::DynInst;
 use nbl_cpu::core_engine::{Core, EngineConfig, EngineError, L2Params};
 use nbl_cpu::dual::DualIssueProcessor;
-use nbl_cpu::pipeline::Processor;
+use nbl_cpu::issue::{IssueEngine, IssuePolicy};
+use nbl_cpu::stats::ReplayAttribution;
 use nbl_mem::event::MemTrace;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::exec::Executor;
@@ -96,6 +97,8 @@ pub struct RunResult {
     pub benchmark: String,
     /// Hardware configuration label.
     pub config: String,
+    /// Processor-model label (`"single"` unless the run swept models).
+    pub model: String,
     /// Replacement-policy label (`"lru"` unless the run swept it).
     pub replacement: String,
     /// Scheduled load latency the code was compiled for.
@@ -130,6 +133,9 @@ pub struct RunResult {
     pub inflight: InFlightSummary,
     /// Spill memory operations added by the compiler, per static program.
     pub static_spill_ops: usize,
+    /// Per-cause replay counts and stall attribution (all zero unless the
+    /// run used the replaying processor model).
+    pub replay: ReplayAttribution,
 }
 
 impl fmt::Display for RunResult {
@@ -146,7 +152,7 @@ impl fmt::Display for RunResult {
 /// error is held sticky — execution degenerates to a no-op for the rest of
 /// the stream and the driver reports the first error after the run.
 struct SingleSink<'a> {
-    cpu: &'a mut Processor,
+    cpu: &'a mut IssueEngine,
     error: Option<EngineError>,
 }
 
@@ -154,7 +160,7 @@ impl InstSink for SingleSink<'_> {
     #[inline]
     fn exec(&mut self, inst: DynInst) {
         if self.error.is_none() {
-            if let Err(e) = self.cpu.step(&inst) {
+            if let Err(e) = self.cpu.push(inst) {
                 self.error = Some(e);
             }
         }
@@ -190,7 +196,7 @@ fn summarize(
     benchmark: &str,
     cfg: &SimConfig,
     static_spill_ops: usize,
-    cpu: &Processor,
+    cpu: &IssueEngine,
 ) -> RunResult {
     let stats = *cpu.stats();
     let counters = *cpu.cache().counters();
@@ -203,6 +209,7 @@ fn summarize(
     RunResult {
         benchmark: benchmark.to_string(),
         config: cfg.hw.label(),
+        model: cfg.processor.label().to_string(),
         replacement: cfg.replacement.label(),
         load_latency: cfg.load_latency,
         miss_penalty: cfg.miss_penalty,
@@ -226,6 +233,7 @@ fn summarize(
             max_fetches: sampler.max_fetches(),
         },
         static_spill_ops,
+        replay: *cpu.attribution(),
     }
 }
 
@@ -235,23 +243,25 @@ fn summarize(
 const ARENA_CAP: usize = 16;
 
 thread_local! {
-    /// Per-worker bump arena of processors, keyed by the configuration
-    /// they were built for. A run takes a matching processor out (resetting
-    /// it — bit-identical to a fresh build, see [`Processor::reset`]) and
-    /// hands it back afterwards, so a warm worker serves every run of a
-    /// sweep without constructing simulator state on the heap.
-    static WORKER_ARENA: RefCell<Vec<(EngineConfig, Processor)>> =
+    /// Per-worker bump arena of issue engines, keyed by the configuration
+    /// and issue policy they were built for. A run takes a matching engine
+    /// out (resetting it — bit-identical to a fresh build, see
+    /// [`IssueEngine::reset`]) and hands it back afterwards, so a warm
+    /// worker serves every run of a sweep without constructing simulator
+    /// state on the heap.
+    static WORKER_ARENA: RefCell<Vec<((EngineConfig, IssuePolicy), IssueEngine)>> =
         const { RefCell::new(Vec::new()) };
 }
 
-/// Takes a processor for `config` from this worker's arena (reset, so its
-/// behavior is bit-identical to a fresh one), or builds one on a miss.
-fn acquire_processor(config: &EngineConfig) -> Processor {
+/// Takes an engine for `(config, policy)` from this worker's arena (reset,
+/// so its behavior is bit-identical to a fresh one), or builds one on a
+/// miss.
+fn acquire_engine(config: &EngineConfig, policy: IssuePolicy) -> IssueEngine {
     let pooled = WORKER_ARENA.with(|arena| {
         let mut arena = arena.borrow_mut();
         arena
             .iter()
-            .position(|(c, _)| c == config)
+            .position(|((c, p), _)| c == config && *p == policy)
             .map(|pos| arena.swap_remove(pos).1)
     });
     match pooled {
@@ -262,18 +272,18 @@ fn acquire_processor(config: &EngineConfig) -> Processor {
         }
         None => {
             Telemetry::global().record_arena_build();
-            Processor::new(config.clone())
+            IssueEngine::new(config.clone(), policy)
         }
     }
 }
 
-/// Returns a processor to this worker's arena for reuse (dropped if the
-/// arena is full). The processor may be dirty — acquisition resets it.
-fn release_processor(config: EngineConfig, cpu: Processor) {
+/// Returns an engine to this worker's arena for reuse (dropped if the
+/// arena is full). The engine may be dirty — acquisition resets it.
+fn release_engine(key: (EngineConfig, IssuePolicy), cpu: IssueEngine) {
     WORKER_ARENA.with(|arena| {
         let mut arena = arena.borrow_mut();
         if arena.len() < ARENA_CAP {
-            arena.push((config, cpu));
+            arena.push((key, cpu));
         }
     });
 }
@@ -298,6 +308,9 @@ fn record_single_run(cfg: &SimConfig, result: &RunResult, trace: Option<&MemTrac
     if cfg.replacement != nbl_core::tag_array::ReplacementKind::default() {
         Telemetry::global().record_policy_run();
     }
+    if cfg.processor != ProcessorKind::default() {
+        Telemetry::global().record_model_run();
+    }
     if let Some(t) = trace {
         Telemetry::global().record_events(t.stats.total_events());
     }
@@ -309,13 +322,13 @@ fn finish_single(
     benchmark: &str,
     cfg: &SimConfig,
     static_spill_ops: usize,
-    cpu: &mut Processor,
-) -> (RunResult, Option<MemTrace>) {
-    cpu.finish();
+    cpu: &mut IssueEngine,
+) -> Result<(RunResult, Option<MemTrace>), EngineError> {
+    cpu.finish()?;
     let trace = cpu.take_mem_trace();
     let result = summarize(benchmark, cfg, static_spill_ops, cpu);
     record_single_run(cfg, &result, trace.as_ref());
-    (result, trace)
+    Ok((result, trace))
 }
 
 fn run_single(
@@ -326,7 +339,8 @@ fn run_single(
 ) -> Result<(RunResult, Option<MemTrace>), EngineError> {
     debug_assert_eq!(compiled.load_latency, cfg.load_latency);
     let engine_config = single_engine_config(cfg);
-    let mut cpu = acquire_processor(&engine_config);
+    let policy = cfg.processor.policy();
+    let mut cpu = acquire_engine(&engine_config, policy);
     if let Some(ring) = trace_ring {
         cpu.enable_mem_tracing(ring);
     }
@@ -339,8 +353,8 @@ fn run_single(
         return Err(e);
     }
     let spills = compiled.blocks.iter().map(|b| b.spill_ops).sum();
-    let out = finish_single(benchmark, cfg, spills, &mut cpu);
-    release_processor(engine_config, cpu);
+    let out = finish_single(benchmark, cfg, spills, &mut cpu)?;
+    release_engine((engine_config, policy), cpu);
     Ok(out)
 }
 
@@ -352,13 +366,14 @@ fn replay_single(
 ) -> Result<(RunResult, Option<MemTrace>), EngineError> {
     debug_assert_eq!(tape.load_latency(), cfg.load_latency);
     let engine_config = single_engine_config(cfg);
-    let mut cpu = acquire_processor(&engine_config);
+    let policy = cfg.processor.policy();
+    let mut cpu = acquire_engine(&engine_config, policy);
     if let Some(ring) = trace_ring {
         cpu.enable_mem_tracing(ring);
     }
     cpu.run_tape(tape)?;
-    let out = finish_single(benchmark, cfg, tape.static_spill_ops(), &mut cpu);
-    release_processor(engine_config, cpu);
+    let out = finish_single(benchmark, cfg, tape.static_spill_ops(), &mut cpu)?;
+    release_engine((engine_config, policy), cpu);
     Ok(out)
 }
 
@@ -397,19 +412,34 @@ pub fn run_tape_fused(
         return Ok(vec![run_tape(benchmark, tape, &cfgs[0])?]);
     }
     debug_assert!(cfgs.iter().all(|c| c.load_latency == tape.load_latency()));
-    let engine_configs: Vec<EngineConfig> = cfgs.iter().map(single_engine_config).collect();
-    let mut cpus: Vec<Processor> = engine_configs.iter().map(acquire_processor).collect();
+    // The lockstep walk decodes a single-issue schedule; any other
+    // processor model replays per configuration instead (identical
+    // results, one traversal each).
+    if cfgs
+        .iter()
+        .any(|c| c.processor != ProcessorKind::SingleInOrder)
     {
-        let mut cores: Vec<&mut Core> = cpus.iter_mut().map(Processor::core_mut).collect();
+        return cfgs
+            .iter()
+            .map(|cfg| run_tape(benchmark, tape, cfg))
+            .collect();
+    }
+    let engine_configs: Vec<EngineConfig> = cfgs.iter().map(single_engine_config).collect();
+    let mut cpus: Vec<IssueEngine> = engine_configs
+        .iter()
+        .map(|c| acquire_engine(c, IssuePolicy::SingleInOrder))
+        .collect();
+    {
+        let mut cores: Vec<&mut Core> = cpus.iter_mut().map(IssueEngine::core_mut).collect();
         Core::replay_fused(tape, &mut cores)?;
     }
     let mut results = Vec::with_capacity(cfgs.len());
     for (cpu, cfg) in cpus.iter_mut().zip(cfgs) {
-        let (result, _) = finish_single(benchmark, cfg, tape.static_spill_ops(), cpu);
+        let (result, _) = finish_single(benchmark, cfg, tape.static_spill_ops(), cpu)?;
         results.push(result);
     }
     for (config, cpu) in engine_configs.into_iter().zip(cpus) {
-        release_processor(config, cpu);
+        release_engine((config, IssuePolicy::SingleInOrder), cpu);
     }
     Ok(results)
 }

@@ -34,7 +34,8 @@ pub mod driver;
 pub mod pool;
 /// Fixed-width tables and hand-rolled JSON emitters for every exhibit.
 pub mod report;
-/// The parallel sweep engine (latency / penalty / grid / replacement).
+/// The parallel sweep engine (latency / penalty / grid / replacement /
+/// processor model).
 pub mod sweep;
 /// Record-once/replay-many trace-tape cache beside the compile cache.
 pub mod tape_cache;
@@ -42,7 +43,7 @@ pub mod tape_cache;
 pub mod telemetry;
 
 pub use compile_cache::{CacheStats, CompileCache};
-pub use config::{HwConfig, IssueWidth, SimConfig};
+pub use config::{HwConfig, IssueWidth, ProcessorKind, SimConfig};
 pub use driver::{
     run_compiled, run_compiled_interpreted, run_compiled_traced, run_dual, run_dual_cached,
     run_dual_compiled, run_dual_compiled_interpreted, run_dual_tape, run_program,
@@ -50,6 +51,8 @@ pub use driver::{
     SimError,
 };
 pub use pool::{available_threads, JobPanic, JobPool};
-pub use sweep::{latency_sweep, penalty_sweep, LatencySweep, PenaltySweep, SweepEngine};
+pub use sweep::{
+    latency_sweep, penalty_sweep, LatencySweep, ModelSweep, PenaltySweep, SweepEngine,
+};
 pub use tape_cache::{TapeCache, TapeStats};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

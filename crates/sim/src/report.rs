@@ -3,9 +3,10 @@
 
 use crate::compile_cache::CacheStats;
 use crate::driver::RunResult;
-use crate::sweep::{LatencySweep, PenaltySweep, ReplacementSweep};
+use crate::sweep::{LatencySweep, ModelSweep, PenaltySweep, ReplacementSweep};
 use crate::tape_cache::TapeStats;
-use nbl_mem::event::{MissLifecycleStats, DEPTH_BUCKETS, FLIGHT_BUCKETS};
+use nbl_cpu::stats::ReplayAttribution;
+use nbl_mem::event::{MissLifecycleStats, ReplayCause, DEPTH_BUCKETS, FLIGHT_BUCKETS};
 use std::fmt::Write as _;
 
 /// Renders a latency sweep as a fixed-width table: one row per latency,
@@ -300,6 +301,99 @@ pub fn replacement_sweep_csv(sweep: &ReplacementSweep) -> String {
     out
 }
 
+/// Renders a model sweep as one fixed-width table per MSHR configuration:
+/// rows are load latencies, columns are processor models — the layout
+/// that shows whether the pipeline's reaction to a miss (stall vs.
+/// replay) changes each configuration's standing.
+pub fn model_mcpi_table(sweep: &ModelSweep) -> String {
+    let mut out = String::new();
+    for (j, config) in sweep.configs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "miss CPI by processor model — {} [{config}]",
+            sweep.benchmark
+        );
+        let _ = write!(out, "{:>8}", "lat");
+        for m in &sweep.models {
+            let _ = write!(out, "{m:>12}");
+        }
+        out.push('\n');
+        for (i, &lat) in sweep.latencies.iter().enumerate() {
+            let _ = write!(out, "{lat:>8}");
+            for plane in &sweep.rows {
+                let _ = write!(out, "{:>12.4}", plane[i][j].mcpi);
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-cause replay attribution of a model sweep's replaying
+/// plane: one row per `(latency, configuration)` cell, one
+/// `count/stall-cycles` column pair per replay cause. Planes whose model
+/// never replays (the stalling pipelines) are skipped.
+pub fn replay_attribution_table(sweep: &ModelSweep) -> String {
+    let mut out = String::new();
+    for (m, model) in sweep.models.iter().enumerate() {
+        let plane = &sweep.rows[m];
+        if plane
+            .iter()
+            .flatten()
+            .all(|r| r.replay.total_replays() == 0)
+        {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "replay causes (count / stall cycles) — {} [{model}]",
+            sweep.benchmark
+        );
+        let _ = write!(out, "{:>4} {:>14}", "lat", "config");
+        for cause in ReplayCause::ALL {
+            let _ = write!(out, "{:>20}", cause.label());
+        }
+        out.push('\n');
+        for (i, &lat) in sweep.latencies.iter().enumerate() {
+            for (j, config) in sweep.configs.iter().enumerate() {
+                let r = &plane[i][j];
+                let _ = write!(out, "{lat:>4} {config:>14}");
+                for cause in ReplayCause::ALL {
+                    let cell = format!("{}/{}", r.replay.count(cause), r.replay.stalls(cause));
+                    let _ = write!(out, "{cell:>20}");
+                }
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a model sweep as long-format CSV —
+/// `model,config,load_latency,mcpi,cycles` — one row per cell, the format
+/// external plotting (and the verify-script golden diff) wants.
+pub fn model_sweep_csv(sweep: &ModelSweep) -> String {
+    let mut out = String::from("model,config,load_latency,mcpi,cycles\n");
+    for (m, model) in sweep.models.iter().enumerate() {
+        for (i, &lat) in sweep.latencies.iter().enumerate() {
+            for (j, config) in sweep.configs.iter().enumerate() {
+                let r = &sweep.rows[m][i][j];
+                let _ = writeln!(
+                    out,
+                    "{},{},{lat},{:.6},{}",
+                    csv_field(model),
+                    csv_field(config),
+                    r.mcpi,
+                    r.cycles
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Renders the miss-lifecycle summary of a traced run: transaction
 /// counts, merge-depth and fill-fan-out histograms, and the
 /// time-in-flight distribution (the delayed-hits instrument the lifecycle
@@ -382,6 +476,27 @@ fn json_u64_array(vals: &[u64]) -> String {
     format!("[{}]", body.join(","))
 }
 
+/// Serializes a [`ReplayAttribution`] as a JSON object: one
+/// `{"count":…,"stall_cycles":…}` entry per replay cause, keyed by the
+/// cause's label.
+fn replay_json(a: &ReplayAttribution) -> String {
+    let mut out = String::from("{");
+    for (i, cause) in ReplayCause::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"stall_cycles\":{}}}",
+            cause.label(),
+            a.count(cause),
+            a.stalls(cause)
+        );
+    }
+    out.push('}');
+    out
+}
+
 /// Serializes one [`RunResult`] as a JSON object (machine-readable sweep
 /// output for `results/`).
 pub fn run_result_json(r: &RunResult) -> String {
@@ -391,17 +506,19 @@ pub fn run_result_json(r: &RunResult) -> String {
     };
     format!(
         concat!(
-            "{{\"benchmark\":{},\"config\":{},\"replacement\":{},",
+            "{{\"benchmark\":{},\"config\":{},\"model\":{},\"replacement\":{},",
             "\"load_latency\":{},\"miss_penalty\":{},",
             "\"instructions\":{},\"loads\":{},\"stores\":{},\"cycles\":{},\"mcpi\":{},",
             "\"data_dep_stalls\":{},\"structural_stalls\":{},\"blocking_stalls\":{},",
             "\"structural_fraction\":{},\"structural_stall_misses\":{},",
             "\"load_miss_rate\":{},\"secondary_miss_rate\":{},\"static_spill_ops\":{},",
+            "\"replays\":{},",
             "\"inflight\":{{\"frac_time_with_misses\":{},\"miss_dist\":{},\"fetch_dist\":{},",
             "\"max_misses\":{},\"max_fetches\":{}}}}}"
         ),
         json_str(&r.benchmark),
         json_str(&r.config),
+        json_str(&r.model),
         json_str(&r.replacement),
         r.load_latency,
         r.miss_penalty,
@@ -418,6 +535,7 @@ pub fn run_result_json(r: &RunResult) -> String {
         json_f64(r.load_miss_rate),
         json_f64(r.secondary_miss_rate),
         r.static_spill_ops,
+        replay_json(&r.replay),
         json_f64(r.inflight.frac_time_with_misses),
         dist(&r.inflight.miss_dist),
         dist(&r.inflight.fetch_dist),
@@ -525,6 +643,39 @@ pub fn replacement_sweep_json(sweep: &ReplacementSweep) -> String {
         "\"kind\":\"replacement_sweep\",\"benchmark\":{},\"policies\":{},\"configs\":{},\"load_latencies\":{},\"runs\":[",
         json_str(&sweep.benchmark),
         labels(&sweep.policies),
+        labels(&sweep.configs),
+        json_u64_array(&sweep.latencies.iter().map(|&v| u64::from(v)).collect::<Vec<_>>()),
+    );
+    let mut first = true;
+    for plane in &sweep.rows {
+        for row in plane {
+            for r in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&run_result_json(r));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes a model sweep as one JSON document: the three axes (models,
+/// configs, latencies) plus every [`RunResult`], flattened in model-major,
+/// then latency, then configuration order.
+pub fn model_sweep_json(sweep: &ModelSweep) -> String {
+    let labels = |xs: &[String]| {
+        let body: Vec<String> = xs.iter().map(|x| json_str(x)).collect();
+        format!("[{}]", body.join(","))
+    };
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"kind\":\"model_sweep\",\"benchmark\":{},\"models\":{},\"configs\":{},\"load_latencies\":{},\"runs\":[",
+        json_str(&sweep.benchmark),
+        labels(&sweep.models),
         labels(&sweep.configs),
         json_u64_array(&sweep.latencies.iter().map(|&v| u64::from(v)).collect::<Vec<_>>()),
     );
@@ -733,6 +884,51 @@ mod tests {
         assert!(doc.starts_with("{\"kind\":\"replacement_sweep\""));
         assert!(doc.contains("\"policies\":[\"lru\",\"fifo\"]"));
         assert!(doc.contains("\"replacement\":\"fifo\""));
+        assert_eq!(doc.matches("\"mcpi\":").count(), 8);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn model_renderers_cover_every_cell() {
+        use crate::config::ProcessorKind;
+        use crate::sweep::SweepEngine;
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let s = SweepEngine::new(2)
+            .model_sweep(
+                &p,
+                &base,
+                &[ProcessorKind::SingleInOrder, ProcessorKind::ReplayCause],
+                &[HwConfig::Mc(1), HwConfig::NoRestrict],
+                &[1, 10],
+            )
+            .unwrap();
+        let table = model_mcpi_table(&s);
+        assert!(table.contains("[mc=1]") && table.contains("[no restrict]"));
+        assert!(table.contains("single") && table.contains("replay"));
+
+        let causes = replay_attribution_table(&s);
+        assert!(causes.contains("[replay]"));
+        assert!(!causes.contains("[single]"), "stalling planes are skipped");
+        for cause in ReplayCause::ALL {
+            assert!(causes.contains(cause.label()), "missing {}", cause.label());
+        }
+
+        let csv = model_sweep_csv(&s);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "model,config,load_latency,mcpi,cycles"
+        );
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 2, "one row per cell");
+        assert!(csv.contains("single,mc=1,1,"));
+        assert!(csv.contains("replay,no restrict,10,"));
+
+        let doc = model_sweep_json(&s);
+        assert!(doc.starts_with("{\"kind\":\"model_sweep\""));
+        assert!(doc.contains("\"models\":[\"single\",\"replay\"]"));
+        assert!(doc.contains("\"model\":\"replay\""));
+        assert!(doc.contains("\"replays\":{\"fwd_fail\":{\"count\":"));
         assert_eq!(doc.matches("\"mcpi\":").count(), 8);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

@@ -8,7 +8,7 @@
 //! as the paper replays each binary.
 
 use crate::compile_cache::CompileCache;
-use crate::config::{HwConfig, SimConfig};
+use crate::config::{HwConfig, ProcessorKind, SimConfig};
 use crate::driver::{run_compiled, run_tape, run_tape_fused, RunResult, SimError};
 use crate::pool::JobPool;
 use crate::tape_cache::TapeCache;
@@ -158,6 +158,33 @@ impl ReplacementSweep {
         let j = self.configs.iter().position(|c| c == config)?;
         let i = self.latencies.iter().position(|&l| l == latency)?;
         Some(&self.rows[p][i][j])
+    }
+}
+
+/// Processor-model sensitivity grid for one benchmark: model × MSHR
+/// configuration × load latency (the `figures replaymodel` exhibit).
+#[derive(Debug, Clone)]
+pub struct ModelSweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Processor-model labels, in input order.
+    pub models: Vec<String>,
+    /// Configuration labels.
+    pub configs: Vec<String>,
+    /// Latencies swept.
+    pub latencies: Vec<u32>,
+    /// `rows[m][i][j]` = result under `models[m]` at `latencies[i]`
+    /// under `configs[j]`.
+    pub rows: Vec<Vec<Vec<RunResult>>>,
+}
+
+impl ModelSweep {
+    /// Result lookup by model label, configuration label and latency.
+    pub fn at(&self, model: &str, config: &str, latency: u32) -> Option<&RunResult> {
+        let m = self.models.iter().position(|x| x == model)?;
+        let j = self.configs.iter().position(|c| c == config)?;
+        let i = self.latencies.iter().position(|&l| l == latency)?;
+        Some(&self.rows[m][i][j])
     }
 }
 
@@ -439,6 +466,56 @@ impl SweepEngine {
         })
     }
 
+    /// Model × configuration × latency grid for one benchmark, as one
+    /// flat pool invocation. Every model replays the same recorded tape
+    /// (the compiled program depends only on the latency), so the grid
+    /// isolates the pipeline's reaction — stall on first use vs. replay
+    /// with cause attribution — from the code and the reference stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] from the compiler model or the engine.
+    pub fn model_sweep(
+        &self,
+        program: &Program,
+        base: &SimConfig,
+        models: &[ProcessorKind],
+        configs: &[HwConfig],
+        latencies: &[u32],
+    ) -> Result<ModelSweep, SimError> {
+        let (nl, nc) = (latencies.len(), configs.len());
+        let cells = self.pool.try_run(
+            models.len() * nl * nc,
+            |idx| -> Result<RunResult, SimError> {
+                let model = models[idx / (nl * nc)];
+                let lat = latencies[(idx / nc) % nl];
+                let cfg = SimConfig {
+                    hw: configs[idx % nc].clone(),
+                    ..base.clone()
+                }
+                .at_latency(lat)
+                .with_processor(model);
+                self.run_cell(program, &cfg)
+            },
+        )?;
+        let mut iter = cells.into_iter();
+        let mut rows = Vec::with_capacity(models.len());
+        for _ in models {
+            let mut per_latency = Vec::with_capacity(nl);
+            for _ in 0..nl {
+                per_latency.push(iter.by_ref().take(nc).collect::<Result<Vec<_>, _>>()?);
+            }
+            rows.push(per_latency);
+        }
+        Ok(ModelSweep {
+            benchmark: program.name.clone(),
+            models: models.iter().map(|m| m.label().to_string()).collect(),
+            configs: configs.iter().map(HwConfig::label).collect(),
+            latencies: latencies.to_vec(),
+            rows,
+        })
+    }
+
     /// Runs many independent `(program, config)` jobs on the pool, results
     /// in input order, compilation cached. The workhorse for experiment
     /// tables that aren't latency sweeps (per-benchmark rows, ablations).
@@ -640,6 +717,40 @@ mod tests {
         assert_eq!(lru.replacement, "lru");
         assert_eq!(a.at("plru", "mc=1", 10).unwrap().replacement, "plru");
         assert!(a.at("fifo", "mc=1", 10).is_none());
+    }
+
+    #[test]
+    fn model_sweep_is_deterministic_and_single_matches_default() {
+        let p = build("eqntott", Scale::quick()).unwrap();
+        let base = SimConfig::baseline(HwConfig::Mc0);
+        let models = [ProcessorKind::SingleInOrder, ProcessorKind::ReplayCause];
+        let configs = [HwConfig::Mc(1), HwConfig::NoRestrict];
+        let latencies = [1, 10];
+        let engine = SweepEngine::new(4);
+        let a = engine
+            .model_sweep(&p, &base, &models, &configs, &latencies)
+            .unwrap();
+        let b = engine
+            .model_sweep(&p, &base, &models, &configs, &latencies)
+            .unwrap();
+        assert_eq!(a.rows, b.rows, "replay must be bit-identical");
+        assert_eq!(a.models, vec!["single", "replay"]);
+        // The single plane equals a plain (default-model) run.
+        let single = a.at("single", "mc=1", 10).unwrap();
+        let plain = latency_sweep(&p, &base, &configs, &latencies).unwrap();
+        assert_eq!(single.cycles, plain.at("mc=1", 10).unwrap().cycles);
+        assert_eq!(single.model, "single");
+        assert_eq!(single.replay.total_replays(), 0);
+        // The replaying plane attributes stalls to causes; the parallel
+        // grid cell equals a direct serial run of the same configuration.
+        let replay = a.at("replay", "mc=1", 10).unwrap();
+        assert_eq!(replay.model, "replay");
+        assert!(replay.replay.total_replays() > 0, "mc=1 must NACK or miss");
+        let cfg = SimConfig::baseline(HwConfig::Mc(1))
+            .at_latency(10)
+            .with_processor(ProcessorKind::ReplayCause);
+        let serial = crate::driver::run_program(&p, &cfg).unwrap();
+        assert_eq!(*replay, serial, "parallel must equal the serial path");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct Telemetry {
     runs: AtomicU64,
     events: AtomicU64,
     policy_runs: AtomicU64,
+    model_runs: AtomicU64,
     arena_builds: AtomicU64,
     arena_reuses: AtomicU64,
 }
@@ -36,6 +37,9 @@ pub struct TelemetrySnapshot {
     /// Runs simulated under a non-LRU replacement policy (0 unless a
     /// policy sweep ran).
     pub policy_runs: u64,
+    /// Runs simulated under a non-default processor model (0 unless a
+    /// model sweep ran).
+    pub model_runs: u64,
     /// Processors constructed from scratch because no pooled worker
     /// matched the run's configuration. On a warm worker arena this stays
     /// flat run-to-run — the allocation counter the zero-alloc tests pin.
@@ -55,6 +59,7 @@ impl TelemetrySnapshot {
             runs: self.runs.saturating_sub(earlier.runs),
             events: self.events.saturating_sub(earlier.events),
             policy_runs: self.policy_runs.saturating_sub(earlier.policy_runs),
+            model_runs: self.model_runs.saturating_sub(earlier.model_runs),
             arena_builds: self.arena_builds.saturating_sub(earlier.arena_builds),
             arena_reuses: self.arena_reuses.saturating_sub(earlier.arena_reuses),
         }
@@ -79,6 +84,7 @@ impl Telemetry {
             runs: AtomicU64::new(0),
             events: AtomicU64::new(0),
             policy_runs: AtomicU64::new(0),
+            model_runs: AtomicU64::new(0),
             arena_builds: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
         };
@@ -102,6 +108,11 @@ impl Telemetry {
         self.policy_runs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one run simulated under a non-default processor model.
+    pub fn record_model_run(&self) {
+        self.model_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one processor built from scratch for the worker arena.
     pub fn record_arena_build(&self) {
         self.arena_builds.fetch_add(1, Ordering::Relaxed);
@@ -120,6 +131,7 @@ impl Telemetry {
             runs: self.runs.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             policy_runs: self.policy_runs.load(Ordering::Relaxed),
+            model_runs: self.model_runs.load(Ordering::Relaxed),
             arena_builds: self.arena_builds.load(Ordering::Relaxed),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
         }
@@ -138,6 +150,7 @@ mod tests {
         t.record_run(40_000, 90_000);
         t.record_events(12);
         t.record_policy_run();
+        t.record_model_run();
         t.record_arena_build();
         t.record_arena_reuse();
         t.record_arena_reuse();
@@ -150,6 +163,7 @@ mod tests {
                 runs: 2,
                 events: 12,
                 policy_runs: 1,
+                model_runs: 1,
                 arena_builds: 1,
                 arena_reuses: 2,
             }

@@ -69,6 +69,36 @@ assert len(d["runs"]) == len(d["policies"]) * len(d["configs"]) * 6
 print("replsens.json: shape OK")
 EOF
 
+echo "== smoke: processor-model sweep vs pinned single-issue golden =="
+cargo run --release -p nbl-bench -- replaymodel --quick \
+  --csv "$replsens_dir" --json "$replsens_dir" --out /dev/null >/dev/null
+# The single-issue rows must be bit-identical to the pinned golden: the
+# issue-policy engine may not perturb the default stalling pipeline.
+grep '^single,' "$replsens_dir/replaymodel.csv" \
+  | diff -u scripts/golden/replaymodel_single_quick.csv -
+python3 - "$replsens_dir/replaymodel.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["kind"] == "model_sweep", d["kind"]
+assert d["models"] == ["single", "dual", "replay"], d["models"]
+assert len(d["configs"]) >= 3, d["configs"]
+assert d["load_latencies"] == [1, 2, 3, 6, 10, 20], d["load_latencies"]
+assert len(d["runs"]) == len(d["models"]) * len(d["configs"]) * 6
+causes = {"fwd_fail", "bank_conflict", "dcache_rep", "dcache_miss"}
+for r in d["runs"]:
+    assert set(r["replays"]) == causes, r["replays"]
+    for c in r["replays"].values():
+        assert c["count"] >= 0 and c["stall_cycles"] >= 0, c
+stall = sum(c["stall_cycles"]
+            for r in d["runs"] if r["model"] == "replay"
+            for c in r["replays"].values())
+assert stall > 0, "replay model attributed no stall cycles"
+for r in d["runs"]:
+    if r["model"] == "single":
+        assert all(c["count"] == 0 for c in r["replays"].values()), r
+print("replaymodel.json: shape OK")
+EOF
+
 echo "== smoke: bench rail (fused replay vs unfused vs interpreter) =="
 bench_json="$replsens_dir/bench.json"
 # Run twice into the same file: the second invocation must read the first
