@@ -44,7 +44,9 @@ pub struct LedgerEntry {
 /// replacement policies, the emit sites and design doc for events, the
 /// design doc's error table for `SimError`, the issue-policy mapping and
 /// replay-penalty table for the processor-model and replay-cause enums,
-/// and the experiments guide for the exhibit registry.
+/// the design doc's artifact-store section (§16) for the store and
+/// codec error enums, and the experiments guide for the exhibit
+/// registry.
 pub const LEDGER: &[LedgerEntry] = &[
     LedgerEntry {
         name: "ReplacementKind",
@@ -75,6 +77,18 @@ pub const LEDGER: &[LedgerEntry] = &[
         decl_file: "crates/mem/src/event.rs",
         kind: LedgerKind::Enum,
         surfaces: &["crates/cpu/src/core_engine.rs", "DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "TapeCodecError",
+        decl_file: "crates/trace/src/tape/io.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "ArtifactError",
+        decl_file: "crates/sim/src/store.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["DESIGN.md"],
     },
     LedgerEntry {
         name: "EXHIBITS",

@@ -25,7 +25,7 @@ use nbl_sim::telemetry::{Telemetry, TelemetrySnapshot};
 use std::io::Write;
 use std::time::Instant;
 
-const USAGE: &str = "usage: figures <exhibit ... | all | list> [--quick] [--out FILE] [--csv DIR] [--json DIR]\n                                                  [--bench-reps N] [--bench-date ISO]\n       run `figures list` for the registered exhibits";
+const USAGE: &str = "usage: figures <exhibit ... | all | list> [--quick] [--out FILE] [--csv DIR] [--json DIR]\n                                                  [--bench-reps N] [--bench-date ISO]\n                                                  [--store DIR] [--incremental]\n       run `figures list` for the registered exhibits";
 
 /// One timed exhibit: name, wall-clock seconds, simulated work done.
 struct Timing {
@@ -107,6 +107,22 @@ fn print_summary(out: &mut dyn Write, timings: &[Timing]) {
         tapes.evictions,
         tapes.resident_bytes as f64 / (1024.0 * 1024.0)
     );
+    if let Some(disk) = experiments::engine().store().disk() {
+        let s = disk.stats();
+        let _ = writeln!(
+            out,
+            "artifact store ({}): tapes {} hits / {} misses / {} writes, results {} hits / {} misses / {} writes, {} corrupt, {} io errors",
+            disk.root().display(),
+            s.tape_hits,
+            s.tape_misses,
+            s.tape_writes,
+            s.result_hits,
+            s.result_misses,
+            s.result_writes,
+            s.corruptions,
+            s.io_errors
+        );
+    }
     if total.arena_builds + total.arena_reuses > 0 {
         let _ = writeln!(
             out,
@@ -136,9 +152,16 @@ fn print_exhibits() {
     println!("options:  --quick (smoke scale), --out FILE (tee), --csv DIR (sweep CSVs),");
     println!("          --json DIR (machine-readable results, e.g. results/),");
     println!(
-        "          --bench-reps N (best-of-N bench phases), --bench-date ISO (trajectory stamp)"
+        "          --bench-reps N (best-of-N bench phases), --bench-date ISO (trajectory stamp),"
     );
-    println!("env:      NBL_THREADS=N overrides the worker count (default: all cores)");
+    println!(
+        "          --store DIR (persist tapes/results in a content-addressed artifact store),"
+    );
+    println!(
+        "          --incremental (serve unchanged grid cells from the store, skip simulation)"
+    );
+    println!("env:      NBL_THREADS=N overrides the worker count (default: all cores);");
+    println!("          NBL_STORE_DIR / NBL_INCREMENTAL=1 mirror --store / --incremental");
 }
 
 fn main() {
@@ -148,11 +171,21 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut bench_reps: Option<usize> = None;
     let mut bench_date: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut incremental = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = RunScale::Quick,
             "--out" => out_path = it.next(),
+            "--store" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--store needs a directory");
+                    std::process::exit(2);
+                };
+                store_dir = Some(dir);
+            }
+            "--incremental" => incremental = true,
             "--bench-reps" => {
                 let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = parsed.filter(|n| *n >= 1) else {
@@ -220,6 +253,15 @@ fn main() {
         experiments::set_bench_opts(experiments::BenchOpts {
             reps: bench_reps.unwrap_or(defaults.reps),
             date: bench_date.unwrap_or(defaults.date),
+        });
+    }
+    if store_dir.is_some() || incremental {
+        // Flags override the NBL_STORE_DIR / NBL_INCREMENTAL environment;
+        // must be pinned before any exhibit builds the global engine.
+        let env = nbl_sim::StoreSettings::from_env();
+        nbl_sim::configure_store(nbl_sim::StoreSettings {
+            dir: store_dir.map(Into::into).or(env.dir),
+            incremental: incremental || env.incremental,
         });
     }
 

@@ -41,7 +41,7 @@ impl fmt::Display for WriteMissPolicy {
 }
 
 /// Full configuration of a lockup-free cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Size / line size / associativity.
     pub geometry: CacheGeometry,

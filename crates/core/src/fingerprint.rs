@@ -1,0 +1,233 @@
+//! Cross-process stable content fingerprints for the artifact store.
+//!
+//! The in-memory caches key their slots with whatever hasher is fastest,
+//! because those keys die with the process. The on-disk artifact store
+//! (DESIGN.md §16) inverts that requirement: a tape or run result written
+//! by one process must be found by the *next* process, and by a process
+//! on another machine sharing the `results/store/` directory — so the key
+//! fingerprint must be a pure, documented function of the hashed content.
+//! `std`'s `DefaultHasher` deliberately refuses that contract (its
+//! algorithm is unspecified and may change between releases), and
+//! [`FastHasher`](crate::hash::FastHasher) optimizes a different job
+//! (table-index diffusion on trusted keys).
+//!
+//! [`StableHasher`] is the workspace's *defined* hash: splitmix64-style
+//! mixing over little-endian 64-bit words with explicit length tagging,
+//! pinned by [`FINGERPRINT_VERSION`] and by unit tests on literal
+//! expected values. Changing the mixing (or the `Hash` layout of a
+//! fingerprinted type) is a format break: bump the version, and the
+//! store's content-addressed filenames — which embed the version — stop
+//! aliasing artifacts written under the old scheme.
+//!
+//! Determinism caveats inherited from `std::hash::Hash` implementations:
+//! fingerprints hash *values*, never addresses or iteration order of
+//! unordered containers, and the workloads/configs fingerprinted here
+//! derive `Hash` over plain data (strings, integers, enums), which the
+//! derive visits in declaration order.
+
+// nbl-allow(determinism): this module *defines* the stable hash the store's keys rely on
+use std::hash::{Hash, Hasher};
+
+/// Version of the fingerprint scheme. Embedded in every content-addressed
+/// artifact filename; bump when [`StableHasher`]'s mixing or finalization
+/// changes so old store entries are missed (and re-derived) instead of
+/// misread.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+/// splitmix64's increment: the fingerprint's odd diffusion constant.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64's finalization multipliers.
+const MIX_A: u64 = 0xbf58_476d_1ce4_e5b9;
+const MIX_B: u64 = 0x94d0_49bb_1331_11eb;
+
+/// The splitmix64 output function: a full-avalanche bijection on `u64`.
+#[inline]
+fn splitmix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(MIX_A);
+    let z = (z ^ (z >> 27)).wrapping_mul(MIX_B);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, cross-process, cross-platform hasher with a pinned
+/// algorithm: every absorbed 64-bit word passes through one splitmix64
+/// round chained onto the running state. Byte streams absorb as
+/// little-endian words with the stream length folded in, so the value is
+/// independent of the writing machine's endianness and of how callers
+/// chunk their writes only insofar as `Hash` implementations themselves
+/// are stable (the standard `Hash` contract).
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher seeded with the scheme version, so a version bump changes
+    /// every fingerprint.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: splitmix(u64::from(FINGERPRINT_VERSION).wrapping_mul(GAMMA)),
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    fn absorb(&mut self, word: u64) {
+        self.state = splitmix(self.state.wrapping_add(GAMMA) ^ word);
+    }
+}
+
+impl Hasher for StableHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        splitmix(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Little-endian words; the tail word carries the residue length in
+        // its top byte so [1] and [1, 0] absorb differently.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.absorb(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.absorb(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+        self.absorb(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.absorb(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.absorb(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.absorb(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.absorb(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.absorb(n as u64);
+        self.absorb((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // usize widths differ across platforms; absorb as u64 so a 32-bit
+        // and a 64-bit process agree on the fingerprint.
+        self.absorb(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.write_u8(n as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.absorb(n as u64);
+    }
+}
+
+/// The stable fingerprint of any `Hash` value: what the artifact store's
+/// content-addressed keys are derived from.
+pub fn fingerprint_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The stable checksum of a byte buffer (the tape codec's integrity
+/// check): the same mixing as [`fingerprint_of`], applied to the raw
+/// stream without `Hash`'s length prefix conventions.
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_values_do_not_drift() {
+        // Literal expected values: if these change, the mixing changed,
+        // and FINGERPRINT_VERSION must be bumped (DESIGN.md §16).
+        assert_eq!(fingerprint_of(&0u64), 0xb49a_b477_bb86_85e2);
+        assert_eq!(fingerprint_of(&1u64), 0xcd1d_3bc7_a429_3e71);
+        assert_eq!(fingerprint_of("doduc"), 0xfa65_767d_2a86_7b51);
+        assert_eq!(checksum_bytes(b""), 0xb49a_b477_bb86_85e2);
+        assert_eq!(checksum_bytes(b"nbl"), 0x9a3b_2491_2062_419c);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        let vals: Vec<u64> = (0..4096u64).map(|v| fingerprint_of(&v)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vals.len(), "trivial collisions");
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_tagged() {
+        assert_ne!(checksum_bytes(&[1]), checksum_bytes(&[1, 0]));
+        assert_ne!(checksum_bytes(&[0; 8]), checksum_bytes(&[0; 16]));
+    }
+
+    #[test]
+    fn tuples_and_strings_are_stable_per_call() {
+        let key = ("eqntott".to_string(), 10u32, 0xdead_beefu64);
+        assert_eq!(fingerprint_of(&key), fingerprint_of(&key));
+        let other = ("eqntott".to_string(), 6u32, 0xdead_beefu64);
+        assert_ne!(fingerprint_of(&key), fingerprint_of(&other));
+    }
+
+    #[test]
+    fn usize_hashes_as_u64() {
+        let mut a = StableHasher::new();
+        a.write_usize(42);
+        let mut b = StableHasher::new();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

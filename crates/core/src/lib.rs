@@ -50,6 +50,8 @@
 
 /// The lockup-free L1 cache: tag array + MSHR bank behind one port.
 pub mod cache;
+/// Cross-process stable fingerprints for content-addressed artifacts.
+pub mod fingerprint;
 /// Cache geometry (size, line size, associativity) and its validation.
 pub mod geometry;
 /// Fixed-seed hashing: [`hash::FastMap`] keeps map iteration deterministic.
@@ -68,6 +70,7 @@ pub mod tag_array;
 pub mod types;
 
 pub use cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess, WriteMissPolicy};
+pub use fingerprint::{checksum_bytes, fingerprint_of, StableHasher, FINGERPRINT_VERSION};
 pub use geometry::CacheGeometry;
 pub use limit::Limit;
 pub use mshr::{MissKind, MshrBank, MshrConfig, Rejection, TargetRecord};

@@ -19,7 +19,7 @@ use crate::limit::Limit;
 use crate::types::BlockAddr;
 
 /// Configuration of a [`RegisterMshrFile`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RegisterFileConfig {
     /// Number of MSHR entries — the maximum number of outstanding fetches.
     pub entries: Limit,

@@ -18,7 +18,7 @@ use crate::hash::FastMap;
 use crate::types::{BlockAddr, Dest, LoadFormat, REGS_PER_CLASS};
 
 /// Sizing of an [`InvertedMshr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InvertedConfig {
     /// Write-buffer entries that can receive fetch data (for write-allocate
     /// merging). Present for hardware-cost accounting; the baseline

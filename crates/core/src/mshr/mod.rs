@@ -167,7 +167,7 @@ pub struct TargetRecord {
 /// });
 /// assert!(!cfg.is_blocking());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MshrConfig {
     /// No MSHRs: every load miss blocks the processor (`mc=0`).
     Blocking,

@@ -15,18 +15,16 @@ use nbl_core::hash::FastMap;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::ir::Program;
 use nbl_trace::machine::CompiledProgram;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Structural fingerprint of a program's IR. [`DefaultHasher::new`] is
-/// keyed with fixed constants, so the value is stable within a build —
-/// all this cache needs (keys never cross process boundaries).
+/// Structural fingerprint of a program's IR:
+/// [`crate::store::program_fingerprint`], the cross-process stable hash.
+/// These keys never leave the process, but the same fingerprint is half
+/// of a result artifact's content address in the disk tier, so the two
+/// must not drift apart.
 fn fingerprint(program: &Program) -> u64 {
-    let mut h = DefaultHasher::new();
-    program.hash(&mut h);
-    h.finish()
+    crate::store::program_fingerprint(program)
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

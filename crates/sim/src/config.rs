@@ -10,7 +10,7 @@ use std::fmt;
 
 /// A named point in the paper's hardware design space — the legend entries
 /// of Figs. 5–18.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum HwConfig {
     /// Lockup cache with write-miss allocate: loads *and* stores block
     /// (`mc=0 + wma`, the worst curve).
@@ -154,7 +154,7 @@ impl fmt::Display for HwConfig {
 }
 
 /// Processor issue policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IssueWidth {
     /// One instruction per cycle (paper §3.1, all baseline figures).
     #[default]
@@ -211,8 +211,11 @@ impl fmt::Display for ProcessorKind {
     }
 }
 
-/// A complete simulation configuration.
-#[derive(Debug, Clone, PartialEq)]
+/// A complete simulation configuration. `Hash` feeds the artifact
+/// store's content-addressed result keys (via
+/// [`nbl_core::fingerprint::fingerprint_of`]), so every field that can
+/// change a [`crate::driver::RunResult`] must stay in the derive.
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct SimConfig {
     /// MSHR organization and write policy.
     pub hw: HwConfig,

@@ -19,6 +19,11 @@
 //!   dynamic instruction stream into a flat [`nbl_trace::tape::TraceTape`],
 //!   replayed (instead of re-interpreted) at every grid point, with a byte
 //!   budget and idle-tape eviction;
+//! * [`store`] — the tiered artifact store behind both caches: a
+//!   content-addressed, versioned, checksummed on-disk tier
+//!   (`results/store/`) that persists tapes and [`driver::RunResult`]s
+//!   across processes, with quarantine-and-re-record corruption handling
+//!   and the incremental-sweep fast path;
 //! * [`telemetry`] — process-wide counters of simulated work, for
 //!   throughput reporting;
 //! * [`report`] — fixed-width text rendering in the shape of the paper's
@@ -34,6 +39,9 @@ pub mod driver;
 pub mod pool;
 /// Fixed-width tables and hand-rolled JSON emitters for every exhibit.
 pub mod report;
+/// The tiered artifact store: memory caches over a content-addressed,
+/// checksummed on-disk artifact directory.
+pub mod store;
 /// The parallel sweep engine (latency / penalty / grid / replacement /
 /// processor model).
 pub mod sweep;
@@ -51,6 +59,10 @@ pub use driver::{
     SimError,
 };
 pub use pool::{available_threads, JobPanic, JobPool};
+pub use store::{
+    configure_store, store_settings, ArtifactError, ArtifactStore, DiskTier, StoreSettings,
+    StoreStats,
+};
 pub use sweep::{
     latency_sweep, penalty_sweep, LatencySweep, ModelSweep, PenaltySweep, SweepEngine,
 };

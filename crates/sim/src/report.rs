@@ -3,6 +3,7 @@
 
 use crate::compile_cache::CacheStats;
 use crate::driver::RunResult;
+use crate::store::StoreStats;
 use crate::sweep::{LatencySweep, ModelSweep, PenaltySweep, ReplacementSweep};
 use crate::tape_cache::TapeStats;
 use nbl_cpu::stats::ReplayAttribution;
@@ -544,15 +545,36 @@ pub fn run_result_json(r: &RunResult) -> String {
     )
 }
 
-/// Serializes compile- and tape-cache counters as one JSON object, so any
-/// emitter can place cache telemetry next to its runs (`BENCH_sweep.json`
-/// embeds this under its `caches` key).
-pub fn caches_json(compile: &CacheStats, tape: &TapeStats) -> String {
+/// Serializes the disk tier's [`StoreStats`] counters as one JSON object
+/// (the `"store"` section of [`caches_json`]; all zeroes for a
+/// memory-only store).
+pub fn store_json(store: &StoreStats) -> String {
+    format!(
+        concat!(
+            "{{\"tape_hits\":{},\"tape_misses\":{},\"tape_writes\":{},",
+            "\"result_hits\":{},\"result_misses\":{},\"result_writes\":{},",
+            "\"corruptions\":{},\"io_errors\":{}}}"
+        ),
+        store.tape_hits,
+        store.tape_misses,
+        store.tape_writes,
+        store.result_hits,
+        store.result_misses,
+        store.result_writes,
+        store.corruptions,
+        store.io_errors,
+    )
+}
+
+/// Serializes compile-cache, tape-cache and disk-store counters as one
+/// JSON object, so any emitter can place artifact-store telemetry next
+/// to its runs (`BENCH_sweep.json` embeds this under its `caches` key).
+pub fn caches_json(compile: &CacheStats, tape: &TapeStats, store: &StoreStats) -> String {
     format!(
         concat!(
             "{{\"compile_cache\":{{\"compiles\":{},\"hits\":{}}},",
             "\"tape_cache\":{{\"records\":{},\"hits\":{},\"evictions\":{},",
-            "\"resident_bytes\":{}}}}}"
+            "\"resident_bytes\":{}}},\"store\":{}}}"
         ),
         compile.compiles,
         compile.hits,
@@ -560,6 +582,7 @@ pub fn caches_json(compile: &CacheStats, tape: &TapeStats) -> String {
         tape.hits,
         tape.evictions,
         tape.resident_bytes,
+        store_json(store),
     )
 }
 

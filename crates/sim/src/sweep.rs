@@ -11,6 +11,7 @@ use crate::compile_cache::CompileCache;
 use crate::config::{HwConfig, ProcessorKind, SimConfig};
 use crate::driver::{run_compiled, run_tape, run_tape_fused, RunResult, SimError};
 use crate::pool::JobPool;
+use crate::store::{program_fingerprint, result_fingerprint, ArtifactStore};
 use crate::tape_cache::TapeCache;
 use nbl_core::tag_array::ReplacementKind;
 use nbl_sched::compile::compile;
@@ -188,43 +189,58 @@ impl ModelSweep {
     }
 }
 
-/// The parallel sweep engine: a [`JobPool`] plus a [`CompileCache`] plus a
-/// [`TapeCache`].
+/// The parallel sweep engine: a [`JobPool`] plus an [`ArtifactStore`]
+/// (the memory-tier [`CompileCache`] and [`TapeCache`], optionally
+/// backed by the content-addressed disk tier).
 ///
 /// Sweeps flatten their `(benchmark, latency, configuration)` grids into a
 /// single pool invocation; each cell fetches its compiled program from the
 /// compile cache (compiled exactly once per `(benchmark, latency)` pair)
-/// and the recorded tape from the tape cache (the dynamic stream is
-/// likewise materialized exactly once per pair), then replays the tape
-/// under its own hardware configuration — record once, replay at every
-/// grid point. The pool places results in input order, so the parallel
-/// sweeps return [`RunResult`]s **identical** to the serial ones.
+/// and the recorded tape through the store's tiers (the dynamic stream is
+/// materialized exactly once per pair — decoded from disk when a prior
+/// process persisted it), then replays the tape under its own hardware
+/// configuration — record once, replay at every grid point. With a disk
+/// tier every cell's [`RunResult`] also writes through under its input
+/// fingerprint; in incremental mode
+/// ([`ArtifactStore::incremental`]) cells whose fingerprints are
+/// unchanged are answered from those stored results without simulating.
+/// The pool places results in input order, so the parallel sweeps return
+/// [`RunResult`]s **identical** to the serial ones.
 #[derive(Debug, Default)]
 pub struct SweepEngine {
     pool: JobPool,
-    cache: CompileCache,
-    tapes: TapeCache,
+    store: ArtifactStore,
 }
 
 impl SweepEngine {
-    /// An engine with `threads` workers and fresh caches.
+    /// An engine with `threads` workers and a fresh memory-only store.
     pub fn new(threads: usize) -> Self {
         Self {
             pool: JobPool::new(threads),
-            cache: CompileCache::new(),
-            tapes: TapeCache::new(),
+            store: ArtifactStore::in_memory(),
+        }
+    }
+
+    /// An engine with `threads` workers running on an explicit store
+    /// (the bench exhibit's disk-warm pass builds a fresh engine on a
+    /// populated store to model a fresh process).
+    pub fn with_store(threads: usize, store: ArtifactStore) -> Self {
+        Self {
+            pool: JobPool::new(threads),
+            store,
         }
     }
 
     /// The process-wide engine: default thread count (`NBL_THREADS` or the
-    /// machine's parallelism) and caches shared across every sweep, so a
-    /// whole bench invocation compiles and records each pair at most once.
+    /// machine's parallelism) and a store wired from
+    /// [`crate::store::store_settings`] (CLI flags or `NBL_STORE_DIR` /
+    /// `NBL_INCREMENTAL`), shared across every sweep, so a whole bench
+    /// invocation compiles and records each pair at most once.
     pub fn global() -> &'static SweepEngine {
         static GLOBAL: OnceLock<SweepEngine> = OnceLock::new();
         GLOBAL.get_or_init(|| Self {
             pool: JobPool::with_default_threads(),
-            cache: CompileCache::new(),
-            tapes: TapeCache::new(),
+            store: ArtifactStore::from_settings(),
         })
     }
 
@@ -233,21 +249,88 @@ impl SweepEngine {
         &self.pool
     }
 
+    /// The engine's artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
     /// The engine's compile cache (e.g. for counter reporting).
     pub fn cache(&self) -> &CompileCache {
-        &self.cache
+        self.store.compile_cache()
     }
 
     /// The engine's tape cache (e.g. for counter reporting).
     pub fn tapes(&self) -> &TapeCache {
-        &self.tapes
+        self.store.tape_cache()
     }
 
-    /// One grid cell: compile (cached), record (cached), replay.
+    /// The result-artifact fingerprint of one cell, when the store has a
+    /// disk tier to address into.
+    fn cell_fingerprint(&self, program: &Program, cfg: &SimConfig) -> Option<u64> {
+        self.store
+            .disk()
+            .map(|_| result_fingerprint(program_fingerprint(program), cfg))
+    }
+
+    /// One grid cell: answered from the stored result when incremental
+    /// and unchanged, else compile (cached), record (tiered), replay —
+    /// writing the fresh result through to the disk tier.
     fn run_cell(&self, program: &Program, cfg: &SimConfig) -> Result<RunResult, SimError> {
-        let compiled = self.cache.get_or_compile(program, cfg.load_latency)?;
-        let tape = self.tapes.get_or_record(&compiled);
-        Ok(run_tape(&program.name, &tape, cfg)?)
+        let fp = self.cell_fingerprint(program, cfg);
+        if self.store.incremental() {
+            if let Some(fp) = fp {
+                if let Some(stored) = self.store.load_result(&program.name, cfg.load_latency, fp) {
+                    return Ok(stored);
+                }
+            }
+        }
+        let compiled = self.store.get_or_compile(program, cfg.load_latency)?;
+        let tape = self.store.get_or_record(&compiled);
+        let result = run_tape(&program.name, &tape, cfg)?;
+        if let Some(fp) = fp {
+            self.store.store_result(&result, fp);
+        }
+        Ok(result)
+    }
+
+    /// One fused row — every configuration of a `(program, latency)`
+    /// pair in one tape walk. In incremental mode, cells whose stored
+    /// results are present under their exact input fingerprints are
+    /// answered from the store; only the missing configurations are
+    /// simulated (still fused, and each configuration's replay is
+    /// independent of its row neighbours, so the mix is bit-identical to
+    /// an all-simulated row). Fresh results write through.
+    fn run_row_fused(
+        &self,
+        program: &Program,
+        program_fp: Option<u64>,
+        latency: u32,
+        cfgs: &[SimConfig],
+    ) -> Result<Vec<RunResult>, SimError> {
+        let fps: Option<Vec<u64>> =
+            program_fp.map(|pfp| cfgs.iter().map(|c| result_fingerprint(pfp, c)).collect());
+        let mut row: Vec<Option<RunResult>> = vec![None; cfgs.len()];
+        if self.store.incremental() {
+            if let Some(fps) = &fps {
+                for (slot, &fp) in row.iter_mut().zip(fps) {
+                    *slot = self.store.load_result(&program.name, latency, fp);
+                }
+            }
+        }
+        if row.iter().any(Option::is_none) {
+            let compiled = self.store.get_or_compile(program, latency)?;
+            let tape = self.store.get_or_record(&compiled);
+            let missing: Vec<usize> = (0..cfgs.len()).filter(|&j| row[j].is_none()).collect();
+            let missing_cfgs: Vec<SimConfig> = missing.iter().map(|&j| cfgs[j].clone()).collect();
+            let fresh = run_tape_fused(&program.name, &tape, &missing_cfgs)?;
+            for (&j, result) in missing.iter().zip(fresh) {
+                if let Some(fps) = &fps {
+                    self.store.store_result(&result, fps[j]);
+                }
+                row[j] = Some(result);
+            }
+        }
+        Ok(row.into_iter().flatten().collect())
     }
 
     /// Parallel [`latency_sweep`]: identical results, cells run on the
@@ -289,13 +372,17 @@ impl SweepEngine {
         latencies: &[u32],
     ) -> Result<Vec<LatencySweep>, SimError> {
         let nl = latencies.len();
+        // One stable IR fingerprint per program, shared by every row job
+        // (only needed when a disk tier exists to address results into).
+        let program_fps: Vec<Option<u64>> = programs
+            .iter()
+            .map(|p| self.store.disk().map(|_| program_fingerprint(p)))
+            .collect();
         let rows = self.pool.try_run(
             programs.len() * nl,
             |idx| -> Result<Vec<RunResult>, SimError> {
                 let program = programs[idx / nl];
                 let lat = latencies[idx % nl];
-                let compiled = self.cache.get_or_compile(program, lat)?;
-                let tape = self.tapes.get_or_record(&compiled);
                 let cfgs: Vec<SimConfig> = configs
                     .iter()
                     .map(|hw| {
@@ -306,7 +393,7 @@ impl SweepEngine {
                         .at_latency(lat)
                     })
                     .collect();
-                Ok(run_tape_fused(&program.name, &tape, &cfgs)?)
+                self.run_row_fused(program, program_fps[idx / nl], lat, &cfgs)
             },
         )?;
         let mut iter = rows.into_iter();
@@ -387,8 +474,8 @@ impl SweepEngine {
         configs: &[HwConfig],
         penalties: &[u32],
     ) -> Result<PenaltySweep, SimError> {
-        let compiled = self.cache.get_or_compile(program, base.load_latency)?;
-        let tape = self.tapes.get_or_record(&compiled);
+        let compiled = self.store.get_or_compile(program, base.load_latency)?;
+        let tape = self.store.get_or_record(&compiled);
         // One fused job per penalty: the row's configurations share the
         // tape (compiled for the base latency), so each row is a single
         // lockstep walk.

@@ -15,13 +15,18 @@
 //! cache) are dropped FIFO until the total fits; tapes still in use by a
 //! replay are never evicted, and an evicted pair is simply re-recorded on
 //! its next request.
+//!
+//! As the memory tier of the [`crate::store::ArtifactStore`] the cache
+//! can sit in front of a [`DiskTier`]: a first request probes the store
+//! for a previously persisted tape before paying for a recording, and
+//! fresh recordings write through, which is what makes warm starts
+//! survive the process (DESIGN.md §16).
 
+use crate::store::DiskTier;
 use nbl_core::hash::FastMap;
 use nbl_trace::machine::CompiledProgram;
 use nbl_trace::tape::TraceTape;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -30,14 +35,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// (~108 pairs × ~5 MiB) while bounding degenerate workloads.
 const DEFAULT_CAP_BYTES: usize = 2048 * 1024 * 1024;
 
-/// Structural fingerprint of a compiled program. Stable within a build,
-/// which is all the cache needs (keys never cross process boundaries);
-/// it keeps quick- and full-scale compilations of one benchmark at the
-/// same latency from aliasing.
+/// Structural fingerprint of a compiled program:
+/// [`crate::store::compiled_fingerprint`], the *cross-process stable*
+/// hash, because the same value is a tape artifact's content address in
+/// the disk tier. It keeps quick- and full-scale compilations of one
+/// benchmark at the same latency from aliasing.
 fn fingerprint(compiled: &CompiledProgram) -> u64 {
-    let mut h = DefaultHasher::new();
-    compiled.hash(&mut h);
-    h.finish()
+    crate::store::compiled_fingerprint(compiled)
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -80,6 +84,9 @@ pub struct TapeStats {
 pub struct TapeCache {
     state: Mutex<State>,
     cap_bytes: usize,
+    /// Disk tier behind the memory tier: probed before recording, and
+    /// written through after. `None` keeps the cache memory-only.
+    disk: Option<Arc<DiskTier>>,
     hits: AtomicU64,
     records: AtomicU64,
     evictions: AtomicU64,
@@ -107,10 +114,20 @@ impl TapeCache {
         TapeCache {
             state: Mutex::new(State::default()),
             cap_bytes,
+            disk: None,
             hits: AtomicU64::new(0),
             records: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache (default byte budget) backed by a disk tier: first
+    /// requests probe the store before recording, and fresh recordings
+    /// write through to it.
+    pub fn with_disk(disk: Arc<DiskTier>) -> Self {
+        let mut cache = Self::new();
+        cache.disk = Some(disk);
+        cache
     }
 
     /// The process-wide cache shared by the sweep engine and the cached
@@ -120,8 +137,13 @@ impl TapeCache {
         GLOBAL.get_or_init(TapeCache::new)
     }
 
-    /// Returns the recorded tape of `compiled`, running the executor on
-    /// first request and sharing the result (by `Arc`) thereafter.
+    /// Returns the recorded tape of `compiled`: from the memory tier if
+    /// already resident, else decoded from the disk tier (when one is
+    /// attached and holds a valid artifact under this key), else by
+    /// running the executor — sharing the result (by `Arc`) thereafter.
+    /// Fresh recordings write through to the disk tier; disk damage of
+    /// any kind is absorbed (quarantine + re-record), so the call stays
+    /// infallible.
     pub fn get_or_record(&self, compiled: &CompiledProgram) -> Arc<TraceTape> {
         let key = Key {
             name: compiled.name.clone(),
@@ -132,13 +154,22 @@ impl TapeCache {
             let mut st = self.state.lock().expect("tape cache lock poisoned");
             Arc::clone(st.map.entry(key.clone()).or_default())
         };
-        let mut recorded_here = false;
+        let mut inserted_here = false;
         let tape = Arc::clone(slot.get_or_init(|| {
-            recorded_here = true;
+            inserted_here = true;
+            if let Some(disk) = &self.disk {
+                if let Some(loaded) = disk.load_tape(&key.name, key.latency, key.fingerprint) {
+                    return Arc::new(loaded);
+                }
+            }
             self.records.fetch_add(1, Ordering::Relaxed);
-            Arc::new(TraceTape::record(compiled))
+            let recorded = TraceTape::record(compiled);
+            if let Some(disk) = &self.disk {
+                let _ = disk.write_tape(&recorded, key.fingerprint);
+            }
+            Arc::new(recorded)
         }));
-        if recorded_here {
+        if inserted_here {
             let mut st = self.state.lock().expect("tape cache lock poisoned");
             st.bytes += tape.bytes();
             st.order.push_back(key);

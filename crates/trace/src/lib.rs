@@ -31,4 +31,5 @@ pub use dump::{TraceReader, TraceWriter};
 pub use exec::Executor;
 pub use ir::{AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg};
 pub use machine::{CompiledProgram, CountingSink, InstSink, MachineBlock, MachineOp};
+pub use tape::io::{TapeCodecError, TAPE_FORMAT_VERSION};
 pub use tape::{TapeKind, TraceTape};

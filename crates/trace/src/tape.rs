@@ -51,6 +51,10 @@ use crate::machine::{CompiledProgram, InstSink};
 use nbl_core::inst::{DynInst, DynKind};
 use nbl_core::types::{AccessSize, Addr, LoadFormat, PhysReg};
 
+/// Versioned, checksummed binary (de)serialization of tapes — the byte
+/// format the artifact store persists (DESIGN.md §16).
+pub mod io;
+
 /// Dense register encoding for "no register".
 const REG_NONE: u8 = u8::MAX;
 
