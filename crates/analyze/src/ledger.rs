@@ -23,6 +23,10 @@ pub enum LedgerKind {
     Enum,
     /// The exhibit registry — every `name: "…"` string literal.
     ExhibitNames,
+    /// A fixed list of entry-point identifiers. Each must exist in the
+    /// declaring file (as a word-boundary token) and in every surface —
+    /// used to pin the fused group-step API to its consumers and docs.
+    EntryPoints(&'static [&'static str]),
 }
 
 /// One ledger entry: a declaration plus the surfaces that must mention
@@ -45,8 +49,9 @@ pub struct LedgerEntry {
 /// design doc's error table for `SimError`, the issue-policy mapping and
 /// replay-penalty table for the processor-model and replay-cause enums,
 /// the design doc's artifact-store section (§16) for the store and
-/// codec error enums, and the experiments guide for the exhibit
-/// registry.
+/// codec error enums, the design doc's fusion section (§17) for the
+/// group-step entry points and `GroupError`, and the experiments guide
+/// for the exhibit registry.
 pub const LEDGER: &[LedgerEntry] = &[
     LedgerEntry {
         name: "ReplacementKind",
@@ -89,6 +94,33 @@ pub const LEDGER: &[LedgerEntry] = &[
         decl_file: "crates/sim/src/store.rs",
         kind: LedgerKind::Enum,
         surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "GroupError",
+        decl_file: "crates/mem/src/system.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["DESIGN.md"],
+    },
+    // The fused group-step API, one entry per layer: each layer's entry
+    // point must be consumed by the layer above it (and documented), so
+    // renaming or orphaning a rung of the fusion ladder is a finding.
+    LedgerEntry {
+        name: "GroupStepMem",
+        decl_file: "crates/mem/src/system.rs",
+        kind: LedgerKind::EntryPoints(&["access_load_group"]),
+        surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "GroupStepCpu",
+        decl_file: "crates/cpu/src/core_engine.rs",
+        kind: LedgerKind::EntryPoints(&["replay_fused"]),
+        surfaces: &["crates/sim/src/driver.rs", "DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "GroupStepSim",
+        decl_file: "crates/sim/src/driver.rs",
+        kind: LedgerKind::EntryPoints(&["run_tape_fused"]),
+        surfaces: &["crates/sim/src/sweep.rs", "DESIGN.md"],
     },
     LedgerEntry {
         name: "EXHIBITS",
@@ -246,6 +278,26 @@ pub fn check_ledger(root: &Path) -> Vec<Finding> {
                 }
             },
             LedgerKind::ExhibitNames => exhibit_names(&decl_src),
+            LedgerKind::EntryPoints(names) => {
+                let mut present = Vec::new();
+                for n in names {
+                    if contains_word(&decl_src, n) {
+                        present.push((*n).to_string());
+                    } else {
+                        out.push(Finding {
+                            lint: "exhaustiveness",
+                            file: entry.decl_file.to_string(),
+                            line: 0,
+                            col: 0,
+                            item: (*n).to_string(),
+                            message: format!(
+                                "ledger entry point `{n}` not found in its declaring file"
+                            ),
+                        });
+                    }
+                }
+                present
+            }
         };
         if variants.is_empty() {
             out.push(Finding {

@@ -11,7 +11,7 @@
 //! `mc=0 + wma` configuration instead uses write-allocate with a blocking
 //! fetch, which the paper uses as its worst-case comparison point.
 
-use crate::geometry::CacheGeometry;
+use crate::geometry::{CacheGeometry, DecodedAddr};
 use crate::mshr::{
     MissKind, MissRequest, MshrBank, MshrConfig, MshrResponse, Rejection, TargetRecord,
 };
@@ -348,11 +348,25 @@ impl LockupFreeCache {
     /// primary miss the caller must launch the fetch and later call
     /// [`LockupFreeCache::fill`].
     pub fn access_load(&mut self, addr: Addr, dest: Dest, format: LoadFormat) -> LoadAccess {
-        let block = self.block_of(addr);
+        let decoded = self.config.geometry.decode(addr);
+        self.access_load_decoded(&decoded, dest, format)
+    }
+
+    /// [`LockupFreeCache::access_load`] with the address already decoded
+    /// under this cache's geometry ([`CacheGeometry::decode`]), so a fused
+    /// group of caches sharing one geometry pays for the decode once.
+    pub fn access_load_decoded(
+        &mut self,
+        decoded: &DecodedAddr,
+        dest: Dest,
+        format: LoadFormat,
+    ) -> LoadAccess {
+        let block = decoded.block;
         // A resident line is never in transit (a block misses to get in
         // transit and only re-enters the tags at fill time), so a tag hit
         // needs no MSHR probe at all.
-        if self.tags.touch(block) {
+        if let Some(slot) = self.tags.probe_decoded(block, decoded.set, decoded.tag) {
+            self.tags.note_hit(slot);
             self.counters.load_hits += 1;
             return LoadAccess::Hit;
         }
@@ -362,8 +376,8 @@ impl LockupFreeCache {
         }
         let req = MissRequest {
             block,
-            set: self.config.geometry.set_of_block(block),
-            offset: self.config.geometry.offset_of(addr),
+            set: decoded.set,
+            offset: decoded.offset,
             dest,
             format,
         };
@@ -391,12 +405,20 @@ impl LockupFreeCache {
     /// organization can hold it (no stall); otherwise the caller must
     /// perform a blocking fetch.
     pub fn access_store(&mut self, addr: Addr) -> StoreAccess {
-        let block = self.block_of(addr);
+        let decoded = self.config.geometry.decode(addr);
+        self.access_store_decoded(&decoded)
+    }
+
+    /// [`LockupFreeCache::access_store`] with the address already decoded
+    /// under this cache's geometry ([`CacheGeometry::decode`]).
+    pub fn access_store_decoded(&mut self, decoded: &DecodedAddr) -> StoreAccess {
+        let block = decoded.block;
         // A store to a line in transit does not hit (and cannot tag-hit:
         // an in-transit block is never resident); under write-around it
         // goes around (the fetched line will be superseded in memory by the
         // write-through, which our tag-only model need not track).
-        if self.tags.touch(block) {
+        if let Some(slot) = self.tags.probe_decoded(block, decoded.set, decoded.tag) {
+            self.tags.note_hit(slot);
             self.counters.store_hits += 1;
             return StoreAccess::Hit;
         }
@@ -406,8 +428,8 @@ impl LockupFreeCache {
             WriteMissPolicy::WriteAllocate => {
                 let req = MissRequest {
                     block,
-                    set: self.config.geometry.set_of_block(block),
-                    offset: self.config.geometry.offset_of(addr),
+                    set: decoded.set,
+                    offset: decoded.offset,
                     dest: Dest::WriteBuffer(self.next_wb_slot()),
                     format: LoadFormat::DOUBLE,
                 };
@@ -427,6 +449,34 @@ impl LockupFreeCache {
                 }
             }
         }
+    }
+
+    /// Direct-mapped load-hit fast path with pre-decoded set and tag:
+    /// bumps the hit counter and returns `true` exactly when
+    /// [`LockupFreeCache::access_load`] would return [`LoadAccess::Hit`]
+    /// for a `ways == 1` geometry (a resident line is never in transit,
+    /// and a direct-mapped hit updates no replacement state). On `false`
+    /// the caller must fall back to the full access path; nothing is
+    /// counted.
+    #[inline]
+    pub fn load_hit_direct(&mut self, set: u32, tag: u64) -> bool {
+        if self.tags.hit_direct(set, tag) {
+            self.counters.load_hits += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Direct-mapped store-hit fast path: the [`StoreAccess::Hit`] twin of
+    /// [`LockupFreeCache::load_hit_direct`], with the same fall-back
+    /// contract on `false`.
+    #[inline]
+    pub fn store_hit_direct(&mut self, set: u32, tag: u64) -> bool {
+        if self.tags.hit_direct(set, tag) {
+            self.counters.store_hits += 1;
+            return true;
+        }
+        false
     }
 
     /// Cycles through the write-buffer destination slots for tracked

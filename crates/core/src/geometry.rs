@@ -209,6 +209,42 @@ impl CacheGeometry {
     pub fn offset_of(&self, addr: Addr) -> u32 {
         addr.offset_in_block(self.block_bits)
     }
+
+    /// Decodes `addr` once under this geometry: block address, set index,
+    /// tag and line offset in a single pass. Every field agrees with the
+    /// individual accessors ([`CacheGeometry::block_of`] and friends);
+    /// the fused group step decodes each tape address once per distinct
+    /// geometry and fans the result out instead of re-deriving these per
+    /// configuration.
+    #[inline]
+    pub fn decode(&self, addr: Addr) -> DecodedAddr {
+        let block = self.block_of(addr);
+        DecodedAddr {
+            addr,
+            block,
+            set: self.set_of_block(block),
+            tag: self.tag_of_block(block),
+            offset: self.offset_of(addr),
+        }
+    }
+}
+
+/// An address decoded once under a [`CacheGeometry`]: the block address,
+/// set index, tag and line offset that every cache layer otherwise
+/// re-derives per access. Produced by [`CacheGeometry::decode`]; valid
+/// only for arrays built over the geometry that decoded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddr {
+    /// The byte address the decode started from.
+    pub addr: Addr,
+    /// Block (line) address.
+    pub block: BlockAddr,
+    /// Set index of the block.
+    pub set: u32,
+    /// Tag stored in the cache for the block.
+    pub tag: u64,
+    /// Byte offset within the line.
+    pub offset: u32,
 }
 
 impl fmt::Display for CacheGeometry {

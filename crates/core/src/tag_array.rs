@@ -515,26 +515,78 @@ impl TagArray {
         self.find(block).is_some()
     }
 
-    /// Probes for `block`; on a hit, notifies the policy (LRU touch).
-    /// Returns whether it hit.
-    pub fn touch(&mut self, block: BlockAddr) -> bool {
+    /// The pure-lookup half of [`TagArray::touch`]: flat slot of `block`
+    /// if resident, with the same direct-mapped fast path, and no
+    /// replacement-state update. `probe` followed by [`TagArray::note_hit`]
+    /// on a `Some` result is exactly `touch` (which is implemented that
+    /// way), so a shared lookup can be fanned out across fused
+    /// configurations while the policy touch stays per-array.
+    #[inline]
+    pub fn probe(&self, block: BlockAddr) -> Option<usize> {
+        self.probe_decoded(
+            block,
+            self.geometry.set_of_block(block),
+            self.geometry.tag_of_block(block),
+        )
+    }
+
+    /// [`TagArray::probe`] with the set index and tag already decoded
+    /// (e.g. once per fused group via [`CacheGeometry::decode`]). The
+    /// caller must have decoded them under this array's geometry.
+    #[inline]
+    pub fn probe_decoded(&self, block: BlockAddr, set: u32, tag: u64) -> Option<usize> {
         if self.ways == 1 {
             // Direct-mapped: the set's lone way is always the victim, so
             // no policy bookkeeping can affect any later decision and a
             // hit reduces to one tag compare. This is the hot path of
             // every access under the paper's baseline geometry.
-            let set = self.geometry.set_of_block(block) as usize;
-            let line = &self.lines[set];
-            return line.valid && line.tag == self.geometry.tag_of_block(block);
+            let line = &self.lines[set as usize];
+            return (line.valid && line.tag == tag).then_some(set as usize);
         }
-        match self.find(block) {
+        if let Some(index) = &self.index {
+            return index.get(&block).map(|&s| s as usize);
+        }
+        let range = self.set_slots(set);
+        self.lines[range.clone()]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|i| range.start + i)
+    }
+
+    /// The state-update half of [`TagArray::touch`]: notifies the policy
+    /// that the resident line in flat `slot` (as returned by
+    /// [`TagArray::probe`]) was hit. A no-op for direct-mapped arrays,
+    /// where the lone way is always the victim.
+    #[inline]
+    pub fn note_hit(&mut self, slot: usize) {
+        if self.ways > 1 {
+            let set = (slot / self.ways) as u32;
+            self.policy.on_hit(set, slot % self.ways);
+        }
+    }
+
+    /// Probes for `block`; on a hit, notifies the policy (LRU touch).
+    /// Returns whether it hit. Exactly [`TagArray::probe`] followed by
+    /// [`TagArray::note_hit`].
+    pub fn touch(&mut self, block: BlockAddr) -> bool {
+        match self.probe(block) {
             Some(slot) => {
-                let set = (slot / self.ways) as u32;
-                self.policy.on_hit(set, slot % self.ways);
+                self.note_hit(slot);
                 true
             }
             None => false,
         }
+    }
+
+    /// Direct-mapped resident check with pre-decoded set and tag: the
+    /// monomorphic fused fast path. Callers must guarantee `ways == 1`
+    /// (checked in debug builds); equivalent to [`TagArray::touch`] for
+    /// such arrays, which never update replacement state on a hit.
+    #[inline]
+    pub fn hit_direct(&self, set: u32, tag: u64) -> bool {
+        debug_assert_eq!(self.ways, 1, "hit_direct requires a direct-mapped array");
+        let line = &self.lines[set as usize];
+        line.valid && line.tag == tag
     }
 
     /// The policy's current victim way for `set` (which must be full for
@@ -785,6 +837,134 @@ mod tests {
             t.install(BlockAddr(0));
             assert_eq!(t.install(BlockAddr(2)), Some(BlockAddr(0)), "{kind}");
             assert_eq!(t.install(BlockAddr(4)), Some(BlockAddr(2)), "{kind}");
+        }
+    }
+}
+
+/// Property suite for the probe-split lookup API, gated behind the
+/// off-by-default `probe-prop` feature (run with
+/// `cargo test -p nbl-core --features probe-prop`). The claim under
+/// test: for any access sequence, any geometry, and every
+/// [`ReplacementKind`], `probe` + [`TagArray::note_hit`] on a hit is
+/// observationally equal to the fused [`TagArray::touch`] — same hit
+/// answers, same evictions from [`TagArray::install`] and
+/// [`TagArray::claim_for_transit`] (the eviction-while-fetch-outstanding
+/// path), same resident sets — so a shared group probe cannot drift from
+/// the per-core path. Uses the in-tree
+/// [`SplitMix64`](crate::rng::SplitMix64) so the cases are deterministic
+/// and the workspace stays dependency-free.
+#[cfg(all(test, feature = "probe-prop"))]
+mod probe_prop {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::rng::SplitMix64;
+
+    /// Every resident block of `t`, by flat slot — the observable tag
+    /// state (policy state is compared behaviorally, by continuing the
+    /// mirrored sequence).
+    fn resident(t: &TagArray) -> Vec<(usize, BlockAddr)> {
+        let sets = t.geometry().num_sets() as u32;
+        let mut out = Vec::new();
+        for set in 0..sets {
+            for way in 0..t.ways() {
+                if t.is_valid(set, way) {
+                    let slot = set as usize * t.ways() + way;
+                    out.push((slot, t.block_at(slot)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drives `ops` mirrored operations: array `a` uses the fused
+    /// `touch`, array `b` the split `probe` + `note_hit`, with installs
+    /// after misses and occasional `claim_for_transit` + deferred
+    /// install modelling an eviction while the fetch is outstanding.
+    fn drive_mirrored(geometry: CacheGeometry, kind: ReplacementKind, seed: u64, ops: usize) {
+        let mut a = TagArray::new(geometry, kind);
+        let mut b = TagArray::new(geometry, kind);
+        let mut rng = SplitMix64::new(seed);
+        // Working set ~2x the cache so sets fill and evictions are common.
+        let universe = (geometry.num_lines() * 2).max(8);
+        let mut outstanding: Vec<BlockAddr> = Vec::new();
+        let label = kind.label();
+        for step in 0..ops {
+            let block = BlockAddr(rng.next_below(universe));
+            let hit_a = a.touch(block);
+            let hit_b = match b.probe(block) {
+                Some(slot) => {
+                    b.note_hit(slot);
+                    true
+                }
+                None => false,
+            };
+            assert_eq!(hit_a, hit_b, "{label}: hit answers diverged at {step}");
+            if !hit_a {
+                if rng.next_below(4) == 0 {
+                    // In-cache transit claim: the victim is evicted now,
+                    // the fill lands later.
+                    assert_eq!(
+                        a.claim_for_transit(block),
+                        b.claim_for_transit(block),
+                        "{label}: transit victims diverged at {step}"
+                    );
+                    outstanding.push(block);
+                } else {
+                    assert_eq!(
+                        a.install(block),
+                        b.install(block),
+                        "{label}: fill evictions diverged at {step}"
+                    );
+                }
+            }
+            // Drain an outstanding fetch about as often as one is made.
+            if !outstanding.is_empty() && rng.next_below(4) == 0 {
+                let idx = rng.next_below(outstanding.len() as u64) as usize;
+                let fill = outstanding.swap_remove(idx);
+                assert_eq!(
+                    a.install(fill),
+                    b.install(fill),
+                    "{label}: outstanding-fill evictions diverged at {step}"
+                );
+            }
+            if step % 64 == 0 {
+                assert_eq!(
+                    resident(&a),
+                    resident(&b),
+                    "{label}: tags diverged at {step}"
+                );
+            }
+        }
+        assert_eq!(resident(&a), resident(&b), "{label}: final tags diverged");
+    }
+
+    #[test]
+    fn split_probe_matches_fused_touch_for_all_policies_and_geometries() {
+        // Direct-mapped (the specialized kernel's shape), 2- and 4-way
+        // set-associative, and fully associative 16-way (crosses
+        // INDEXED_LOOKUP_MIN_WAYS, so the block-index path is mirrored
+        // too).
+        let geometries = [
+            CacheGeometry::direct_mapped(512, 32).unwrap(),
+            CacheGeometry::new(1024, 32, 2).unwrap(),
+            CacheGeometry::new(1024, 32, 4).unwrap(),
+            CacheGeometry::fully_associative(512, 32).unwrap(),
+        ];
+        for (gi, &geometry) in geometries.iter().enumerate() {
+            for (ki, kind) in ReplacementKind::all().into_iter().enumerate() {
+                drive_mirrored(geometry, kind, 0x9e37 + (gi * 17 + ki) as u64, 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn split_probe_matches_under_transit_heavy_sequences() {
+        // A 2-way geometry with a tiny universe: almost every miss claims
+        // a transit victim in a full set, hammering the
+        // eviction-while-fetch-outstanding ordering.
+        let geometry = CacheGeometry::new(256, 32, 2).unwrap();
+        for (ki, kind) in ReplacementKind::all().into_iter().enumerate() {
+            drive_mirrored(geometry, kind, 0x51ab + ki as u64, 8192);
         }
     }
 }

@@ -23,12 +23,14 @@
 use crate::scoreboard::Scoreboard;
 use crate::stats::{CpuStats, InFlightSampler, ReplayAttribution, StallCause};
 use nbl_core::cache::{CacheConfig, LockupFreeCache};
+use nbl_core::geometry::DecodedAddr;
 use nbl_core::inst::{DynInst, DynKind};
 use nbl_core::mshr::MissKind;
 use nbl_core::types::{Addr, Cycle, Dest, LoadFormat, PhysReg};
 use nbl_mem::event::ReplayCause;
 use nbl_mem::system::{
-    FillEvent, LoadResponse, MemSystemConfig, MemorySystem, ReplayLoadResponse, StoreResponse,
+    FillEvent, FusedMemGroup, LoadResponse, MemSystemConfig, MemorySystem, ReplayLoadResponse,
+    StoreResponse,
 };
 use nbl_mem::write_buffer::RetirePolicy;
 use nbl_trace::tape::{barrier_index, barrier_is_mem, TapeKind, TraceTape};
@@ -136,6 +138,56 @@ impl EngineConfig {
             l2: self.l2.clone(),
             retire: RetirePolicy::Free,
         }
+    }
+}
+
+/// The operation of a pre-decoded memory-barrier entry. Decoding
+/// validates the tape structure once per barrier (a load must carry a
+/// destination), so the per-engine step is infallible on the fast path.
+enum GroupOp {
+    /// Alu or Branch: issues in one cycle, touches no memory state.
+    Free,
+    /// A load with its (validated) destination and format.
+    Load {
+        /// Destination register the fill will wake.
+        dst: PhysReg,
+        /// Access width/sign.
+        format: LoadFormat,
+    },
+    /// A store.
+    Store,
+}
+
+/// One memory-barrier tape entry decoded once for a whole fused group:
+/// the packed-array fields (operation, destination, load format) plus the
+/// address split — block, set, tag, offset — under the group's shared
+/// geometry. The generic fused walk re-derives all of this once per
+/// engine; the specialized kernel derives it here, once per barrier, for
+/// every engine of the group.
+struct GroupEntry {
+    op: GroupOp,
+    decoded: DecodedAddr,
+}
+
+impl GroupEntry {
+    #[inline]
+    fn decode(
+        tape: &TraceTape,
+        b: usize,
+        group: &FusedMemGroup,
+    ) -> Result<GroupEntry, EngineError> {
+        let op = match tape.kind(b) {
+            TapeKind::Alu | TapeKind::Branch => GroupOp::Free,
+            TapeKind::Load => GroupOp::Load {
+                dst: tape.dst(b).ok_or(EngineError::MalformedTape { index: b })?,
+                format: tape.format(b),
+            },
+            TapeKind::Store => GroupOp::Store,
+        };
+        Ok(GroupEntry {
+            op,
+            decoded: group.decode(tape.addr(b)),
+        })
     }
 }
 
@@ -505,6 +557,14 @@ impl Core {
     /// slice will have advanced past later ones when this happens, so the
     /// group's results must be discarded as a unit.
     pub fn replay_fused(tape: &TraceTape, cores: &mut [&mut Core]) -> Result<(), EngineError> {
+        if Self::group_qualifies_direct(cores) {
+            // The shared-geometry check doubles as the soundness gate for
+            // sharing one address decode across the group; a mixed group
+            // simply stays on the generic per-core walk below.
+            if let Ok(group) = FusedMemGroup::new(cores.iter().map(|c| &c.mem)) {
+                return Self::replay_fused_direct(tape, cores, &group);
+            }
+        }
         let barriers = tape.barriers();
         let n = tape.len();
         // Per-engine cursor: the next instruction index to account for.
@@ -561,6 +621,210 @@ impl Core {
         Ok(())
     }
 
+    /// `true` when every engine in the group matches the specialized
+    /// kernel's shape: direct-mapped L1 (replacement is then irrelevant —
+    /// the lone way is always the victim), no L2, no victim buffer, no
+    /// tracing, no perfect-cache override. The group size is capped at 64
+    /// so quiescence fits one bitmask word. This is the dominant sweep
+    /// shape: the whole bench grid and the paper's baseline configurations
+    /// qualify.
+    fn group_qualifies_direct(cores: &[&mut Core]) -> bool {
+        !cores.is_empty()
+            && cores.len() <= 64
+            && cores.iter().all(|c| {
+                let cfg = c.mem.l1().config();
+                cfg.geometry.ways() == 1
+                    && cfg.victim_entries == 0
+                    && !c.mem.has_l2()
+                    && c.mem.trace().is_none()
+                    && !c.perfect
+            })
+    }
+
+    /// The specialized monomorphic twin of the generic fused walk for
+    /// groups passing [`Core::group_qualifies_direct`]: each memory
+    /// barrier's packed tape fields and address split are decoded once
+    /// via the [`FusedMemGroup`] and fanned out; a quiescent engine's
+    /// access takes the direct-mapped hit fast path (one tag compare, no
+    /// enum dispatch, no L2 plumbing) and falls back to the full decoded
+    /// port on a miss. Group quiescence lives in a bitmask, so the
+    /// all-quiescent check is one compare and non-memory barriers visit
+    /// only the engines with a fetch in flight. Step for step this runs
+    /// exactly what the generic walk runs — the fast paths are
+    /// bit-identical by construction (pinned by the mixed-config and
+    /// sweep-equivalence tests).
+    fn replay_fused_direct(
+        tape: &TraceTape,
+        cores: &mut [&mut Core],
+        group: &FusedMemGroup,
+    ) -> Result<(), EngineError> {
+        let barriers = tape.barriers();
+        let n = tape.len();
+        let mut cursors = vec![0usize; cores.len()];
+        let all: u64 = if cores.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << cores.len()) - 1
+        };
+        let mut quiescent: u64 = 0;
+        for (k, core) in cores.iter().enumerate() {
+            if core.mem.next_event().is_none() {
+                quiescent |= 1 << k;
+            }
+        }
+        let mut j = 0;
+        while j < barriers.len() {
+            if quiescent == all {
+                // Whole group quiescent: one shared chunked scan to the
+                // next memory barrier, one shared decode of its entry.
+                j = tape.next_mem_barrier(j);
+                let Some(&entry) = barriers.get(j) else { break };
+                let b = barrier_index(entry);
+                let e = GroupEntry::decode(tape, b, group)?;
+                // The operation is one and the same for the whole group,
+                // so the dispatch happens once out here and each arm is a
+                // tight per-engine loop: free-run span, one direct-mapped
+                // tag compare, counters, tick. Nothing is outstanding, so
+                // no drain and no hazard is possible; a hit cannot launch
+                // a fetch, so quiescence survives it without re-probing
+                // the memory pipe.
+                match e.op {
+                    GroupOp::Free => {
+                        for (core, i) in cores.iter_mut().zip(&mut cursors) {
+                            core.issue_free_run(b + 1 - *i);
+                            *i = b + 1;
+                        }
+                    }
+                    GroupOp::Load { dst, format } => {
+                        for (k, (core, i)) in cores.iter_mut().zip(&mut cursors).enumerate() {
+                            if b > *i {
+                                core.issue_free_run(b - *i);
+                            }
+                            let hit = core.mem.load_hit_direct(e.decoded.set, e.decoded.tag);
+                            if !hit {
+                                core.execute_load_decoded(&e.decoded, dst, format)?;
+                            }
+                            core.stats.loads += 1;
+                            core.stats.instructions += 1;
+                            core.tick();
+                            *i = b + 1;
+                            if !hit && core.mem.next_event().is_some() {
+                                quiescent &= !(1 << k);
+                            }
+                        }
+                    }
+                    GroupOp::Store => {
+                        for (k, (core, i)) in cores.iter_mut().zip(&mut cursors).enumerate() {
+                            if b > *i {
+                                core.issue_free_run(b - *i);
+                            }
+                            let now = core.now;
+                            let hit = core.mem.store_hit_direct(
+                                e.decoded.addr,
+                                e.decoded.set,
+                                e.decoded.tag,
+                                now,
+                            );
+                            if !hit {
+                                core.execute_store_decoded(&e.decoded);
+                            }
+                            core.stats.stores += 1;
+                            core.stats.instructions += 1;
+                            core.tick();
+                            *i = b + 1;
+                            if !hit && core.mem.next_event().is_some() {
+                                quiescent &= !(1 << k);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let entry = barriers[j];
+                let b = barrier_index(entry);
+                if barrier_is_mem(entry) {
+                    let e = GroupEntry::decode(tape, b, group)?;
+                    for (k, (core, i)) in cores.iter_mut().zip(&mut cursors).enumerate() {
+                        let was_quiescent = quiescent & (1 << k) != 0;
+                        if b > *i {
+                            core.issue_free_run(b - *i);
+                        }
+                        if !was_quiescent {
+                            core.drain_fills();
+                            core.replay_hazards(tape, b)?;
+                        }
+                        let fast = match e.op {
+                            GroupOp::Free => true,
+                            GroupOp::Load { dst, format } => {
+                                let hit = core.mem.load_hit_direct(e.decoded.set, e.decoded.tag);
+                                if !hit {
+                                    core.execute_load_decoded(&e.decoded, dst, format)?;
+                                }
+                                core.stats.loads += 1;
+                                hit
+                            }
+                            GroupOp::Store => {
+                                let now = core.now;
+                                let hit = core.mem.store_hit_direct(
+                                    e.decoded.addr,
+                                    e.decoded.set,
+                                    e.decoded.tag,
+                                    now,
+                                );
+                                if !hit {
+                                    core.execute_store_decoded(&e.decoded);
+                                }
+                                core.stats.stores += 1;
+                                hit
+                            }
+                        };
+                        core.stats.instructions += 1;
+                        core.tick();
+                        *i = b + 1;
+                        // A hit on a quiescent engine leaves it quiescent;
+                        // anything else (a launch, or a drain that may have
+                        // emptied the pipe) re-probes.
+                        if !(was_quiescent && fast) {
+                            if core.mem.next_event().is_none() {
+                                quiescent |= 1 << k;
+                            } else {
+                                quiescent &= !(1 << k);
+                            }
+                        }
+                    }
+                } else {
+                    // Non-memory barrier: quiescent engines defer it into
+                    // their next bulk issue (the scalar fast path); the
+                    // mask walk visits only the engines with work.
+                    let mut busy = !quiescent & all;
+                    while busy != 0 {
+                        let k = busy.trailing_zeros() as usize;
+                        busy &= busy - 1;
+                        let core = &mut *cores[k];
+                        let i = &mut cursors[k];
+                        if b > *i {
+                            core.issue_free_run(b - *i);
+                        }
+                        core.drain_fills();
+                        core.replay_hazards(tape, b)?;
+                        core.replay_execute(tape, b)?;
+                        core.tick();
+                        *i = b + 1;
+                        if core.mem.next_event().is_none() {
+                            quiescent |= 1 << k;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        for (core, i) in cores.iter_mut().zip(&cursors) {
+            if *i < n {
+                core.issue_free_run(n - *i);
+            }
+        }
+        Ok(())
+    }
+
     fn execute_load(
         &mut self,
         addr: Addr,
@@ -570,9 +834,28 @@ impl Core {
         if self.perfect {
             return Ok(());
         }
+        let decoded = self.mem.l1().config().geometry.decode(addr);
+        self.execute_load_decoded(&decoded, dst, format)
+    }
+
+    /// [`Core::execute_load`] with the address pre-decoded under this
+    /// engine's L1 geometry — the fused group step decodes each barrier
+    /// entry once and hands the split to every engine.
+    fn execute_load_decoded(
+        &mut self,
+        decoded: &DecodedAddr,
+        dst: PhysReg,
+        format: LoadFormat,
+    ) -> Result<(), EngineError> {
+        if self.perfect {
+            return Ok(());
+        }
         let mut stalled_structurally = false;
         loop {
-            match self.mem.access_load(addr, Dest::Reg(dst), format, self.now) {
+            match self
+                .mem
+                .access_load_decoded(decoded, Dest::Reg(dst), format, self.now)
+            {
                 LoadResponse::Hit => break,
                 LoadResponse::VictimHit => {
                     // One cycle to swap the line back from the victim
@@ -612,7 +895,17 @@ impl Core {
         if self.perfect {
             return;
         }
-        let resp = self.mem.access_store(addr, self.now);
+        let decoded = self.mem.l1().config().geometry.decode(addr);
+        self.execute_store_decoded(&decoded);
+    }
+
+    /// [`Core::execute_store`] with the address pre-decoded under this
+    /// engine's L1 geometry.
+    fn execute_store_decoded(&mut self, decoded: &DecodedAddr) {
+        if self.perfect {
+            return;
+        }
+        let resp = self.mem.access_store_decoded(decoded, self.now);
         self.apply_store_response(resp);
     }
 

@@ -26,5 +26,8 @@ pub mod write_buffer;
 
 pub use event::{MemEvent, MemEventSink, MemTrace, MissLifecycleStats, RingRecorder};
 pub use memory::{CompletedFetch, MemoryError, PipelinedMemory};
-pub use system::{FillEvent, L2Params, LoadResponse, MemSystemConfig, MemorySystem, StoreResponse};
+pub use system::{
+    FillEvent, FusedMemGroup, GroupError, L2Params, LoadResponse, MemSystemConfig, MemorySystem,
+    StoreResponse,
+};
 pub use write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};

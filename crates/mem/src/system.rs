@@ -25,10 +25,11 @@ use crate::event::{AccessKind, MemEvent, MemEventSink, MemTrace, ReplayCause, Se
 use crate::memory::{MemoryError, PipelinedMemory};
 use crate::write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};
 use nbl_core::cache::{CacheConfig, LoadAccess, LockupFreeCache, StoreAccess};
-use nbl_core::geometry::CacheGeometry;
+use nbl_core::geometry::{CacheGeometry, DecodedAddr};
 use nbl_core::mshr::{MissKind, Rejection, TargetRecord};
 use nbl_core::tag_array::{ReplacementKind, TagArray};
 use nbl_core::types::{Addr, BlockAddr, Cycle, Dest, LoadFormat};
+use std::fmt;
 
 /// A second-level cache between the L1 and main memory — an extension
 /// beyond the paper, which studies only on-chip first-level caches and
@@ -186,6 +187,96 @@ pub struct FillEvent {
     pub targets: Vec<TargetRecord>,
 }
 
+/// Why a [`FusedMemGroup`] could not be formed over a set of memory
+/// systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The group has no members: there is nothing to share a decode with.
+    Empty,
+    /// A member decodes addresses differently from the first, so one
+    /// shared set/tag split would be unsound for it.
+    GeometryMismatch {
+        /// The first member's L1 geometry, which the group adopted.
+        expected: CacheGeometry,
+        /// The mismatching member's L1 geometry.
+        found: CacheGeometry,
+    },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::Empty => write!(f, "fused memory group is empty"),
+            GroupError::GeometryMismatch { expected, found } => {
+                write!(
+                    f,
+                    "fused memory group mixes geometries {expected} and {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// Shared-decode driver for a fused group of memory systems replaying
+/// one address stream. Configurations in a fused group see the *same*
+/// addresses, so the set-index/tag/block split is shared structure, not
+/// per-config work — but only when every member decodes addresses
+/// identically. Construction checks exactly that (one common L1
+/// geometry); [`FusedMemGroup::decode`] then derives each address's
+/// [`DecodedAddr`] once, and [`MemorySystem::access_load_group`] (or
+/// per-system [`MemorySystem::access_load_decoded`] /
+/// [`MemorySystem::access_store_decoded`] calls) fan it out to the
+/// per-config MSHR banks and write buffers. Tag *state* still diverges
+/// across members (fill timing differs per config), so probe results are
+/// never shared — only the decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedMemGroup {
+    geometry: CacheGeometry,
+}
+
+impl FusedMemGroup {
+    /// Forms a group over `systems`, validating that every member shares
+    /// the first member's L1 geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Empty`] for an empty iterator and
+    /// [`GroupError::GeometryMismatch`] when members disagree on how to
+    /// decode an address.
+    pub fn new<'a>(
+        systems: impl IntoIterator<Item = &'a MemorySystem>,
+    ) -> Result<FusedMemGroup, GroupError> {
+        let mut geometry = None;
+        for system in systems {
+            let g = system.l1.config().geometry;
+            match geometry {
+                None => geometry = Some(g),
+                Some(expected) if expected != g => {
+                    return Err(GroupError::GeometryMismatch { expected, found: g })
+                }
+                Some(_) => {}
+            }
+        }
+        geometry
+            .map(|geometry| FusedMemGroup { geometry })
+            .ok_or(GroupError::Empty)
+    }
+
+    /// The geometry every member decodes addresses under.
+    #[inline]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Decodes `addr` once for the whole group.
+    #[inline]
+    pub fn decode(&self, addr: Addr) -> DecodedAddr {
+        self.geometry.decode(addr)
+    }
+}
+
 /// The composed memory hierarchy behind the port. See the module docs.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
@@ -318,6 +409,59 @@ impl MemorySystem {
         self.l1.block_of(addr)
     }
 
+    /// `true` when a second-level cache is configured.
+    #[inline]
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// Direct-mapped load-hit fast path with pre-decoded set and tag: the
+    /// monomorphic fused kernel's first probe. Returns `true` — and
+    /// counts the hit — exactly when [`MemorySystem::access_load`] would
+    /// answer [`LoadResponse::Hit`] under a `ways == 1` L1 (a hit never
+    /// reaches the MSHRs, the L2 or the write buffer, and emits no trace
+    /// events). On `false` nothing is recorded; the caller falls back to
+    /// the full port.
+    #[inline]
+    pub fn load_hit_direct(&mut self, set: u32, tag: u64) -> bool {
+        self.l1.load_hit_direct(set, tag)
+    }
+
+    /// Direct-mapped store-hit fast path: the [`StoreResponse::Done`]
+    /// hit twin of [`MemorySystem::load_hit_direct`] — counts the hit and
+    /// buffers the store. Same fall-back contract on `false`.
+    #[inline]
+    pub fn store_hit_direct(&mut self, addr: Addr, set: u32, tag: u64, now: Cycle) -> bool {
+        if self.l1.store_hit_direct(set, tag) {
+            self.write_buffer.push(addr, now);
+            return true;
+        }
+        false
+    }
+
+    /// Steps one load of a shared replay stream through every system of a
+    /// fused group: the address is decoded once under the group's common
+    /// geometry and the result fanned out to each system's MSHR banks via
+    /// [`MemorySystem::access_load_decoded`]. `nows` gives each system's
+    /// current cycle (fused cores run skewed clocks); one response per
+    /// system is appended to `out`, in group order.
+    pub fn access_load_group(
+        group: &FusedMemGroup,
+        systems: &mut [&mut MemorySystem],
+        addr: Addr,
+        dest: Dest,
+        format: LoadFormat,
+        nows: &[Cycle],
+        out: &mut Vec<LoadResponse>,
+    ) {
+        debug_assert_eq!(systems.len(), nows.len());
+        let decoded = group.decode(addr);
+        for (system, &now) in systems.iter_mut().zip(nows) {
+            debug_assert_eq!(system.l1.config().geometry, *group.geometry());
+            out.push(system.access_load_decoded(&decoded, dest, format, now));
+        }
+    }
+
     /// Latency of fetching `block`: the L2 hit penalty when an L2 is
     /// configured and holds the line, otherwise the full miss penalty.
     /// Probing also updates the (inclusive) L2 tags: a hit touches the
@@ -389,11 +533,26 @@ impl MemorySystem {
         format: LoadFormat,
         now: Cycle,
     ) -> LoadResponse {
-        match self.l1.access_load(addr, dest, format) {
+        let decoded = self.l1.config().geometry.decode(addr);
+        self.access_load_decoded(&decoded, dest, format, now)
+    }
+
+    /// [`MemorySystem::access_load`] with the address already decoded
+    /// under this system's L1 geometry — the per-system half of the fused
+    /// group step ([`MemorySystem::access_load_group`]): the shared decode
+    /// happens once, the MSHR/write-buffer state transition stays here.
+    pub fn access_load_decoded(
+        &mut self,
+        decoded: &DecodedAddr,
+        dest: Dest,
+        format: LoadFormat,
+        now: Cycle,
+    ) -> LoadResponse {
+        match self.l1.access_load_decoded(decoded, dest, format) {
             LoadAccess::Hit => LoadResponse::Hit,
             LoadAccess::VictimHit => LoadResponse::VictimHit,
             LoadAccess::Miss(kind) => {
-                let block = self.l1.block_of(addr);
+                let block = decoded.block;
                 if self.trace.is_some() {
                     let txn = self.fresh_txn();
                     self.emit(MemEvent::Issued {
@@ -421,7 +580,7 @@ impl MemorySystem {
             LoadAccess::Stalled(Rejection::Blocking) => {
                 // Lockup cache: service the whole miss synchronously; the
                 // data is then in the cache and usable at `at`.
-                let block = self.l1.block_of(addr);
+                let block = decoded.block;
                 let txn = self.fresh_txn();
                 self.emit(MemEvent::Issued {
                     txn,
@@ -435,7 +594,7 @@ impl MemorySystem {
             }
             LoadAccess::Stalled(reason) => {
                 if self.trace.is_some() {
-                    let block = self.l1.block_of(addr);
+                    let block = decoded.block;
                     let txn = self.fresh_txn();
                     self.emit(MemEvent::Issued {
                         txn,
@@ -459,7 +618,16 @@ impl MemorySystem {
     /// buffered immediately; write-allocate misses fetch their line,
     /// non-blocking when the MSHRs can track them — see [`StoreResponse`].
     pub fn access_store(&mut self, addr: Addr, now: Cycle) -> StoreResponse {
-        match self.l1.access_store(addr) {
+        let decoded = self.l1.config().geometry.decode(addr);
+        self.access_store_decoded(&decoded, now)
+    }
+
+    /// [`MemorySystem::access_store`] with the address already decoded
+    /// under this system's L1 geometry (the store half of the fused group
+    /// step).
+    pub fn access_store_decoded(&mut self, decoded: &DecodedAddr, now: Cycle) -> StoreResponse {
+        let addr = decoded.addr;
+        match self.l1.access_store_decoded(decoded) {
             StoreAccess::Hit | StoreAccess::MissAround => {
                 self.write_buffer.push(addr, now);
                 StoreResponse::Done
@@ -467,7 +635,7 @@ impl MemorySystem {
             StoreAccess::MissAllocate => {
                 // Blocking write allocate: fetch the line synchronously;
                 // the store is buffered once the line arrives.
-                let block = self.l1.block_of(addr);
+                let block = decoded.block;
                 let txn = self.fresh_txn();
                 self.emit(MemEvent::Issued {
                     txn,
@@ -482,7 +650,7 @@ impl MemorySystem {
             StoreAccess::MissAllocateTracked(kind) => {
                 // Non-blocking write allocate: the store data waits in the
                 // write buffer for the line; the processor does not stall.
-                let block = self.l1.block_of(addr);
+                let block = decoded.block;
                 if self.trace.is_some() {
                     let txn = self.fresh_txn();
                     self.emit(MemEvent::Issued {
@@ -810,6 +978,71 @@ mod tests {
             blk.access_store(Addr(0x5000), Cycle(0)),
             StoreResponse::Ready { at: Cycle(16) }
         );
+    }
+
+    #[test]
+    fn group_step_matches_independent_access_calls() {
+        // Two configs (different MSHR depth) replaying one stream: the
+        // group step must answer exactly what independent ports answer.
+        let addrs = [0x1000u64, 0x1008, 0x2000, 0x1000, 0x3000, 0x2008];
+        let mut solo = [system(mc(1)), system(mc(4))];
+        let mut fused = [system(mc(1)), system(mc(4))];
+        let group = FusedMemGroup::new(fused.iter()).expect("same geometry");
+        let mut responses = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let dest = Dest::Reg(PhysReg::int(i as u8));
+            let nows = [Cycle(i as u64), Cycle(2 * i as u64)];
+            let expected: Vec<LoadResponse> = solo
+                .iter_mut()
+                .zip(nows)
+                .map(|(m, now)| m.access_load(Addr(a), dest, LoadFormat::WORD, now))
+                .collect();
+            responses.clear();
+            let mut refs: Vec<&mut MemorySystem> = fused.iter_mut().collect();
+            MemorySystem::access_load_group(
+                &group,
+                &mut refs,
+                Addr(a),
+                dest,
+                LoadFormat::WORD,
+                &nows,
+                &mut responses,
+            );
+            assert_eq!(responses, expected, "access {i} to {a:#x}");
+        }
+    }
+
+    #[test]
+    fn group_rejects_mismatched_geometries_and_empty_groups() {
+        let small = system(mc(1));
+        let mut cfg = CacheConfig::baseline(mc(1));
+        cfg.geometry = CacheGeometry::direct_mapped(64 * 1024, 32).unwrap();
+        let large = MemorySystem::new(MemSystemConfig::with_cache(cfg));
+        let err = FusedMemGroup::new([&small, &large]).unwrap_err();
+        assert!(matches!(err, GroupError::GeometryMismatch { .. }));
+        assert!(err.to_string().contains("8KB"));
+        assert_eq!(FusedMemGroup::new([]).unwrap_err(), GroupError::Empty);
+    }
+
+    #[test]
+    fn direct_hit_fast_paths_match_the_full_port() {
+        let mut m = system(mc(2));
+        let addr = Addr(0x1000);
+        let d = m.l1().config().geometry.decode(addr);
+        // Cold: the fast paths refuse and record nothing.
+        assert!(!m.load_hit_direct(d.set, d.tag));
+        assert!(!m.store_hit_direct(addr, d.set, d.tag, Cycle(0)));
+        assert_eq!(m.l1().counters().load_hits, 0);
+        assert_eq!(m.write_buffer_stats().writes, 0);
+        // Fill the line; both fast paths now hit, with side effects
+        // matching the full port (counters, write buffering).
+        let _ = m.access_load(addr, Dest::Reg(PhysReg::int(1)), LoadFormat::WORD, Cycle(0));
+        m.advance_to(Cycle(16), |_| {});
+        assert!(m.load_hit_direct(d.set, d.tag));
+        assert_eq!(m.l1().counters().load_hits, 1);
+        assert!(m.store_hit_direct(addr, d.set, d.tag, Cycle(17)));
+        assert_eq!(m.l1().counters().store_hits, 1);
+        assert_eq!(m.write_buffer_stats().writes, 1);
     }
 
     #[test]

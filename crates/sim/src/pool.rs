@@ -199,6 +199,106 @@ impl JobPool {
             .map(|s| s.expect("every job produces exactly one result"))
             .collect())
     }
+
+    /// [`JobPool::try_run`] with an explicit claim order: workers claim
+    /// **one job at a time** following `order` (a permutation of
+    /// `0..jobs`), so a caller that knows per-job weights can schedule
+    /// longest-first and avoid a heavy job landing last on an otherwise
+    /// drained pool. Results are still placed in **input order** — the
+    /// claim order changes wall-clock balance, never the output. Meant
+    /// for pre-coarsened work units (the claim counter is taken per job,
+    /// not per chunk).
+    ///
+    /// With one worker (or ≤ 1 job) this runs serially in input order,
+    /// byte-identical to [`JobPool::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, if `order` is not a permutation of `0..jobs`.
+    ///
+    /// # Errors
+    ///
+    /// [`JobPanic`] if any job panicked (smallest input index wins).
+    pub fn try_run_order<T, F>(
+        &self,
+        jobs: usize,
+        order: &[usize],
+        f: F,
+    ) -> Result<Vec<T>, JobPanic>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        debug_assert_eq!(order.len(), jobs, "order must be a permutation of 0..jobs");
+        debug_assert!(
+            {
+                let mut seen = vec![false; jobs];
+                order
+                    .iter()
+                    .all(|&i| i < jobs && !std::mem::replace(&mut seen[i], true))
+            },
+            "order must be a permutation of 0..jobs"
+        );
+        let guarded = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| JobPanic {
+                job: i,
+                message: panic_message(payload.as_ref()),
+            })
+        };
+        if self.threads <= 1 || jobs <= 1 {
+            return (0..jobs).map(guarded).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let bailed = AtomicBool::new(false);
+        let first_panic: Mutex<Option<JobPanic>> = Mutex::new(None);
+        let workers = self.threads.min(jobs);
+        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        while !bailed.load(Ordering::Relaxed) {
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            if pos >= jobs {
+                                break;
+                            }
+                            let i = order[pos];
+                            match guarded(i) {
+                                Ok(t) => local.push((i, t)),
+                                Err(p) => {
+                                    bailed.store(true, Ordering::Relaxed);
+                                    let mut slot = first_panic.lock().expect("panic slot poisoned");
+                                    if slot.as_ref().is_none_or(|prev| p.job < prev.job) {
+                                        *slot = Some(p);
+                                    }
+                                    return local;
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker itself never panics"))
+                .collect()
+        });
+        if let Some(p) = first_panic.into_inner().expect("panic slot poisoned") {
+            return Err(p);
+        }
+        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        for part in parts {
+            for (i, t) in part {
+                debug_assert!(slots[i].is_none(), "job {i} produced twice");
+                slots[i] = Some(t);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every job produces exactly one result"))
+            .collect())
+    }
 }
 
 impl Default for JobPool {
@@ -282,6 +382,43 @@ mod tests {
         let payload = caught.unwrap_err();
         let msg = payload.downcast_ref::<String>().expect("string payload");
         assert!(msg.contains("pool job 3 panicked"), "{msg}");
+    }
+
+    #[test]
+    fn try_run_order_matches_try_run_for_any_claim_order() {
+        // Reversed and identity claim orders, serial and parallel pools:
+        // the output must always be input-ordered and identical.
+        for threads in [1, 4] {
+            let pool = JobPool::new(threads);
+            let reversed: Vec<usize> = (0..97).rev().collect();
+            let identity: Vec<usize> = (0..97).collect();
+            let want: Vec<usize> = (0..97).map(|i| i * 7).collect();
+            for order in [&reversed, &identity] {
+                let got = pool.try_run_order(97, order, |i| i * 7).unwrap();
+                assert_eq!(got, want, "{threads} threads");
+            }
+            assert!(pool.try_run_order(0, &[], |i| i).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn try_run_order_runs_every_job_once_and_reports_panics() {
+        let counter = AtomicU64::new(0);
+        let pool = JobPool::new(3);
+        let order: Vec<usize> = (0..50).rev().collect();
+        let out = pool
+            .try_run_order(50, &order, |i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        let err = pool
+            .try_run_order(50, &order, |i| assert!(i != 9, "job 9 is bad"))
+            .unwrap_err();
+        assert_eq!(err.job, 9);
+        assert!(err.message.contains("job 9 is bad"));
     }
 
     #[test]

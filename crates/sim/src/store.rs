@@ -54,9 +54,10 @@ use nbl_trace::ir::Program;
 use nbl_trace::machine::CompiledProgram;
 use nbl_trace::tape::io::TapeCodecError;
 use nbl_trace::tape::TraceTape;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Leading magic of a serialized [`RunResult`] artifact.
 pub const RESULT_MAGIC: [u8; 4] = *b"NBLR";
@@ -133,6 +134,12 @@ pub struct StoreStats {
 #[derive(Debug)]
 pub struct DiskTier {
     root: PathBuf,
+    /// Result paths this process has already published (or found on
+    /// disk): content addressing means an equal key carries equal bytes,
+    /// so a repeated write is a no-op — this set answers it without the
+    /// per-call `stat`. Benches that resimulate the same grid many times
+    /// otherwise pay hundreds of filesystem probes per pass.
+    results_written: Mutex<BTreeSet<PathBuf>>,
     tape_hits: AtomicU64,
     tape_misses: AtomicU64,
     tape_writes: AtomicU64,
@@ -161,6 +168,7 @@ impl DiskTier {
     pub fn new(root: impl Into<PathBuf>) -> DiskTier {
         DiskTier {
             root: root.into(),
+            results_written: Mutex::new(BTreeSet::new()),
             tape_hits: AtomicU64::new(0),
             tape_misses: AtomicU64::new(0),
             tape_writes: AtomicU64::new(0),
@@ -344,12 +352,21 @@ impl DiskTier {
     /// fatal.
     pub fn write_result(&self, result: &RunResult, fingerprint: u64) -> Result<(), ArtifactError> {
         let path = self.result_path(&result.benchmark, result.load_latency, fingerprint);
-        // Same existence skip as `write_tape`: equal key ⇒ equal bytes.
-        if path.exists() {
-            return Ok(());
+        // Process-local exactly-once: a path this tier already published
+        // (or already found on disk) never pays another `stat`.
+        if let Ok(written) = self.results_written.lock() {
+            if written.contains(&path) {
+                return Ok(());
+            }
         }
-        self.publish(&path, &encode_result(result))?;
-        self.result_writes.fetch_add(1, Ordering::Relaxed);
+        // Same existence skip as `write_tape`: equal key ⇒ equal bytes.
+        if !path.exists() {
+            self.publish(&path, &encode_result(result))?;
+            self.result_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Ok(mut written) = self.results_written.lock() {
+            written.insert(path);
+        }
         Ok(())
     }
 

@@ -16,7 +16,8 @@ use crate::tape_cache::TapeCache;
 use nbl_core::tag_array::ReplacementKind;
 use nbl_sched::compile::compile;
 use nbl_trace::ir::Program;
-use std::sync::OnceLock;
+use nbl_trace::tape::TraceTape;
+use std::sync::{Arc, OnceLock};
 
 /// MCPI-vs-load-latency curves for one benchmark (the shape of Figs. 5,
 /// 9–12, 15–17).
@@ -189,6 +190,67 @@ impl ModelSweep {
     }
 }
 
+/// One fusion-aware scheduling unit: configurations `lo..hi` of fused
+/// row `row` (a `(program, latency)` pair). Produced by
+/// [`plan_row_spans`]; each span replays its slice in one fused walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowSpan {
+    /// Flat row index (`program_index * latencies.len() + latency_index`).
+    row: usize,
+    /// First configuration index of the slice (inclusive).
+    lo: usize,
+    /// Last configuration index of the slice (exclusive).
+    hi: usize,
+}
+
+/// Splits each fused row into contiguous configuration spans sized by the
+/// row's barrier weight, so a multi-thread pool schedules comparable work
+/// units instead of whole rows. A row whose share of the grid's total
+/// work exceeds one target-unit is split into proportionally many spans
+/// (capped at one configuration per span); light rows stay whole. Spans
+/// are emitted row-major (`row` ascending, `lo` ascending) so callers can
+/// stitch rows back by a single scan.
+fn plan_row_spans(weights: &[u64], nc: usize, threads: usize) -> Vec<RowSpan> {
+    debug_assert!(nc > 0, "spans need at least one configuration");
+    let row_work = |w: u64| w.saturating_mul(nc as u64).max(1);
+    let total: u64 = weights.iter().map(|&w| row_work(w)).sum();
+    // Aim for ~4 units per worker (the chunked queue's oversubscription
+    // factor) so claim-order balancing has slack without shrinking units
+    // into per-cell jobs that would repay the fusion win.
+    let target = (total / (threads as u64 * 4).max(1)).max(1);
+    let mut spans = Vec::with_capacity(weights.len());
+    for (row, &w) in weights.iter().enumerate() {
+        let work = row_work(w);
+        let parts = (work.div_ceil(target)).clamp(1, nc as u64) as usize;
+        let (base_len, extra) = (nc / parts, nc % parts);
+        let mut lo = 0;
+        for p in 0..parts {
+            let len = base_len + usize::from(p < extra);
+            spans.push(RowSpan {
+                row,
+                lo,
+                hi: lo + len,
+            });
+            lo += len;
+        }
+        debug_assert_eq!(lo, nc, "spans tile the row exactly");
+    }
+    spans
+}
+
+/// The longest-processing-time claim order for `spans`: unit indices
+/// sorted by descending estimated work (row weight × slice width), ties
+/// broken by input order (the sort is stable), so heavy units start
+/// first and nothing heavy lands last on a drained pool.
+fn span_claim_order(spans: &[RowSpan], weights: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&u| {
+        let s = &spans[u];
+        std::cmp::Reverse(weights[s.row].saturating_mul((s.hi - s.lo) as u64))
+    });
+    order
+}
+
 /// The parallel sweep engine: a [`JobPool`] plus an [`ArtifactStore`]
 /// (the memory-tier [`CompileCache`] and [`TapeCache`], optionally
 /// backed by the content-addressed disk tier).
@@ -307,6 +369,25 @@ impl SweepEngine {
         latency: u32,
         cfgs: &[SimConfig],
     ) -> Result<Vec<RunResult>, SimError> {
+        self.run_row_span(program, program_fp, latency, cfgs, &OnceLock::new())
+    }
+
+    /// One scheduling unit of a fused row: the contiguous configuration
+    /// slice `cfgs` of a `(program, latency)` pair. When a row is split
+    /// across units (fusion-aware scheduling under a multi-thread pool),
+    /// all of its units share `tape_slot`, so the pair is still compiled
+    /// and recorded **exactly once per sweep** — the first unit that
+    /// needs the tape initializes the slot and the rest reuse the `Arc`
+    /// without touching the caches; cache counters are identical to the
+    /// one-job-per-row path.
+    fn run_row_span(
+        &self,
+        program: &Program,
+        program_fp: Option<u64>,
+        latency: u32,
+        cfgs: &[SimConfig],
+        tape_slot: &OnceLock<Result<Arc<TraceTape>, SimError>>,
+    ) -> Result<Vec<RunResult>, SimError> {
         let fps: Option<Vec<u64>> =
             program_fp.map(|pfp| cfgs.iter().map(|c| result_fingerprint(pfp, c)).collect());
         let mut row: Vec<Option<RunResult>> = vec![None; cfgs.len()];
@@ -318,8 +399,12 @@ impl SweepEngine {
             }
         }
         if row.iter().any(Option::is_none) {
-            let compiled = self.store.get_or_compile(program, latency)?;
-            let tape = self.store.get_or_record(&compiled);
+            let tape = tape_slot
+                .get_or_init(|| {
+                    let compiled = self.store.get_or_compile(program, latency)?;
+                    Ok(self.store.get_or_record(&compiled))
+                })
+                .clone()?;
             let missing: Vec<usize> = (0..cfgs.len()).filter(|&j| row[j].is_none()).collect();
             let missing_cfgs: Vec<SimConfig> = missing.iter().map(|&j| cfgs[j].clone()).collect();
             let fresh = run_tape_fused(&program.name, &tape, &missing_cfgs)?;
@@ -331,6 +416,20 @@ impl SweepEngine {
             }
         }
         Ok(row.into_iter().flatten().collect())
+    }
+
+    /// The scheduling weight of one `(program, latency)` row: the
+    /// recorded tape's barrier count when the tape is already resident
+    /// (warm sweeps — the common bench shape), else the program's
+    /// statically estimated dynamic instruction count. Both are
+    /// proportional to replay work; mixing the two across rows only
+    /// happens on partially warm caches, where any positive weight
+    /// already beats uniform chunking.
+    fn row_weight(&self, program: &Program, latency: u32) -> u64 {
+        self.store
+            .tape_cache()
+            .peek_barriers(&program.name, latency)
+            .unwrap_or_else(|| program.estimated_instructions())
     }
 
     /// Parallel [`latency_sweep`]: identical results, cells run on the
@@ -354,12 +453,20 @@ impl SweepEngine {
     }
 
     /// Cross-benchmark sweep, fused: every `(program, latency)` pair of
-    /// the grid is one pool job that walks the shared tape **once**,
-    /// advancing a simulator instance per hardware configuration in
-    /// lockstep ([`run_tape_fused`]) — the row's configurations differ
-    /// only in hardware, so they replay one recorded schedule. Results
-    /// are bit-identical to the per-cell path ([`Self::grid_sweep_unfused`]),
+    /// the grid walks the shared tape **once**, advancing a simulator
+    /// instance per hardware configuration in lockstep
+    /// ([`run_tape_fused`]) — the row's configurations differ only in
+    /// hardware, so they replay one recorded schedule. Results are
+    /// bit-identical to the per-cell path ([`Self::grid_sweep_unfused`]),
     /// one [`LatencySweep`] per program in input order.
+    ///
+    /// Scheduling is fusion-aware: under a multi-thread pool, rows are
+    /// split into configuration spans sized by each row's barrier weight
+    /// (`plan_row_spans`) and claimed longest-first, so the ~8× coarser
+    /// fused jobs load-balance like the unfused per-cell grid instead of
+    /// regressing on it. Units of one row share the compiled program and
+    /// tape through a per-row slot (`run_row_span`); a single-thread
+    /// pool keeps the one-job-per-row shape.
     ///
     /// # Errors
     ///
@@ -371,31 +478,74 @@ impl SweepEngine {
         configs: &[HwConfig],
         latencies: &[u32],
     ) -> Result<Vec<LatencySweep>, SimError> {
-        let nl = latencies.len();
+        let (nl, nc) = (latencies.len(), configs.len());
+        let nrows = programs.len() * nl;
         // One stable IR fingerprint per program, shared by every row job
         // (only needed when a disk tier exists to address results into).
         let program_fps: Vec<Option<u64>> = programs
             .iter()
             .map(|p| self.store.disk().map(|_| program_fingerprint(p)))
             .collect();
-        let rows = self.pool.try_run(
-            programs.len() * nl,
-            |idx| -> Result<Vec<RunResult>, SimError> {
-                let program = programs[idx / nl];
-                let lat = latencies[idx % nl];
-                let cfgs: Vec<SimConfig> = configs
-                    .iter()
-                    .map(|hw| {
-                        SimConfig {
-                            hw: hw.clone(),
-                            ..base.clone()
-                        }
-                        .at_latency(lat)
-                    })
+        let span_cfgs = |row: usize, lo: usize, hi: usize| -> Vec<SimConfig> {
+            configs[lo..hi]
+                .iter()
+                .map(|hw| {
+                    SimConfig {
+                        hw: hw.clone(),
+                        ..base.clone()
+                    }
+                    .at_latency(latencies[row % nl])
+                })
+                .collect()
+        };
+        let rows: Vec<Result<Vec<RunResult>, SimError>> =
+            if self.pool.threads() <= 1 || nrows <= 1 || nc == 0 {
+                self.pool
+                    .try_run(nrows, |idx| -> Result<Vec<RunResult>, SimError> {
+                        self.run_row_fused(
+                            programs[idx / nl],
+                            program_fps[idx / nl],
+                            latencies[idx % nl],
+                            &span_cfgs(idx, 0, nc),
+                        )
+                    })?
+            } else {
+                let weights: Vec<u64> = (0..nrows)
+                    .map(|row| self.row_weight(programs[row / nl], latencies[row % nl]))
                     .collect();
-                self.run_row_fused(program, program_fps[idx / nl], lat, &cfgs)
-            },
-        )?;
+                let spans = plan_row_spans(&weights, nc, self.pool.threads());
+                let order = span_claim_order(&spans, &weights);
+                let tape_slots: Vec<OnceLock<Result<Arc<TraceTape>, SimError>>> =
+                    (0..nrows).map(|_| OnceLock::new()).collect();
+                let parts = self.pool.try_run_order(
+                    spans.len(),
+                    &order,
+                    |u| -> Result<Vec<RunResult>, SimError> {
+                        let RowSpan { row, lo, hi } = spans[u];
+                        self.run_row_span(
+                            programs[row / nl],
+                            program_fps[row / nl],
+                            latencies[row % nl],
+                            &span_cfgs(row, lo, hi),
+                            &tape_slots[row],
+                        )
+                    },
+                )?;
+                // Stitch spans back into whole rows: spans are row-major,
+                // so appending in span order rebuilds each row's
+                // configuration order. A row keeps its first (lowest-`lo`)
+                // error, matching the whole-row path's report.
+                let mut rows: Vec<Result<Vec<RunResult>, SimError>> =
+                    (0..nrows).map(|_| Ok(Vec::with_capacity(nc))).collect();
+                for (span, part) in spans.iter().zip(parts) {
+                    match (&mut rows[span.row], part) {
+                        (Ok(row), Ok(mut slice)) => row.append(&mut slice),
+                        (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                        (Err(_), _) => {}
+                    }
+                }
+                rows
+            };
         let mut iter = rows.into_iter();
         programs
             .iter()
@@ -625,6 +775,47 @@ impl SweepEngine {
 mod tests {
     use super::*;
     use nbl_trace::workloads::{build, Scale};
+
+    #[test]
+    fn row_spans_tile_rows_and_split_by_weight() {
+        // Row 1 carries ~8× the work of the others: it must split into
+        // more spans, every row must be tiled exactly, and spans must be
+        // emitted row-major.
+        let weights = [100, 800, 100, 100];
+        let nc = 8;
+        let spans = plan_row_spans(&weights, nc, 4);
+        let mut next_row = 0;
+        let mut cursor = 0;
+        let mut per_row = [0usize; 4];
+        for s in &spans {
+            if s.row != next_row {
+                assert_eq!(cursor, nc, "row {next_row} tiled exactly");
+                assert_eq!(s.row, next_row + 1, "row-major emission");
+                next_row = s.row;
+                cursor = 0;
+            }
+            assert_eq!(s.lo, cursor, "contiguous spans");
+            assert!(s.hi > s.lo && s.hi <= nc);
+            cursor = s.hi;
+            per_row[s.row] += 1;
+        }
+        assert_eq!(cursor, nc, "last row tiled exactly");
+        assert!(
+            per_row[1] > per_row[0],
+            "heavy row splits finer: {per_row:?}"
+        );
+        assert!(per_row[1] <= nc, "never below one configuration per span");
+        // Claim order starts with a slice of the heavy row.
+        let order = span_claim_order(&spans, &weights);
+        assert_eq!(spans[order[0]].row, 1, "heaviest unit claimed first");
+        // Degenerate shapes: uniform weights and single-thread targets
+        // still tile.
+        for threads in [1, 2, 16] {
+            let spans = plan_row_spans(&[0, 0], 3, threads);
+            let covered: usize = spans.iter().map(|s| s.hi - s.lo).sum();
+            assert_eq!(covered, 6, "zero-weight rows still tile ({threads})");
+        }
+    }
 
     #[test]
     fn latency_sweep_shape_and_lookup() {

@@ -209,6 +209,23 @@ impl TapeCache {
         }
     }
 
+    /// Barrier count of a resident tape for `(name, latency)`, any
+    /// fingerprint — a scheduling hint, not a correctness input. Answers
+    /// only from the memory tier (no disk probe, no recording) and does
+    /// not touch the hit/record counters, so schedulers can weigh work
+    /// units without perturbing cache telemetry. `None` when no recorded
+    /// tape for the pair is resident.
+    pub fn peek_barriers(&self, name: &str, latency: u32) -> Option<u64> {
+        let st = self.state.lock().expect("tape cache lock poisoned");
+        st.map.iter().find_map(|(key, slot)| {
+            if key.name == name && key.latency == latency {
+                slot.get().map(|tape| tape.barriers().len() as u64)
+            } else {
+                None
+            }
+        })
+    }
+
     /// Current hit/record/eviction counters and resident footprint.
     pub fn stats(&self) -> TapeStats {
         TapeStats {

@@ -22,6 +22,9 @@ cargo test -q -p nbl-trace --features scan-prop
 echo "== codec-prop: tape artifact round-trip under random tapes =="
 cargo test -q -p nbl-trace --features codec-prop
 
+echo "== probe-prop: split probe/note_hit vs fused touch under all policies =="
+cargo test -q -p nbl-core --features probe-prop
+
 echo "== warm arena: zero processor builds on warm replay (pinned counters) =="
 cargo test -q -p nbl-sim --test warm_arena
 
@@ -111,14 +114,16 @@ bench_store="$replsens_dir/store"
 bench_date="$(git log -1 --format=%cs 2>/dev/null || echo unknown)"
 # Two processes against one artifact store: the first populates the disk
 # tier from scratch, the second must warm-start from it — tapes decoded
-# instead of re-recorded, and still bit-identical. The real commit date
-# (not a placeholder) stamps both trajectory entries.
+# instead of re-recorded, and still bit-identical. The second runs on a
+# pinned 4-thread pool so the multi-thread sweep scheduling is exercised
+# cross-process. The real commit date (not a placeholder) stamps both
+# trajectory entries.
 NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" \
   cargo run --release -p nbl-bench -- bench --store "$bench_store" \
-  --out /dev/null >/dev/null
-NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" \
+  --bench-reps 2 --out /dev/null >/dev/null
+NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" NBL_THREADS=4 \
   cargo run --release -p nbl-bench -- bench --store "$bench_store" \
-  --out /dev/null >/dev/null
+  --bench-reps 2 --out /dev/null >/dev/null
 python3 - "$bench_json" "$bench_date" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
@@ -127,11 +132,18 @@ assert d["kind"] == "bench_sweep", d["kind"]
 assert d["runs"] == len(d["benchmarks"]) * len(d["configs"]) * len(d["load_latencies"])
 assert d["bit_identical"] is True, "a replay or store path diverged"
 for key in ("cold_wall_s", "warm_wall_s", "unfused_wall_s", "interpreted_wall_s",
-            "disk_warm_wall_s", "speedup_warm_vs_interpreted",
+            "disk_warm_wall_s", "tape_scan_s", "mem_step_s",
+            "speedup_warm_vs_interpreted",
             "speedup_fused_vs_unfused", "speedup_warm_vs_cold",
             "speedup_disk_warm_vs_cold"):
     assert d[key] > 0, key
-assert isinstance(d["fusion_regressed"], bool)
+# Fusion gate: fused replay must beat unfused at both pinned thread
+# counts — fusion-aware row-span scheduling is what holds the 4-thread
+# side, so a regression here is a scheduling or kernel defect.
+assert d["fusion_regressed"] is False, \
+    "fused replay lost to unfused at a pinned thread count"
+for key in ("speedup_fused_vs_unfused_1t", "speedup_fused_vs_unfused_4t"):
+    assert d[key] > 1.0, (key, d[key])
 # Throughput floor: well below any observed machine (baseline ~2.7k/s
 # before fusion) but high enough to catch a pipeline-wide regression.
 assert d["warm_runs_per_sec"] >= 2000, d["warm_runs_per_sec"]
@@ -140,9 +152,12 @@ assert [e["date"] for e in traj] == [bench_date, bench_date], traj
 assert bench_date != "unknown", "commit date must resolve"
 for e in traj:
     for key in ("git", "threads", "reps", "warm_runs_per_sec", "disk_warm_wall_s",
-                "speedup_disk_warm_vs_cold", "fusion_regressed", "bit_identical"):
+                "speedup_disk_warm_vs_cold", "fusion_regressed", "bit_identical",
+                "speedup_fused_vs_unfused_1t", "speedup_fused_vs_unfused_4t",
+                "tape_scan_s", "mem_step_s"):
         assert key in e, key
     assert e["bit_identical"] is True, e
+    assert e["fusion_regressed"] is False, e
 # Acceptance floor: a fresh incremental process over the populated store
 # must beat the cold (empty-store) pass by at least 1.5x. Entry 0 is the
 # only run whose cold pass saw an empty store.
