@@ -122,6 +122,35 @@ pub const LEDGER: &[LedgerEntry] = &[
         kind: LedgerKind::EntryPoints(&["run_tape_fused"]),
         surfaces: &["crates/sim/src/sweep.rs", "DESIGN.md"],
     },
+    // The static cache oracle (DESIGN.md §18): its verdict enum, its
+    // cross-check violation enum, its refusal enum, and the pipeline's
+    // three entry points — tape projection, abstract walk, cross-check —
+    // each pinned to the design doc so a renamed or added case without a
+    // documented meaning is a finding.
+    LedgerEntry {
+        name: "Classification",
+        decl_file: "crates/oracle/src/domain.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["crates/oracle/src/check.rs", "DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "CrossCheckViolation",
+        decl_file: "crates/oracle/src/check.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "OracleError",
+        decl_file: "crates/oracle/src/lib.rs",
+        kind: LedgerKind::Enum,
+        surfaces: &["DESIGN.md"],
+    },
+    LedgerEntry {
+        name: "OraclePipeline",
+        decl_file: "crates/oracle/src/lib.rs",
+        kind: LedgerKind::EntryPoints(&["mem_ops", "analyze_tape", "cross_check"]),
+        surfaces: &["DESIGN.md"],
+    },
     LedgerEntry {
         name: "EXHIBITS",
         decl_file: "crates/bench/src/experiments/mod.rs",

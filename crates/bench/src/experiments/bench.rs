@@ -413,7 +413,7 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
             "\"speedup_warm_vs_interpreted\":{:.3},\"speedup_fused_vs_unfused\":{:.3},",
             "\"speedup_fused_vs_unfused_1t\":{:.3},\"speedup_fused_vs_unfused_4t\":{:.3},",
             "\"speedup_disk_warm_vs_cold\":{:.3},\"fusion_regressed\":{},",
-            "\"bit_identical\":{}}}"
+            "\"bit_identical\":{},\"oracle_checked\":{}}}"
         ),
         json_escape(&opts.date),
         json_escape(&git),
@@ -434,6 +434,10 @@ pub fn run(out: &mut dyn Write, _scale: RunScale) -> Result<(), ExhibitError> {
         speedup_disk_warm_vs_cold,
         fusion_regressed,
         identical,
+        // Set by verify.sh once the oracle gate has passed in the same
+        // verification run, so the perf history records whether each
+        // entry's commit was also oracle-clean.
+        std::env::var("NBL_ORACLE_CHECKED").is_ok_and(|v| v == "1"),
     );
     let path = std::env::var("NBL_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     let trajectory = match std::fs::read_to_string(&path)

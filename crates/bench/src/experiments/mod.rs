@@ -16,6 +16,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod figs_baseline;
 pub mod misslife;
+pub mod oracle;
 pub mod paper;
 pub mod replaymodel;
 pub mod replsens;
@@ -173,6 +174,11 @@ pub const EXHIBITS: &[Exhibit] = &[
         name: "misslife",
         about: "traced miss-lifecycle transaction summaries",
         run: misslife::run,
+    },
+    Exhibit {
+        name: "oracle",
+        about: "static must-hit/may-miss coverage, cross-checked against the simulator",
+        run: oracle::run,
     },
     Exhibit {
         name: "replsens",

@@ -74,5 +74,5 @@ pub use fingerprint::{checksum_bytes, fingerprint_of, StableHasher, FINGERPRINT_
 pub use geometry::CacheGeometry;
 pub use limit::Limit;
 pub use mshr::{MissKind, MshrBank, MshrConfig, Rejection, TargetRecord};
-pub use tag_array::{ReplacementKind, TagArray};
+pub use tag_array::{ReplacementKind, TagArray, WayAge};
 pub use types::{Addr, BlockAddr, Cycle, Dest, LoadFormat, PhysReg, RegClass};

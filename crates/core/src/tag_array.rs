@@ -387,6 +387,20 @@ struct TagLine {
     tag: u64,
 }
 
+/// Read-only replacement state of one way, as reported by
+/// [`TagArray::debug_ages`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayAge {
+    /// The resident block, or `None` for an invalid way.
+    pub block: Option<BlockAddr>,
+    /// The policy's age/rank stamp for the way: the use stamp under
+    /// [`ReplacementKind::Lru`] (larger = more recently used), the fill
+    /// stamp under [`ReplacementKind::Fifo`] (larger = more recently
+    /// filled), `None` for the stampless policies
+    /// ([`ReplacementKind::Random`], [`ReplacementKind::TreePlru`]).
+    pub stamp: Option<u64>,
+}
+
 /// Associativity above which lookups go through the block index instead
 /// of scanning the set's tags. At 8 ways and below the scan is a handful
 /// of contiguous compares and beats the hash.
@@ -490,6 +504,34 @@ impl TagArray {
     #[inline]
     pub fn is_valid(&self, set: u32, way: usize) -> bool {
         self.lines[set as usize * self.ways + way].valid
+    }
+
+    /// Read-only per-way age/rank inspection of `set` — the concrete
+    /// state the static cache oracle's LRU/FIFO age bounds are
+    /// property-tested against. One [`WayAge`] per way, in way order.
+    ///
+    /// Never mutates replacement state (in particular it does not consume
+    /// the random policy's PRNG), so interleaving it with accesses cannot
+    /// perturb a run. Direct-mapped arrays (`ways == 1`) skip policy
+    /// bookkeeping on their fast paths, so their stamps stay at the
+    /// as-built value of `0`; with one way per set the stamp carries no
+    /// ordering information anyway.
+    pub fn debug_ages(&self, set: u32) -> Vec<WayAge> {
+        let range = self.set_slots(set);
+        let start = range.start;
+        range
+            .map(|slot| {
+                let way = slot - start;
+                let line = self.lines[slot];
+                let block = line.valid.then(|| self.block_at(slot));
+                let stamp = match &self.policy {
+                    Policy::Lru(p) => Some(p.stamps[set as usize * p.ways + way]),
+                    Policy::Fifo(p) => Some(p.stamps[set as usize * p.ways + way]),
+                    Policy::Random(_) | Policy::TreePlru(_) => None,
+                };
+                WayAge { block, stamp }
+            })
+            .collect()
     }
 
     /// Flat slot of `block` if resident: an O(1) index lookup for
@@ -714,6 +756,31 @@ mod tests {
         // Touching 0 does not refresh it: it is still first-in.
         assert!(t.touch(BlockAddr(0)));
         assert_eq!(t.install(BlockAddr(2)), Some(BlockAddr(0)));
+    }
+
+    #[test]
+    fn debug_ages_reports_blocks_and_stamp_order() {
+        let mut t = TagArray::new(two_way(), ReplacementKind::Lru);
+        t.install(BlockAddr(0));
+        t.install(BlockAddr(1));
+        assert!(t.touch(BlockAddr(0))); // 0 becomes most recent
+        let ages = t.debug_ages(0);
+        assert_eq!(ages.len(), 2);
+        let of = |b: u64| {
+            ages.iter()
+                .find(|w| w.block == Some(BlockAddr(b)))
+                .expect("resident")
+        };
+        assert!(
+            of(0).stamp.expect("lru stamps") > of(1).stamp.expect("lru stamps"),
+            "touched line must carry the younger stamp"
+        );
+        // PLRU keeps no stamps: the accessor reports residency only.
+        let mut p = TagArray::new(four_way(), ReplacementKind::TreePlru);
+        p.install(BlockAddr(7));
+        let ages = p.debug_ages(0);
+        assert_eq!(ages.iter().filter(|w| w.block.is_some()).count(), 1);
+        assert!(ages.iter().all(|w| w.stamp.is_none()));
     }
 
     #[test]

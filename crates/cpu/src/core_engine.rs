@@ -275,6 +275,19 @@ impl Core {
         self.mem.take_trace()
     }
 
+    /// Starts the per-access outcome tap (see
+    /// [`nbl_mem::MemorySystem::enable_outcome_tap`]): one
+    /// [`nbl_mem::AccessOutcome`] per finally-resolved memory access, in
+    /// program order. The static cache oracle's cross-check probe.
+    pub fn enable_outcome_tap(&mut self) {
+        self.mem.enable_outcome_tap();
+    }
+
+    /// Stops the outcome tap and returns the recorded outcomes, if any.
+    pub fn take_outcomes(&mut self) -> Option<Vec<nbl_mem::AccessOutcome>> {
+        self.mem.take_outcomes()
+    }
+
     /// Advances time to `to` (clamped), charging the elapsed cycles to
     /// `cause`.
     fn stall_until(&mut self, to: Cycle, cause: StallCause) {

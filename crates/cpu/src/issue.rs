@@ -355,6 +355,18 @@ impl IssueEngine {
     pub fn take_mem_trace(&mut self) -> Option<nbl_mem::event::MemTrace> {
         self.core.take_mem_trace()
     }
+
+    /// Starts the per-access outcome tap (the static cache oracle's
+    /// cross-check probe): one [`nbl_mem::AccessOutcome`] per
+    /// finally-resolved memory access, in program order.
+    pub fn enable_outcome_tap(&mut self) {
+        self.core.enable_outcome_tap();
+    }
+
+    /// Stops the outcome tap and returns the recorded outcomes, if any.
+    pub fn take_outcomes(&mut self) -> Option<Vec<nbl_mem::AccessOutcome>> {
+        self.core.take_outcomes()
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ pub mod write_buffer;
 pub use event::{MemEvent, MemEventSink, MemTrace, MissLifecycleStats, RingRecorder};
 pub use memory::{CompletedFetch, MemoryError, PipelinedMemory};
 pub use system::{
-    FillEvent, FusedMemGroup, GroupError, L2Params, LoadResponse, MemSystemConfig, MemorySystem,
-    StoreResponse,
+    AccessOutcome, FillEvent, FusedMemGroup, GroupError, L2Params, LoadResponse, MemSystemConfig,
+    MemorySystem, StoreResponse,
 };
 pub use write_buffer::{RetirePolicy, WriteBuffer, WriteBufferStats};

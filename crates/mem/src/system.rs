@@ -105,6 +105,27 @@ pub enum LoadResponse {
     Retry(Rejection),
 }
 
+/// Final hit/miss resolution of one memory access, recorded by the
+/// outcome tap ([`MemorySystem::enable_outcome_tap`]). Rejected accesses
+/// ([`LoadResponse::Retry`]) record nothing — a rejection leaves the tag
+/// array untouched and the retried access records its eventual
+/// resolution — so with a single in-order issue stream the *n*-th
+/// recorded outcome corresponds to the *n*-th memory instruction in
+/// program order. This is the observation side of the static cache
+/// oracle's cross-check (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access hit in the L1 tag array.
+    Hit,
+    /// The access hit in the victim buffer (counts as resident data, but
+    /// not an L1 tag hit — the oracle refuses configs where this can
+    /// occur).
+    VictimHit,
+    /// The access missed: primary, secondary (merged into an in-flight
+    /// fetch), or serviced synchronously by a blocking cache.
+    Miss,
+}
+
 /// How a store access resolved at the port.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreResponse {
@@ -289,6 +310,9 @@ pub struct MemorySystem {
     /// Lifecycle observer; `None` (the default) records nothing and costs
     /// one pointer null-check per access.
     trace: Option<Box<MemTrace>>,
+    /// Per-access outcome tap; `None` (the default) records nothing and
+    /// costs one null-check per access, like `trace`.
+    outcomes: Option<Vec<AccessOutcome>>,
     next_txn: u64,
     /// Recycled target vectors for [`FillEvent`]s: the processor hands each
     /// consumed event back via [`MemorySystem::recycle_fill`], so a
@@ -325,6 +349,7 @@ impl MemorySystem {
             l1: LockupFreeCache::new(config.cache),
             write_buffer: WriteBuffer::new(config.retire),
             trace: None,
+            outcomes: None,
             next_txn: 0,
             spare_targets: Vec::new(),
             replay: ReplayClassifier::default(),
@@ -342,6 +367,7 @@ impl MemorySystem {
         self.memory.reset();
         self.write_buffer.reset();
         self.trace = None;
+        self.outcomes = None;
         self.next_txn = 0;
         self.replay = ReplayClassifier::default();
     }
@@ -368,6 +394,30 @@ impl MemorySystem {
     /// Stops tracing and returns the recorded trace.
     pub fn take_trace(&mut self) -> Option<MemTrace> {
         self.trace.take().map(|b| *b)
+    }
+
+    /// Starts recording one [`AccessOutcome`] per finally-resolved memory
+    /// access (the cross-check probe of the static cache oracle). Costs
+    /// one null-check per access when off, like lifecycle tracing.
+    pub fn enable_outcome_tap(&mut self) {
+        self.outcomes = Some(Vec::new());
+    }
+
+    /// The outcomes recorded so far, if the tap is enabled.
+    pub fn outcomes(&self) -> Option<&[AccessOutcome]> {
+        self.outcomes.as_deref()
+    }
+
+    /// Stops the outcome tap and returns the recorded outcomes.
+    pub fn take_outcomes(&mut self) -> Option<Vec<AccessOutcome>> {
+        self.outcomes.take()
+    }
+
+    #[inline]
+    fn note_outcome(&mut self, outcome: AccessOutcome) {
+        if let Some(v) = self.outcomes.as_mut() {
+            v.push(outcome);
+        }
     }
 
     #[inline]
@@ -424,7 +474,13 @@ impl MemorySystem {
     /// the full port.
     #[inline]
     pub fn load_hit_direct(&mut self, set: u32, tag: u64) -> bool {
-        self.l1.load_hit_direct(set, tag)
+        if self.l1.load_hit_direct(set, tag) {
+            if self.outcomes.is_some() {
+                self.note_outcome(AccessOutcome::Hit);
+            }
+            return true;
+        }
+        false
     }
 
     /// Direct-mapped store-hit fast path: the [`StoreResponse::Done`]
@@ -433,6 +489,9 @@ impl MemorySystem {
     #[inline]
     pub fn store_hit_direct(&mut self, addr: Addr, set: u32, tag: u64, now: Cycle) -> bool {
         if self.l1.store_hit_direct(set, tag) {
+            if self.outcomes.is_some() {
+                self.note_outcome(AccessOutcome::Hit);
+            }
             self.write_buffer.push(addr, now);
             return true;
         }
@@ -548,7 +607,7 @@ impl MemorySystem {
         format: LoadFormat,
         now: Cycle,
     ) -> LoadResponse {
-        match self.l1.access_load_decoded(decoded, dest, format) {
+        let response = match self.l1.access_load_decoded(decoded, dest, format) {
             LoadAccess::Hit => LoadResponse::Hit,
             LoadAccess::VictimHit => LoadResponse::VictimHit,
             LoadAccess::Miss(kind) => {
@@ -611,7 +670,20 @@ impl MemorySystem {
                 }
                 LoadResponse::Retry(reason)
             }
+        };
+        if self.outcomes.is_some() {
+            match &response {
+                LoadResponse::Hit => self.note_outcome(AccessOutcome::Hit),
+                LoadResponse::VictimHit => self.note_outcome(AccessOutcome::VictimHit),
+                LoadResponse::Pending { .. } | LoadResponse::Ready { .. } => {
+                    self.note_outcome(AccessOutcome::Miss);
+                }
+                // A rejection leaves the tag state untouched; the retried
+                // access records the final resolution.
+                LoadResponse::Retry(_) => {}
+            }
         }
+        response
     }
 
     /// Submits a store at time `now`. Write-around misses and hits are
@@ -627,7 +699,16 @@ impl MemorySystem {
     /// step).
     pub fn access_store_decoded(&mut self, decoded: &DecodedAddr, now: Cycle) -> StoreResponse {
         let addr = decoded.addr;
-        match self.l1.access_store_decoded(decoded) {
+        let access = self.l1.access_store_decoded(decoded);
+        if self.outcomes.is_some() {
+            self.note_outcome(match access {
+                StoreAccess::Hit => AccessOutcome::Hit,
+                StoreAccess::MissAround
+                | StoreAccess::MissAllocate
+                | StoreAccess::MissAllocateTracked(_) => AccessOutcome::Miss,
+            });
+        }
+        match access {
             StoreAccess::Hit | StoreAccess::MissAround => {
                 self.write_buffer.push(addr, now);
                 StoreResponse::Done
@@ -1088,6 +1169,48 @@ mod tests {
         );
         assert!(m.trace().is_none());
         assert!(m.take_trace().is_none());
+    }
+
+    #[test]
+    fn outcome_tap_records_final_resolutions_without_perturbing() {
+        let run = |tapped: bool| {
+            let mut m = system(mc(2));
+            if tapped {
+                m.enable_outcome_tap();
+            }
+            let mut log = Vec::new();
+            for (i, addr) in [0x1000u64, 0x1008, 0x2000, 0x1000].into_iter().enumerate() {
+                let r = m.access_load(
+                    Addr(addr),
+                    Dest::Reg(PhysReg::int(i as u8)),
+                    LoadFormat::WORD,
+                    Cycle(i as u64),
+                );
+                log.push(format!("{r:?}"));
+            }
+            m.advance_to(Cycle(100), |f| log.push(format!("{f:?}")));
+            let r = m.access_load(
+                Addr(0x1000),
+                Dest::Reg(PhysReg::int(5)),
+                LoadFormat::WORD,
+                Cycle(100),
+            );
+            log.push(format!("{r:?}"));
+            (log, m.take_outcomes())
+        };
+        let (untapped_log, none) = run(false);
+        let (tapped_log, outcomes) = run(true);
+        assert_eq!(untapped_log, tapped_log, "the tap must not perturb timing");
+        assert_eq!(none, None, "no tap, no buffer");
+        // Primary miss to 0x1000; the 0x1008 and repeated 0x1000
+        // accesses are rejected (mc=2 MSHRs hold one target each) and a
+        // rejection records *nothing* — only final resolutions count.
+        // Then a second primary miss to 0x2000, and a genuine hit after
+        // the fills land.
+        assert_eq!(
+            outcomes.expect("tap was enabled"),
+            vec![AccessOutcome::Miss, AccessOutcome::Miss, AccessOutcome::Hit]
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use nbl_cpu::dual::DualIssueProcessor;
 use nbl_cpu::issue::{IssueEngine, IssuePolicy};
 use nbl_cpu::stats::ReplayAttribution;
 use nbl_mem::event::MemTrace;
+use nbl_mem::AccessOutcome;
 use nbl_sched::compile::{compile, CompileError};
 use nbl_trace::exec::Executor;
 use nbl_trace::ir::Program;
@@ -390,6 +391,34 @@ pub fn run_tape(
     cfg: &SimConfig,
 ) -> Result<RunResult, EngineError> {
     replay_single(benchmark, tape, cfg, None).map(|(r, _)| r)
+}
+
+/// [`run_tape`] with the per-access outcome tap armed: returns the run
+/// result plus one [`AccessOutcome`] per finally-resolved memory access,
+/// in program order (the *n*-th outcome belongs to the *n*-th memory
+/// operation of the tape). This is the observation half of the static
+/// cache oracle's cell-by-cell cross-check (DESIGN.md §18); the tap adds
+/// one null-check per access, so the replayed timing is identical to an
+/// untapped run.
+///
+/// # Errors
+///
+/// [`EngineError`] if the engine hit a model invariant violation mid-run.
+pub fn run_tape_probed(
+    benchmark: &str,
+    tape: &TraceTape,
+    cfg: &SimConfig,
+) -> Result<(RunResult, Vec<AccessOutcome>), EngineError> {
+    debug_assert_eq!(tape.load_latency(), cfg.load_latency);
+    let engine_config = single_engine_config(cfg);
+    let policy = cfg.processor.policy();
+    let mut cpu = acquire_engine(&engine_config, policy);
+    cpu.enable_outcome_tap();
+    cpu.run_tape(tape)?;
+    let (result, _) = finish_single(benchmark, cfg, tape.static_spill_ops(), &mut cpu)?;
+    let outcomes = cpu.take_outcomes().unwrap_or_default();
+    release_engine((engine_config, policy), cpu);
+    Ok((result, outcomes))
 }
 
 /// Replays one tape through several hardware configurations in a single

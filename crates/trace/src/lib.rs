@@ -32,4 +32,4 @@ pub use exec::Executor;
 pub use ir::{AddrPattern, Block, BlockId, IrOp, PatternId, Program, ScriptNode, VirtReg};
 pub use machine::{CompiledProgram, CountingSink, InstSink, MachineBlock, MachineOp};
 pub use tape::io::{TapeCodecError, TAPE_FORMAT_VERSION};
-pub use tape::{TapeKind, TraceTape};
+pub use tape::{MemOp, TapeKind, TraceTape};

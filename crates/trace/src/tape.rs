@@ -95,6 +95,19 @@ pub enum TapeKind {
     Store = 3,
 }
 
+/// One memory operation of a tape, as yielded by [`TraceTape::mem_ops`]:
+/// the flattened (instruction index, kind, address) triple the static
+/// cache oracle classifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Position of the instruction in the tape.
+    pub index: usize,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// Effective byte address.
+    pub addr: Addr,
+}
+
 #[inline]
 fn pack_reg(r: Option<PhysReg>) -> u8 {
     r.map_or(REG_NONE, |r| r.dense_index() as u8)
@@ -345,6 +358,32 @@ impl TraceTape {
     #[inline]
     pub fn is_mem(&self, i: usize) -> bool {
         matches!(self.kinds[i], TapeKind::Load | TapeKind::Store)
+    }
+
+    /// Walks the tape's memory operations in program order: one
+    /// [`MemOp`] per load or store, carrying the instruction index and
+    /// effective address. This is the walk API the static cache oracle
+    /// consumes — its classification vector and the simulator's
+    /// `AccessOutcome` tap both index accesses in this order, so the
+    /// *n*-th item here lines up with the *n*-th recorded outcome.
+    #[inline]
+    pub fn mem_ops(&self) -> impl Iterator<Item = MemOp> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &k)| match k {
+                TapeKind::Load => Some(MemOp {
+                    index: i,
+                    is_store: false,
+                    addr: Addr(self.addrs[i]),
+                }),
+                TapeKind::Store => Some(MemOp {
+                    index: i,
+                    is_store: true,
+                    addr: Addr(self.addrs[i]),
+                }),
+                TapeKind::Alu | TapeKind::Branch => None,
+            })
     }
 
     /// The barrier entries, in ascending instruction order: the memory
@@ -623,6 +662,27 @@ mod tests {
         assert_eq!(tape.len() as u64, c.dynamic_instructions());
         let replayed: Vec<DynInst> = tape.iter().collect();
         assert_eq!(replayed, interpreted, "streams must be identical");
+    }
+
+    #[test]
+    fn mem_ops_projects_exactly_the_memory_stream() {
+        let c = exercise_program();
+        let tape = TraceTape::record(&c);
+        let ops: Vec<MemOp> = tape.mem_ops().collect();
+        assert_eq!(ops.len() as u64, tape.loads() + tape.stores());
+        // Every projected op points back at a matching tape entry, in
+        // strictly increasing instruction order.
+        let mut last = None;
+        for op in &ops {
+            assert!(last.is_none_or(|l| op.index > l), "indices must ascend");
+            last = Some(op.index);
+            match tape.kind(op.index) {
+                TapeKind::Load => assert!(!op.is_store),
+                TapeKind::Store => assert!(op.is_store),
+                other => panic!("mem_ops yielded a {other:?}"),
+            }
+            assert_eq!(op.addr, tape.addr(op.index));
+        }
     }
 
     #[test]

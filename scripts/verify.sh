@@ -25,6 +25,9 @@ cargo test -q -p nbl-trace --features codec-prop
 echo "== probe-prop: split probe/note_hit vs fused touch under all policies =="
 cargo test -q -p nbl-core --features probe-prop
 
+echo "== oracle-prop: abstract-domain soundness vs the engine on random tapes =="
+cargo test -q -p nbl-oracle --features oracle-prop
+
 echo "== warm arena: zero processor builds on warm replay (pinned counters) =="
 cargo test -q -p nbl-sim --test warm_arena
 
@@ -108,6 +111,63 @@ for r in d["runs"]:
 print("replaymodel.json: shape OK")
 EOF
 
+echo "== oracle gate: 72-cell cross-check, zero violations (--deny) =="
+oracle_store="$replsens_dir/oracle-store"
+# Twice against one verdict store: the first pass analyzes and persists,
+# the second must answer every cell from the store (from_store all true)
+# — exercising the content-addressed verdict codec cross-process.
+cargo run --release -p nbl-oracle -- --deny \
+  --csv "$replsens_dir/oracle_cli.csv" --json "$replsens_dir/oracle_cli.json" \
+  --store "$oracle_store" >/dev/null
+cargo run --release -p nbl-oracle -- --deny \
+  --json "$replsens_dir/oracle_cli2.json" --store "$oracle_store" >/dev/null
+python3 - "$replsens_dir/oracle_cli.json" "$replsens_dir/oracle_cli2.json" <<'EOF'
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+for d in (first, second):
+    assert d["exhibit"] == "oracle", d["exhibit"]
+    assert d["cells"] == len(d["rows"]) == 72, d["cells"]
+    assert d["violations"] == 0, d["violations"]
+    for r in d["rows"]:
+        assert r["must_hit"] + r["must_miss"] + r["unknown"] == r["accesses"], r
+        assert r["violations"] == 0, r
+# Blocking LRU cells have a zero fill window: the analysis is exact there.
+for r in first["rows"]:
+    if r["policy"] == "lru" and r["hw"] == "mc=0":
+        assert r["unknown"] == 0, ("blocking lru cell left unknowns", r)
+assert not any(r["from_store"] for r in first["rows"]), "cold pass hit the store"
+assert all(r["from_store"] for r in second["rows"]), "warm pass missed the store"
+assert [ (r["bench"], r["geometry"], r["policy"], r["hw"], r["accesses"],
+          r["must_hit"], r["must_miss"], r["unknown"]) for r in first["rows"] ] \
+    == [ (r["bench"], r["geometry"], r["policy"], r["hw"], r["accesses"],
+          r["must_hit"], r["must_miss"], r["unknown"]) for r in second["rows"] ]
+print("oracle gate: 72 cells, 0 violations, verdict store warm-start OK")
+EOF
+
+echo "== smoke: oracle exhibit vs pinned LRU coverage golden =="
+cargo run --release -p nbl-bench -- oracle --quick \
+  --csv "$replsens_dir" --json "$replsens_dir" --out /dev/null >/dev/null
+# The LRU coverage rows must be bit-identical to the pinned golden: a
+# drift means either the tapes, the tag array, or the abstract domain
+# changed semantics silently.
+grep ',lru,' "$replsens_dir/oracle.csv" \
+  | diff -u scripts/golden/oracle_lru_quick.csv -
+python3 - "$replsens_dir/oracle.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["exhibit"] == "oracle", d["exhibit"]
+assert d["cells"] == len(d["rows"]) == 80, d["cells"]
+assert d["violations"] == 0, d["violations"]
+for r in d["rows"]:
+    assert r["must_hit"] + r["must_miss"] + r["unknown"] == r["accesses"], r
+# Acceptance: on at least one benchmark the LRU analysis classifies >= 90%.
+best = max(100.0 * (r["must_hit"] + r["must_miss"]) / r["accesses"]
+           for r in d["rows"] if r["policy"] == "lru")
+assert best >= 90.0, f"best lru coverage {best:.1f}% < 90%"
+print("oracle.json: shape + coverage floor OK")
+EOF
+
 echo "== smoke: bench rail (fused/unfused/interpreted/disk-warm + artifact store) =="
 bench_json="$replsens_dir/bench.json"
 bench_store="$replsens_dir/store"
@@ -118,10 +178,13 @@ bench_date="$(git log -1 --format=%cs 2>/dev/null || echo unknown)"
 # pinned 4-thread pool so the multi-thread sweep scheduling is exercised
 # cross-process. The real commit date (not a placeholder) stamps both
 # trajectory entries.
-NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" \
+# NBL_ORACLE_CHECKED=1: the oracle gate above passed in this same
+# verification run, so both trajectory entries record oracle_checked.
+NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" NBL_ORACLE_CHECKED=1 \
   cargo run --release -p nbl-bench -- bench --store "$bench_store" \
   --bench-reps 2 --out /dev/null >/dev/null
-NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" NBL_THREADS=4 \
+NBL_BENCH_JSON="$bench_json" NBL_BENCH_DATE="$bench_date" NBL_ORACLE_CHECKED=1 \
+  NBL_THREADS=4 \
   cargo run --release -p nbl-bench -- bench --store "$bench_store" \
   --bench-reps 2 --out /dev/null >/dev/null
 python3 - "$bench_json" "$bench_date" <<'EOF'
@@ -154,10 +217,11 @@ for e in traj:
     for key in ("git", "threads", "reps", "warm_runs_per_sec", "disk_warm_wall_s",
                 "speedup_disk_warm_vs_cold", "fusion_regressed", "bit_identical",
                 "speedup_fused_vs_unfused_1t", "speedup_fused_vs_unfused_4t",
-                "tape_scan_s", "mem_step_s"):
+                "tape_scan_s", "mem_step_s", "oracle_checked"):
         assert key in e, key
     assert e["bit_identical"] is True, e
     assert e["fusion_regressed"] is False, e
+    assert e["oracle_checked"] is True, e
 # Acceptance floor: a fresh incremental process over the populated store
 # must beat the cold (empty-store) pass by at least 1.5x. Entry 0 is the
 # only run whose cold pass saw an empty store.
